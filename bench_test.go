@@ -1,0 +1,219 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/jitter"
+	"repro/internal/measure"
+	"repro/internal/osc"
+)
+
+// The benchmarks below regenerate the paper's evaluation artifacts
+// (DESIGN.md §4). Each prints its table once via b.Logf on the first
+// iteration (`go test -bench=. -v` to see them); run cmd/experiments
+// for the full EXPERIMENTS.md regeneration.
+
+// BenchmarkFig7 regenerates Fig. 7: the counter campaign over N plus
+// the quadratic fit (EXP-F7).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(experiments.Quick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkRNThreshold regenerates the r_N ratio table and the
+// independence thresholds (EXP-RN; paper: N*(95%) = 281).
+func BenchmarkRNThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RNThreshold(experiments.Quick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkThermalExtraction regenerates §IV-B: b_th = 276.04 Hz,
+// σ = 15.89 ps, σ/T0 = 1.6 ‰ (EXP-TH).
+func BenchmarkThermalExtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ThermalExtraction(experiments.Quick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkSigmaNAnalytic checks eq. 9 (numeric quadrature) against
+// eq. 11 (closed form) across N (EXP-EQ11).
+func BenchmarkSigmaNAnalytic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Eq11Validation()
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkIndependenceTests runs the Bienaymé/portmanteau ablation:
+// thermal-only passes, flicker fails at wide N (EXP-IND).
+func BenchmarkIndependenceTests(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Independence(experiments.Quick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkEntropyComparison contrasts naive vs refined entropy per bit
+// across sampling dividers (EXP-ENT).
+func BenchmarkEntropyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.EntropyComparison(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkPSDCrossCheck validates eq. 10 spectrally: Welch PSD of the
+// extracted phase vs the calibration (EXP-PSD).
+func BenchmarkPSDCrossCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PSDCrossCheck(experiments.Quick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkTIACrossCheck compares the embedded counter extraction with
+// the bench time-interval-analyzer oracle (EXP-TIA).
+func BenchmarkTIACrossCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TIACrossCheck(experiments.Quick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkOnlineTest measures the proposed thermal monitor's detection
+// of injection/suppression attacks (EXP-ATT).
+func BenchmarkOnlineTest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.OnlineTest(experiments.Quick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+// BenchmarkAIS31 runs procedure B on simulated eRO-TRNG output
+// (EXP-AIS).
+func BenchmarkAIS31(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AIS31Run(experiments.Quick, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot simulation paths ---
+
+// BenchmarkOscillatorPeriod measures the cost of one simulated period
+// with the full (thermal + flicker) paper model.
+func BenchmarkOscillatorPeriod(b *testing.B) {
+	o, err := osc.New(core.PaperModel().PerRing().Phase, osc.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += o.NextPeriod()
+	}
+	_ = sink
+}
+
+// BenchmarkCounterWindow measures one N=64 counter window (the online
+// test's unit of work).
+func BenchmarkCounterWindow(b *testing.B) {
+	pair, err := core.PaperModel().RingPair(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := measure.NewCounterConfig(pair, 64, measure.Config{Subdivide: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += c.NextQ()
+	}
+	_ = sink
+}
+
+// BenchmarkSigmaN2Estimate measures the sliding-window s_N variance
+// estimator on a 1M-point jitter record.
+func BenchmarkSigmaN2Estimate(b *testing.B) {
+	o, err := osc.New(core.PaperModel().PerRing().Phase, osc.Options{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	j := o.Jitter(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jitter.EstimateSigmaN2(j, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTRNGBit measures raw bit generation at divider 64.
+func BenchmarkTRNGBit(b *testing.B) {
+	g, err := core.PaperModel().NewTRNG(64, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		sink ^= g.NextBit()
+	}
+	_ = sink
+}

@@ -1,0 +1,92 @@
+// Command aistest runs the AIS31 statistical test procedures on a bit
+// file (packed bytes, MSB-first) or on freshly simulated eRO-TRNG
+// output.
+//
+// Usage:
+//
+//	aistest [-proc A|B] [-f file] [-divider K] [-seed S]
+//
+// Without -f, the input is simulated with the given divider.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/ais31"
+	"repro/internal/core"
+	"repro/internal/postproc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aistest: ")
+	var (
+		proc    = flag.String("proc", "B", "procedure to run: A or B")
+		file    = flag.String("f", "", "input bit file (packed bytes); empty = simulate")
+		divider = flag.Int("divider", 10, "sampling divider for simulated input")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var need int
+	switch *proc {
+	case "A":
+		need = 48*(1<<16) + 257*20000
+	case "B":
+		p := ais31.DefaultCoron()
+		need = (p.Q+p.K)*p.L + 200001
+	default:
+		log.Fatalf("unknown procedure %q", *proc)
+	}
+
+	var bits []byte
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bits = postproc.Unpack(data)
+		if len(bits) < need {
+			log.Fatalf("file provides %d bits, procedure %s needs %d", len(bits), *proc, need)
+		}
+	} else {
+		// Boosted-thermal article so the simulation finishes quickly
+		// while keeping the eRO-TRNG architecture (the paper model
+		// needs divider ~10^5 for full entropy; see EXP-ENT).
+		m := core.PaperModel()
+		m.Phase.Bth *= 1e4
+		m.Phase.Bfl *= 100
+		gen, err := m.NewTRNG(*divider, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "simulating %d bits at divider %d...\n", need, *divider)
+		bits = gen.Bits(need)
+	}
+
+	var (
+		verdicts []ais31.Verdict
+		pass     bool
+		err      error
+	)
+	if *proc == "A" {
+		verdicts, pass, err = ais31.ProcedureA(bits)
+	} else {
+		verdicts, pass, err = ais31.ProcedureB(bits)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range verdicts {
+		fmt.Println(v.String())
+	}
+	if pass {
+		fmt.Printf("procedure %s: PASS\n", *proc)
+		return
+	}
+	fmt.Printf("procedure %s: FAIL\n", *proc)
+	os.Exit(1)
+}

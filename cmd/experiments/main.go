@@ -1,0 +1,107 @@
+// Command experiments regenerates every evaluation artifact of the
+// paper (the per-experiment index of DESIGN.md §4) and prints the
+// tables that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-seed S] [-only EXP-ID]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		scaleFlag = flag.String("scale", "quick", "effort: quick or full")
+		seed      = flag.Uint64("seed", 1, "campaign seed")
+		only      = flag.String("only", "", "run a single experiment (EXP-F7, EXP-RN, EXP-TH, EXP-EQ11, EXP-IND, EXP-ENT, EXP-PSD, EXP-TIA, EXP-ATT, EXP-AIS)")
+	)
+	flag.Parse()
+
+	scale := experiments.Quick
+	switch strings.ToLower(*scaleFlag) {
+	case "quick":
+	case "full":
+		scale = experiments.Full
+	default:
+		log.Fatalf("unknown scale %q", *scaleFlag)
+	}
+
+	type runner struct {
+		id  string
+		run func() (string, error)
+	}
+	runners := []runner{
+		{"EXP-F7", func() (string, error) {
+			r, err := experiments.Fig7(scale, *seed)
+			return tbl(r.Table(), err)
+		}},
+		{"EXP-RN", func() (string, error) {
+			r, err := experiments.RNThreshold(scale, *seed)
+			return tbl(r.Table(), err)
+		}},
+		{"EXP-TH", func() (string, error) {
+			r, err := experiments.ThermalExtraction(scale, *seed)
+			return tbl(r.Table(), err)
+		}},
+		{"EXP-EQ11", func() (string, error) {
+			return experiments.Eq11Validation().Table(), nil
+		}},
+		{"EXP-IND", func() (string, error) {
+			r, err := experiments.Independence(scale, *seed)
+			return tbl(r.Table(), err)
+		}},
+		{"EXP-ENT", func() (string, error) {
+			r, err := experiments.EntropyComparison(scale)
+			return tbl(r.Table(), err)
+		}},
+		{"EXP-PSD", func() (string, error) {
+			r, err := experiments.PSDCrossCheck(scale, *seed)
+			return tbl(r.Table(), err)
+		}},
+		{"EXP-TIA", func() (string, error) {
+			r, err := experiments.TIACrossCheck(scale, *seed)
+			return tbl(r.Table(), err)
+		}},
+		{"EXP-ATT", func() (string, error) {
+			r, err := experiments.OnlineTest(scale, *seed)
+			return tbl(r.Table(), err)
+		}},
+		{"EXP-AIS", func() (string, error) {
+			r, err := experiments.AIS31Run(scale, *seed)
+			return tbl(r.Table(), err)
+		}},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if *only != "" && !strings.EqualFold(*only, r.id) {
+			continue
+		}
+		out, err := r.run()
+		if err != nil {
+			log.Fatalf("%s: %v", r.id, err)
+		}
+		fmt.Println(out)
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no experiment matches %q", *only)
+	}
+}
+
+// tbl forwards a table unless its experiment failed.
+func tbl(s string, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return s, nil
+}

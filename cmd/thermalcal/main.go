@@ -1,0 +1,59 @@
+// Command thermalcal performs the paper's §IV thermal-noise measurement
+// on a simulated oscillator pair — or, with -device, predicts the same
+// quantities bottom-up from transistor parameters (the multilevel path
+// of Fig. 3) and compares the two.
+//
+// Usage:
+//
+//	thermalcal [-windows W] [-seed S] [-device] [-shrink s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/phys"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("thermalcal: ")
+	var (
+		windows   = flag.Int("windows", 3000, "counter windows per N")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		useDevice = flag.Bool("device", false, "derive the model from transistor parameters too")
+		shrink    = flag.Float64("shrink", 1.0, "technology shrink factor applied to the device path")
+	)
+	flag.Parse()
+
+	model := core.PaperModel()
+	pair, err := model.RingPair(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, _, err := core.Measure(pair, core.MeasureConfig{WindowsPerN: *windows})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== measured (counter campaign on simulated pair) ==")
+	fmt.Print(measured.Report())
+	fmt.Println("\n== calibration (paper values) ==")
+	fmt.Print(model.Report())
+
+	if *useDevice {
+		ring := phys.DefaultRing()
+		if *shrink != 1.0 {
+			ring.Stage.NMOS = device.ShrinkTechnology(ring.Stage.NMOS, *shrink)
+			ring.Stage.PMOS = device.ShrinkTechnology(ring.Stage.PMOS, *shrink)
+		}
+		dev, err := core.FromDevice(ring, device.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== device prediction (multilevel path, shrink ×%g) ==\n", *shrink)
+		fmt.Print(dev.Report())
+	}
+}

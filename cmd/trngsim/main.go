@@ -1,0 +1,91 @@
+// Command trngsim simulates an elementary ring-oscillator TRNG
+// (paper Fig. 4) and writes raw random bytes to stdout or a file,
+// together with a model-based entropy report on stderr.
+//
+// Usage:
+//
+//	trngsim [-n bytes] [-divider K] [-seed S] [-post xor8|vn|none] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/postproc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trngsim: ")
+	var (
+		nBytes  = flag.Int("n", 1024, "number of output bytes")
+		divider = flag.Int("divider", 1000, "sampling divider K (Osc2 periods per bit)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		post    = flag.String("post", "none", "post-processing: none, xor8 or vn")
+		out     = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+	if *nBytes <= 0 || *divider <= 0 {
+		log.Fatal("need -n > 0 and -divider > 0")
+	}
+
+	model := core.PaperModel()
+	gen, err := model.NewTRNG(*divider, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	needBits := *nBytes * 8
+	factor := 1
+	switch *post {
+	case "none":
+	case "xor8":
+		factor = 8
+	case "vn":
+		factor = 6 // von Neumann keeps ~1/4 of unbiased pairs; 6× input is ample
+	default:
+		log.Fatalf("unknown post-processing %q", *post)
+	}
+	raw := gen.Bits(needBits * factor)
+	bits := raw
+	switch *post {
+	case "xor8":
+		bits = postproc.XORDecimate(raw, 8)
+	case "vn":
+		bits = postproc.VonNeumann(raw)
+		for len(bits) < needBits {
+			extra := gen.Bits(needBits)
+			bits = append(bits, postproc.VonNeumann(extra)...)
+		}
+	}
+	if len(bits) < needBits {
+		log.Fatalf("post-processing yielded %d bits, need %d", len(bits), needBits)
+	}
+	data := postproc.Pack(bits[:needBits])
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(data); err != nil {
+		log.Fatal(err)
+	}
+
+	av := gen.AccumulatedJitterVariance()
+	cmp, err := model.AssessEntropy(*divider, 30000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "model: f0=%.4g MHz divider=%d\n", model.Phase.F0/1e6, *divider)
+	fmt.Fprintf(os.Stderr, "accumulated jitter/bit: thermal %.4g s^2, total %.4g s^2\n", av.Thermal, av.Total)
+	fmt.Fprintf(os.Stderr, "entropy/raw bit: refined %.6f (naive would claim %.6f)\n", cmp.HRefined, cmp.HNaive)
+	fmt.Fprintf(os.Stderr, "raw bit bias: %+.5f over %d bits\n", postproc.Bias(raw), len(raw))
+}

@@ -1,0 +1,23 @@
+// Package repro reproduces "On the assumption of mutual independence of
+// jitter realizations in P-TRNG stochastic models" (Haddad, Teglia,
+// Bernard, Fischer — DATE 2014) as a production-quality Go library.
+//
+// The repository implements the paper's multilevel stochastic modeling
+// approach for ring-oscillator true random number generators end to
+// end: transistor-level noise PSDs, Hajimiri ISF phase-noise
+// conversion, calibrated edge-time oscillator simulation, the
+// differential counter measurement circuit, the σ²_N = a·N + b·N²
+// analysis with its independence diagnostics, thermal-jitter
+// extraction, naive-vs-refined entropy assessment, the proposed online
+// thermal-noise monitor, and the AIS31 statistical test context.
+//
+// Entry points:
+//
+//   - internal/core.Model — the multilevel model façade
+//   - internal/experiments — regenerates every paper artifact
+//   - cmd/* — command-line tools
+//   - examples/* — runnable walkthroughs
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package repro

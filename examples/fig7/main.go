@@ -1,0 +1,85 @@
+// Fig. 7 reproduction: the accumulated jitter variance f0²·σ²_N versus
+// N measured with the differential counter circuit, the quadratic fit,
+// and an ASCII log-log rendering of the figure.
+//
+//	go run ./examples/fig7
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.Fig7(experiments.Quick, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+	fmt.Println()
+	fmt.Println(render(res))
+	fmt.Println("legend: o measured   · eq. 11 model   (log-log axes)")
+}
+
+// render draws the measured points and the model curve on a log-log
+// ASCII canvas, the shape of the paper's Fig. 7.
+func render(res experiments.Fig7Result) string {
+	const (
+		w = 72
+		h = 24
+	)
+	minX := math.Log10(float64(res.Rows[0].N))
+	maxX := math.Log10(float64(res.Rows[len(res.Rows)-1].N))
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, r := range res.Rows {
+		for _, v := range []float64{r.MeasuredNorm, r.TheoryNorm} {
+			if v <= 0 {
+				continue
+			}
+			l := math.Log10(v)
+			minY = math.Min(minY, l)
+			maxY = math.Max(maxY, l)
+		}
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	put := func(x, y float64, c byte) {
+		if y <= 0 {
+			return
+		}
+		cx := int((math.Log10(x) - minX) / (maxX - minX) * float64(w-1))
+		cy := int((math.Log10(y) - minY) / (maxY - minY) * float64(h-1))
+		if cx < 0 || cx >= w || cy < 0 || cy >= h {
+			return
+		}
+		row := h - 1 - cy
+		if grid[row][cx] == ' ' || c == 'o' {
+			grid[row][cx] = c
+		}
+	}
+	// model curve: dense sampling
+	for i := 0; i <= 200; i++ {
+		n := math.Pow(10, minX+(maxX-minX)*float64(i)/200)
+		y := res.Model.SigmaN2(int(math.Max(1, n))) * res.Model.F0 * res.Model.F0
+		put(n, y, '.')
+	}
+	for _, r := range res.Rows {
+		put(float64(r.N), r.MeasuredNorm, 'o')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "f0^2*sigma_N^2 (log), %2.0e .. %2.0e\n", math.Pow(10, minY), math.Pow(10, maxY))
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", w) + "\n")
+	fmt.Fprintf(&b, " N (log): %d .. %d\n", res.Rows[0].N, res.Rows[len(res.Rows)-1].N)
+	return b.String()
+}

@@ -1,0 +1,438 @@
+// Package ais31 implements the statistical test procedures of the
+// AIS 31 evaluation methodology (Killmann & Schindler, "A proposal for:
+// Functionality classes for random number generators", 2011), the
+// certification framework the paper targets: P-TRNG security assessment
+// rests on a stochastic model plus online tests, and the paper's
+// proposed thermal-noise monitor is meant to serve as such a
+// generator-specific test.
+//
+// Implemented tests:
+//
+//	T0 — disjointness test (2^16 48-bit blocks pairwise distinct)
+//	T1 — monobit test             (FIPS 140-1 bounds)
+//	T2 — poker test (4-bit)
+//	T3 — runs test
+//	T4 — long-run test
+//	T5 — autocorrelation test
+//	T6 — uniform distribution test
+//	T7 — comparative test for transition probabilities
+//	T8 — Coron's entropy test
+//
+// plus the Procedure A and Procedure B drivers that combine them.
+package ais31
+
+import (
+	"fmt"
+	"math"
+)
+
+// Verdict is the outcome of one test.
+type Verdict struct {
+	Name      string
+	Pass      bool
+	Statistic float64
+	// Detail carries the human-readable bound check.
+	Detail string
+}
+
+func (v Verdict) String() string {
+	status := "PASS"
+	if !v.Pass {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%-4s %s stat=%.4g %s", v.Name, status, v.Statistic, v.Detail)
+}
+
+// onesCount counts set bits in a 0/1 slice.
+func onesCount(bits []byte) int {
+	var n int
+	for _, b := range bits {
+		if b&1 == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// T0Disjointness checks that the first 2^16 disjoint 48-bit blocks are
+// pairwise distinct. It needs 48·65536 input bits.
+func T0Disjointness(bits []byte) (Verdict, error) {
+	const (
+		blocks   = 1 << 16
+		blockLen = 48
+	)
+	if len(bits) < blocks*blockLen {
+		return Verdict{}, fmt.Errorf("ais31: T0 needs %d bits, got %d", blocks*blockLen, len(bits))
+	}
+	seen := make(map[uint64]struct{}, blocks)
+	for b := 0; b < blocks; b++ {
+		var w uint64
+		for i := 0; i < blockLen; i++ {
+			w = w<<1 | uint64(bits[b*blockLen+i]&1)
+		}
+		if _, dup := seen[w]; dup {
+			return Verdict{
+				Name: "T0", Pass: false, Statistic: float64(b),
+				Detail: fmt.Sprintf("duplicate 48-bit block at index %d", b),
+			}, nil
+		}
+		seen[w] = struct{}{}
+	}
+	return Verdict{Name: "T0", Pass: true, Detail: "2^16 blocks disjoint"}, nil
+}
+
+// T1Monobit applies the monobit test to the first 20000 bits:
+// pass iff 9654 < ones < 10346.
+func T1Monobit(bits []byte) (Verdict, error) {
+	if len(bits) < 20000 {
+		return Verdict{}, fmt.Errorf("ais31: T1 needs 20000 bits, got %d", len(bits))
+	}
+	ones := onesCount(bits[:20000])
+	pass := ones > 9654 && ones < 10346
+	return Verdict{
+		Name: "T1", Pass: pass, Statistic: float64(ones),
+		Detail: "bound (9654, 10346)",
+	}, nil
+}
+
+// T2Poker applies the 4-bit poker test to the first 20000 bits:
+// X = (16/5000)·Σ f_i² − 5000, pass iff 1.03 < X < 57.4.
+func T2Poker(bits []byte) (Verdict, error) {
+	if len(bits) < 20000 {
+		return Verdict{}, fmt.Errorf("ais31: T2 needs 20000 bits, got %d", len(bits))
+	}
+	var counts [16]int
+	for i := 0; i < 5000; i++ {
+		var w int
+		for k := 0; k < 4; k++ {
+			w = w<<1 | int(bits[4*i+k]&1)
+		}
+		counts[w]++
+	}
+	var sum float64
+	for _, c := range counts {
+		sum += float64(c) * float64(c)
+	}
+	x := 16.0/5000.0*sum - 5000
+	pass := x > 1.03 && x < 57.4
+	return Verdict{Name: "T2", Pass: pass, Statistic: x, Detail: "bound (1.03, 57.4)"}, nil
+}
+
+// runsBounds are the AIS31/FIPS permitted intervals for the number of
+// runs of each length (1..5, and >= 6), applied separately to runs of
+// zeros and runs of ones over 20000 bits.
+var runsBounds = [6][2]int{
+	{2267, 2733},
+	{1079, 1421},
+	{502, 748},
+	{223, 402},
+	{90, 223},
+	{90, 223},
+}
+
+// T3Runs counts runs of zeros and ones in the first 20000 bits and
+// checks each length class against the permitted interval.
+func T3Runs(bits []byte) (Verdict, error) {
+	if len(bits) < 20000 {
+		return Verdict{}, fmt.Errorf("ais31: T3 needs 20000 bits, got %d", len(bits))
+	}
+	bits = bits[:20000]
+	var runs [2][6]int
+	i := 0
+	for i < len(bits) {
+		v := bits[i] & 1
+		j := i
+		for j < len(bits) && bits[j]&1 == v {
+			j++
+		}
+		length := j - i
+		cls := length - 1
+		if cls > 5 {
+			cls = 5
+		}
+		runs[v][cls]++
+		i = j
+	}
+	for v := 0; v < 2; v++ {
+		for c := 0; c < 6; c++ {
+			lo, hi := runsBounds[c][0], runsBounds[c][1]
+			if runs[v][c] < lo || runs[v][c] > hi {
+				return Verdict{
+					Name: "T3", Pass: false, Statistic: float64(runs[v][c]),
+					Detail: fmt.Sprintf("runs of %d, length class %d: %d outside [%d, %d]", v, c+1, runs[v][c], lo, hi),
+				}, nil
+			}
+		}
+	}
+	return Verdict{Name: "T3", Pass: true, Detail: "all run-length classes in bounds"}, nil
+}
+
+// T4LongRun fails iff the first 20000 bits contain a run of length >= 34.
+func T4LongRun(bits []byte) (Verdict, error) {
+	if len(bits) < 20000 {
+		return Verdict{}, fmt.Errorf("ais31: T4 needs 20000 bits, got %d", len(bits))
+	}
+	bits = bits[:20000]
+	longest := 0
+	i := 0
+	for i < len(bits) {
+		v := bits[i] & 1
+		j := i
+		for j < len(bits) && bits[j]&1 == v {
+			j++
+		}
+		if j-i > longest {
+			longest = j - i
+		}
+		i = j
+	}
+	pass := longest < 34
+	return Verdict{Name: "T4", Pass: pass, Statistic: float64(longest), Detail: "longest run must be < 34"}, nil
+}
+
+// T5Autocorrelation applies the autocorrelation test: on bits
+// 0..9999 it selects the shift τ ∈ [1, 5000] with the most extreme
+// statistic, then evaluates Z_τ = Σ_{j=0}^{4999} b_{10000+j} ⊕
+// b_{10000+j+τ} on the NEXT 10000 bits; pass iff 2326 < Z_τ < 2674.
+// It therefore needs 20000 bits.
+func T5Autocorrelation(bits []byte) (Verdict, error) {
+	if len(bits) < 20000 {
+		return Verdict{}, fmt.Errorf("ais31: T5 needs 20000 bits, got %d", len(bits))
+	}
+	// Selection phase on the first half.
+	half := bits[:10000]
+	bestTau, bestDev := 1, -1.0
+	for tau := 1; tau <= 5000; tau++ {
+		var z int
+		for j := 0; j+tau < len(half) && j < 5000; j++ {
+			z += int(half[j]&1 ^ half[j+tau]&1)
+		}
+		dev := math.Abs(float64(z) - 2500)
+		if dev > bestDev {
+			bestDev = dev
+			bestTau = tau
+		}
+	}
+	// Evaluation phase on the second half.
+	second := bits[10000:20000]
+	var z int
+	for j := 0; j < 5000; j++ {
+		z += int(second[j]&1 ^ second[(j+bestTau)%10000]&1)
+	}
+	pass := z > 2326 && z < 2674
+	return Verdict{
+		Name: "T5", Pass: pass, Statistic: float64(z),
+		Detail: fmt.Sprintf("tau=%d, bound (2326, 2674)", bestTau),
+	}, nil
+}
+
+// T6Uniform checks the empirical one-probability of n disjoint bits
+// against |P̂(1) − 1/2| <= a. AIS31 Procedure B applies it with
+// n = 100000 and a = 0.025 on the raw sequence.
+func T6Uniform(bits []byte, n int, a float64) (Verdict, error) {
+	if len(bits) < n {
+		return Verdict{}, fmt.Errorf("ais31: T6 needs %d bits, got %d", n, len(bits))
+	}
+	p := float64(onesCount(bits[:n])) / float64(n)
+	dev := math.Abs(p - 0.5)
+	return Verdict{
+		Name: "T6", Pass: dev <= a, Statistic: p,
+		Detail: fmt.Sprintf("|p−0.5| = %.4g <= %.4g", dev, a),
+	}, nil
+}
+
+// T7Transition compares the conditional one-probabilities
+// P(1|previous=0) and P(1|previous=1) over n transitions; the statistic
+// is the two-proportion z-score and the test passes iff |z| < bound
+// (AIS31 uses a significance corresponding to z ≈ 3.29 for α=0.001).
+func T7Transition(bits []byte, n int) (Verdict, error) {
+	if len(bits) < n+1 {
+		return Verdict{}, fmt.Errorf("ais31: T7 needs %d bits, got %d", n+1, len(bits))
+	}
+	var cnt [2]int
+	var ones [2]int
+	for i := 1; i <= n; i++ {
+		prev := bits[i-1] & 1
+		cnt[prev]++
+		if bits[i]&1 == 1 {
+			ones[prev]++
+		}
+	}
+	if cnt[0] == 0 || cnt[1] == 0 {
+		return Verdict{Name: "T7", Pass: false, Detail: "degenerate sequence (constant)"}, nil
+	}
+	p0 := float64(ones[0]) / float64(cnt[0])
+	p1 := float64(ones[1]) / float64(cnt[1])
+	pPool := float64(ones[0]+ones[1]) / float64(cnt[0]+cnt[1])
+	se := math.Sqrt(pPool * (1 - pPool) * (1/float64(cnt[0]) + 1/float64(cnt[1])))
+	var z float64
+	if se > 0 {
+		z = (p0 - p1) / se
+	}
+	const bound = 3.29
+	return Verdict{
+		Name: "T7", Pass: math.Abs(z) < bound, Statistic: z,
+		Detail: fmt.Sprintf("two-proportion |z| < %.2f", bound),
+	}, nil
+}
+
+// CoronParams configures T8.
+type CoronParams struct {
+	// L is the word length in bits (AIS31: 8).
+	L int
+	// Q is the number of initialization words (AIS31: 2560).
+	Q int
+	// K is the number of test words (AIS31: 256000).
+	K int
+	// Threshold is the minimum accepted statistic (AIS31: 7.976 for
+	// L = 8).
+	Threshold float64
+}
+
+// DefaultCoron returns the AIS31 T8 parameterization.
+func DefaultCoron() CoronParams {
+	return CoronParams{L: 8, Q: 2560, K: 256000, Threshold: 7.976}
+}
+
+// T8Coron runs Coron's refined universal entropy test: the statistic
+//
+//	f = (1/K)·Σ_n g(A_n),   g(i) = (1/ln2)·Σ_{k=1}^{i−1} 1/k,
+//
+// where A_n is the distance to the previous occurrence of the n-th word,
+// has expectation equal to the per-word entropy for memoryless sources.
+// Pass iff f > Threshold.
+func T8Coron(bits []byte, p CoronParams) (Verdict, error) {
+	if p.L < 1 || p.L > 16 {
+		return Verdict{}, fmt.Errorf("ais31: T8 word length %d out of [1,16]", p.L)
+	}
+	need := (p.Q + p.K) * p.L
+	if len(bits) < need {
+		return Verdict{}, fmt.Errorf("ais31: T8 needs %d bits, got %d", need, len(bits))
+	}
+	nWords := p.Q + p.K
+	words := make([]uint32, nWords)
+	for w := 0; w < nWords; w++ {
+		var v uint32
+		for i := 0; i < p.L; i++ {
+			v = v<<1 | uint32(bits[w*p.L+i]&1)
+		}
+		words[w] = v
+	}
+	// Precompute g up to the maximum possible distance.
+	g := make([]float64, nWords+1)
+	var harmonic float64
+	for i := 1; i <= nWords; i++ {
+		g[i] = harmonic / math.Ln2
+		harmonic += 1 / float64(i)
+	}
+	last := make([]int, 1<<uint(p.L))
+	for i := range last {
+		last[i] = -1
+	}
+	for n := 0; n < p.Q; n++ {
+		last[words[n]] = n
+	}
+	var sum float64
+	for n := p.Q; n < nWords; n++ {
+		w := words[n]
+		var dist int
+		if last[w] < 0 {
+			dist = n + 1 // first occurrence: maximal distance convention
+		} else {
+			dist = n - last[w]
+		}
+		sum += g[dist]
+		last[w] = n
+	}
+	f := sum / float64(p.K)
+	return Verdict{
+		Name: "T8", Pass: f > p.Threshold, Statistic: f,
+		Detail: fmt.Sprintf("threshold %.3f (L=%d)", p.Threshold, p.L),
+	}, nil
+}
+
+// ProcedureA runs T0 followed by 257 rounds of T1–T5 on consecutive
+// 20000-bit blocks, per the AIS31 procedure A layout. It requires
+// 48·2^16 + 257·20000 bits ≈ 8.3 Mbit. One failing round is tolerated
+// per the standard's repetition rule only for the first failure; this
+// implementation reports a failure count and passes iff at most one
+// round fails.
+func ProcedureA(bits []byte) ([]Verdict, bool, error) {
+	const rounds = 257
+	need := 48*(1<<16) + rounds*20000
+	if len(bits) < need {
+		return nil, false, fmt.Errorf("ais31: procedure A needs %d bits, got %d", need, len(bits))
+	}
+	var out []Verdict
+	v0, err := T0Disjointness(bits)
+	if err != nil {
+		return nil, false, err
+	}
+	out = append(out, v0)
+	failures := 0
+	if !v0.Pass {
+		failures++
+	}
+	off := 48 * (1 << 16)
+	tests := []func([]byte) (Verdict, error){T1Monobit, T2Poker, T3Runs, T4LongRun, T5Autocorrelation}
+	for r := 0; r < rounds; r++ {
+		block := bits[off+r*20000 : off+(r+1)*20000]
+		roundFailed := false
+		for _, t := range tests {
+			v, err := t(block)
+			if err != nil {
+				return nil, false, err
+			}
+			if !v.Pass {
+				roundFailed = true
+				out = append(out, v)
+			}
+		}
+		if roundFailed {
+			failures++
+		}
+	}
+	return out, failures <= 1, nil
+}
+
+// ProcedureB runs T6 (two disjoint halves), T7 and T8 on the input, per
+// the AIS31 procedure B intent (the exact standard applies them to
+// internal random numbers with specified sub-sequence extraction; this
+// implementation applies them to the supplied raw sequence directly).
+func ProcedureB(bits []byte) ([]Verdict, bool, error) {
+	p := DefaultCoron()
+	need := (p.Q+p.K)*p.L + 200001
+	if len(bits) < need {
+		return nil, false, fmt.Errorf("ais31: procedure B needs %d bits, got %d", need, len(bits))
+	}
+	var out []Verdict
+	allPass := true
+	v6a, err := T6Uniform(bits, 100000, 0.025)
+	if err != nil {
+		return nil, false, err
+	}
+	v6a.Name = "T6a"
+	out = append(out, v6a)
+	v6b, err := T6Uniform(bits[100000:], 100000, 0.025)
+	if err != nil {
+		return nil, false, err
+	}
+	v6b.Name = "T6b"
+	out = append(out, v6b)
+	v7, err := T7Transition(bits, 200000)
+	if err != nil {
+		return nil, false, err
+	}
+	out = append(out, v7)
+	v8, err := T8Coron(bits[200001:], p)
+	if err != nil {
+		return nil, false, err
+	}
+	out = append(out, v8)
+	for _, v := range out {
+		if !v.Pass {
+			allPass = false
+		}
+	}
+	return out, allPass, nil
+}

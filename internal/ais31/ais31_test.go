@@ -1,0 +1,340 @@
+package ais31
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// goodBits produces balanced independent bits from the test PRNG.
+func goodBits(n int, seed uint64) []byte {
+	r := rng.New(seed)
+	out := make([]byte, n)
+	for i := 0; i+64 <= n; i += 64 {
+		v := r.Uint64()
+		for k := 0; k < 64; k++ {
+			out[i+k] = byte(v >> uint(k) & 1)
+		}
+	}
+	for i := (n / 64) * 64; i < n; i++ {
+		out[i] = byte(r.Uint64() & 1)
+	}
+	return out
+}
+
+// biasedBits produces independent bits with P(1) = p.
+func biasedBits(n int, p float64, seed uint64) []byte {
+	r := rng.New(seed)
+	out := make([]byte, n)
+	for i := range out {
+		if r.Float64() < p {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func TestT0GoodSequencePasses(t *testing.T) {
+	bits := goodBits(48*(1<<16), 1)
+	v, err := T0Disjointness(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("T0 failed on good bits: %v", v)
+	}
+}
+
+func TestT0DetectsRepetition(t *testing.T) {
+	bits := goodBits(48*(1<<16), 2)
+	// Make block 100 a copy of block 7.
+	copy(bits[100*48:101*48], bits[7*48:8*48])
+	v, err := T0Disjointness(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatal("T0 missed a duplicated block")
+	}
+}
+
+func TestT0NeedsEnoughBits(t *testing.T) {
+	if _, err := T0Disjointness(make([]byte, 100)); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+func TestT1GoodPassesBiasedFails(t *testing.T) {
+	v, err := T1Monobit(goodBits(20000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("T1 failed on good bits: %v", v)
+	}
+	v, err = T1Monobit(biasedBits(20000, 0.54, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatalf("T1 passed 4%% bias: %v", v)
+	}
+}
+
+func TestT2GoodPassesStuckFails(t *testing.T) {
+	v, err := T2Poker(goodBits(20000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("T2 failed on good bits: %v", v)
+	}
+	// Periodic pattern: one nibble value dominates.
+	bits := make([]byte, 20000)
+	for i := range bits {
+		bits[i] = byte(i % 2)
+	}
+	v, err = T2Poker(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatalf("T2 passed alternating pattern: %v", v)
+	}
+}
+
+func TestT3GoodPassesClusteredFails(t *testing.T) {
+	v, err := T3Runs(goodBits(20000, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("T3 failed on good bits: %v", v)
+	}
+	// Sticky source: too many long runs, too few singletons.
+	r := rng.New(7)
+	bits := make([]byte, 20000)
+	cur := byte(0)
+	for i := range bits {
+		if r.Float64() < 0.2 {
+			cur ^= 1
+		}
+		bits[i] = cur
+	}
+	v, err = T3Runs(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatalf("T3 passed sticky source: %v", v)
+	}
+}
+
+func TestT4LongRun(t *testing.T) {
+	v, err := T4LongRun(goodBits(20000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("T4 failed on good bits: %v", v)
+	}
+	bits := goodBits(20000, 9)
+	for i := 500; i < 540; i++ {
+		bits[i] = 1
+	}
+	v, err = T4LongRun(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatal("T4 missed a 40-run")
+	}
+}
+
+func TestT5GoodPassesPeriodicFails(t *testing.T) {
+	v, err := T5Autocorrelation(goodBits(20000, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("T5 failed on good bits: %v", v)
+	}
+	// Strong correlation at τ=8.
+	r := rng.New(11)
+	bits := make([]byte, 20000)
+	for i := range bits {
+		if i < 8 {
+			bits[i] = byte(r.Uint64() & 1)
+		} else if r.Float64() < 0.9 {
+			bits[i] = bits[i-8]
+		} else {
+			bits[i] = bits[i-8] ^ 1
+		}
+	}
+	v, err = T5Autocorrelation(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatalf("T5 passed τ=8 correlated bits: %v", v)
+	}
+}
+
+func TestT6Uniform(t *testing.T) {
+	v, err := T6Uniform(goodBits(100000, 12), 100000, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("T6 failed on good bits: %v", v)
+	}
+	v, err = T6Uniform(biasedBits(100000, 0.55, 13), 100000, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatalf("T6 passed 5%% bias: %v", v)
+	}
+}
+
+func TestT7Transition(t *testing.T) {
+	v, err := T7Transition(goodBits(200001, 14), 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("T7 failed on good bits: %v", v)
+	}
+	// Markov chain whose transition probabilities differ by state.
+	r := rng.New(15)
+	bits := make([]byte, 200001)
+	for i := 1; i < len(bits); i++ {
+		p := 0.48
+		if bits[i-1] == 1 {
+			p = 0.52
+		}
+		if r.Float64() < p {
+			bits[i] = 1
+		}
+	}
+	v, err = T7Transition(bits, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatalf("T7 passed asymmetric Markov source: %v", v)
+	}
+	constBits := make([]byte, 1001)
+	v, err = T7Transition(constBits, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatal("T7 passed constant sequence")
+	}
+}
+
+func TestT8CoronUniform(t *testing.T) {
+	p := DefaultCoron()
+	bits := goodBits((p.Q+p.K)*p.L, 16)
+	v, err := T8Coron(bits, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("T8 failed on good bits: %v", v)
+	}
+	// The statistic must sit near 8 bits/word for a uniform source.
+	if math.Abs(v.Statistic-8) > 0.05 {
+		t.Fatalf("T8 statistic = %g, want ≈8", v.Statistic)
+	}
+}
+
+func TestT8CoronBiasedFails(t *testing.T) {
+	p := DefaultCoron()
+	bits := biasedBits((p.Q+p.K)*p.L, 0.58, 17)
+	v, err := T8Coron(bits, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatalf("T8 passed biased source: %v", v)
+	}
+	// Sanity: the statistic should approximate the per-word entropy,
+	// 8·H₂(0.58) ≈ 7.85.
+	want := 8 * (-(0.58*math.Log2(0.58) + 0.42*math.Log2(0.42)))
+	if math.Abs(v.Statistic-want) > 0.25 {
+		t.Fatalf("T8 statistic %g, want ≈%g", v.Statistic, want)
+	}
+}
+
+func TestT8Validation(t *testing.T) {
+	if _, err := T8Coron(make([]byte, 10), DefaultCoron()); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, err := T8Coron(make([]byte, 100), CoronParams{L: 20, Q: 1, K: 1}); err == nil {
+		t.Fatal("L=20 accepted")
+	}
+}
+
+func TestProcedureAGood(t *testing.T) {
+	need := 48*(1<<16) + 257*20000
+	verdicts, pass, err := ProcedureA(goodBits(need, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass {
+		t.Fatalf("procedure A failed on good bits: %v", verdicts)
+	}
+}
+
+func TestProcedureAFailsOnBias(t *testing.T) {
+	need := 48*(1<<16) + 257*20000
+	_, pass, err := ProcedureA(biasedBits(need, 0.53, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass {
+		t.Fatal("procedure A passed 3% bias")
+	}
+}
+
+func TestProcedureBGoodAndBad(t *testing.T) {
+	p := DefaultCoron()
+	need := (p.Q+p.K)*p.L + 200001
+	verdicts, pass, err := ProcedureB(goodBits(need, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass {
+		t.Fatalf("procedure B failed on good bits: %v", verdicts)
+	}
+	_, pass, err = ProcedureB(biasedBits(need, 0.56, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass {
+		t.Fatal("procedure B passed biased source")
+	}
+}
+
+func TestProcedureInputChecks(t *testing.T) {
+	if _, _, err := ProcedureA(make([]byte, 100)); err == nil {
+		t.Fatal("short procedure A input accepted")
+	}
+	if _, _, err := ProcedureB(make([]byte, 100)); err == nil {
+		t.Fatal("short procedure B input accepted")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := Verdict{Name: "T1", Pass: true, Statistic: 1, Detail: "x"}
+	if v.String() == "" {
+		t.Fatal("empty verdict string")
+	}
+	v.Pass = false
+	if v.String() == "" {
+		t.Fatal("empty fail string")
+	}
+}

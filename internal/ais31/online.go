@@ -1,0 +1,144 @@
+package ais31
+
+import (
+	"fmt"
+	"math"
+)
+
+// The AIS31 functionality classes require, besides the evaluation-time
+// procedures A/B, tests that run INSIDE the device:
+//
+//   - a total failure test ("tot test") that reacts immediately when
+//     the noise source dies;
+//   - a startup test executed before the first output;
+//   - an online test executed continuously or on demand.
+//
+// This file provides generic, parameterizable implementations of the
+// standard choices. The paper's own §V proposal — the thermal-noise
+// monitor of internal/onlinetest — is a generator-SPECIFIC online test
+// designed to replace/augment these generic ones with a physically
+// calibrated criterion.
+
+// TotTest detects total failure of the noise source: it alarms when
+// the last `window` bits are all equal. For a live source the false
+// alarm probability per evaluation is 2·2^−window.
+type TotTest struct {
+	window  int
+	history uint64
+	count   int
+}
+
+// NewTotTest builds a total-failure detector over the given window
+// (2..64 bits; AIS31 implementations commonly use 32–64).
+func NewTotTest(window int) (*TotTest, error) {
+	if window < 2 || window > 64 {
+		return nil, fmt.Errorf("ais31: tot window %d out of [2, 64]", window)
+	}
+	return &TotTest{window: window}, nil
+}
+
+// Push feeds one bit; it returns true when the failure condition
+// (window consecutive identical bits) holds.
+func (t *TotTest) Push(bit byte) bool {
+	t.history = t.history<<1 | uint64(bit&1)
+	if t.count < t.window {
+		t.count++
+		return false
+	}
+	mask := uint64(1)<<uint(t.window) - 1
+	h := t.history & mask
+	return h == 0 || h == mask
+}
+
+// StartupTest runs the monobit, poker, runs and long-run tests on the
+// first 20000 bits produced after power-up, per the class PTG.1/PTG.2
+// startup requirement. It returns the verdicts and an overall pass.
+func StartupTest(bits []byte) ([]Verdict, bool, error) {
+	if len(bits) < 20000 {
+		return nil, false, fmt.Errorf("ais31: startup test needs 20000 bits, got %d", len(bits))
+	}
+	var out []Verdict
+	pass := true
+	for _, t := range []func([]byte) (Verdict, error){T1Monobit, T2Poker, T3Runs, T4LongRun} {
+		v, err := t(bits)
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, v)
+		if !v.Pass {
+			pass = false
+		}
+	}
+	return out, pass, nil
+}
+
+// OnlineMonobit is the continuously running online test of many fielded
+// designs: a monobit check over consecutive disjoint blocks with an
+// alarm threshold chosen for a target false-alarm rate.
+type OnlineMonobit struct {
+	block     int
+	bound     int
+	ones      int
+	n         int
+	evaluated int
+	alarms    int
+}
+
+// NewOnlineMonobit builds the test. blockLen is the bits per
+// evaluation; alpha the per-block false alarm probability. The bound
+// is the two-sided Gaussian quantile of the binomial count.
+func NewOnlineMonobit(blockLen int, alpha float64) (*OnlineMonobit, error) {
+	if blockLen < 128 {
+		return nil, fmt.Errorf("ais31: online monobit block %d too small", blockLen)
+	}
+	if alpha <= 0 || alpha >= 0.5 {
+		return nil, fmt.Errorf("ais31: alpha %g out of (0, 0.5)", alpha)
+	}
+	// z such that 2Φ(−z) = alpha.
+	z := inverseNormalTail(alpha / 2)
+	dev := z * math.Sqrt(float64(blockLen)) / 2
+	return &OnlineMonobit{block: blockLen, bound: int(math.Ceil(dev))}, nil
+}
+
+// inverseNormalTail returns z with P(Z > z) = p for standard normal Z,
+// by bisection on erfc (kept local to avoid importing internal/stats
+// into this leaf package).
+func inverseNormalTail(p float64) float64 {
+	lo, hi := 0.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if 0.5*math.Erfc(mid/math.Sqrt2) > p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Push feeds one bit and reports whether the just-completed block (if
+// any) raised an alarm.
+func (o *OnlineMonobit) Push(bit byte) bool {
+	o.ones += int(bit & 1)
+	o.n++
+	if o.n < o.block {
+		return false
+	}
+	dev := o.ones - o.block/2
+	if dev < 0 {
+		dev = -dev
+	}
+	alarm := dev > o.bound
+	if alarm {
+		o.alarms++
+	}
+	o.evaluated++
+	o.n = 0
+	o.ones = 0
+	return alarm
+}
+
+// Counts returns (blocks evaluated, alarms).
+func (o *OnlineMonobit) Counts() (evaluated, alarms int) {
+	return o.evaluated, o.alarms
+}

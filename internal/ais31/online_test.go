@@ -1,0 +1,137 @@
+package ais31
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTotTestDetectsStuck(t *testing.T) {
+	tot, err := NewTotTest(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	// Live source: no alarm over many bits.
+	for i := 0; i < 100000; i++ {
+		if tot.Push(byte(r.Uint64() & 1)) {
+			t.Fatalf("false total-failure alarm at bit %d", i)
+		}
+	}
+	// Stuck-at-1: alarm within window bits.
+	fired := -1
+	for i := 0; i < 64; i++ {
+		if tot.Push(1) {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("stuck source not detected")
+	}
+	if fired > 32 {
+		t.Fatalf("detection took %d bits for a 32-bit window", fired)
+	}
+}
+
+func TestTotTestStuckAtZero(t *testing.T) {
+	tot, _ := NewTotTest(16)
+	fired := false
+	for i := 0; i < 40; i++ {
+		if tot.Push(0) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("stuck-at-0 not detected")
+	}
+}
+
+func TestTotTestValidation(t *testing.T) {
+	if _, err := NewTotTest(1); err == nil {
+		t.Fatal("window 1 accepted")
+	}
+	if _, err := NewTotTest(65); err == nil {
+		t.Fatal("window 65 accepted")
+	}
+}
+
+func TestStartupTestGoodAndBad(t *testing.T) {
+	verdicts, pass, err := StartupTest(goodBits(20000, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass || len(verdicts) != 4 {
+		t.Fatalf("startup failed on good bits: %v", verdicts)
+	}
+	_, pass, err = StartupTest(biasedBits(20000, 0.56, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass {
+		t.Fatal("startup passed biased bits")
+	}
+	if _, _, err := StartupTest(make([]byte, 10)); err == nil {
+		t.Fatal("short startup input accepted")
+	}
+}
+
+func TestOnlineMonobitFalseAlarmRate(t *testing.T) {
+	om, err := NewOnlineMonobit(1024, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(33)
+	for i := 0; i < 2000*1024; i++ {
+		om.Push(byte(r.Uint64() & 1))
+	}
+	evaluated, alarms := om.Counts()
+	if evaluated != 2000 {
+		t.Fatalf("evaluated %d blocks", evaluated)
+	}
+	// Expected false alarms ~ 0.2; more than 4 signals a bug.
+	if alarms > 4 {
+		t.Fatalf("%d false alarms in %d blocks at alpha=1e-4", alarms, evaluated)
+	}
+}
+
+func TestOnlineMonobitDetectsBias(t *testing.T) {
+	om, err := NewOnlineMonobit(1024, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(34)
+	fired := false
+	for i := 0; i < 50*1024 && !fired; i++ {
+		var b byte
+		if r.Float64() < 0.62 {
+			b = 1
+		}
+		fired = om.Push(b)
+	}
+	if !fired {
+		t.Fatal("12% bias not detected within 50 blocks")
+	}
+}
+
+func TestOnlineMonobitValidation(t *testing.T) {
+	if _, err := NewOnlineMonobit(10, 0.01); err == nil {
+		t.Fatal("tiny block accepted")
+	}
+	if _, err := NewOnlineMonobit(1024, 0.9); err == nil {
+		t.Fatal("alpha 0.9 accepted")
+	}
+}
+
+func TestInverseNormalTail(t *testing.T) {
+	// P(Z > 1.6449) ≈ 0.05
+	z := inverseNormalTail(0.05)
+	if z < 1.63 || z > 1.66 {
+		t.Fatalf("z(0.05) = %g", z)
+	}
+	z = inverseNormalTail(0.001)
+	if z < 3.0 || z > 3.2 {
+		t.Fatalf("z(0.001) = %g", z)
+	}
+}

@@ -1,0 +1,216 @@
+package allan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flicker"
+	"repro/internal/rng"
+)
+
+func TestFractionalFrequencies(t *testing.T) {
+	f0 := 100e6
+	t0 := 1 / f0
+	// A period 1% longer means frequency ~1% lower.
+	y := FractionalFrequencies([]float64{t0, t0 * 1.01}, f0)
+	if math.Abs(y[0]) > 1e-12 {
+		t.Fatalf("y of nominal period = %g", y[0])
+	}
+	if math.Abs(y[1]+0.0099) > 1e-4 {
+		t.Fatalf("y of stretched period = %g, want ~-0.0099", y[1])
+	}
+}
+
+func TestFractionalFrequenciesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for f0=0")
+		}
+	}()
+	FractionalFrequencies([]float64{1}, 0)
+}
+
+func TestVarianceWhiteFM(t *testing.T) {
+	// For iid y with variance v: σ²_y(m·τ0) = v/m.
+	r := rng.New(1)
+	const v = 4.0
+	y := make([]float64, 1_000_000)
+	for i := range y {
+		y[i] = 2 * r.Norm()
+	}
+	for _, m := range []int{1, 4, 16, 64} {
+		av, pairs, err := Variance(y, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pairs < 100 {
+			t.Fatalf("too few pairs: %d", pairs)
+		}
+		want := v / float64(m)
+		if math.Abs(av-want) > 0.05*want {
+			t.Fatalf("white FM avar(m=%d) = %g, want %g", m, av, want)
+		}
+	}
+}
+
+func TestOverlappingMatchesNonOverlapping(t *testing.T) {
+	r := rng.New(2)
+	y := make([]float64, 300000)
+	r.FillNorm(y)
+	for _, m := range []int{1, 8, 32} {
+		a, _, err := Variance(y, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := OverlappingVariance(y, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 0.1*a {
+			t.Fatalf("m=%d: non-overlapping %g vs overlapping %g", m, a, b)
+		}
+	}
+}
+
+func TestVarianceErrors(t *testing.T) {
+	if _, _, err := Variance([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, _, err := Variance([]float64{1, 2, 3}, 2); err == nil {
+		t.Fatal("insufficient groups accepted")
+	}
+	if _, _, err := OverlappingVariance([]float64{1, 2, 3}, 2); err == nil {
+		t.Fatal("insufficient overlapping terms accepted")
+	}
+	if _, _, err := HadamardVariance([]float64{1, 2, 3, 4, 5}, 2); err == nil {
+		t.Fatal("insufficient triples accepted")
+	}
+}
+
+func TestHadamardWhiteFM(t *testing.T) {
+	// For white FM, Hadamard variance equals the Allan variance.
+	r := rng.New(3)
+	y := make([]float64, 500000)
+	r.FillNorm(y)
+	for _, m := range []int{1, 8} {
+		av, _, err := Variance(y, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hv, _, err := HadamardVariance(y, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(av-hv) > 0.1*av {
+			t.Fatalf("m=%d: allan %g vs hadamard %g", m, av, hv)
+		}
+	}
+}
+
+func TestHadamardRemovesDrift(t *testing.T) {
+	// Linear frequency drift blows up the Allan variance at large m
+	// but is cancelled by the Hadamard three-sample difference.
+	r := rng.New(4)
+	y := make([]float64, 200000)
+	for i := range y {
+		y[i] = r.Norm() + 1e-3*float64(i)
+	}
+	m := 1000
+	av, _, err := Variance(y, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, _, err := HadamardVariance(y, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv > av/10 {
+		t.Fatalf("hadamard %g should be far below drift-inflated allan %g", hv, av)
+	}
+}
+
+func TestFlickerFMPlateauAndTheory(t *testing.T) {
+	const hm1 = 1e-8
+	g, err := flicker.NewOU(flicker.OUOptions{
+		HM1: hm1, SampleRate: 1e6, FMin: 0.1, FMax: 2.5e5, PolesPerDecade: 4, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, 1<<20)
+	g.Fill(y)
+	want := TheoreticalFlickerFM(hm1)
+	for _, m := range []int{32, 128, 512} {
+		av, _, err := OverlappingVariance(y, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(av-want) > 0.35*want {
+			t.Fatalf("flicker plateau at m=%d: %g, want ~%g", m, av, want)
+		}
+	}
+}
+
+func TestTheoreticalWhiteFM(t *testing.T) {
+	if got := TheoreticalWhiteFM(2e-20, 1e-3); math.Abs(got-1e-17) > 1e-26 {
+		t.Fatalf("white FM theory = %g", got)
+	}
+}
+
+func TestIdentifyNoiseWhiteFM(t *testing.T) {
+	r := rng.New(6)
+	y := make([]float64, 500000)
+	r.FillNorm(y)
+	typ, slope, err := IdentifyNoise(y, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != WhiteFM {
+		t.Fatalf("identified %v (slope %g), want white FM", typ, slope)
+	}
+}
+
+func TestIdentifyNoiseFlickerFM(t *testing.T) {
+	g, err := flicker.NewOU(flicker.OUOptions{
+		HM1: 1e-8, SampleRate: 1e6, FMin: 0.1, FMax: 2.5e5, PolesPerDecade: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, 1<<19)
+	g.Fill(y)
+	typ, slope, err := IdentifyNoise(y, 32, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != FlickerFM {
+		t.Fatalf("identified %v (slope %g), want flicker FM", typ, slope)
+	}
+}
+
+func TestIdentifyNoiseErrors(t *testing.T) {
+	if _, _, err := IdentifyNoise([]float64{1, 2, 3}, 8, 4); err == nil {
+		t.Fatal("m2 <= m1 accepted")
+	}
+}
+
+func TestNoiseTypeString(t *testing.T) {
+	for _, typ := range []NoiseType{WhitePM, WhiteFM, FlickerFM, RandomWalkFM} {
+		if typ.String() == "" {
+			t.Fatalf("empty name for %d", typ)
+		}
+	}
+	if NoiseType(99).String() == "" {
+		t.Fatal("unknown type name empty")
+	}
+}
+
+func TestSigmaN2FromAllan(t *testing.T) {
+	// σ²_N = 2τ²·σ²_y with τ = N/f0.
+	got := SigmaN2FromAllan(1e-10, 100, 1e8)
+	tau := 100.0 / 1e8
+	want := 2 * tau * tau * 1e-10
+	if math.Abs(got-want) > 1e-30 {
+		t.Fatalf("conversion = %g, want %g", got, want)
+	}
+}

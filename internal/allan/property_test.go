@@ -1,0 +1,85 @@
+package allan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestAllanScaleInvariance: scaling the input by c scales every
+// two/three-sample variance by c².
+func TestAllanScaleInvariance(t *testing.T) {
+	r := rng.New(100)
+	base := make([]float64, 4096)
+	r.FillNorm(base)
+	f := func(rawC int8, rawM uint8) bool {
+		c := float64(rawC)
+		if c == 0 {
+			return true
+		}
+		m := int(rawM%16) + 1
+		scaled := make([]float64, len(base))
+		for i, v := range base {
+			scaled[i] = c * v
+		}
+		a1, _, err1 := Variance(base, m)
+		a2, _, err2 := Variance(scaled, m)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return math.Abs(a2-c*c*a1) <= 1e-9*math.Abs(c*c*a1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllanShiftInvariance: adding a constant offset leaves every Allan
+// variance unchanged (first differences kill constants).
+func TestAllanShiftInvariance(t *testing.T) {
+	r := rng.New(101)
+	base := make([]float64, 2048)
+	r.FillNorm(base)
+	f := func(rawOff int16) bool {
+		off := float64(rawOff)
+		shifted := make([]float64, len(base))
+		for i, v := range base {
+			shifted[i] = v + off
+		}
+		a1, _, err1 := OverlappingVariance(base, 8)
+		a2, _, err2 := OverlappingVariance(shifted, 8)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return math.Abs(a2-a1) <= 1e-6*math.Max(a1, 1e-300)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHadamardDriftInvariance: adding a linear ramp leaves the Hadamard
+// variance unchanged (second differences kill ramps).
+func TestHadamardDriftInvariance(t *testing.T) {
+	r := rng.New(102)
+	base := make([]float64, 4096)
+	r.FillNorm(base)
+	f := func(rawSlope int8) bool {
+		slope := float64(rawSlope) * 1e-3
+		ramped := make([]float64, len(base))
+		for i, v := range base {
+			ramped[i] = v + slope*float64(i)
+		}
+		h1, _, err1 := HadamardVariance(base, 4)
+		h2, _, err2 := HadamardVariance(ramped, 4)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return math.Abs(h2-h1) <= 1e-6*math.Max(h1, 1e-300)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package attack models the non-invasive attacks on ring-oscillator
+// TRNGs that motivate the paper's security discussion (§I cites
+// Markettos & Moore's frequency injection, CHES 2009, and Bayon et
+// al.'s electromagnetic attack, COSADE 2012), plus a thermal-noise
+// suppression attack that directly undercuts the entropy source the
+// refined model certifies.
+//
+// Attacks are expressed as Scenario values that arm themselves on an
+// oscillator at a given onset time, so detection experiments can measure
+// alarm latency.
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/osc"
+)
+
+// Scenario is an attack that can be armed on an oscillator.
+type Scenario interface {
+	// Arm installs the attack on the oscillator.
+	Arm(o *osc.Oscillator)
+	// Describe returns a short human-readable summary.
+	Describe() string
+}
+
+// Injection is a frequency-injection attack: a tone at FInj couples into
+// the ring, modulating its period with relative depth Depth starting at
+// time Onset (seconds). Injection near the ring frequency entrains the
+// oscillator: the deterministic modulation dominates the random jitter,
+// and the relative jitter between two rings collapses toward a
+// deterministic beat — exactly the failure mode the paper's online test
+// must catch.
+type Injection struct {
+	// FInj is the injected tone frequency in Hz.
+	FInj float64
+	// Depth is the relative period modulation ΔT/T0.
+	Depth float64
+	// Onset is the attack start time in seconds.
+	Onset float64
+	// JitterSuppression in [0, 1] additionally scales down the
+	// thermal noise once the attack is active (entrainment squeezes
+	// the phase diffusion); 0 keeps thermal noise untouched.
+	JitterSuppression float64
+}
+
+// Arm installs the injection on the oscillator.
+func (a Injection) Arm(o *osc.Oscillator) {
+	t0 := 1 / o.F0()
+	base := osc.SineInjection(a.FInj, a.Depth, t0)
+	supp := a.JitterSuppression
+	armed := false
+	o.SetModulator(func(t float64, i uint64) float64 {
+		if t < a.Onset {
+			return 0
+		}
+		if !armed && supp > 0 {
+			o.SetThermalScale(1 - supp)
+			armed = true
+		}
+		return base(t, i)
+	})
+}
+
+// Describe summarizes the attack.
+func (a Injection) Describe() string {
+	return fmt.Sprintf("frequency injection: f=%.3g Hz depth=%.3g onset=%.3gs suppression=%.2f",
+		a.FInj, a.Depth, a.Onset, a.JitterSuppression)
+}
+
+// ThermalSuppression models an attacker (or environmental failure)
+// reducing the thermal noise amplitude by Factor from time Onset —
+// e.g. cooling the die or locking the ring with a strong harmonic tone.
+// The flicker component is left untouched: the insidious property is
+// that long-accumulation jitter measurements still look lively (flicker
+// dominates there), while the entropy-bearing thermal component is gone.
+// Only a small-N thermal monitor — the paper's proposal — sees it.
+type ThermalSuppression struct {
+	// Factor in [0, 1] is the fraction of thermal amplitude removed
+	// (1 = all thermal noise gone).
+	Factor float64
+	// Onset is the attack start time in seconds.
+	Onset float64
+}
+
+// Arm installs the suppression using a time-gated modulator that flips
+// the oscillator's thermal scale at onset.
+func (a ThermalSuppression) Arm(o *osc.Oscillator) {
+	armed := false
+	o.SetModulator(func(t float64, _ uint64) float64 {
+		if !armed && t >= a.Onset {
+			o.SetThermalScale(1 - a.Factor)
+			armed = true
+		}
+		return 0
+	})
+}
+
+// Describe summarizes the attack.
+func (a ThermalSuppression) Describe() string {
+	return fmt.Sprintf("thermal suppression: factor=%.2f onset=%.3gs", a.Factor, a.Onset)
+}
+
+// FlickerBoost increases the flicker amplitude by the given factor at
+// onset — modeling aging/stress-induced 1/f noise growth, or simply a
+// what-if for the technology-shrink trend the paper's conclusion warns
+// about. Total jitter grows, naive models would report MORE entropy,
+// while the refined model correctly reports no thermal gain.
+type FlickerBoost struct {
+	// Factor multiplies the flicker amplitude (>= 1).
+	Factor float64
+	// Onset is the start time in seconds.
+	Onset float64
+}
+
+// Arm installs the boost.
+func (a FlickerBoost) Arm(o *osc.Oscillator) {
+	armed := false
+	o.SetModulator(func(t float64, _ uint64) float64 {
+		if !armed && t >= a.Onset {
+			o.SetFlickerScale(a.Factor)
+			armed = true
+		}
+		return 0
+	})
+}
+
+// Describe summarizes the attack.
+func (a FlickerBoost) Describe() string {
+	return fmt.Sprintf("flicker boost: ×%.2f onset=%.3gs", a.Factor, a.Onset)
+}
+
+// LockingDepth estimates the injection depth at which an injected tone
+// at frequency fInj fully entrains a ring oscillator of frequency f0
+// with thermal period jitter sigma: entrainment requires the
+// deterministic per-period pull |fInj − f0|/f0·... to exceed the random
+// phase diffusion. The returned depth is the classical Adler threshold
+// ΔT/T0 = 2·|fInj − f0|/f0, floored at 4·sigma·f0 so weak detuning still
+// needs to beat the noise.
+func LockingDepth(f0, fInj, sigma float64) float64 {
+	if f0 <= 0 {
+		panic("attack: LockingDepth requires f0 > 0")
+	}
+	detune := 2 * math.Abs(fInj-f0) / f0
+	noiseFloor := 4 * sigma * f0
+	if detune < noiseFloor {
+		return noiseFloor
+	}
+	return detune
+}

@@ -1,0 +1,230 @@
+// Package core is the top of the multilevel stochastic modeling stack —
+// the paper's primary contribution (Fig. 3): instead of assuming
+// high-level properties of the raw random analog signal (such as mutual
+// independence of jitter realizations), the model is BUILT from
+// transistor-level noise physics and propagated upward:
+//
+//	transistor noise PSDs (internal/phys)
+//	    → ISF conversion to phase noise (internal/isf, internal/device)
+//	    → σ²_N law and independence analysis (internal/phase)
+//	    → jitter/counter measurement plane (internal/osc, internal/measure)
+//	    → thermal-jitter extraction (internal/fitting)
+//	    → entropy assessment and online test (internal/entropy,
+//	      internal/onlinetest)
+//
+// A Model can be constructed three ways, mirroring the paper:
+//
+//   - FromDevice: pure bottom-up prediction from transistor parameters;
+//   - FromPhase: directly from known (b_th, b_fl, f0) coefficients
+//     (e.g. PaperModel, the paper's measured values);
+//   - Measure: top-down extraction from counter data via the quadratic
+//     fit of §IV — the paper's cheap embedded measurement method.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/entropy"
+	"repro/internal/fitting"
+	"repro/internal/jitter"
+	"repro/internal/measure"
+	"repro/internal/onlinetest"
+	"repro/internal/osc"
+	"repro/internal/phase"
+	"repro/internal/phys"
+	"repro/internal/trng"
+)
+
+// Model is the calibrated multilevel stochastic model of one ring
+// oscillator used as a P-TRNG entropy source.
+type Model struct {
+	// Phase holds the oscillator phase-noise coefficients.
+	Phase phase.Model
+	// Budget, when the model was derived bottom-up, records the
+	// transistor-level analysis; nil for fitted or direct models.
+	Budget *device.NoiseBudget
+	// Fit, when the model was extracted from measurements, records
+	// the fit; nil otherwise.
+	Fit *fitting.Result
+}
+
+// FromDevice builds the model bottom-up from ring-oscillator device
+// parameters (the multilevel path of Fig. 3).
+func FromDevice(ring phys.Ring, opt device.Options) (Model, error) {
+	nb, err := device.Analyze(ring, opt)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{
+		Phase:  phase.Model{Bth: nb.Bth, Bfl: nb.Bfl, F0: nb.F0},
+		Budget: &nb,
+	}, nil
+}
+
+// FromPhase wraps explicit phase-noise coefficients.
+func FromPhase(m phase.Model) (Model, error) {
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return Model{Phase: m}, nil
+}
+
+// PaperModel returns the model calibrated to the paper's experimental
+// fit: f0 = 103 MHz, b_th = 276.04 Hz, a/b = 5354 (§III-E, §IV-B).
+func PaperModel() Model {
+	nb := device.PaperBudget()
+	return Model{Phase: phase.Model{Bth: nb.Bth, Bfl: nb.Bfl, F0: nb.F0}}
+}
+
+// MeasureConfig drives the §IV extraction campaign.
+type MeasureConfig struct {
+	// Ns is the accumulation-length grid; nil selects a log grid
+	// from 8 to 32768 with 6 points per decade (Fig. 7 style).
+	Ns []int
+	// WindowsPerN is the number of counter windows per grid point
+	// (default 2048).
+	WindowsPerN int
+	// Subdivide is the counter's sub-period (TDC) resolution;
+	// default 256 (a 38 ps carry-chain TDC at 103 MHz). 1 models the
+	// plain single-edge counter of Fig. 6, whose quantization floor
+	// buries the small-N region (see
+	// internal/measure package docs).
+	Subdivide int
+}
+
+// Measure runs the complete §IV method against a live oscillator pair:
+// counter sweep over N, weighted quadratic fit with a quantization
+// offset term, thermal extraction. The returned Model carries the fit
+// details.
+func Measure(pair *osc.Pair, cfg MeasureConfig) (Model, []jitter.VarianceEstimate, error) {
+	ns := cfg.Ns
+	if ns == nil {
+		ns = jitter.LogSpacedNs(8, 32768, 6)
+	}
+	w := cfg.WindowsPerN
+	if w == 0 {
+		w = 2048
+	}
+	sub := cfg.Subdivide
+	if sub == 0 {
+		sub = 256
+	}
+	sweep, err := measure.Sweep(pair, measure.SweepConfig{Ns: ns, WindowsPerN: w, Subdivide: sub})
+	if err != nil {
+		return Model{}, nil, err
+	}
+	fit, err := fitting.FitWithOffset(sweep, pair.Osc1.F0())
+	if err != nil {
+		return Model{}, nil, err
+	}
+	return Model{Phase: fit.Model, Fit: &fit}, sweep, nil
+}
+
+// SimulatePair constructs a pair of independent oscillators, EACH
+// following this model, ready for measurement or TRNG experiments. The
+// pair's relative jitter then has doubled coefficients
+// (see RelativeModel).
+func (m Model) SimulatePair(seed uint64) (*osc.Pair, error) {
+	return osc.NewPair(m.Phase, 0, osc.Options{Seed: seed})
+}
+
+// PerRing returns the single-ring model whose two-ring relative jitter
+// equals this model: coefficients halve. Use it when this Model came
+// from a differential measurement (PaperModel, Measure) and you want to
+// simulate the individual rings behind it.
+func (m Model) PerRing() Model {
+	half := m.Phase
+	half.Bth /= 2
+	half.Bfl /= 2
+	return Model{Phase: half}
+}
+
+// RingPair constructs a pair of rings whose RELATIVE jitter follows
+// this model (each ring gets half the coefficients). This is the right
+// constructor for reproducing the paper's differential measurements:
+// PaperModel().RingPair(seed) yields a pair whose counter sweep fits
+// back to the paper's constants.
+//
+// The rings carry a 0.2 % frequency mismatch, as nominally identical
+// FPGA rings do (process variation). Besides realism, the mismatch
+// dithers the counter's boundary phase so its quantization error is an
+// additive constant that the offset-aware fit removes; perfectly
+// matched rings would leave the small-N points in a correlated
+// quantization regime that biases the thermal slope.
+func (m Model) RingPair(seed uint64) (*osc.Pair, error) {
+	return osc.NewPair(m.PerRing().Phase, 2e-3, osc.Options{Seed: seed})
+}
+
+// NewTRNG builds an eRO-TRNG whose both rings follow this model.
+func (m Model) NewTRNG(divider int, seed uint64) (*trng.Generator, error) {
+	return trng.New(trng.Config{Model: m.Phase, Divider: divider, Seed: seed})
+}
+
+// RelativeModel returns the phase model of the relative jitter between
+// two independent rings following this model (coefficients double).
+func (m Model) RelativeModel() phase.Model {
+	return phase.Model{Bth: 2 * m.Phase.Bth, Bfl: 2 * m.Phase.Bfl, F0: m.Phase.F0}
+}
+
+// SigmaThermal returns the thermal-only period jitter σ (s).
+func (m Model) SigmaThermal() float64 { return m.Phase.SigmaThermal() }
+
+// IndependenceThreshold returns the largest N with thermal share
+// r_N > rMin (the paper's N < 281 at 95 %).
+func (m Model) IndependenceThreshold(rMin float64) (int, bool) {
+	return m.Phase.IndependenceThreshold(rMin)
+}
+
+// AssessEntropy contrasts naive vs refined entropy for an eRO-TRNG made
+// of two rings of this model at sampling divider k, with the naive model
+// calibrated from an accumulation measurement at nMeas periods.
+func (m Model) AssessEntropy(k, nMeas int) (entropy.Comparison, error) {
+	return entropy.Assess(m.RelativeModel(), k, nMeas, 2048)
+}
+
+// NewMonitor builds the paper-proposed online thermal monitor for this
+// model at accumulation length n with window w samples. The reference is
+// the THERMAL σ²_N of the relative jitter (both rings contribute).
+func (m Model) NewMonitor(n, w int) (*onlinetest.Monitor, error) {
+	rel := m.RelativeModel()
+	return onlinetest.New(onlinetest.Config{
+		N:          n,
+		Window:     w,
+		RefSigmaN2: rel.SigmaN2Thermal(n),
+	})
+}
+
+// Report renders a human-readable model summary in the shape of the
+// paper's §IV-B result paragraph.
+func (m Model) Report() string {
+	var b strings.Builder
+	p := m.Phase
+	fmt.Fprintf(&b, "multilevel P-TRNG stochastic model\n")
+	fmt.Fprintf(&b, "  f0          = %.4g MHz\n", p.F0/1e6)
+	fmt.Fprintf(&b, "  b_th        = %.6g Hz\n", p.Bth)
+	fmt.Fprintf(&b, "  b_fl        = %.6g Hz^2\n", p.Bfl)
+	a, bb := p.FitCoefficients()
+	fmt.Fprintf(&b, "  fit law     : f0^2*sigma_N^2 = %.4g*N + %.4g*N^2\n", a, bb)
+	fmt.Fprintf(&b, "  sigma(th)   = %.4g ps\n", p.SigmaThermal()*1e12)
+	fmt.Fprintf(&b, "  sigma/T0    = %.4g permil\n", p.PeriodJitterRatio()*1e3)
+	if p.Bfl > 0 {
+		fmt.Fprintf(&b, "  a/b corner  = %.4g periods\n", p.CornerN())
+		if n, ok := p.IndependenceThreshold(0.95); ok {
+			fmt.Fprintf(&b, "  N*(95%%)     = %d (jitter ~independent below)\n", n)
+		}
+	} else {
+		fmt.Fprintf(&b, "  flicker-free: sigma_N^2 linear in N at all N\n")
+	}
+	if m.Budget != nil {
+		fmt.Fprintf(&b, "  device      : Gamma_rms=%.4g c0=%.4g qmax=%.4g C\n",
+			m.Budget.GammaRMS, m.Budget.C0, m.Budget.QMax)
+	}
+	if m.Fit != nil {
+		fmt.Fprintf(&b, "  fit quality : chi2/dof = %.3g (dof=%d)\n",
+			m.Fit.ChiSq/math.Max(float64(m.Fit.DoF), 1), m.Fit.DoF)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/phase"
+	"repro/internal/phys"
+)
+
+func TestPaperModelConstants(t *testing.T) {
+	m := PaperModel()
+	if math.Abs(m.Phase.Bth-276.04) > 0.01 {
+		t.Fatalf("Bth = %g", m.Phase.Bth)
+	}
+	if math.Abs(m.SigmaThermal()-15.89e-12) > 0.05e-12 {
+		t.Fatalf("σ = %g ps", m.SigmaThermal()*1e12)
+	}
+	n, ok := m.IndependenceThreshold(0.95)
+	if !ok || n != 281 {
+		t.Fatalf("N*(95%%) = %d ok=%v, want 281", n, ok)
+	}
+}
+
+func TestFromDevice(t *testing.T) {
+	m, err := FromDevice(phys.DefaultRing(), device.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Budget == nil {
+		t.Fatal("budget missing")
+	}
+	if m.Phase.Bth <= 0 || m.Phase.Bfl <= 0 {
+		t.Fatalf("coefficients: %+v", m.Phase)
+	}
+	bad := phys.DefaultRing()
+	bad.Stages = 2
+	if _, err := FromDevice(bad, device.Options{}); err == nil {
+		t.Fatal("bad ring accepted")
+	}
+}
+
+func TestFromPhase(t *testing.T) {
+	if _, err := FromPhase(phase.Model{F0: 0}); err == nil {
+		t.Fatal("invalid phase model accepted")
+	}
+	m, err := FromPhase(phase.Model{Bth: 100, Bfl: 1e5, F0: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Budget != nil || m.Fit != nil {
+		t.Fatal("direct model should have no budget or fit")
+	}
+}
+
+func TestPerRingHalves(t *testing.T) {
+	m := PaperModel()
+	half := m.PerRing()
+	if math.Abs(half.Phase.Bth*2-m.Phase.Bth) > 1e-9 {
+		t.Fatalf("PerRing Bth = %g", half.Phase.Bth)
+	}
+	if math.Abs(half.Phase.Bfl*2-m.Phase.Bfl) > 1e-9 {
+		t.Fatalf("PerRing Bfl = %g", half.Phase.Bfl)
+	}
+}
+
+func TestRingPairRelativeMatchesModel(t *testing.T) {
+	m := PaperModel()
+	pair, err := m.RingPair(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := pair.RelativeModel()
+	if math.Abs(rel.Bth-m.Phase.Bth) > 1e-9*m.Phase.Bth {
+		t.Fatalf("relative Bth = %g, want %g", rel.Bth, m.Phase.Bth)
+	}
+}
+
+func TestMeasureRecoversPaperConstants(t *testing.T) {
+	// The §IV end-to-end method: simulate the paper's pair, run the
+	// counter campaign, fit, and compare with the calibration. This
+	// is the headline integration test (EXP-F7 + EXP-TH in miniature).
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	m := PaperModel()
+	pair, err := m.RingPair(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, sweep, err := Measure(pair, MeasureConfig{
+		Ns:          []int{16, 48, 128, 512, 2048, 8192, 24576},
+		WindowsPerN: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 7 {
+		t.Fatalf("%d sweep points", len(sweep))
+	}
+	if got.Fit == nil {
+		t.Fatal("fit missing")
+	}
+	if math.Abs(got.Fit.A-5.36e-6) > 0.15*5.36e-6 {
+		t.Fatalf("recovered a = %g, want 5.36e-6 ±15%%", got.Fit.A)
+	}
+	if math.Abs(got.SigmaThermal()-15.89e-12) > 1.5e-12 {
+		t.Fatalf("recovered σ = %g ps, want ≈15.89", got.SigmaThermal()*1e12)
+	}
+	if got.Fit.CornerN < 2500 || got.Fit.CornerN > 11000 {
+		t.Fatalf("recovered a/b = %g, want ≈5354", got.Fit.CornerN)
+	}
+}
+
+func TestNewTRNGAndMonitor(t *testing.T) {
+	m := PaperModel()
+	g, err := m.NewTRNG(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := g.Bits(100)
+	if len(bits) != 100 {
+		t.Fatal("TRNG bit count")
+	}
+	mon, err := m.NewMonitor(64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := mon.Bounds()
+	if !(lo > 0 && lo < hi) {
+		t.Fatalf("monitor bounds (%g, %g)", lo, hi)
+	}
+}
+
+func TestAssessEntropyOrdering(t *testing.T) {
+	m := PaperModel()
+	c, err := m.AssessEntropy(1000, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HNaive < c.HRefined {
+		t.Fatalf("naive %g < refined %g", c.HNaive, c.HRefined)
+	}
+	if c.Overestimate <= 0 {
+		t.Fatalf("no overestimate with flicker present: %+v", c)
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	m := PaperModel()
+	rep := m.Report()
+	for _, want := range []string{"103", "276.04", "15.89", "5354", "281"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// Device-derived model mentions ISF stats.
+	dm, err := FromDevice(phys.DefaultRing(), device.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dm.Report(), "Gamma_rms") {
+		t.Fatal("device report missing ISF block")
+	}
+	// Flicker-free model reports linear law.
+	fm, err := FromPhase(phase.Model{Bth: 100, F0: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fm.Report(), "flicker-free") {
+		t.Fatal("flicker-free report wrong")
+	}
+}
+
+func TestRelativeModelDoubles(t *testing.T) {
+	m := PaperModel()
+	rel := m.RelativeModel()
+	if rel.Bth != 2*m.Phase.Bth || rel.Bfl != 2*m.Phase.Bfl {
+		t.Fatalf("relative model %+v", rel)
+	}
+}

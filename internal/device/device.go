@@ -1,0 +1,183 @@
+// Package device assembles the transistor-level noise analysis of the
+// paper's multilevel approach: it combines the noise current PSDs of
+// internal/phys with the ISF conversion of internal/isf to produce the
+// phase-noise coefficients (b_th, b_fl) of a complete ring oscillator,
+//
+//	Sφ(f) = b_fl/f³ + b_th/f²   (paper eq. 10),
+//
+// which the higher layers (internal/phase, internal/osc) consume. This
+// is the bottom level of Fig. 3's "multilevel randomness harvesting
+// model": semiconductor physics in, stochastic jitter model out.
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isf"
+	"repro/internal/phys"
+)
+
+// NoiseBudget is the transistor-level result consumed by the oscillator
+// phase model: the coefficients of the two regions of the excess-phase
+// PSD, plus bookkeeping for reporting.
+type NoiseBudget struct {
+	// Bth is the thermal (white-noise-induced) coefficient of the
+	// 1/f² phase-PSD region, in Hz.
+	Bth float64
+	// Bfl is the flicker-induced coefficient of the 1/f³ region,
+	// in Hz².
+	Bfl float64
+	// F0 is the oscillator nominal frequency in Hz.
+	F0 float64
+	// ThermalCurrentPSD is the per-stage white current PSD in A²/Hz.
+	ThermalCurrentPSD float64
+	// FlickerCurrentK is the per-stage flicker current coefficient
+	// (S_fl(f) = K/f) in A².
+	FlickerCurrentK float64
+	// QMax is the maximum charge swing C_L·V_DD in C.
+	QMax float64
+	// GammaRMS and C0 are the ISF statistics used in the conversion.
+	GammaRMS, C0 float64
+}
+
+// SigmaThermal returns the thermal-only period jitter standard deviation
+// σ = sqrt(b_th/f0³) (paper §IV-A).
+func (nb NoiseBudget) SigmaThermal() float64 {
+	return math.Sqrt(nb.Bth / (nb.F0 * nb.F0 * nb.F0))
+}
+
+// JitterRatio returns the relative thermal jitter σ/T0 = σ·f0, the
+// figure of merit the paper reports as 1.6 ‰.
+func (nb NoiseBudget) JitterRatio() float64 {
+	return nb.SigmaThermal() * nb.F0
+}
+
+// FlickerCornerN returns the accumulation length N at which the flicker
+// contribution to σ²_N equals the thermal contribution, i.e. the a/b
+// ratio of the paper's fit σ²_N·f0² = a·N + b·N². Beyond this N the
+// flicker-induced dependence of jitter realizations dominates.
+func (nb NoiseBudget) FlickerCornerN() float64 {
+	if nb.Bfl == 0 {
+		return math.Inf(1)
+	}
+	// a = 2·b_th/f0, b = 8·ln2·b_fl/f0² (coefficients of f0²σ²_N).
+	a := 2 * nb.Bth / nb.F0
+	b := 8 * math.Ln2 * nb.Bfl / (nb.F0 * nb.F0)
+	return a / b
+}
+
+// Options tunes the device-to-phase-noise conversion.
+type Options struct {
+	// ISFSamples sets the ISF sampling resolution (default 4096).
+	ISFSamples int
+	// Asymmetry is the rise/fall asymmetry of the ring ISF in
+	// [-1, 1]; it controls flicker up-conversion (c0). Real
+	// single-ended rings are never perfectly symmetric; the default
+	// 0.4 yields flicker corners representative of FPGA rings.
+	Asymmetry float64
+	// FlickerRefFreq is the frequency (Hz) at which the transistor
+	// flicker PSD is read to obtain its K coefficient. Any positive
+	// value gives the same K because S_fl = K/f exactly; default 1 Hz.
+	FlickerRefFreq float64
+	// ThermalExcess scales the white current PSD above the intrinsic
+	// channel noise of eq. (1). Practical oscillators — FPGA rings
+	// especially — exceed the intrinsic thermal-jitter bound by one
+	// to two orders of magnitude: supply and substrate coupling,
+	// interconnect and access-transistor resistance, and the long
+	// LUT routing all inject additional wideband noise (McNeill 1997,
+	// Abidi 2006 discuss the gap). The default 165 is calibrated so
+	// that DefaultRing reproduces the per-ring thermal coefficient
+	// behind the paper's Cyclone III measurement (b_th ≈ 138 Hz per
+	// ring, 276 Hz differential). Set to 1 for the intrinsic bound.
+	ThermalExcess float64
+}
+
+func (o *Options) fill() {
+	if o.ISFSamples == 0 {
+		o.ISFSamples = 4096
+	}
+	if o.Asymmetry == 0 {
+		o.Asymmetry = 0.4
+	}
+	if o.FlickerRefFreq == 0 {
+		o.FlickerRefFreq = 1
+	}
+	if o.ThermalExcess == 0 {
+		o.ThermalExcess = 165
+	}
+}
+
+// Analyze performs the multilevel noise analysis of a ring oscillator:
+// transistor PSDs → per-stage noise → ISF conversion → (b_th, b_fl).
+//
+// Stage noise sources are mutually independent across the n stages, so
+// their phase-PSD contributions add linearly; each stage contains an
+// NMOS and a PMOS whose PSDs likewise add (phys.Inverter).
+func Analyze(ring phys.Ring, opt Options) (NoiseBudget, error) {
+	if err := ring.Validate(); err != nil {
+		return NoiseBudget{}, err
+	}
+	opt.fill()
+	if opt.Asymmetry < -1 || opt.Asymmetry > 1 {
+		return NoiseBudget{}, fmt.Errorf("device: asymmetry %g out of [-1, 1]", opt.Asymmetry)
+	}
+
+	inv := ring.Stage
+	qMax := inv.CLoad * inv.VDD
+	f0 := ring.Frequency()
+
+	sTh := opt.ThermalExcess * inv.ThermalCurrentPSD()
+	// S_fl(f) = K/f  ⇒  K = f·S_fl(f) at any f > 0.
+	kFl := opt.FlickerRefFreq * inv.FlickerCurrentPSD(opt.FlickerRefFreq)
+
+	gamma := isf.RingOscillatorISF(ring.Stages, opt.Asymmetry, opt.ISFSamples)
+
+	// n independent stages contribute additively.
+	n := float64(ring.Stages)
+	bth := n * gamma.PhaseNoiseWhite(sTh, qMax)
+	bfl := n * gamma.PhaseNoiseFlicker(kFl, qMax)
+
+	return NoiseBudget{
+		Bth:               bth,
+		Bfl:               bfl,
+		F0:                f0,
+		ThermalCurrentPSD: sTh,
+		FlickerCurrentK:   kFl,
+		QMax:              qMax,
+		GammaRMS:          gamma.RMS(),
+		C0:                gamma.C0(),
+	}, nil
+}
+
+// PaperBudget returns the noise budget measured in the paper's FPGA
+// experiment (§III-E, §IV-B): f0 = 103 MHz, fitted slope
+// a = f0²σ²_N/N = 5.36e-6 ⇒ b_th = a·f0/2 = 276.04 Hz, and ratio
+// a/b = 5354 ⇒ b_fl = b·f0²/(8·ln2) ≈ 1.915e6 Hz². Use it to calibrate
+// simulators so the estimation pipeline can be checked against the
+// paper's reported numbers.
+func PaperBudget() NoiseBudget {
+	const (
+		f0    = 103e6
+		a     = 5.36e-6
+		ratio = 5354.0
+	)
+	bth := a * f0 / 2
+	b := a / ratio
+	bfl := b * f0 * f0 / (8 * math.Ln2)
+	return NoiseBudget{Bth: bth, Bfl: bfl, F0: f0}
+}
+
+// ShrinkTechnology returns a copy of t with channel length and width
+// scaled by the factor s < 1, modeling technology shrinking. The paper's
+// conclusion notes that flicker PSD grows as 1/L², so shrinking
+// increases the flicker share of the jitter and lowers the independence
+// threshold N*.
+func ShrinkTechnology(t phys.Transistor, s float64) phys.Transistor {
+	if s <= 0 {
+		panic(fmt.Sprintf("device: shrink factor %g must be > 0", s))
+	}
+	t.W *= s
+	t.L *= s
+	return t
+}

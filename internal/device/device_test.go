@@ -1,0 +1,193 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phys"
+)
+
+func TestAnalyzeDefaults(t *testing.T) {
+	nb, err := Analyze(phys.DefaultRing(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Bth <= 0 {
+		t.Fatalf("Bth = %g, want > 0", nb.Bth)
+	}
+	if nb.Bfl <= 0 {
+		t.Fatalf("Bfl = %g, want > 0", nb.Bfl)
+	}
+	if nb.F0 < 90e6 || nb.F0 > 115e6 {
+		t.Fatalf("F0 = %g MHz, want ~103", nb.F0/1e6)
+	}
+	if nb.GammaRMS <= 0 || nb.C0 == 0 {
+		t.Fatalf("ISF stats missing: Γrms=%g c0=%g", nb.GammaRMS, nb.C0)
+	}
+	if nb.QMax != phys.DefaultInverter().CLoad*phys.DefaultInverter().VDD {
+		t.Fatalf("QMax = %g", nb.QMax)
+	}
+}
+
+func TestAnalyzeRejectsBadRing(t *testing.T) {
+	bad := phys.DefaultRing()
+	bad.Stages = 2
+	if _, err := Analyze(bad, Options{}); err == nil {
+		t.Fatal("even-stage ring accepted")
+	}
+	if _, err := Analyze(phys.DefaultRing(), Options{Asymmetry: 2}); err == nil {
+		t.Fatal("asymmetry > 1 accepted")
+	}
+}
+
+func TestAnalyzeThermalScalesWithTemperature(t *testing.T) {
+	ring := phys.DefaultRing()
+	nb1, err := Analyze(ring, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring.Stage.NMOS.Temperature = 2 * phys.RoomTemperature
+	ring.Stage.PMOS.Temperature = 2 * phys.RoomTemperature
+	nb2, err := Analyze(ring, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nb2.Bth/nb1.Bth-2) > 1e-9 {
+		t.Fatalf("Bth temperature ratio %g, want 2", nb2.Bth/nb1.Bth)
+	}
+}
+
+func TestAnalyzeSymmetrySuppresesFlicker(t *testing.T) {
+	ring := phys.DefaultRing()
+	sym, err := Analyze(ring, Options{Asymmetry: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asym, err := Analyze(ring, Options{Asymmetry: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Bfl >= asym.Bfl/100 {
+		t.Fatalf("symmetry should suppress flicker: sym %g vs asym %g", sym.Bfl, asym.Bfl)
+	}
+	// Thermal coefficient is only weakly affected by asymmetry (Γrms
+	// changes slightly with peak amplitudes).
+	if sym.Bth <= 0 || asym.Bth <= 0 {
+		t.Fatal("thermal coefficient vanished")
+	}
+}
+
+func TestSigmaAndRatio(t *testing.T) {
+	nb := PaperBudget()
+	sigma := nb.SigmaThermal()
+	if math.Abs(sigma-15.89e-12) > 0.05e-12 {
+		t.Fatalf("paper σ = %g ps, want 15.89", sigma*1e12)
+	}
+	ratio := nb.JitterRatio()
+	if math.Abs(ratio-1.64e-3) > 0.05e-3 {
+		t.Fatalf("paper σ/T0 = %g ‰, want ~1.64", ratio*1e3)
+	}
+}
+
+func TestPaperBudgetConstants(t *testing.T) {
+	nb := PaperBudget()
+	if math.Abs(nb.Bth-276.04) > 0.01 {
+		t.Fatalf("Bth = %g, want 276.04", nb.Bth)
+	}
+	if nb.F0 != 103e6 {
+		t.Fatalf("F0 = %g", nb.F0)
+	}
+	// Corner N must reproduce the paper's 5354.
+	if math.Abs(nb.FlickerCornerN()-5354) > 1 {
+		t.Fatalf("corner = %g, want 5354", nb.FlickerCornerN())
+	}
+}
+
+func TestFlickerCornerNoFlicker(t *testing.T) {
+	nb := NoiseBudget{Bth: 100, Bfl: 0, F0: 1e8}
+	if !math.IsInf(nb.FlickerCornerN(), 1) {
+		t.Fatal("corner without flicker should be +Inf")
+	}
+}
+
+func TestShrinkTechnology(t *testing.T) {
+	tr := phys.DefaultTransistor()
+	sh := ShrinkTechnology(tr, 0.5)
+	if sh.L != tr.L/2 || sh.W != tr.W/2 {
+		t.Fatalf("shrink wrong: W %g L %g", sh.W, sh.L)
+	}
+	// Flicker PSD ∝ 1/(W·L²): shrinking both by s scales it by 1/s³.
+	f := 1e3
+	ratio := sh.FlickerCurrentPSD(f) / tr.FlickerCurrentPSD(f)
+	if math.Abs(ratio-8) > 1e-9 {
+		t.Fatalf("flicker shrink ratio %g, want 8", ratio)
+	}
+}
+
+func TestShrinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for s=0")
+		}
+	}()
+	ShrinkTechnology(phys.DefaultTransistor(), 0)
+}
+
+func TestDefaultRingMatchesPaperScale(t *testing.T) {
+	// The bottom-up device path with default (calibrated) parameters
+	// must land on the paper's per-ring budget: b_th ≈ 138 Hz,
+	// a/b corner ≈ 5354, f0 ≈ 103 MHz.
+	nb, err := Analyze(phys.DefaultRing(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperPerRing := PaperBudget()
+	paperPerRing.Bth /= 2
+	paperPerRing.Bfl /= 2
+	if nb.Bth < paperPerRing.Bth/2 || nb.Bth > paperPerRing.Bth*2 {
+		t.Fatalf("device b_th = %g, want within 2x of %g", nb.Bth, paperPerRing.Bth)
+	}
+	if c := nb.FlickerCornerN(); c < 2500 || c > 11000 {
+		t.Fatalf("device corner = %g, want ≈5354", c)
+	}
+	if r := nb.JitterRatio(); r < 0.5e-3 || r > 4e-3 {
+		t.Fatalf("device σ/T0 = %g ‰, want ~1.6 ‰", r*1e3)
+	}
+}
+
+func TestThermalExcessScaling(t *testing.T) {
+	intrinsic, err := Analyze(phys.DefaultRing(), Options{ThermalExcess: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibrated, err := Analyze(phys.DefaultRing(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(calibrated.Bth/intrinsic.Bth-165) > 1e-6*165 {
+		t.Fatalf("excess factor not applied: ratio %g", calibrated.Bth/intrinsic.Bth)
+	}
+	// Flicker is NOT scaled by the thermal excess.
+	if math.Abs(calibrated.Bfl-intrinsic.Bfl) > 1e-9*intrinsic.Bfl {
+		t.Fatal("thermal excess leaked into flicker")
+	}
+}
+
+func TestShrinkLowersIndependenceThreshold(t *testing.T) {
+	// The paper's conclusion: technology shrink → more flicker → the
+	// corner a/b (and with it N*) decreases.
+	ring := phys.DefaultRing()
+	nb1, err := Analyze(ring, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring.Stage.NMOS = ShrinkTechnology(ring.Stage.NMOS, 0.5)
+	ring.Stage.PMOS = ShrinkTechnology(ring.Stage.PMOS, 0.5)
+	nb2, err := Analyze(ring, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb2.FlickerCornerN() >= nb1.FlickerCornerN() {
+		t.Fatalf("shrink did not lower corner: %g -> %g", nb1.FlickerCornerN(), nb2.FlickerCornerN())
+	}
+}

@@ -1,0 +1,168 @@
+// Package dsp provides the signal-processing substrate for noise
+// synthesis and spectral validation: an iterative radix-2 FFT, window
+// functions, Welch power-spectral-density estimation and fast
+// convolution. It is used to
+//
+//   - synthesize 1/f^α (flicker) noise by fractional integration of
+//     white noise (internal/flicker), and
+//   - verify that simulated oscillators exhibit the phase-noise PSD
+//     Sφ(f) = b_fl/f³ + b_th/f² assumed by the paper's model.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n (n must be > 0).
+func NextPowerOfTwo(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPowerOfTwo requires n > 0")
+	}
+	if IsPowerOfTwo(n) {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+// FFT computes the in-place forward discrete Fourier transform of x,
+// whose length must be a power of two:
+//
+//	X[k] = Σ_n x[n]·exp(−2πi·k·n/N)
+//
+// The implementation is the iterative Cooley–Tukey radix-2
+// decimation-in-time algorithm with a bit-reversal permutation.
+func FFT(x []complex128) {
+	fftInPlace(x, false)
+}
+
+// IFFT computes the in-place inverse transform, including the 1/N
+// normalization, so IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) {
+	fftInPlace(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		angle := -2 * math.Pi / float64(size)
+		if inverse {
+			angle = -angle
+		}
+		wStep := cmplx.Exp(complex(0, angle))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// FFTReal transforms a real sequence (length a power of two) and returns
+// the full complex spectrum of the same length.
+func FFTReal(x []float64) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	FFT(out)
+	return out
+}
+
+// Convolve returns the linear convolution of a and b (length
+// len(a)+len(b)−1) computed via zero-padded FFTs. It is the workhorse of
+// the Kasdin–Walter flicker-noise synthesizer, where a is a white-noise
+// block and b the fractional-integration kernel.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := NextPowerOfTwo(outLen)
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	FFT(fa)
+	FFT(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	IFFT(fa)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+// AutocorrelationFFT returns the biased autocovariance sequence of x for
+// lags 0..maxLag via the Wiener–Khinchin route (|FFT|² then inverse).
+// It matches stats.Autocovariance but runs in O(n log n).
+func AutocorrelationFFT(x []float64, maxLag int) []float64 {
+	n := len(x)
+	if maxLag >= n || maxLag < 0 {
+		panic(fmt.Sprintf("dsp: maxLag %d out of range for n=%d", maxLag, n))
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	m := NextPowerOfTwo(2 * n)
+	buf := make([]complex128, m)
+	for i, v := range x {
+		buf[i] = complex(v-mean, 0)
+	}
+	FFT(buf)
+	for i := range buf {
+		re := real(buf[i])
+		im := imag(buf[i])
+		buf[i] = complex(re*re+im*im, 0)
+	}
+	IFFT(buf)
+	out := make([]float64, maxLag+1)
+	for k := 0; k <= maxLag; k++ {
+		out[k] = real(buf[k]) / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPowerOfTwo(n) {
+			t.Errorf("IsPowerOfTwo(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 12, 1023} {
+		if IsPowerOfTwo(n) {
+			t.Errorf("IsPowerOfTwo(%d) = true", n)
+		}
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 1023: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	FFT(x)
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTSinusoid(t *testing.T) {
+	const n = 64
+	const bin = 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*bin*float64(i)/n), 0)
+	}
+	FFT(x)
+	// Energy concentrated at bins ±bin with amplitude n/2.
+	for k, v := range x {
+		mag := cmplx.Abs(v)
+		if k == bin || k == n-bin {
+			if math.Abs(mag-n/2) > 1e-9 {
+				t.Fatalf("bin %d magnitude %g, want %d", k, mag, n/2)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("bin %d magnitude %g, want 0", k, mag)
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	r := rng.New(1)
+	const n = 128
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		a[i] = complex(r.Norm(), r.Norm())
+		b[i] = complex(r.Norm(), r.Norm())
+		sum[i] = a[i] + 2*b[i]
+	}
+	FFT(a)
+	FFT(b)
+	FFT(sum)
+	for k := range sum {
+		if cmplx.Abs(sum[k]-(a[k]+2*b[k])) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", k)
+		}
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{1, 2, 8, 256, 4096} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Norm(), r.Norm())
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: roundtrip error at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := rng.New(3)
+	const n = 1024
+	x := make([]complex128, n)
+	var timeE float64
+	for i := range x {
+		x[i] = complex(r.Norm(), 0)
+		timeE += real(x[i]) * real(x[i])
+	}
+	FFT(x)
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqE /= n
+	if math.Abs(timeE-freqE) > 1e-6*timeE {
+		t.Fatalf("Parseval: time %g vs freq %g", timeE, freqE)
+	}
+}
+
+func TestFFTPanicsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=12")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestConvolveAgainstNaive(t *testing.T) {
+	r := rng.New(4)
+	a := make([]float64, 37)
+	b := make([]float64, 23)
+	r.FillNorm(a)
+	r.FillNorm(b)
+	got := Convolve(a, b)
+	want := make([]float64, len(a)+len(b)-1)
+	for i := range a {
+		for j := range b {
+			want[i+j] += a[i] * b[j]
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("convolution mismatch at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if Convolve(nil, []float64{1}) != nil {
+		t.Fatal("expected nil for empty input")
+	}
+}
+
+func TestConvolveDelta(t *testing.T) {
+	// Convolving with a delta reproduces the input (property test).
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 200 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		out := Convolve(raw, []float64{1})
+		for i := range raw {
+			if math.Abs(out[i]-raw[i]) > 1e-9*(1+math.Abs(raw[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutocorrelationFFTMatchesDirect(t *testing.T) {
+	r := rng.New(5)
+	x := make([]float64, 3000)
+	v := 0.0
+	for i := range x {
+		v = 0.7*v + r.Norm()
+		x[i] = v
+	}
+	got := AutocorrelationFFT(x, 10)
+	// direct biased autocovariance
+	mean := 0.0
+	for _, xv := range x {
+		mean += xv
+	}
+	mean /= float64(len(x))
+	for k := 0; k <= 10; k++ {
+		var want float64
+		for i := 0; i+k < len(x); i++ {
+			want += (x[i] - mean) * (x[i+k] - mean)
+		}
+		want /= float64(len(x))
+		if math.Abs(got[k]-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("lag %d: %g vs %g", k, got[k], want)
+		}
+	}
+}
+
+func TestFFTRealMatchesComplex(t *testing.T) {
+	r := rng.New(6)
+	x := make([]float64, 64)
+	r.FillNorm(x)
+	got := FFTReal(x)
+	want := make([]complex128, len(x))
+	for i, v := range x {
+		want[i] = complex(v, 0)
+	}
+	FFT(want)
+	for k := range want {
+		if cmplx.Abs(got[k]-want[k]) > 1e-12 {
+			t.Fatalf("FFTReal mismatch at %d", k)
+		}
+	}
+}

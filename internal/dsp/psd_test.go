@@ -1,0 +1,173 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWindowCoefficients(t *testing.T) {
+	for _, w := range []Window{Rectangular, Hann, Hamming, Blackman} {
+		c := w.Coefficients(64)
+		if len(c) != 64 {
+			t.Fatalf("%v: %d coefficients", w, len(c))
+		}
+		for i, v := range c {
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Fatalf("%v coefficient %d = %g out of [0,1]", w, i, v)
+			}
+		}
+	}
+	// Hann endpoints are 0, midpoint is 1.
+	h := Hann.Coefficients(65)
+	if math.Abs(h[0]) > 1e-12 || math.Abs(h[64]) > 1e-12 {
+		t.Fatal("Hann endpoints not 0")
+	}
+	if math.Abs(h[32]-1) > 1e-12 {
+		t.Fatal("Hann midpoint not 1")
+	}
+	if Window(99).String() == "" {
+		t.Fatal("unknown window String empty")
+	}
+	one := Hann.Coefficients(1)
+	if one[0] != 1 {
+		t.Fatal("single-sample window must be 1")
+	}
+}
+
+func TestWelchWhiteNoiseLevel(t *testing.T) {
+	r := rng.New(1)
+	const fs = 1000.0
+	const sigma2 = 4.0
+	x := make([]float64, 1<<17)
+	for i := range x {
+		x[i] = r.NormScaled(0, 2)
+	}
+	psd, err := Welch(x, fs, WelchOptions{SegmentLength: 1024, Overlap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// White noise with variance σ² sampled at fs has one-sided PSD
+	// σ²·2/fs... integral over [0, fs/2] equals σ²: level = σ²/(fs/2).
+	want := sigma2 / (fs / 2)
+	var mean float64
+	for _, p := range psd.Power {
+		mean += p
+	}
+	mean /= float64(len(psd.Power))
+	if math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("white PSD level %g, want %g", mean, want)
+	}
+	// Integrated power approximates the variance.
+	tot := psd.BandPower(0, fs/2)
+	if math.Abs(tot-sigma2) > 0.1*sigma2 {
+		t.Fatalf("integrated PSD %g, want %g", tot, sigma2)
+	}
+}
+
+func TestWelchSinusoidPeak(t *testing.T) {
+	const fs = 1000.0
+	const f0 = 125.0
+	x := make([]float64, 1<<15)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f0 * float64(i) / fs)
+	}
+	psd, err := Welch(x, fs, WelchOptions{SegmentLength: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak bin must be at f0.
+	best := 0
+	for i := range psd.Power {
+		if psd.Power[i] > psd.Power[best] {
+			best = i
+		}
+	}
+	if math.Abs(psd.Freq[best]-f0) > fs/2048*2 {
+		t.Fatalf("peak at %g Hz, want %g", psd.Freq[best], f0)
+	}
+	// Integrated power over the sine's band ≈ 1/2 (sine power).
+	p := psd.BandPower(f0-10, f0+10)
+	if math.Abs(p-0.5) > 0.1 {
+		t.Fatalf("sine band power %g, want 0.5", p)
+	}
+}
+
+func TestWelchLogLogSlopeWhite(t *testing.T) {
+	r := rng.New(2)
+	x := make([]float64, 1<<16)
+	r.FillNorm(x)
+	psd, err := Welch(x, 1, WelchOptions{SegmentLength: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope, n, err := psd.LogLogSlope(0.01, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 10 {
+		t.Fatalf("only %d points", n)
+	}
+	if math.Abs(slope) > 0.15 {
+		t.Fatalf("white noise log-log slope %g, want ~0", slope)
+	}
+}
+
+func TestWelchDetrend(t *testing.T) {
+	r := rng.New(3)
+	x := make([]float64, 1<<14)
+	for i := range x {
+		x[i] = 1e6 + r.Norm() // huge DC offset
+	}
+	psd, err := Welch(x, 1, WelchOptions{SegmentLength: 512, Detrend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With detrending, low bins must not blow up by the DC leak.
+	if psd.Power[0] > 100 {
+		t.Fatalf("detrended PSD bin0 = %g, DC leaked", psd.Power[0])
+	}
+}
+
+func TestWelchErrors(t *testing.T) {
+	x := make([]float64, 256)
+	if _, err := Welch(x, 0, WelchOptions{}); err == nil {
+		t.Error("fs=0 accepted")
+	}
+	if _, err := Welch(x, 1, WelchOptions{SegmentLength: 100}); err == nil {
+		t.Error("non-power-of-two segment accepted")
+	}
+	if _, err := Welch(x, 1, WelchOptions{SegmentLength: 512}); err == nil {
+		t.Error("segment longer than input accepted")
+	}
+	if _, err := Welch(x, 1, WelchOptions{SegmentLength: 64, Overlap: 1.0}); err == nil {
+		t.Error("overlap=1 accepted")
+	}
+}
+
+func TestWelchDefaultSegment(t *testing.T) {
+	r := rng.New(4)
+	x := make([]float64, 10000)
+	r.FillNorm(x)
+	psd, err := Welch(x, 100, WelchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psd.Freq) == 0 || psd.Freq[len(psd.Freq)-1] > 50.0001 {
+		t.Fatalf("default-segment PSD malformed: %d bins, top %g Hz", len(psd.Freq), psd.Freq[len(psd.Freq)-1])
+	}
+}
+
+func TestBandPowerClipping(t *testing.T) {
+	psd := PSD{Freq: []float64{1, 2, 3}, Power: []float64{1, 1, 1}}
+	if p := psd.BandPower(0, 10); math.Abs(p-2) > 1e-12 {
+		t.Fatalf("full band power %g, want 2", p)
+	}
+	if p := psd.BandPower(1.5, 2.5); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("clipped band power %g, want 1", p)
+	}
+	if p := psd.BandPower(5, 6); p != 0 {
+		t.Fatalf("out-of-range band power %g, want 0", p)
+	}
+}

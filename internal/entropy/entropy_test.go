@@ -1,0 +1,294 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phase"
+	"repro/internal/rng"
+)
+
+func relModel() phase.Model {
+	// Relative model of the paper's oscillator pair (coefficients
+	// doubled relative to the single-ring fit).
+	const f0 = 103e6
+	return phase.Model{
+		Bth: 2 * 5.36e-6 * f0 / 2,
+		Bfl: 2 * 5.36e-6 / 5354 * f0 * f0 / (8 * math.Ln2),
+		F0:  f0,
+	}
+}
+
+func TestPOneDeterministic(t *testing.T) {
+	m := BitModel{Drift: 0.3, Sigma: 0}
+	if p := m.pOne(0.1); p != 1 { // 0.4 < 0.5
+		t.Fatalf("deterministic p = %g, want 1", p)
+	}
+	if p := m.pOne(0.3); p != 0 { // 0.6 >= 0.5
+		t.Fatalf("deterministic p = %g, want 0", p)
+	}
+}
+
+func TestPOneLargeSigmaHalf(t *testing.T) {
+	m := BitModel{Drift: 0.123, Sigma: 5}
+	for _, theta := range []float64{0, 0.25, 0.7} {
+		if p := m.pOne(theta); math.Abs(p-0.5) > 1e-6 {
+			t.Fatalf("large-σ p(%g) = %g, want 0.5", theta, p)
+		}
+	}
+}
+
+func TestPOneIntegratesToHalf(t *testing.T) {
+	// Over a uniform stationary phase the marginal P(1) is exactly 1/2.
+	m := BitModel{Drift: 0.37, Sigma: 0.2}
+	const bins = 4096
+	var acc float64
+	for i := 0; i < bins; i++ {
+		acc += m.pOne((float64(i) + 0.5) / bins)
+	}
+	if math.Abs(acc/bins-0.5) > 1e-6 {
+		t.Fatalf("marginal P(1) = %g", acc/bins)
+	}
+}
+
+func TestConditionalShannonLimits(t *testing.T) {
+	// σ → 0: fully predictable, H → 0.
+	if h := (BitModel{Sigma: 1e-6}).ConditionalShannon(1024); h > 0.01 {
+		t.Fatalf("tiny-σ H = %g, want ~0", h)
+	}
+	// σ large: H → 1.
+	if h := (BitModel{Sigma: 3}).ConditionalShannon(1024); h < 0.9999 {
+		t.Fatalf("large-σ H = %g, want ~1", h)
+	}
+}
+
+func TestConditionalShannonMonotoneInSigma(t *testing.T) {
+	prev := -1.0
+	for _, s := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+		h := (BitModel{Sigma: s}).ConditionalShannon(2048)
+		if h <= prev {
+			t.Fatalf("H not increasing at σ=%g: %g <= %g", s, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestMinEntropyBelowShannon(t *testing.T) {
+	for _, s := range []float64{0.1, 0.3, 0.6} {
+		m := BitModel{Sigma: s}
+		hs := m.ConditionalShannon(2048)
+		hm := m.ConditionalMinEntropy(2048)
+		if hm > hs+1e-9 {
+			t.Fatalf("σ=%g: min-entropy %g exceeds Shannon %g", s, hm, hs)
+		}
+		if hm < 0 || hm > 1 {
+			t.Fatalf("min-entropy out of range: %g", hm)
+		}
+	}
+}
+
+func TestLowerBoundTightForLargeSigma(t *testing.T) {
+	for _, s := range []float64{0.3, 0.5, 0.8} {
+		exact := (BitModel{Sigma: s}).ConditionalShannon(8192)
+		bound := LowerBound(s)
+		if bound > exact+1e-4 {
+			t.Fatalf("σ=%g: bound %g exceeds exact %g", s, bound, exact)
+		}
+		if exact-bound > 0.02 {
+			t.Fatalf("σ=%g: bound %g too loose vs %g", s, bound, exact)
+		}
+	}
+}
+
+func TestLowerBoundClamps(t *testing.T) {
+	if b := LowerBound(0.01); b != 0 {
+		t.Fatalf("tiny-σ bound = %g, want clamp to 0", b)
+	}
+	if b := LowerBound(10); b < 0.999999 {
+		t.Fatalf("huge-σ bound = %g", b)
+	}
+}
+
+func TestAssessNaiveOverestimates(t *testing.T) {
+	rel := relModel()
+	// Measure-at-large-N inflates the naive per-period jitter.
+	c, err := Assess(rel, 2000, 30000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SigmaNaive <= c.SigmaRefined {
+		t.Fatalf("naive σ %g should exceed refined %g", c.SigmaNaive, c.SigmaRefined)
+	}
+	if c.Overestimate < 0 {
+		t.Fatalf("overestimate = %g", c.Overestimate)
+	}
+	if c.HNaive < c.HRefined {
+		t.Fatalf("H ordering broken: naive %g < refined %g", c.HNaive, c.HRefined)
+	}
+}
+
+func TestAssessOverestimateGrowsWithNMeas(t *testing.T) {
+	rel := relModel()
+	c1, err := Assess(rel, 1000, 1000, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Assess(rel, 1000, 100000, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.SigmaNaive <= c1.SigmaNaive {
+		t.Fatalf("naive σ should grow with measurement length: %g vs %g", c1.SigmaNaive, c2.SigmaNaive)
+	}
+}
+
+func TestAssessNoFlickerNoGap(t *testing.T) {
+	rel := relModel()
+	rel.Bfl = 0
+	c, err := Assess(rel, 500, 10000, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.SigmaNaive-c.SigmaRefined) > 1e-12*c.SigmaRefined {
+		t.Fatalf("no-flicker gap: %g vs %g", c.SigmaNaive, c.SigmaRefined)
+	}
+	if c.Overestimate > 1e-9 {
+		t.Fatalf("no-flicker overestimate = %g", c.Overestimate)
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	if _, err := Assess(phase.Model{}, 10, 10, 64); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := Assess(relModel(), 0, 10, 64); err == nil {
+		t.Fatal("divider 0 accepted")
+	}
+	if _, err := Assess(relModel(), 10, 0, 64); err == nil {
+		t.Fatal("nMeas 0 accepted")
+	}
+}
+
+func TestRequiredDivider(t *testing.T) {
+	rel := relModel()
+	k, err := RequiredDivider(rel, 0.997, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 2 {
+		t.Fatalf("required divider %d suspiciously small", k)
+	}
+	// Verify the defining property.
+	sig := math.Sqrt(float64(k)) * rel.SigmaThermal() * rel.F0
+	if h := (BitModel{Sigma: sig}).ConditionalShannon(512); h < 0.997 {
+		t.Fatalf("H at required divider = %g < 0.997", h)
+	}
+	sigBelow := math.Sqrt(float64(k-1)) * rel.SigmaThermal() * rel.F0
+	if h := (BitModel{Sigma: sigBelow}).ConditionalShannon(512); h >= 0.997 {
+		t.Fatalf("divider not minimal: H(k−1) = %g", h)
+	}
+}
+
+func TestRequiredDividerValidation(t *testing.T) {
+	if _, err := RequiredDivider(relModel(), 1.5, 64); err == nil {
+		t.Fatal("hMin > 1 accepted")
+	}
+	noTh := relModel()
+	noTh.Bth = 0
+	if _, err := RequiredDivider(noTh, 0.9, 64); err == nil {
+		t.Fatal("thermal-free model accepted")
+	}
+}
+
+func TestShannonPluginUniform(t *testing.T) {
+	r := rng.New(1)
+	bits := make([]byte, 400000)
+	for i := range bits {
+		bits[i] = byte(r.Uint64() & 1)
+	}
+	h, err := ShannonPlugin(bits, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.99 || h > 1.0001 {
+		t.Fatalf("plugin H of uniform bits = %g", h)
+	}
+}
+
+func TestShannonPluginConstant(t *testing.T) {
+	bits := make([]byte, 10000)
+	h, err := ShannonPlugin(bits, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("plugin H of constant bits = %g", h)
+	}
+}
+
+func TestMinEntropyPluginBiased(t *testing.T) {
+	r := rng.New(2)
+	bits := make([]byte, 400000)
+	for i := range bits {
+		if r.Float64() < 0.75 {
+			bits[i] = 1
+		}
+	}
+	h, err := MinEntropyPlugin(bits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -math.Log2(0.75)
+	if math.Abs(h-want) > 0.02 {
+		t.Fatalf("min-entropy = %g, want %g", h, want)
+	}
+}
+
+func TestPluginValidation(t *testing.T) {
+	if _, err := ShannonPlugin(make([]byte, 4), 8); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, err := ShannonPlugin(make([]byte, 100), 0); err == nil {
+		t.Fatal("block 0 accepted")
+	}
+	if _, err := MinEntropyPlugin(make([]byte, 100), 30); err == nil {
+		t.Fatal("block 30 accepted")
+	}
+}
+
+func TestMarkovEntropy(t *testing.T) {
+	r := rng.New(3)
+	// iid balanced bits → H ≈ 1.
+	bits := make([]byte, 200000)
+	for i := range bits {
+		bits[i] = byte(r.Uint64() & 1)
+	}
+	h, err := MarkovEntropy(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.999 {
+		t.Fatalf("iid Markov entropy = %g", h)
+	}
+	// Strongly sticky chain → low entropy, caught by Markov but not
+	// by 1-bit marginal statistics.
+	sticky := make([]byte, 200000)
+	cur := byte(0)
+	for i := range sticky {
+		if r.Float64() < 0.05 {
+			cur ^= 1
+		}
+		sticky[i] = cur
+	}
+	hs, err := MarkovEntropy(sticky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -(0.05*math.Log2(0.05) + 0.95*math.Log2(0.95))
+	if math.Abs(hs-want) > 0.02 {
+		t.Fatalf("sticky Markov entropy = %g, want %g", hs, want)
+	}
+	if _, err := MarkovEntropy([]byte{1}); err == nil {
+		t.Fatal("short input accepted")
+	}
+}

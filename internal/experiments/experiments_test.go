@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig7ShapeAndFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := Fig7(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 10 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// The fitted slope must recover the paper's a within 15 %.
+	if math.Abs(res.Fit.A-PaperSlopeA) > 0.15*PaperSlopeA {
+		t.Fatalf("a = %g, want %g", res.Fit.A, PaperSlopeA)
+	}
+	// Shape: measured/theory ratio near 1 at every N except where
+	// error bars are large; check the median-ish behaviour.
+	within := 0
+	for _, row := range res.Rows {
+		if row.TheoryNorm > 0 && math.Abs(row.MeasuredNorm/row.TheoryNorm-1) < 0.5 {
+			within++
+		}
+	}
+	if within < len(res.Rows)*2/3 {
+		t.Fatalf("only %d/%d rows within 50%% of eq. 11", within, len(res.Rows))
+	}
+	if !strings.Contains(res.Table(), "EXP-F7") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestRNThresholdReproduces281(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := RNThreshold(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n95Measured, n95Paper int
+	for _, row := range res.Thresholds {
+		if row.RMin == 0.95 {
+			n95Measured, n95Paper = row.NMeasured, row.NPaper
+		}
+	}
+	if n95Paper != PaperN95 {
+		t.Fatalf("paper threshold computed as %d, want %d", n95Paper, PaperN95)
+	}
+	if n95Measured < 150 || n95Measured > 500 {
+		t.Fatalf("measured N*(95%%) = %d, want ≈281", n95Measured)
+	}
+	if !strings.Contains(res.Table(), "EXP-RN") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestThermalExtractionReproducesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := ThermalExtraction(Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.SigmaPs-PaperSigmaPs) > 1.5 {
+		t.Fatalf("σ = %g ps, want ≈%g", res.SigmaPs, PaperSigmaPs)
+	}
+	if math.Abs(res.BthHz-PaperBth) > 0.15*PaperBth {
+		t.Fatalf("b_th = %g, want ≈%g", res.BthHz, PaperBth)
+	}
+	if !strings.Contains(res.Table(), "EXP-TH") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestEq11Validation(t *testing.T) {
+	res := Eq11Validation()
+	for _, row := range res.Rows {
+		if row.RelErr > 0.02 {
+			t.Fatalf("N=%d: eq9 vs eq11 relative error %g", row.N, row.RelErr)
+		}
+	}
+	if !strings.Contains(res.Table(), "EXP-EQ11") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestIndependenceAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := Independence(Quick, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 3 {
+		t.Fatalf("%d cases", len(res.Cases))
+	}
+	th := res.Cases[0]
+	if !th.PlausibleSmallN || !th.PlausibleLargeN {
+		t.Fatalf("thermal-only rejected: %+v", th)
+	}
+	fl := res.Cases[1]
+	if !fl.PlausibleSmallN {
+		t.Fatalf("paper model small-N region rejected: %+v", fl)
+	}
+	if fl.PlausibleLargeN {
+		t.Fatalf("paper model wide sweep accepted as independent: %+v", fl)
+	}
+	if !strings.Contains(res.Table(), "EXP-IND") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestEntropyComparison(t *testing.T) {
+	res, err := EntropyComparison(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.HNaive < row.HRefined-1e-9 {
+			t.Fatalf("K=%d: ordering broken", row.Divider)
+		}
+	}
+	// Overestimation must be material at small dividers.
+	if res.Rows[0].Overestimate < 0.01 {
+		t.Fatalf("no visible overestimation at K=%d: %+v", res.Rows[0].Divider, res.Rows[0])
+	}
+	if res.RequiredRefined < 1000 {
+		t.Fatalf("required divider %d suspiciously small", res.RequiredRefined)
+	}
+	if !strings.Contains(res.Table(), "EXP-ENT") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestOnlineTestDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := OnlineTest(Quick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 3 {
+		t.Fatalf("%d cases", len(res.Cases))
+	}
+	if res.Cases[0].Detected {
+		t.Fatalf("false alarm on clean run: %+v", res.Cases[0])
+	}
+	for _, c := range res.Cases[1:] {
+		if !c.Detected {
+			t.Fatalf("attack not detected: %+v", c)
+		}
+	}
+	if !strings.Contains(res.Table(), "EXP-ATT") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestPSDCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := PSDCrossCheck(Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DBth) > 0.3 {
+		t.Fatalf("spectral b_th off by %.0f%%", 100*res.DBth)
+	}
+	if math.Abs(res.DBfl) > 0.5 {
+		t.Fatalf("spectral b_fl off by %.0f%%", 100*res.DBfl)
+	}
+	if !strings.Contains(res.Table(), "EXP-PSD") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestTIACrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := TIACrossCheck(Quick, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Deviation) > 0.15 {
+		t.Fatalf("counter vs TIA deviation %.1f%%", 100*res.Deviation)
+	}
+	if !strings.Contains(res.Table(), "EXP-TIA") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestAIS31Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := AIS31Run(Quick, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0].Pass {
+		t.Fatal("under-sampled raw sequence passed procedure B")
+	}
+	if !res.Rows[1].Pass {
+		t.Fatalf("accumulated raw sequence failed: %+v", res.Rows[1].Verdicts)
+	}
+	if !strings.Contains(res.Table(), "EXP-AIS") {
+		t.Fatal("table header missing")
+	}
+}

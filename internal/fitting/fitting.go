@@ -1,0 +1,256 @@
+// Package fitting implements the paper's §IV measurement principle: fit
+// the normalized accumulated variance
+//
+//	f0²·σ²_N = a·N + b·N²
+//
+// to measured (N, σ²_N) points, then read off the transistor-level noise
+// coefficients and the thermal-only period jitter:
+//
+//	b_th = a·f0/2,   b_fl = b·f0²/(8·ln2),   σ = sqrt(b_th/f0³).
+//
+// The fit is weighted least squares with per-point precisions from the
+// σ²_N standard errors, through the origin (no constant term: eq. 11 has
+// none).
+package fitting
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/jitter"
+	"repro/internal/phase"
+	"repro/internal/stats"
+)
+
+// Result is a completed Fig.-7-style fit plus everything the paper
+// derives from it.
+type Result struct {
+	// A and B are the fitted coefficients of f0²σ²_N = A·N + B·N².
+	A, B float64
+	// AErr and BErr are their standard errors.
+	AErr, BErr float64
+	// Offset is the fitted constant term (counter quantization
+	// floor, in normalized f0²·σ²_N units) when FitWithOffset was
+	// used; zero otherwise.
+	Offset, OffsetErr float64
+	// Model is the reconstructed phase-noise model (b_th, b_fl, f0).
+	Model phase.Model
+	// SigmaThermal is the extracted thermal period jitter σ (s).
+	SigmaThermal float64
+	// SigmaThermalErr propagates AErr into σ.
+	SigmaThermalErr float64
+	// JitterRatio is σ/T0 = σ·f0.
+	JitterRatio float64
+	// CornerN is the fitted a/b ratio (the paper's 5354).
+	CornerN float64
+	// ChiSq and DoF summarize fit quality (ChiSq/DoF ≈ 1 when error
+	// bars are honest).
+	ChiSq float64
+	DoF   int
+}
+
+// RN evaluates the fitted thermal share r_N = A·N/(A·N + B·N²)
+// = CornerN/(CornerN+N).
+func (r Result) RN(n int) float64 {
+	den := r.A*float64(n) + r.B*float64(n)*float64(n)
+	if den == 0 {
+		return 0
+	}
+	return r.A * float64(n) / den
+}
+
+// IndependenceThreshold returns the largest N with r_N > rMin.
+func (r Result) IndependenceThreshold(rMin float64) (int, bool) {
+	return r.Model.IndependenceThreshold(rMin)
+}
+
+// Fit performs the weighted quadratic fit on variance estimates.
+// Estimates with non-positive variance are rejected.
+func Fit(estimates []jitter.VarianceEstimate, f0 float64) (Result, error) {
+	if f0 <= 0 {
+		return Result{}, fmt.Errorf("fitting: f0 = %g must be > 0", f0)
+	}
+	if len(estimates) < 2 {
+		return Result{}, fmt.Errorf("fitting: need >= 2 points, got %d", len(estimates))
+	}
+	xs := make([]float64, 0, len(estimates))
+	ys := make([]float64, 0, len(estimates))
+	ws := make([]float64, 0, len(estimates))
+	f02 := f0 * f0
+	for _, e := range estimates {
+		if e.SigmaN2 <= 0 {
+			return Result{}, fmt.Errorf("fitting: non-positive σ²_N=%g at N=%d", e.SigmaN2, e.N)
+		}
+		xs = append(xs, float64(e.N))
+		ys = append(ys, f02*e.SigmaN2)
+		se := f02 * e.StdErr
+		if se <= 0 {
+			// fall back to uniform weighting for this point
+			se = f02 * e.SigmaN2
+		}
+		ws = append(ws, 1/(se*se))
+	}
+	pf, err := stats.FitPolyWeighted(xs, ys, ws, []int{1, 2})
+	if err != nil {
+		return Result{}, fmt.Errorf("fitting: %w", err)
+	}
+	a, b := pf.Coeff[0], pf.Coeff[1]
+	if a < 0 {
+		return Result{}, fmt.Errorf("fitting: negative thermal coefficient a=%g (insufficient data?)", a)
+	}
+	if b < 0 {
+		// A slightly negative curvature can appear when flicker is
+		// absent and noise dominates; clamp to the thermal-only model.
+		b = 0
+	}
+	model := phase.ModelFromFit(a, b, f0)
+	sigma := model.SigmaThermal()
+	var sigmaErr float64
+	if a > 0 {
+		// σ = sqrt(a/(2f0²·... )) ⇒ dσ/σ = da/(2a)
+		sigmaErr = sigma * pf.CoeffErr[0] / (2 * a)
+	}
+	corner := math.Inf(1)
+	if b > 0 {
+		corner = a / b
+	}
+	return Result{
+		A: a, B: b,
+		AErr: pf.CoeffErr[0], BErr: pf.CoeffErr[1],
+		Model:           model,
+		SigmaThermal:    sigma,
+		SigmaThermalErr: sigmaErr,
+		JitterRatio:     sigma * f0,
+		CornerN:         corner,
+		ChiSq:           pf.ChiSq,
+		DoF:             pf.DoF,
+	}, nil
+}
+
+// FitWithOffset performs the quadratic fit with an additional constant
+// term, f0²σ²_N = c + a·N + b·N², absorbing the quantization floor of a
+// single-edge (or M-subdivided) counter measurement: dithered phase
+// quantization adds a constant Δ²/2·f0² to every normalized variance
+// point (measure.(*Counter).QuantizationFloor). The derived model uses
+// only (a, b), exactly as the paper's method prescribes.
+func FitWithOffset(estimates []jitter.VarianceEstimate, f0 float64) (Result, error) {
+	if f0 <= 0 {
+		return Result{}, fmt.Errorf("fitting: f0 = %g must be > 0", f0)
+	}
+	if len(estimates) < 3 {
+		return Result{}, fmt.Errorf("fitting: offset fit needs >= 3 points, got %d", len(estimates))
+	}
+	xs := make([]float64, 0, len(estimates))
+	ys := make([]float64, 0, len(estimates))
+	ws := make([]float64, 0, len(estimates))
+	f02 := f0 * f0
+	for _, e := range estimates {
+		if e.SigmaN2 <= 0 {
+			return Result{}, fmt.Errorf("fitting: non-positive σ²_N=%g at N=%d", e.SigmaN2, e.N)
+		}
+		xs = append(xs, float64(e.N))
+		ys = append(ys, f02*e.SigmaN2)
+		se := f02 * e.StdErr
+		if se <= 0 {
+			se = f02 * e.SigmaN2
+		}
+		ws = append(ws, 1/(se*se))
+	}
+	pf, err := stats.FitPolyWeighted(xs, ys, ws, []int{0, 1, 2})
+	if err != nil {
+		return Result{}, fmt.Errorf("fitting: %w", err)
+	}
+	c, a, b := pf.Coeff[0], pf.Coeff[1], pf.Coeff[2]
+	if a < 0 {
+		return Result{}, fmt.Errorf("fitting: negative thermal coefficient a=%g (insufficient data?)", a)
+	}
+	if b < 0 {
+		b = 0
+	}
+	model := phase.ModelFromFit(a, b, f0)
+	sigma := model.SigmaThermal()
+	var sigmaErr float64
+	if a > 0 {
+		sigmaErr = sigma * pf.CoeffErr[1] / (2 * a)
+	}
+	corner := math.Inf(1)
+	if b > 0 {
+		corner = a / b
+	}
+	return Result{
+		A: a, B: b,
+		AErr: pf.CoeffErr[1], BErr: pf.CoeffErr[2],
+		Offset: c, OffsetErr: pf.CoeffErr[0],
+		Model:           model,
+		SigmaThermal:    sigma,
+		SigmaThermalErr: sigmaErr,
+		JitterRatio:     sigma * f0,
+		CornerN:         corner,
+		ChiSq:           pf.ChiSq,
+		DoF:             pf.DoF,
+	}, nil
+}
+
+// FitThermalOnly fits the pure linear law f0²σ²_N = a·N (for
+// thermal-only data or for the small-N region where flicker is
+// negligible) and returns the same Result shape with B = 0.
+func FitThermalOnly(estimates []jitter.VarianceEstimate, f0 float64) (Result, error) {
+	if f0 <= 0 {
+		return Result{}, fmt.Errorf("fitting: f0 = %g must be > 0", f0)
+	}
+	if len(estimates) < 1 {
+		return Result{}, fmt.Errorf("fitting: need >= 1 point")
+	}
+	xs := make([]float64, 0, len(estimates))
+	ys := make([]float64, 0, len(estimates))
+	ws := make([]float64, 0, len(estimates))
+	f02 := f0 * f0
+	for _, e := range estimates {
+		xs = append(xs, float64(e.N))
+		ys = append(ys, f02*e.SigmaN2)
+		se := f02 * e.StdErr
+		if se <= 0 {
+			se = f02 * e.SigmaN2
+		}
+		ws = append(ws, 1/(se*se))
+	}
+	pf, err := stats.FitPolyWeighted(xs, ys, ws, []int{1})
+	if err != nil {
+		return Result{}, fmt.Errorf("fitting: %w", err)
+	}
+	a := pf.Coeff[0]
+	model := phase.ModelFromFit(a, 0, f0)
+	sigma := model.SigmaThermal()
+	return Result{
+		A:               a,
+		AErr:            pf.CoeffErr[0],
+		Model:           model,
+		SigmaThermal:    sigma,
+		SigmaThermalErr: sigma * pf.CoeffErr[0] / (2 * math.Max(a, 1e-300)),
+		JitterRatio:     sigma * f0,
+		CornerN:         math.Inf(1),
+		ChiSq:           pf.ChiSq,
+		DoF:             pf.DoF,
+	}, nil
+}
+
+// LinearityCheck quantifies how far the measured σ²_N deviates from the
+// best linear (independence-compatible) law: it returns the relative
+// excess (σ²_N − a·N/f0²)/σ²_N at the largest N, which the Bienaymé
+// argument says must be ≈ 0 under mutual independence. Values well
+// above the estimate's relative standard error indicate dependence.
+func LinearityCheck(estimates []jitter.VarianceEstimate, f0 float64) (relExcess float64, err error) {
+	if len(estimates) < 3 {
+		return 0, fmt.Errorf("fitting: linearity check needs >= 3 points")
+	}
+	// Fit the linear law on the first half (small N), extrapolate to
+	// the last point.
+	half := estimates[:len(estimates)/2]
+	lin, err := FitThermalOnly(half, f0)
+	if err != nil {
+		return 0, err
+	}
+	last := estimates[len(estimates)-1]
+	pred := lin.A * float64(last.N) / (f0 * f0)
+	return (last.SigmaN2 - pred) / last.SigmaN2, nil
+}

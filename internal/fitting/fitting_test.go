@@ -1,0 +1,227 @@
+package fitting
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/jitter"
+	"repro/internal/phase"
+	"repro/internal/rng"
+)
+
+func paperModel() phase.Model {
+	const f0 = 103e6
+	return phase.Model{
+		Bth: 5.36e-6 * f0 / 2,
+		Bfl: 5.36e-6 / 5354 * f0 * f0 / (8 * math.Ln2),
+		F0:  f0,
+	}
+}
+
+// syntheticSweep builds variance estimates that follow the model's
+// σ²_N law with Gaussian scatter at the given relative error.
+func syntheticSweep(m phase.Model, ns []int, relErr float64, seed uint64) []jitter.VarianceEstimate {
+	r := rng.New(seed)
+	out := make([]jitter.VarianceEstimate, 0, len(ns))
+	for _, n := range ns {
+		truth := m.SigmaN2(n)
+		se := relErr * truth
+		out = append(out, jitter.VarianceEstimate{
+			N:       n,
+			SigmaN2: truth + r.NormScaled(0, se),
+			StdErr:  se,
+			Samples: 1000,
+		})
+	}
+	return out
+}
+
+func TestFitRecoversPaperConstants(t *testing.T) {
+	m := paperModel()
+	ns := jitter.LogSpacedNs(8, 100000, 6)
+	sweep := syntheticSweep(m, ns, 0.01, 1)
+	res, err := Fit(sweep, m.F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.A-5.36e-6) > 0.05*5.36e-6 {
+		t.Fatalf("a = %g, want 5.36e-6", res.A)
+	}
+	if math.Abs(res.CornerN-5354) > 0.15*5354 {
+		t.Fatalf("a/b = %g, want 5354", res.CornerN)
+	}
+	if math.Abs(res.SigmaThermal-15.89e-12) > 0.5e-12 {
+		t.Fatalf("σ = %g ps, want 15.89", res.SigmaThermal*1e12)
+	}
+	if math.Abs(res.JitterRatio-1.64e-3) > 0.1e-3 {
+		t.Fatalf("σ/T0 = %g", res.JitterRatio)
+	}
+	// Reduced χ² near 1 with honest error bars.
+	red := res.ChiSq / float64(res.DoF)
+	if red > 3 || red < 0.1 {
+		t.Fatalf("reduced χ² = %g", red)
+	}
+}
+
+func TestFitErrorBarsCoverTruth(t *testing.T) {
+	m := paperModel()
+	ns := jitter.LogSpacedNs(8, 100000, 4)
+	misses := 0
+	const trials = 30
+	for s := uint64(0); s < trials; s++ {
+		sweep := syntheticSweep(m, ns, 0.02, 100+s)
+		res, err := Fit(sweep, m.F0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.A-5.36e-6) > 3*res.AErr {
+			misses++
+		}
+	}
+	// 3σ coverage: essentially all trials must cover.
+	if misses > 2 {
+		t.Fatalf("a outside 3σ in %d/%d trials", misses, trials)
+	}
+}
+
+func TestFitWithOffsetRemovesFloor(t *testing.T) {
+	m := paperModel()
+	ns := jitter.LogSpacedNs(8, 100000, 6)
+	sweep := syntheticSweep(m, ns, 0.01, 2)
+	// Inject a constant quantization floor comparable to the small-N
+	// signal.
+	const floor = 5e-21
+	for i := range sweep {
+		sweep[i].SigmaN2 += floor
+	}
+	plain, err := Fit(sweep, m.F0)
+	if err == nil {
+		// The plain fit misattributes the floor; its a must be
+		// biased high.
+		if plain.A < 5.36e-6 {
+			t.Log("plain fit unexpectedly unbiased (floor too small?)")
+		}
+	}
+	res, err := FitWithOffset(sweep, m.F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.A-5.36e-6) > 0.1*5.36e-6 {
+		t.Fatalf("offset fit a = %g, want 5.36e-6", res.A)
+	}
+	wantOffset := floor * m.F0 * m.F0
+	if math.Abs(res.Offset-wantOffset) > 0.5*wantOffset {
+		t.Fatalf("offset = %g, want ~%g", res.Offset, wantOffset)
+	}
+}
+
+func TestFitThermalOnly(t *testing.T) {
+	m := phase.Model{Bth: 276.04, Bfl: 0, F0: 103e6}
+	ns := []int{8, 32, 128, 512, 2048}
+	sweep := syntheticSweep(m, ns, 0.01, 3)
+	res, err := FitThermalOnly(sweep, m.F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.A-5.36e-6) > 0.05*5.36e-6 {
+		t.Fatalf("thermal-only a = %g", res.A)
+	}
+	if !math.IsInf(res.CornerN, 1) {
+		t.Fatal("thermal-only corner should be +Inf")
+	}
+	if res.B != 0 {
+		t.Fatal("thermal-only fit must have B = 0")
+	}
+}
+
+func TestFitClampNegativeB(t *testing.T) {
+	// Thermal-only truth with noise can produce a slightly negative
+	// quadratic term; Fit must clamp it, not fail.
+	m := phase.Model{Bth: 276.04, Bfl: 0, F0: 103e6}
+	ns := []int{8, 16, 32, 64, 128, 256}
+	for s := uint64(0); s < 20; s++ {
+		sweep := syntheticSweep(m, ns, 0.03, 200+s)
+		res, err := Fit(sweep, m.F0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.B < 0 {
+			t.Fatalf("negative B = %g escaped clamp", res.B)
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	m := paperModel()
+	sweep := syntheticSweep(m, []int{8, 16, 32}, 0.01, 4)
+	if _, err := Fit(sweep, 0); err == nil {
+		t.Fatal("f0=0 accepted")
+	}
+	if _, err := Fit(sweep[:1], m.F0); err == nil {
+		t.Fatal("single point accepted")
+	}
+	bad := append([]jitter.VarianceEstimate(nil), sweep...)
+	bad[0].SigmaN2 = -1
+	if _, err := Fit(bad, m.F0); err == nil {
+		t.Fatal("negative variance accepted")
+	}
+	if _, err := FitWithOffset(sweep[:2], m.F0); err == nil {
+		t.Fatal("offset fit with 2 points accepted")
+	}
+	if _, err := FitThermalOnly(nil, m.F0); err == nil {
+		t.Fatal("empty thermal fit accepted")
+	}
+}
+
+func TestResultRN(t *testing.T) {
+	m := paperModel()
+	ns := jitter.LogSpacedNs(8, 100000, 6)
+	res, err := Fit(syntheticSweep(m, ns, 0.005, 5), m.F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r_N from the fit follows K/(K+N).
+	for _, n := range []int{100, 1000, 5354} {
+		want := res.CornerN / (res.CornerN + float64(n))
+		if math.Abs(res.RN(n)-want) > 1e-9 {
+			t.Fatalf("RN(%d) = %g, want %g", n, res.RN(n), want)
+		}
+	}
+	if r := (Result{}).RN(10); r != 0 {
+		t.Fatalf("zero-fit RN = %g", r)
+	}
+	thr, ok := res.IndependenceThreshold(0.95)
+	if !ok {
+		t.Fatal("threshold missing")
+	}
+	if thr < 200 || thr > 360 {
+		t.Fatalf("N*(95%%) = %d, want ≈281", thr)
+	}
+}
+
+func TestLinearityCheck(t *testing.T) {
+	m := paperModel()
+	ns := jitter.LogSpacedNs(8, 100000, 6)
+	sweep := syntheticSweep(m, ns, 0.01, 6)
+	excess, err := LinearityCheck(sweep, m.F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At N=100000 flicker dominates (corner 5354): excess ≈ 0.95.
+	if excess < 0.5 {
+		t.Fatalf("flicker data: relative excess = %g, want large", excess)
+	}
+	// Thermal-only data: excess compatible with 0.
+	mt := phase.Model{Bth: 276.04, Bfl: 0, F0: 103e6}
+	sweepT := syntheticSweep(mt, ns, 0.01, 7)
+	excessT, err := LinearityCheck(sweepT, mt.F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(excessT) > 0.1 {
+		t.Fatalf("thermal data: relative excess = %g, want ~0", excessT)
+	}
+	if _, err := LinearityCheck(sweep[:2], m.F0); err == nil {
+		t.Fatal("2-point linearity check accepted")
+	}
+}

@@ -1,0 +1,283 @@
+// Package flicker synthesizes 1/f^α noise, the autocorrelated noise
+// mechanism that the paper identifies as the reason jitter realizations
+// are NOT mutually independent.
+//
+// Two generators are provided and cross-validated against each other:
+//
+//   - Kasdin–Walter fractional integration of white Gaussian noise
+//     (exact asymptotic 1/f^α spectrum, block-based, FFT convolution);
+//   - a streaming superposition of Ornstein–Uhlenbeck (AR(1)) processes
+//     with log-spaced corner frequencies (approximate 1/f over a
+//     configurable band, O(1) per sample, suitable for long
+//     event-driven oscillator simulations).
+//
+// Calibration convention: generators are parameterized by the one-sided
+// PSD level hm1 such that S(f) = hm1/f for frequencies well inside the
+// generator's band, with the process sampled at rate fs. For the
+// ring-oscillator jitter model the process is the fractional frequency
+// deviation y_i of the oscillator, sampled once per period (fs = f0),
+// and hm1 = 2·b_fl/f0² reproduces the paper's flicker term
+// σ²_N,fl = 8·ln2·b_fl·N²/f0⁴ (paper eq. 11).
+package flicker
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/rng"
+)
+
+// KasdinGenerator produces 1/f^α noise by convolving white Gaussian
+// noise with the fractional-integration impulse response
+//
+//	h_0 = 1,  h_k = h_{k−1}·(k−1+α/2)/k
+//
+// (Kasdin & Walter, 1992). Samples are produced in blocks; successive
+// blocks are overlap-added so the autocorrelation is continuous across
+// block boundaries up to the kernel length.
+type KasdinGenerator struct {
+	alpha   float64
+	sigmaW  float64 // white-noise standard deviation
+	kernel  []float64
+	src     *rng.Source
+	block   int
+	pending []float64 // overlap tail carried into the next block
+	buf     []float64 // ready-to-emit samples
+	pos     int
+}
+
+// KasdinOptions configures a KasdinGenerator.
+type KasdinOptions struct {
+	// Alpha is the spectral exponent (S ∝ 1/f^α); 1 = flicker.
+	Alpha float64
+	// HM1 is the target one-sided PSD level: S(f) = HM1/f^α · fs^(α−1)
+	// normalization is handled internally so that for Alpha = 1,
+	// S(f) = HM1/f exactly (units²/Hz) when sampled at SampleRate.
+	HM1 float64
+	// SampleRate is the sampling rate fs in Hz.
+	SampleRate float64
+	// KernelLength bounds the impulse-response memory in samples;
+	// correlations longer than this are truncated. Zero selects 1<<16.
+	KernelLength int
+	// BlockLength is the white-noise block size per convolution;
+	// zero selects KernelLength.
+	BlockLength int
+	// Seed seeds the internal PRNG.
+	Seed uint64
+}
+
+// NewKasdin constructs a Kasdin–Walter generator.
+//
+// Scaling derivation for Alpha = 1: the filter H(z) = (1−z⁻¹)^(−1/2)
+// has |H(e^{i2πf/fs})|² = 1/(2·sin(πf/fs)) ≈ fs/(2πf) for f ≪ fs.
+// With white input variance σ_w², the one-sided output PSD is
+// S(f) = 2·σ_w²/fs·|H|² = σ_w²/(πf). Hence σ_w² = π·HM1 yields
+// S(f) = HM1/f. For general α the small-f form is
+// S(f) = 2σ_w²/fs·(fs/(2πf))^α, giving
+// σ_w² = HM1·fs^(α−1)·(2π)^α/(2·fs^(α−1)·...) — resolved numerically
+// below.
+func NewKasdin(opt KasdinOptions) (*KasdinGenerator, error) {
+	if opt.Alpha <= 0 || opt.Alpha >= 2 {
+		return nil, fmt.Errorf("flicker: alpha %g out of (0, 2)", opt.Alpha)
+	}
+	if opt.HM1 <= 0 {
+		return nil, fmt.Errorf("flicker: HM1 %g must be > 0", opt.HM1)
+	}
+	if opt.SampleRate <= 0 {
+		return nil, fmt.Errorf("flicker: sample rate %g must be > 0", opt.SampleRate)
+	}
+	kl := opt.KernelLength
+	if kl == 0 {
+		kl = 1 << 16
+	}
+	if kl < 2 {
+		return nil, fmt.Errorf("flicker: kernel length %d too short", kl)
+	}
+	bl := opt.BlockLength
+	if bl == 0 {
+		bl = kl
+	}
+
+	kernel := make([]float64, kl)
+	kernel[0] = 1
+	for k := 1; k < kl; k++ {
+		kernel[k] = kernel[k-1] * (float64(k-1) + opt.Alpha/2) / float64(k)
+	}
+
+	// One-sided PSD of filtered white noise: S(f) = 2σ_w²/fs·|H|²,
+	// |H|² = (2 sin(πf/fs))^(−α). Small-f: S(f) = 2σ_w²/fs·(fs/(2πf))^α.
+	// Target S(f) = HM1/f^α  ⇒  σ_w² = HM1·fs·(2π/fs)^α/2.
+	fs := opt.SampleRate
+	sigmaW2 := opt.HM1 * fs * math.Pow(2*math.Pi/fs, opt.Alpha) / 2
+	g := &KasdinGenerator{
+		alpha:   opt.Alpha,
+		sigmaW:  math.Sqrt(sigmaW2),
+		kernel:  kernel,
+		src:     rng.New(opt.Seed),
+		block:   bl,
+		pending: make([]float64, kl-1),
+	}
+	return g, nil
+}
+
+// refill produces the next block of output samples by overlap-add
+// convolution.
+func (g *KasdinGenerator) refill() {
+	white := make([]float64, g.block)
+	for i := range white {
+		white[i] = g.sigmaW * g.src.Norm()
+	}
+	full := dsp.Convolve(white, g.kernel) // length block + kl − 1
+	out := full[:g.block]
+	// add carried tail
+	for i := 0; i < len(g.pending) && i < len(out); i++ {
+		out[i] += g.pending[i]
+	}
+	// carry the new tail (and any unconsumed old tail beyond block)
+	newPending := make([]float64, len(g.kernel)-1)
+	copy(newPending, full[g.block:])
+	if g.block < len(g.pending) {
+		for i := g.block; i < len(g.pending); i++ {
+			newPending[i-g.block] += g.pending[i]
+		}
+	}
+	g.pending = newPending
+	g.buf = out
+	g.pos = 0
+}
+
+// Next returns the next flicker-noise sample.
+func (g *KasdinGenerator) Next() float64 {
+	if g.pos >= len(g.buf) {
+		g.refill()
+	}
+	v := g.buf[g.pos]
+	g.pos++
+	return v
+}
+
+// Fill fills dst with consecutive samples.
+func (g *KasdinGenerator) Fill(dst []float64) {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+}
+
+// OUGenerator produces approximate 1/f noise as a sum of first-order
+// autoregressive (discretized Ornstein–Uhlenbeck) processes with corner
+// frequencies geometrically spaced between FMin and FMax. Each pole
+// contributes a Lorentzian; with equal per-pole variance c and ratio r
+// between successive corners, the summed one-sided PSD approaches
+// c/(ln r · f) between the corners, so c = HM1·ln r calibrates the
+// generator.
+//
+// Unlike the Kasdin generator its memory is O(poles) and the spectrum
+// flattens below FMin — which is also what physical flicker noise must
+// do, and keeps long simulations wide-sense stationary.
+type OUGenerator struct {
+	states []float64
+	as     []float64 // AR(1) pole coefficients
+	qs     []float64 // innovation standard deviations
+	src    *rng.Source
+}
+
+// OUOptions configures an OUGenerator.
+type OUOptions struct {
+	// HM1 is the target one-sided PSD level S(f) = HM1/f inside
+	// [FMin, FMax].
+	HM1 float64
+	// SampleRate is the sampling rate in Hz.
+	SampleRate float64
+	// FMin, FMax bound the 1/f band. Zero values select
+	// SampleRate/1e7 and SampleRate/4 respectively.
+	FMin, FMax float64
+	// PolesPerDecade controls the approximation density; zero
+	// selects 3.
+	PolesPerDecade int
+	// Seed seeds the internal PRNG.
+	Seed uint64
+}
+
+// NewOU constructs a streaming sum-of-OU flicker generator.
+func NewOU(opt OUOptions) (*OUGenerator, error) {
+	if opt.HM1 <= 0 {
+		return nil, fmt.Errorf("flicker: HM1 %g must be > 0", opt.HM1)
+	}
+	if opt.SampleRate <= 0 {
+		return nil, fmt.Errorf("flicker: sample rate %g must be > 0", opt.SampleRate)
+	}
+	fmin := opt.FMin
+	if fmin == 0 {
+		fmin = opt.SampleRate / 1e7
+	}
+	fmax := opt.FMax
+	if fmax == 0 {
+		fmax = opt.SampleRate / 4
+	}
+	if fmin <= 0 || fmax <= fmin {
+		return nil, fmt.Errorf("flicker: invalid band [%g, %g]", fmin, fmax)
+	}
+	ppd := opt.PolesPerDecade
+	if ppd == 0 {
+		ppd = 3
+	}
+	if ppd < 1 {
+		return nil, fmt.Errorf("flicker: poles per decade %d must be >= 1", ppd)
+	}
+
+	decades := math.Log10(fmax / fmin)
+	nPoles := int(math.Ceil(decades*float64(ppd))) + 1
+	r := math.Pow(10, 1/float64(ppd)) // ratio between corners
+	c := opt.HM1 * math.Log(r)        // per-pole variance
+
+	dt := 1 / opt.SampleRate
+	g := &OUGenerator{
+		states: make([]float64, nPoles),
+		as:     make([]float64, nPoles),
+		qs:     make([]float64, nPoles),
+		src:    rng.New(opt.Seed),
+	}
+	for k := 0; k < nPoles; k++ {
+		fk := fmin * math.Pow(r, float64(k))
+		lambda := 2 * math.Pi * fk
+		a := math.Exp(-lambda * dt)
+		g.as[k] = a
+		g.qs[k] = math.Sqrt(c * (1 - a*a))
+		// Start each pole in its stationary distribution so the
+		// output is stationary from the first sample.
+		g.states[k] = math.Sqrt(c) * g.src.Norm()
+	}
+	return g, nil
+}
+
+// Poles returns the number of AR(1) components.
+func (g *OUGenerator) Poles() int { return len(g.states) }
+
+// Next returns the next flicker-noise sample.
+func (g *OUGenerator) Next() float64 {
+	var sum float64
+	for k := range g.states {
+		g.states[k] = g.as[k]*g.states[k] + g.qs[k]*g.src.Norm()
+		sum += g.states[k]
+	}
+	return sum
+}
+
+// Fill fills dst with consecutive samples.
+func (g *OUGenerator) Fill(dst []float64) {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+}
+
+// Generator is the common interface of the flicker-noise synthesizers.
+type Generator interface {
+	Next() float64
+	Fill(dst []float64)
+}
+
+var (
+	_ Generator = (*KasdinGenerator)(nil)
+	_ Generator = (*OUGenerator)(nil)
+)

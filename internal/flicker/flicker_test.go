@@ -1,0 +1,259 @@
+package flicker
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/stats"
+)
+
+// measurePSDLevel estimates hm1 by averaging f·S(f) over a mid-band
+// region of a Welch PSD.
+func measurePSDLevel(t *testing.T, g Generator, fs float64, n int, fLo, fHi float64) float64 {
+	t.Helper()
+	x := make([]float64, n)
+	g.Fill(x)
+	psd, err := dsp.Welch(x, fs, dsp.WelchOptions{SegmentLength: 4096, Overlap: 0.5, Detrend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc float64
+	var cnt int
+	for i, f := range psd.Freq {
+		if f < fLo || f > fHi {
+			continue
+		}
+		acc += f * psd.Power[i]
+		cnt++
+	}
+	if cnt == 0 {
+		t.Fatal("no PSD bins in band")
+	}
+	return acc / float64(cnt)
+}
+
+func TestKasdinPSDLevelAndSlope(t *testing.T) {
+	const (
+		hm1 = 3.0e-10
+		fs  = 1e6
+	)
+	g, err := NewKasdin(KasdinOptions{Alpha: 1, HM1: hm1, SampleRate: fs, Seed: 1, KernelLength: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 1<<18)
+	g.Fill(x)
+	psd, err := dsp.Welch(x, fs, dsp.WelchOptions{SegmentLength: 4096, Detrend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope, _, err := psd.LogLogSlope(fs/1000, fs/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope+1) > 0.15 {
+		t.Fatalf("Kasdin log-log slope %g, want ~-1", slope)
+	}
+	level := measurePSDLevel(t, g, fs, 1<<18, fs/1000, fs/16)
+	if math.Abs(level-hm1) > 0.2*hm1 {
+		t.Fatalf("Kasdin PSD level f·S = %g, want %g", level, hm1)
+	}
+}
+
+func TestOUPSDLevelAndSlope(t *testing.T) {
+	const (
+		hm1 = 5.0e-9
+		fs  = 1e6
+	)
+	g, err := NewOU(OUOptions{HM1: hm1, SampleRate: fs, FMin: fs / 1e5, FMax: fs / 4, PolesPerDecade: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 1<<18)
+	g.Fill(x)
+	psd, err := dsp.Welch(x, fs, dsp.WelchOptions{SegmentLength: 4096, Detrend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope, _, err := psd.LogLogSlope(fs/5000, fs/16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope+1) > 0.2 {
+		t.Fatalf("OU log-log slope %g, want ~-1", slope)
+	}
+	level := measurePSDLevel(t, g, fs, 1<<18, fs/5000, fs/16)
+	if math.Abs(level-hm1) > 0.25*hm1 {
+		t.Fatalf("OU PSD level f·S = %g, want %g", level, hm1)
+	}
+}
+
+// allanVariance computes the non-overlapping two-sample variance of y at
+// averaging factor m (duplicated minimal logic to avoid an import cycle
+// with internal/allan, which does not exist, but keeps this package's
+// tests self-contained).
+func allanVariance(y []float64, m int) float64 {
+	groups := len(y) / m
+	means := make([]float64, groups)
+	for g := 0; g < groups; g++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += y[g*m+i]
+		}
+		means[g] = s / float64(m)
+	}
+	var acc float64
+	for k := 0; k+1 < groups; k++ {
+		d := means[k+1] - means[k]
+		acc += d * d
+	}
+	return acc / (2 * float64(groups-1))
+}
+
+func TestFlickerAllanPlateau(t *testing.T) {
+	// Flicker FM has Allan variance 2·ln2·hm1, independent of τ.
+	const (
+		hm1 = 1.0e-8
+		fs  = 1e6
+	)
+	want := 2 * math.Ln2 * hm1
+	for name, g := range map[string]Generator{
+		"kasdin": mustKasdin(t, KasdinOptions{Alpha: 1, HM1: hm1, SampleRate: fs, Seed: 3, KernelLength: 1 << 15}),
+		"ou":     mustOU(t, OUOptions{HM1: hm1, SampleRate: fs, FMin: fs / 1e7, FMax: fs / 4, PolesPerDecade: 4, Seed: 4}),
+	} {
+		y := make([]float64, 1<<20)
+		g.Fill(y)
+		for _, m := range []int{16, 64, 256} {
+			av := allanVariance(y, m)
+			if math.Abs(av-want) > 0.35*want {
+				t.Errorf("%s: Allan variance at m=%d is %g, want ~%g", name, m, av, want)
+			}
+		}
+	}
+}
+
+func mustKasdin(t *testing.T, o KasdinOptions) *KasdinGenerator {
+	t.Helper()
+	g, err := NewKasdin(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustOU(t *testing.T, o OUOptions) *OUGenerator {
+	t.Helper()
+	g, err := NewOU(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestKasdinDeterminism(t *testing.T) {
+	o := KasdinOptions{Alpha: 1, HM1: 1e-9, SampleRate: 1e6, Seed: 5, KernelLength: 1 << 10}
+	a := mustKasdin(t, o)
+	b := mustKasdin(t, o)
+	for i := 0; i < 5000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("Kasdin streams diverge at %d", i)
+		}
+	}
+}
+
+func TestOUDeterminism(t *testing.T) {
+	o := OUOptions{HM1: 1e-9, SampleRate: 1e6, Seed: 6}
+	a := mustOU(t, o)
+	b := mustOU(t, o)
+	for i := 0; i < 5000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("OU streams diverge at %d", i)
+		}
+	}
+}
+
+func TestOUStationaryFromStart(t *testing.T) {
+	// The variance of early samples must match late samples (no
+	// warm-up transient), because poles start in their stationary law.
+	g := mustOU(t, OUOptions{HM1: 1e-8, SampleRate: 1e6, FMin: 10, FMax: 2.5e5, Seed: 7})
+	early := make([]float64, 20000)
+	g.Fill(early)
+	// skip ahead
+	for i := 0; i < 500000; i++ {
+		g.Next()
+	}
+	late := make([]float64, 20000)
+	g.Fill(late)
+	ve := stats.PopVariance(early)
+	vl := stats.PopVariance(late)
+	if ve < vl/3 || ve > vl*3 {
+		t.Fatalf("variance drift: early %g vs late %g", ve, vl)
+	}
+}
+
+func TestOUPoleCount(t *testing.T) {
+	g := mustOU(t, OUOptions{HM1: 1, SampleRate: 1e6, FMin: 1, FMax: 1e5, PolesPerDecade: 2, Seed: 8})
+	// 5 decades × 2 poles + 1 = 11
+	if g.Poles() != 11 {
+		t.Fatalf("poles = %d, want 11", g.Poles())
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewKasdin(KasdinOptions{Alpha: 0, HM1: 1, SampleRate: 1}); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := NewKasdin(KasdinOptions{Alpha: 1, HM1: 0, SampleRate: 1}); err == nil {
+		t.Error("HM1=0 accepted")
+	}
+	if _, err := NewKasdin(KasdinOptions{Alpha: 1, HM1: 1, SampleRate: 0}); err == nil {
+		t.Error("fs=0 accepted")
+	}
+	if _, err := NewKasdin(KasdinOptions{Alpha: 1, HM1: 1, SampleRate: 1, KernelLength: 1}); err == nil {
+		t.Error("kernel length 1 accepted")
+	}
+	if _, err := NewOU(OUOptions{HM1: 0, SampleRate: 1}); err == nil {
+		t.Error("OU HM1=0 accepted")
+	}
+	if _, err := NewOU(OUOptions{HM1: 1, SampleRate: 0}); err == nil {
+		t.Error("OU fs=0 accepted")
+	}
+	if _, err := NewOU(OUOptions{HM1: 1, SampleRate: 1e6, FMin: 100, FMax: 10}); err == nil {
+		t.Error("inverted band accepted")
+	}
+	if _, err := NewOU(OUOptions{HM1: 1, SampleRate: 1e6, PolesPerDecade: -1}); err == nil {
+		t.Error("negative poles-per-decade accepted")
+	}
+}
+
+func TestKasdinKernelRecursion(t *testing.T) {
+	// For α = 1 the kernel is h_k = C(2k, k)/4^k; check first values:
+	// 1, 1/2, 3/8, 5/16, 35/128.
+	g := mustKasdin(t, KasdinOptions{Alpha: 1, HM1: 1, SampleRate: 1, KernelLength: 8})
+	want := []float64{1, 0.5, 0.375, 0.3125, 35.0 / 128}
+	for i, w := range want {
+		if math.Abs(g.kernel[i]-w) > 1e-12 {
+			t.Fatalf("kernel[%d] = %g, want %g", i, g.kernel[i], w)
+		}
+	}
+}
+
+func TestCrossGeneratorAgreement(t *testing.T) {
+	// Both generators, calibrated to the same hm1, must produce the
+	// same Allan plateau within tolerance (they share no code path for
+	// the spectrum shape).
+	const hm1 = 2e-9
+	const fs = 1e6
+	k := mustKasdin(t, KasdinOptions{Alpha: 1, HM1: hm1, SampleRate: fs, Seed: 9, KernelLength: 1 << 14})
+	o := mustOU(t, OUOptions{HM1: hm1, SampleRate: fs, FMin: fs / 1e7, FMax: fs / 4, PolesPerDecade: 4, Seed: 10})
+	yk := make([]float64, 1<<19)
+	yo := make([]float64, 1<<19)
+	k.Fill(yk)
+	o.Fill(yo)
+	ak := allanVariance(yk, 64)
+	ao := allanVariance(yo, 64)
+	if ak < ao/2 || ak > ao*2 {
+		t.Fatalf("generators disagree: kasdin %g vs ou %g", ak, ao)
+	}
+}

@@ -1,0 +1,184 @@
+// Package indep provides the independence diagnostics motivated by paper
+// §III-B/§III-D: deciding from data whether consecutive jitter
+// realizations J(t_i) may be treated as mutually independent.
+//
+// The paper's argument is by contraposition of Bienaymé's formula: if
+// the {J(t_k)} are mutually independent (hence uncorrelated), then the
+// variance of any ±1-weighted sum of 2N of them is 2N·σ², so σ²_N is a
+// LINEAR function of N. A measured σ²_N that grows like N² at large N —
+// the flicker-noise signature — falsifies independence.
+//
+// Three complementary diagnostics are implemented:
+//
+//   - BienaymeLinearity: does a pure linear law explain the measured
+//     σ²_N sweep within its error bars? (the paper's headline test)
+//   - portmanteau tests (Ljung–Box) on the s_N series at fixed N;
+//   - direct lag-autocorrelation bands on J.
+package indep
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/jitter"
+	"repro/internal/stats"
+)
+
+// LinearityResult reports the Bienaymé linearity diagnostic.
+type LinearityResult struct {
+	// LinearChiSq is the weighted χ² of the best pure-linear fit
+	// f0²σ²_N = a·N, with LinearDoF degrees of freedom.
+	LinearChiSq float64
+	LinearDoF   int
+	// QuadChiSq is the χ² after adding the b·N² term.
+	QuadChiSq float64
+	QuadDoF   int
+	// PValueLinear is the probability of a χ² this large under the
+	// hypothesis that σ²_N is linear in N (i.e. jitter realizations
+	// are mutually independent). Small values reject independence.
+	PValueLinear float64
+	// QuadImprovement is the χ² drop per added parameter
+	// (Δχ² ~ χ²(1) under the linear null); its p-value is
+	// PValueQuadTerm.
+	QuadImprovement float64
+	PValueQuadTerm  float64
+	// BSignificance is the fitted quadratic coefficient divided by
+	// its standard error (a z-score for flicker presence).
+	BSignificance float64
+}
+
+// IndependencePlausible reports whether the sweep is consistent with
+// mutually independent realizations at significance alpha: the linear
+// law must not be rejected AND the quadratic term must not be
+// significant.
+func (r LinearityResult) IndependencePlausible(alpha float64) bool {
+	return r.PValueLinear >= alpha && r.PValueQuadTerm >= alpha
+}
+
+// BienaymeLinearity runs the paper's σ²_N-linearity diagnostic on a
+// measured sweep. Estimates must carry positive standard errors (they
+// do when produced by jitter.EstimateSigmaN2* or measure.Sweep).
+func BienaymeLinearity(estimates []jitter.VarianceEstimate, f0 float64) (LinearityResult, error) {
+	if len(estimates) < 3 {
+		return LinearityResult{}, fmt.Errorf("indep: need >= 3 sweep points, got %d", len(estimates))
+	}
+	if f0 <= 0 {
+		return LinearityResult{}, fmt.Errorf("indep: f0 = %g must be > 0", f0)
+	}
+	xs := make([]float64, len(estimates))
+	ys := make([]float64, len(estimates))
+	ws := make([]float64, len(estimates))
+	f02 := f0 * f0
+	for i, e := range estimates {
+		xs[i] = float64(e.N)
+		ys[i] = f02 * e.SigmaN2
+		se := f02 * e.StdErr
+		if se <= 0 {
+			return LinearityResult{}, fmt.Errorf("indep: estimate at N=%d lacks a standard error", e.N)
+		}
+		ws[i] = 1 / (se * se)
+	}
+	lin, err := stats.FitPolyWeighted(xs, ys, ws, []int{1})
+	if err != nil {
+		return LinearityResult{}, err
+	}
+	quad, err := stats.FitPolyWeighted(xs, ys, ws, []int{1, 2})
+	if err != nil {
+		return LinearityResult{}, err
+	}
+	res := LinearityResult{
+		LinearChiSq: lin.ChiSq,
+		LinearDoF:   lin.DoF,
+		QuadChiSq:   quad.ChiSq,
+		QuadDoF:     quad.DoF,
+	}
+	res.PValueLinear = stats.ChiSquareSF(lin.ChiSq, float64(lin.DoF))
+	res.QuadImprovement = lin.ChiSq - quad.ChiSq
+	if res.QuadImprovement < 0 {
+		res.QuadImprovement = 0
+	}
+	res.PValueQuadTerm = stats.ChiSquareSF(res.QuadImprovement, 1)
+	if quad.CoeffErr[1] > 0 {
+		res.BSignificance = quad.Coeff[1] / quad.CoeffErr[1]
+	}
+	return res, nil
+}
+
+// SNPortmanteau applies the Ljung–Box test to the NON-overlapping s_N
+// series at window length n. Under mutual independence of jitter
+// realizations, disjoint s_N windows are independent, so significant
+// autocorrelation in the series rejects independence.
+func SNPortmanteau(j []float64, n, maxLag int) (stats.TestResult, error) {
+	s := jitter.SNNonOverlapping(j, n)
+	if len(s) <= maxLag+1 {
+		return stats.TestResult{}, fmt.Errorf("indep: only %d disjoint s_N windows for N=%d; need > %d", len(s), n, maxLag+1)
+	}
+	return stats.LjungBox(s, maxLag), nil
+}
+
+// JitterAutocorrelation returns the lag-1..maxLag autocorrelation of the
+// raw jitter series together with the ±z·1/√n two-sided confidence band
+// half-width for testing each lag against zero.
+func JitterAutocorrelation(j []float64, maxLag int, alpha float64) (rho []float64, band float64, err error) {
+	if len(j) <= maxLag {
+		return nil, 0, fmt.Errorf("indep: series of %d too short for maxLag %d", len(j), maxLag)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, 0, fmt.Errorf("indep: alpha %g out of (0,1)", alpha)
+	}
+	full := stats.Autocorrelation(j, maxLag)
+	z := stats.NormalQuantile(1 - alpha/2)
+	return full[1:], z / math.Sqrt(float64(len(j))), nil
+}
+
+// CountSignificantLags returns how many of the rho values fall outside
+// ±band.
+func CountSignificantLags(rho []float64, band float64) int {
+	var k int
+	for _, r := range rho {
+		if math.Abs(r) > band {
+			k++
+		}
+	}
+	return k
+}
+
+// Battery bundles the three diagnostics on one jitter record.
+type Battery struct {
+	Linearity   LinearityResult
+	Portmanteau stats.TestResult
+	SignRuns    stats.TestResult
+	// SignificantLags counts raw-jitter autocorrelation lags outside
+	// the 1−alpha band out of LagsTested.
+	SignificantLags int
+	LagsTested      int
+}
+
+// RunBattery runs all diagnostics with standard settings: a sweep over
+// ns for the Bienaymé test, Ljung–Box at nPortmanteau with 20 lags, a
+// runs test on the raw jitter and a 50-lag autocorrelation scan.
+func RunBattery(j []float64, f0 float64, ns []int, nPortmanteau int) (Battery, error) {
+	sweep, err := jitter.Sweep(j, ns)
+	if err != nil {
+		return Battery{}, err
+	}
+	lin, err := BienaymeLinearity(sweep, f0)
+	if err != nil {
+		return Battery{}, err
+	}
+	pm, err := SNPortmanteau(j, nPortmanteau, 20)
+	if err != nil {
+		return Battery{}, err
+	}
+	rho, band, err := JitterAutocorrelation(j, 50, 0.01)
+	if err != nil {
+		return Battery{}, err
+	}
+	return Battery{
+		Linearity:       lin,
+		Portmanteau:     pm,
+		SignRuns:        stats.WaldWolfowitzRuns(j),
+		SignificantLags: CountSignificantLags(rho, band),
+		LagsTested:      len(rho),
+	}, nil
+}

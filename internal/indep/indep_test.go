@@ -1,0 +1,210 @@
+package indep
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/jitter"
+	"repro/internal/osc"
+	"repro/internal/phase"
+	"repro/internal/rng"
+)
+
+func paperModel() phase.Model {
+	const f0 = 103e6
+	return phase.Model{
+		Bth: 5.36e-6 * f0 / 2,
+		Bfl: 5.36e-6 / 5354 * f0 * f0 / (8 * math.Ln2),
+		F0:  f0,
+	}
+}
+
+func thermalJitter(t *testing.T, n int, seed uint64) []float64 {
+	t.Helper()
+	m := paperModel()
+	m.Bfl = 0
+	o, err := osc.New(m, osc.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o.Jitter(n)
+}
+
+func fullJitter(t *testing.T, n int, seed uint64) []float64 {
+	t.Helper()
+	o, err := osc.New(paperModel(), osc.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o.Jitter(n)
+}
+
+func TestBienaymeThermalOnlyPasses(t *testing.T) {
+	// Thermal-only jitter: σ²_N linear in N ⇒ independence plausible.
+	j := thermalJitter(t, 2_000_000, 1)
+	ns := jitter.LogSpacedNs(4, 4096, 4)
+	sweep, err := jitter.Sweep(j, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BienaymeLinearity(sweep, paperModel().F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IndependencePlausible(0.01) {
+		t.Fatalf("thermal-only data rejected: %+v", res)
+	}
+}
+
+func TestBienaymeFlickerRejects(t *testing.T) {
+	// Full model spanning well past the 5354-period corner: the N²
+	// term must be detected and independence rejected — the paper's
+	// headline result.
+	j := fullJitter(t, 6_000_000, 2)
+	ns := jitter.LogSpacedNs(16, 65536, 4)
+	sweep, err := jitter.Sweep(j, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BienaymeLinearity(sweep, paperModel().F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IndependencePlausible(0.01) {
+		t.Fatalf("flicker data accepted as independent: %+v", res)
+	}
+	if res.BSignificance < 3 {
+		t.Fatalf("quadratic term z = %g, want strongly significant", res.BSignificance)
+	}
+}
+
+func TestBienaymeSmallNRegionLooksIndependent(t *testing.T) {
+	// Restricted to N ≪ 5354 (inside the paper's N*(95%)=281 zone),
+	// even the full model should look linear: the paper's point that
+	// independence is a USABLE approximation below the threshold.
+	j := fullJitter(t, 3_000_000, 3)
+	ns := []int{4, 8, 16, 32, 64, 128}
+	sweep, err := jitter.Sweep(j, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BienaymeLinearity(sweep, paperModel().F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IndependencePlausible(0.001) {
+		t.Fatalf("small-N region rejected: %+v", res)
+	}
+}
+
+func TestBienaymeValidation(t *testing.T) {
+	j := thermalJitter(t, 100000, 4)
+	sweep, err := jitter.Sweep(j, []int{4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BienaymeLinearity(sweep[:2], 103e6); err == nil {
+		t.Fatal("2 points accepted")
+	}
+	if _, err := BienaymeLinearity(sweep, 0); err == nil {
+		t.Fatal("f0=0 accepted")
+	}
+	bad := append([]jitter.VarianceEstimate(nil), sweep...)
+	bad[1].StdErr = 0
+	if _, err := BienaymeLinearity(bad, 103e6); err == nil {
+		t.Fatal("missing stderr accepted")
+	}
+}
+
+func TestSNPortmanteauWhite(t *testing.T) {
+	r := rng.New(5)
+	j := make([]float64, 400000)
+	r.FillNorm(j)
+	res, err := SNPortmanteau(j, 16, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.001) {
+		t.Fatalf("white s_N rejected: %v", res)
+	}
+}
+
+func TestSNPortmanteauFlickerRejects(t *testing.T) {
+	m := paperModel()
+	m.Bfl *= 300 // flicker-dominated at N=64 already
+	o, err := osc.New(m, osc.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := o.Jitter(2_000_000)
+	res, err := SNPortmanteau(j, 64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.001) {
+		t.Fatalf("flicker-dominated s_N accepted: %v", res)
+	}
+}
+
+func TestSNPortmanteauValidation(t *testing.T) {
+	if _, err := SNPortmanteau(make([]float64, 100), 16, 20); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestJitterAutocorrelation(t *testing.T) {
+	j := thermalJitter(t, 500000, 7)
+	rho, band, err := JitterAutocorrelation(j, 50, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rho) != 50 {
+		t.Fatalf("%d lags", len(rho))
+	}
+	if band <= 0 || band > 0.1 {
+		t.Fatalf("band = %g", band)
+	}
+	k := CountSignificantLags(rho, band)
+	// ~1% of 50 lags expected by chance.
+	if k > 4 {
+		t.Fatalf("thermal jitter: %d significant lags", k)
+	}
+	if _, _, err := JitterAutocorrelation(j[:10], 50, 0.01); err == nil {
+		t.Fatal("short series accepted")
+	}
+	if _, _, err := JitterAutocorrelation(j, 10, 2); err == nil {
+		t.Fatal("alpha=2 accepted")
+	}
+}
+
+func TestRunBatteryThermalVsFlicker(t *testing.T) {
+	ns := jitter.LogSpacedNs(4, 8192, 3)
+
+	th, err := RunBattery(thermalJitter(t, 3_000_000, 8), paperModel().F0, ns, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !th.Linearity.IndependencePlausible(0.001) {
+		t.Fatalf("battery rejected thermal-only data: %+v", th.Linearity)
+	}
+
+	m := paperModel()
+	m.Bfl *= 100
+	o, err := osc.New(m, osc.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := RunBattery(o.Jitter(3_000_000), m.F0, ns, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Linearity.IndependencePlausible(0.001) {
+		t.Fatal("battery accepted flicker-heavy data as independent")
+	}
+}
+
+func TestRunBatteryErrors(t *testing.T) {
+	if _, err := RunBattery(make([]float64, 10), 1e8, []int{4, 8}, 4); err == nil {
+		t.Fatal("tiny record accepted")
+	}
+}

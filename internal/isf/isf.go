@@ -1,0 +1,197 @@
+// Package isf implements Hajimiri's impulse sensitivity function (ISF)
+// model of phase noise in ring oscillators (Hajimiri, Limotyrakis, Lee,
+// JSSC 1999), the linear time-variant conversion the paper relies on in
+// §III-C1 to go from transistor noise currents to the excess-phase PSD
+//
+//	Sφ(f) = b_fl/f³ + b_th/f²   (paper eq. 10).
+//
+// A current impulse injecting charge Δq at phase x = ω0·τ of the
+// oscillation displaces the oscillator phase by
+//
+//	Δφ = Γ(x)·Δq/q_max,  q_max = C_L·V_DD,
+//
+// where Γ is the 2π-periodic ISF. Expanding Γ in a Fourier series
+// Γ(x) = c0/2 + Σ_m c_m·cos(m·x + θ_m), white device noise around every
+// harmonic folds down through the c_m (giving the 1/f² phase region,
+// coefficient ∝ Γ_rms²), while low-frequency flicker noise is
+// up-converted only through the DC coefficient c0 (giving the 1/f³
+// region).
+package isf
+
+import (
+	"fmt"
+	"math"
+)
+
+// ISF is a 2π-periodic impulse sensitivity function sampled uniformly
+// over one period.
+type ISF struct {
+	// Samples holds Γ evaluated at x = 2π·i/len(Samples).
+	Samples []float64
+}
+
+// NewSampled wraps explicit samples; at least 4 are required.
+func NewSampled(samples []float64) (ISF, error) {
+	if len(samples) < 4 {
+		return ISF{}, fmt.Errorf("isf: need >= 4 samples, got %d", len(samples))
+	}
+	return ISF{Samples: append([]float64(nil), samples...)}, nil
+}
+
+// FromFunc samples the function g over [0, 2π) at n points.
+func FromFunc(g func(x float64) float64, n int) ISF {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = g(2 * math.Pi * float64(i) / float64(n))
+	}
+	return ISF{Samples: s}
+}
+
+// RingOscillatorISF returns the canonical asymmetric-triangle ISF of an
+// n-stage single-ended ring oscillator. Hajimiri shows that each
+// transition contributes a triangular sensitivity peak whose width
+// scales with the normalized transition time 1/(n·η); between
+// transitions the sensitivity is near zero. The asymmetry parameter
+// skews the rise/fall sensitivity and controls the DC coefficient c0,
+// i.e. the flicker up-conversion gain: a perfectly symmetric waveform
+// (asymmetry = 0) nulls c0 and with it the 1/f³ phase noise.
+//
+// asymmetry is a fraction in [-1, 1]; 0 means symmetric rise/fall.
+func RingOscillatorISF(stages int, asymmetry float64, samples int) ISF {
+	if samples < 64 {
+		samples = 1024
+	}
+	n := float64(stages)
+	// Characteristic peak amplitude ~ 2π/n per Hajimiri's normalized
+	// treatment; the triangular peak spans one stage delay, i.e. a
+	// phase width of 2π/(2n) per edge.
+	width := math.Pi / n
+	amp := 2 * math.Pi / (3 * n)
+	rise := amp * (1 + asymmetry)
+	fall := amp * (1 - asymmetry)
+	return FromFunc(func(x float64) float64 {
+		// Two transitions per period: rising near x=0, falling near x=π.
+		tri := func(center, a float64) float64 {
+			d := math.Abs(angleDiff(x, center))
+			if d >= width {
+				return 0
+			}
+			return a * (1 - d/width)
+		}
+		return tri(0, rise) - tri(math.Pi, fall)
+	}, samples)
+}
+
+// angleDiff returns the wrapped difference x−c in (−π, π].
+func angleDiff(x, c float64) float64 {
+	d := math.Mod(x-c, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// C0 returns the DC Fourier coefficient c0 = (1/π)∫Γ dx, i.e. twice the
+// mean of Γ. (With the series convention Γ = c0/2 + Σ c_m cos, the DC
+// term is c0/2 = mean.)
+func (g ISF) C0() float64 {
+	return 2 * g.Mean()
+}
+
+// Mean returns the average of Γ over one period.
+func (g ISF) Mean() float64 {
+	var s float64
+	for _, v := range g.Samples {
+		s += v
+	}
+	return s / float64(len(g.Samples))
+}
+
+// RMS returns Γ_rms = sqrt((1/2π)∫Γ² dx).
+func (g ISF) RMS() float64 {
+	var s float64
+	for _, v := range g.Samples {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(g.Samples)))
+}
+
+// FourierCoefficient returns the magnitude c_m of the m-th cosine
+// coefficient in Γ(x) = c0/2 + Σ c_m cos(m x + θ_m).
+func (g ISF) FourierCoefficient(m int) float64 {
+	if m == 0 {
+		return g.C0()
+	}
+	n := len(g.Samples)
+	var re, im float64
+	for i, v := range g.Samples {
+		x := 2 * math.Pi * float64(i) / float64(n)
+		re += v * math.Cos(float64(m)*x)
+		im += v * math.Sin(float64(m)*x)
+	}
+	re *= 2 / float64(n)
+	im *= 2 / float64(n)
+	return math.Hypot(re, im)
+}
+
+// PhaseNoiseWhite returns the coefficient b_th of the 1/f² region of the
+// one-sided phase PSD, Sφ(f) = b_th/f², produced by a white current
+// noise source of one-sided PSD sidsWhite (A²/Hz) acting on an
+// oscillator with maximum charge swing qMax = C_L·V_DD:
+//
+//	b_th = Γ_rms² · S_ids / (8π² · q_max²)  [Hz]
+//
+// (Hajimiri eq. for L(Δω) = Γ_rms²·(i_n²/Δf)/(2·q_max²·Δω²) converted
+// from script-L at offset Δω to the Sφ(f) = b_th/f² convention used by
+// the paper, with L ≈ Sφ/2.)
+func (g ISF) PhaseNoiseWhite(sidsWhite, qMax float64) float64 {
+	grms := g.RMS()
+	return grms * grms * sidsWhite / (8 * math.Pi * math.Pi * qMax * qMax)
+}
+
+// PhaseNoiseFlicker returns the coefficient b_fl of the 1/f³ region of
+// the one-sided phase PSD, Sφ(f) = b_fl/f³, produced by a flicker
+// current source S_ids,fl(f) = kFlickerCurrent/f:
+//
+//	b_fl = c0² · kFlickerCurrent / (32π² · q_max²)  [Hz²]
+//
+// Only the DC ISF coefficient up-converts low-frequency noise
+// (Hajimiri §IV): Δω-region noise enters via c0/2, hence the extra
+// factor 1/4 relative to the white formula's Γ_rms².
+func (g ISF) PhaseNoiseFlicker(kFlickerCurrent, qMax float64) float64 {
+	c0 := g.C0()
+	return c0 * c0 * kFlickerCurrent / (32 * math.Pi * math.Pi * qMax * qMax)
+}
+
+// ToneConversion returns the excess-phase amplitude produced by a
+// sinusoidal current of amplitude amp (A) at frequency nu (Hz) injected
+// into an oscillator of nominal frequency f0 with charge swing qMax.
+// Per the paper's §III-C1 statement of Hajimiri's result, the phase tone
+// appears at f = nu mod f0 with amplitude
+//
+//	A_φ = amp·c_m / (2·q_max·2π·f)
+//
+// where m = ⌊nu/f0⌋ and c_m is the m-th ISF Fourier coefficient.
+// It returns the beat frequency and the amplitude; a zero beat
+// frequency (exact harmonic) returns +Inf amplitude, reflecting the
+// unbounded integration of a DC phase push.
+func (g ISF) ToneConversion(amp, nu, f0, qMax float64) (fBeat, phaseAmp float64) {
+	if f0 <= 0 {
+		panic("isf: ToneConversion requires f0 > 0")
+	}
+	m := int(math.Floor(nu / f0))
+	fBeat = nu - float64(m)*f0
+	if fBeat > f0/2 {
+		// fold to the nearest harmonic
+		m++
+		fBeat = math.Abs(nu - float64(m)*f0)
+	}
+	cm := g.FourierCoefficient(m)
+	if fBeat == 0 {
+		return 0, math.Inf(1)
+	}
+	return fBeat, amp * cm / (2 * qMax * 2 * math.Pi * fBeat)
+}

@@ -1,0 +1,164 @@
+package isf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFromFuncSampling(t *testing.T) {
+	g := FromFunc(math.Sin, 1024)
+	if len(g.Samples) != 1024 {
+		t.Fatalf("samples = %d", len(g.Samples))
+	}
+	if math.Abs(g.Samples[256]-1) > 1e-10 { // sin(π/2)
+		t.Fatalf("sample at π/2 = %g", g.Samples[256])
+	}
+}
+
+func TestNewSampledValidation(t *testing.T) {
+	if _, err := NewSampled([]float64{1, 2}); err == nil {
+		t.Fatal("too-short sample set accepted")
+	}
+	g, err := NewSampled([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Samples) != 4 {
+		t.Fatal("samples not copied")
+	}
+}
+
+func TestMeanAndC0(t *testing.T) {
+	g := FromFunc(func(x float64) float64 { return 2.5 }, 512)
+	if math.Abs(g.Mean()-2.5) > 1e-12 {
+		t.Fatalf("mean = %g", g.Mean())
+	}
+	if math.Abs(g.C0()-5) > 1e-12 {
+		t.Fatalf("c0 = %g, want 5 (=2·mean)", g.C0())
+	}
+}
+
+func TestRMSSine(t *testing.T) {
+	g := FromFunc(math.Sin, 4096)
+	if math.Abs(g.RMS()-1/math.Sqrt2) > 1e-6 {
+		t.Fatalf("RMS of sine = %g, want %g", g.RMS(), 1/math.Sqrt2)
+	}
+}
+
+func TestFourierCoefficientPureCosine(t *testing.T) {
+	g := FromFunc(func(x float64) float64 { return 3 * math.Cos(4*x) }, 4096)
+	if c := g.FourierCoefficient(4); math.Abs(c-3) > 1e-9 {
+		t.Fatalf("c4 = %g, want 3", c)
+	}
+	for _, m := range []int{1, 2, 3, 5, 7} {
+		if c := g.FourierCoefficient(m); c > 1e-9 {
+			t.Fatalf("c%d = %g, want 0", m, c)
+		}
+	}
+}
+
+func TestFourierCoefficientPhaseInvariant(t *testing.T) {
+	// |c_m| should be independent of the phase offset θ_m.
+	a := FromFunc(func(x float64) float64 { return math.Cos(2 * x) }, 4096)
+	b := FromFunc(func(x float64) float64 { return math.Cos(2*x + 1.1) }, 4096)
+	if math.Abs(a.FourierCoefficient(2)-b.FourierCoefficient(2)) > 1e-9 {
+		t.Fatal("c2 depends on phase offset")
+	}
+}
+
+func TestRingISFSymmetryNullsC0(t *testing.T) {
+	sym := RingOscillatorISF(7, 0, 4096)
+	asym := RingOscillatorISF(7, 0.5, 4096)
+	if math.Abs(sym.C0()) > 1e-9 {
+		t.Fatalf("symmetric ring ISF c0 = %g, want 0", sym.C0())
+	}
+	if math.Abs(asym.C0()) < 1e-6 {
+		t.Fatalf("asymmetric ring ISF c0 = %g, want nonzero", asym.C0())
+	}
+}
+
+func TestRingISFScalesWithStages(t *testing.T) {
+	// More stages → narrower and smaller sensitivity peaks → smaller Γrms.
+	small := RingOscillatorISF(3, 0.3, 4096)
+	large := RingOscillatorISF(31, 0.3, 4096)
+	if large.RMS() >= small.RMS() {
+		t.Fatalf("Γrms did not shrink with stages: %g vs %g", large.RMS(), small.RMS())
+	}
+}
+
+func TestRingISFDefaultSampleFloor(t *testing.T) {
+	g := RingOscillatorISF(5, 0.2, 10) // under the floor
+	if len(g.Samples) != 1024 {
+		t.Fatalf("sample floor not applied: %d", len(g.Samples))
+	}
+}
+
+func TestPhaseNoiseWhiteScaling(t *testing.T) {
+	g := RingOscillatorISF(9, 0.4, 2048)
+	base := g.PhaseNoiseWhite(1e-22, 1e-14)
+	if base <= 0 {
+		t.Fatalf("bth = %g", base)
+	}
+	// Linear in the current PSD.
+	if got := g.PhaseNoiseWhite(2e-22, 1e-14); math.Abs(got/base-2) > 1e-9 {
+		t.Fatalf("bth not linear in S_ids: ratio %g", got/base)
+	}
+	// Inverse quadratic in qmax.
+	if got := g.PhaseNoiseWhite(1e-22, 2e-14); math.Abs(got/base-0.25) > 1e-9 {
+		t.Fatalf("bth not 1/qmax²: ratio %g", got/base)
+	}
+}
+
+func TestPhaseNoiseFlickerUsesC0(t *testing.T) {
+	sym := RingOscillatorISF(9, 0, 2048)
+	asym := RingOscillatorISF(9, 0.5, 2048)
+	if sym.PhaseNoiseFlicker(1e-20, 1e-14) > 1e-30 {
+		t.Fatal("symmetric ISF should produce ~no flicker phase noise")
+	}
+	if asym.PhaseNoiseFlicker(1e-20, 1e-14) <= 0 {
+		t.Fatal("asymmetric ISF must up-convert flicker")
+	}
+}
+
+func TestToneConversion(t *testing.T) {
+	g := FromFunc(func(x float64) float64 { return 0.5 + math.Cos(x) + 0.25*math.Cos(2*x) }, 4096)
+	const f0 = 100e6
+	const qmax = 1e-14
+	// Tone just above the first harmonic: beats down to 1 kHz via c1.
+	fb, amp := g.ToneConversion(1e-6, f0+1e3, f0, qmax)
+	if math.Abs(fb-1e3) > 1e-6 {
+		t.Fatalf("beat frequency %g, want 1e3", fb)
+	}
+	want := 1e-6 * 1.0 / (2 * qmax * 2 * math.Pi * 1e3)
+	if math.Abs(amp-want) > 0.01*want {
+		t.Fatalf("tone amplitude %g, want %g", amp, want)
+	}
+	// Exact harmonic: unbounded.
+	if _, amp := g.ToneConversion(1e-6, 2*f0, f0, qmax); !math.IsInf(amp, 1) {
+		t.Fatalf("exact harmonic amplitude %g, want +Inf", amp)
+	}
+	// Tone in the upper half folds to the next harmonic.
+	fb, _ = g.ToneConversion(1e-6, 0.8*f0, f0, qmax)
+	if math.Abs(fb-0.2*f0) > 1 {
+		t.Fatalf("folded beat %g, want %g", fb, 0.2*f0)
+	}
+}
+
+func TestToneConversionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for f0 <= 0")
+		}
+	}()
+	g := FromFunc(math.Cos, 64)
+	g.ToneConversion(1, 1, 0, 1)
+}
+
+func TestAngleDiffWrap(t *testing.T) {
+	if d := angleDiff(0.1, 2*math.Pi-0.1); math.Abs(d-0.2) > 1e-12 {
+		t.Fatalf("wrap diff = %g, want 0.2", d)
+	}
+	if d := angleDiff(math.Pi, 0); math.Abs(d-math.Pi) > 1e-12 {
+		t.Fatalf("π diff = %g", d)
+	}
+}

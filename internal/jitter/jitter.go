@@ -1,0 +1,189 @@
+// Package jitter provides the time-series constructions of paper §III-B:
+// the period-jitter process J = T − 1/f0 (eq. 3), the accumulated
+// difference statistic
+//
+//	s_N(t_i) = Σ_{j=0}^{2N−1} a_j·J(t_{i+j}),
+//	a_j = −1 for j < N, +1 for N <= j < 2N   (eq. 4)
+//
+// and empirical estimators of its variance σ²_N with standard errors.
+// s_N is the difference of two adjacent accumulations of N periods — the
+// same construction that makes the Allan variance finite in the presence
+// of flicker noise, which is why the paper adopts it instead of the
+// plain variance of ΣJ.
+package jitter
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// FromPeriods converts a slice of measured periods T(t_i) into
+// period-jitter realizations J(t_i) = T(t_i) − 1/f0 (eq. 3).
+func FromPeriods(periods []float64, f0 float64) []float64 {
+	if f0 <= 0 {
+		panic(fmt.Sprintf("jitter: f0 = %g must be > 0", f0))
+	}
+	t0 := 1 / f0
+	out := make([]float64, len(periods))
+	for i, t := range periods {
+		out[i] = t - t0
+	}
+	return out
+}
+
+// SN computes the s_N series from jitter realizations. With n = len(j),
+// the result has n − 2N + 1 entries: entry i uses realizations
+// j[i..i+2N−1]. Overlapping windows maximize estimator efficiency;
+// see SNNonOverlapping for strictly independent windows.
+//
+// Note that s_N needs only the jitter differences, so feeding raw
+// periods T instead of J = T − 1/f0 yields the identical series: the
+// constant 1/f0 cancels between the two halves. The estimators below
+// exploit this to work directly on counter data.
+func SN(j []float64, n int) []float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("jitter: SN requires N >= 1, got %d", n))
+	}
+	if len(j) < 2*n {
+		return nil
+	}
+	out := make([]float64, len(j)-2*n+1)
+	// Initialize the two window sums for i = 0.
+	var lo, hi float64 // lo = Σ j[0..N), hi = Σ j[N..2N)
+	for k := 0; k < n; k++ {
+		lo += j[k]
+		hi += j[n+k]
+	}
+	out[0] = hi - lo
+	// Slide: entering j[i+2N−1] joins hi; j[i+N−1] moves hi→lo;
+	// j[i−1] leaves lo.
+	for i := 1; i < len(out); i++ {
+		lo += j[i+n-1] - j[i-1]
+		hi += j[i+2*n-1] - j[i+n-1]
+		out[i] = hi - lo
+	}
+	return out
+}
+
+// SNNonOverlapping computes s_N over disjoint windows: entry k uses
+// realizations j[2Nk .. 2N(k+1)). The resulting samples are mutually
+// independent when the underlying jitter is (making variance standard
+// errors exact), at the cost of 2N× fewer samples.
+func SNNonOverlapping(j []float64, n int) []float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("jitter: SNNonOverlapping requires N >= 1, got %d", n))
+	}
+	m := len(j) / (2 * n)
+	out := make([]float64, 0, m)
+	for k := 0; k < m; k++ {
+		base := 2 * n * k
+		var lo, hi float64
+		for i := 0; i < n; i++ {
+			lo += j[base+i]
+			hi += j[base+n+i]
+		}
+		out = append(out, hi-lo)
+	}
+	return out
+}
+
+// VarianceEstimate is an empirical σ²_N with its sampling uncertainty.
+type VarianceEstimate struct {
+	N int
+	// SigmaN2 is the estimated Var(s_N) in s².
+	SigmaN2 float64
+	// StdErr is the (approximate, Gaussian-theory) standard error of
+	// SigmaN2. For overlapping estimates it is inflated by the
+	// effective-sample-size correction factor sqrt(2N).
+	StdErr float64
+	// Samples is the number of s_N values used.
+	Samples int
+}
+
+// EstimateSigmaN2 estimates σ²_N from jitter realizations using
+// overlapping windows. The mean of s_N is theoretically zero for a
+// stationary jitter process, but the estimator removes the empirical
+// mean anyway to be robust against residual frequency offset.
+func EstimateSigmaN2(j []float64, n int) (VarianceEstimate, error) {
+	s := SN(j, n)
+	if len(s) < 2 {
+		return VarianceEstimate{}, fmt.Errorf("jitter: %d realizations insufficient for N=%d", len(j), n)
+	}
+	_, v := stats.MeanVariance(s)
+	// Overlapping windows share samples: roughly len(s)/(2N)
+	// independent windows contribute.
+	effective := float64(len(s)) / float64(2*n)
+	if effective < 2 {
+		effective = 2
+	}
+	se := v * math.Sqrt(2/(effective-1))
+	return VarianceEstimate{N: n, SigmaN2: v, StdErr: se, Samples: len(s)}, nil
+}
+
+// EstimateSigmaN2NonOverlapping is the disjoint-window variant; its
+// standard error follows the exact Gaussian-sample formula.
+func EstimateSigmaN2NonOverlapping(j []float64, n int) (VarianceEstimate, error) {
+	s := SNNonOverlapping(j, n)
+	if len(s) < 2 {
+		return VarianceEstimate{}, fmt.Errorf("jitter: %d realizations give only %d disjoint windows for N=%d", len(j), len(s), n)
+	}
+	_, v := stats.MeanVariance(s)
+	return VarianceEstimate{
+		N:       n,
+		SigmaN2: v,
+		StdErr:  stats.StdErrOfVariance(v, len(s)),
+		Samples: len(s),
+	}, nil
+}
+
+// Sweep estimates σ²_N for every N in ns from a single jitter record,
+// using overlapping windows.
+func Sweep(j []float64, ns []int) ([]VarianceEstimate, error) {
+	out := make([]VarianceEstimate, 0, len(ns))
+	for _, n := range ns {
+		est, err := EstimateSigmaN2(j, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, est)
+	}
+	return out, nil
+}
+
+// LogSpacedNs returns ~pointsPerDecade integer N values geometrically
+// spaced in [nMin, nMax], deduplicated and sorted ascending. It mirrors
+// the N grid of the paper's Fig. 7 (log-scale x axis).
+func LogSpacedNs(nMin, nMax, pointsPerDecade int) []int {
+	if nMin < 1 || nMax < nMin || pointsPerDecade < 1 {
+		panic(fmt.Sprintf("jitter: bad grid spec [%d, %d] x%d", nMin, nMax, pointsPerDecade))
+	}
+	ratio := math.Pow(10, 1/float64(pointsPerDecade))
+	var out []int
+	last := 0
+	for x := float64(nMin); x <= float64(nMax)*1.0000001; x *= ratio {
+		n := int(math.Round(x))
+		if n > last {
+			out = append(out, n)
+			last = n
+		}
+	}
+	if last < nMax {
+		out = append(out, nMax)
+	}
+	return out
+}
+
+// AccumulatedPhase converts periods to absolute edge times:
+// t_i = Σ_{k<=i} T_k (t_0 = first period). Used when an experiment needs
+// the edge time series rather than periods.
+func AccumulatedPhase(periods []float64) []float64 {
+	out := make([]float64, len(periods))
+	var t float64
+	for i, p := range periods {
+		t += p
+		out[i] = t
+	}
+	return out
+}

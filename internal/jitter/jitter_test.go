@@ -1,0 +1,266 @@
+package jitter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFromPeriods(t *testing.T) {
+	f0 := 100e6
+	periods := []float64{1e-8, 1.1e-8, 0.9e-8}
+	j := FromPeriods(periods, f0)
+	want := []float64{0, 0.1e-8, -0.1e-8}
+	for i := range want {
+		if math.Abs(j[i]-want[i]) > 1e-20 {
+			t.Fatalf("j[%d] = %g, want %g", i, j[i], want[i])
+		}
+	}
+}
+
+func TestFromPeriodsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for f0=0")
+		}
+	}()
+	FromPeriods([]float64{1}, 0)
+}
+
+// naiveSN computes s_N directly from eq. 4 for cross-checking the
+// sliding-window implementation.
+func naiveSN(j []float64, n int) []float64 {
+	if len(j) < 2*n {
+		return nil
+	}
+	out := make([]float64, len(j)-2*n+1)
+	for i := range out {
+		var s float64
+		for k := 0; k < 2*n; k++ {
+			if k < n {
+				s -= j[i+k]
+			} else {
+				s += j[i+k]
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestSNMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	j := make([]float64, 500)
+	r.FillNorm(j)
+	for _, n := range []int{1, 2, 7, 50, 250} {
+		got := SN(j, n)
+		want := naiveSN(j, n)
+		if len(got) != len(want) {
+			t.Fatalf("N=%d: len %d vs %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("N=%d i=%d: %g vs %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSNShortInput(t *testing.T) {
+	if SN([]float64{1, 2, 3}, 2) != nil {
+		t.Fatal("expected nil for too-short input")
+	}
+}
+
+func TestSNPanicsBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for N=0")
+		}
+	}()
+	SN([]float64{1, 2}, 0)
+}
+
+func TestSNConstantInputIsZero(t *testing.T) {
+	// Constant jitter cancels exactly in s_N (difference of equal sums).
+	j := make([]float64, 100)
+	for i := range j {
+		j[i] = 42.0
+	}
+	for _, n := range []int{1, 5, 20} {
+		for _, v := range SN(j, n) {
+			if v != 0 {
+				t.Fatalf("constant input produced s_N = %g", v)
+			}
+		}
+	}
+}
+
+func TestSNLinearTrendProperty(t *testing.T) {
+	// For j[i] = c·i, s_N = c·N² exactly (second difference structure).
+	f := func(rawC int8, rawN uint8) bool {
+		c := float64(rawC)
+		n := int(rawN%10) + 1
+		j := make([]float64, 4*n+3)
+		for i := range j {
+			j[i] = c * float64(i)
+		}
+		s := SN(j, n)
+		want := c * float64(n) * float64(n)
+		for _, v := range s {
+			if math.Abs(v-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSNNonOverlappingDisjoint(t *testing.T) {
+	r := rng.New(2)
+	j := make([]float64, 1000)
+	r.FillNorm(j)
+	n := 10
+	got := SNNonOverlapping(j, n)
+	if len(got) != 50 {
+		t.Fatalf("expected 50 disjoint windows, got %d", len(got))
+	}
+	full := SN(j, n)
+	for k, v := range got {
+		if math.Abs(v-full[2*n*k]) > 1e-12 {
+			t.Fatalf("window %d mismatch", k)
+		}
+	}
+}
+
+func TestEstimateSigmaN2IIDGaussian(t *testing.T) {
+	// For i.i.d. jitter with variance σ², Var(s_N) = 2Nσ² (Bienaymé).
+	r := rng.New(3)
+	const sigma = 3e-12
+	j := make([]float64, 2_000_000)
+	for i := range j {
+		j[i] = sigma * r.Norm()
+	}
+	for _, n := range []int{1, 4, 32, 128} {
+		est, err := EstimateSigmaN2(j, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2 * float64(n) * sigma * sigma
+		if math.Abs(est.SigmaN2-want) > 0.05*want {
+			t.Fatalf("N=%d: σ²_N = %g, want %g", n, est.SigmaN2, want)
+		}
+		if est.StdErr <= 0 {
+			t.Fatalf("N=%d: no standard error", n)
+		}
+	}
+}
+
+func TestEstimateNonOverlappingAgrees(t *testing.T) {
+	r := rng.New(4)
+	j := make([]float64, 1_000_000)
+	r.FillNorm(j)
+	n := 16
+	a, err := EstimateSigmaN2(j, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateSigmaN2NonOverlapping(j, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.SigmaN2-b.SigmaN2) > 0.1*a.SigmaN2 {
+		t.Fatalf("overlapping %g vs disjoint %g", a.SigmaN2, b.SigmaN2)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := EstimateSigmaN2([]float64{1, 2}, 5); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, err := EstimateSigmaN2NonOverlapping([]float64{1, 2, 3, 4}, 2); err == nil {
+		t.Fatal("single-window input accepted")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	r := rng.New(5)
+	j := make([]float64, 100000)
+	r.FillNorm(j)
+	ns := []int{1, 2, 4, 8}
+	ests, err := Sweep(j, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != len(ns) {
+		t.Fatalf("%d estimates", len(ests))
+	}
+	for i, e := range ests {
+		if e.N != ns[i] {
+			t.Fatalf("estimate %d has N=%d", i, e.N)
+		}
+		// monotone growth for iid input
+		if i > 0 && e.SigmaN2 <= ests[i-1].SigmaN2 {
+			t.Fatalf("σ²_N not increasing at %d", i)
+		}
+	}
+	if _, err := Sweep(j[:10], []int{100}); err == nil {
+		t.Fatal("oversized N accepted")
+	}
+}
+
+func TestLogSpacedNs(t *testing.T) {
+	ns := LogSpacedNs(8, 32768, 6)
+	if ns[0] != 8 {
+		t.Fatalf("first = %d", ns[0])
+	}
+	if ns[len(ns)-1] != 32768 {
+		t.Fatalf("last = %d", ns[len(ns)-1])
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i] <= ns[i-1] {
+			t.Fatalf("not strictly increasing at %d", i)
+		}
+	}
+	// roughly 6 points per decade over 3.6 decades → 20-24 points
+	if len(ns) < 15 || len(ns) > 30 {
+		t.Fatalf("%d grid points", len(ns))
+	}
+}
+
+func TestLogSpacedNsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad grid")
+		}
+	}()
+	LogSpacedNs(10, 5, 3)
+}
+
+func TestAccumulatedPhase(t *testing.T) {
+	ts := AccumulatedPhase([]float64{1, 2, 3})
+	want := []float64{1, 3, 6}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("cumsum[%d] = %g", i, ts[i])
+		}
+	}
+}
+
+func TestVarianceEstimateFields(t *testing.T) {
+	r := rng.New(6)
+	j := make([]float64, 10000)
+	r.FillNorm(j)
+	est, err := EstimateSigmaN2(j, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N != 8 || est.Samples != len(j)-16+1 {
+		t.Fatalf("estimate bookkeeping: %+v", est)
+	}
+}

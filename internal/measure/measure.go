@@ -1,0 +1,286 @@
+// Package measure simulates the differential jitter measurement
+// circuitry of paper Fig. 6: two nominally identical ring oscillators
+// Osc1 and Osc2, and a counter that records Q_N^i — the number of Osc1
+// rising edges observed during N cycles of Osc2, counted from time t_i.
+// Consecutive counting windows are adjacent, so
+//
+//	s_N(t_i) = (Q_N^{i+1} − Q_N^i)/f0        (eq. 12)
+//
+// recovers the paper's accumulated-jitter statistic from pure digital
+// counter data: Q_N^{i+1} − Q_N^i is the second difference of the Osc1
+// phase sampled at the window boundaries (eq. 8), so its variance obeys
+// eq. 11 with the RELATIVE phase-noise coefficients (both rings
+// contribute; for independent identical rings they double).
+//
+// # Quantization
+//
+// A single-edge counter resolves phase to one period, so the reported
+// s_N carries a quantization error of order one count — far above the
+// jitter signal at small N (the paper's own fit reaches f0²σ²_N ≈ 1
+// count² only at N ≈ 3·10⁴). Real measurement campaigns deal with this
+// by (a) relying on the natural frequency mismatch of "identical" rings
+// to dither the boundary phase, (b) sub-period phase resolution
+// (delay-line TDC taps, as available on the Evariste platform's
+// carry-chain samplers), and (c) including the constant quantization
+// floor as an additive term of the variance fit
+// (fitting.FitWithOffset). The Counter supports (b) via Subdivide; the
+// sweep documentation shows (a) and (c).
+//
+// The simulation is event-driven and bit-accurate with respect to an
+// idealized synchronous counter (no metastability model: the paper's
+// analysis likewise ignores sampling metastability, which perturbs Q_N
+// by at most ±1 count).
+package measure
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/jitter"
+	"repro/internal/osc"
+	"repro/internal/stats"
+)
+
+// Counter is the differential counter of Fig. 6 configured for windows
+// of n reference (Osc2) cycles.
+type Counter struct {
+	pair *osc.Pair
+	n    int
+	sub  int
+	// Osc1 waveform tracking for the event-driven phase read-out.
+	edges     uint64  // rising edges emitted up to nextEdge1 (exclusive)
+	lastEdge1 float64 // time of the most recent Osc1 edge <= cursor
+	nextEdge1 float64 // time of the next Osc1 edge
+	lastQ     int64   // subdivided phase count at the previous boundary
+	primed    bool
+}
+
+// Config parameterizes a Counter beyond the window length.
+type Config struct {
+	// Subdivide is the sub-period phase resolution M: the counter
+	// resolves Osc1 phase to 1/(M·f0) (a delay-line TDC with M taps).
+	// 1 (or 0) is the plain single-edge counter of Fig. 6.
+	Subdivide int
+}
+
+// NewCounter attaches a plain single-edge counter to an oscillator
+// pair. n is the number of Osc2 cycles per counting window (the
+// paper's N).
+func NewCounter(pair *osc.Pair, n int) (*Counter, error) {
+	return NewCounterConfig(pair, n, Config{})
+}
+
+// NewCounterConfig attaches a counter with explicit configuration.
+func NewCounterConfig(pair *osc.Pair, n int, cfg Config) (*Counter, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("measure: window length N = %d must be >= 1", n)
+	}
+	if pair == nil || pair.Osc1 == nil || pair.Osc2 == nil {
+		return nil, fmt.Errorf("measure: nil oscillator pair")
+	}
+	sub := cfg.Subdivide
+	if sub == 0 {
+		sub = 1
+	}
+	if sub < 1 || sub > 1<<20 {
+		return nil, fmt.Errorf("measure: subdivision %d out of [1, 2^20]", sub)
+	}
+	return &Counter{pair: pair, n: n, sub: sub}, nil
+}
+
+// N returns the configured window length.
+func (c *Counter) N() int { return c.n }
+
+// Subdivision returns the phase resolution M.
+func (c *Counter) Subdivision() int { return c.sub }
+
+// PeriodOsc1 returns the nominal period 1/f0 of the counted oscillator,
+// the conversion factor of eq. 12 (counts → seconds).
+func (c *Counter) PeriodOsc1() float64 { return 1 / c.pair.Osc1.F0() }
+
+// Resolution returns the counter's time resolution 1/(M·f0) in seconds.
+func (c *Counter) Resolution() float64 { return c.PeriodOsc1() / float64(c.sub) }
+
+// phiAt advances the Osc1 edge cursor to cover time t and returns the
+// subdivided phase count floor(M·Φ1(t)), where Φ1 counts Osc1 periods
+// with linear interpolation inside the current period (the TDC model).
+func (c *Counter) phiAt(t float64) int64 {
+	for c.nextEdge1 <= t {
+		c.lastEdge1 = c.nextEdge1
+		c.nextEdge1 = c.pair.Osc1.NextEdge()
+		c.edges++
+	}
+	frac := 0.0
+	if c.nextEdge1 > c.lastEdge1 {
+		frac = (t - c.lastEdge1) / (c.nextEdge1 - c.lastEdge1)
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac >= 1 {
+		frac = math.Nextafter(1, 0)
+	}
+	return int64(c.edges)*int64(c.sub) + int64(frac*float64(c.sub))
+}
+
+// NextQ runs one counting window of N Osc2 cycles and returns Q_N in
+// subdivided counts: the Osc1 phase advance across the window
+// [start, end), where start is the end of the previous window. With
+// Subdivide == 1 this is exactly the number of Osc1 rising edges inside
+// the window.
+func (c *Counter) NextQ() int64 {
+	if !c.primed {
+		// Arm the counter. Osc1's most recent emitted edge anchors
+		// the phase interpolation, but when arming mid-run that edge
+		// can lie AFTER the current Osc2 boundary, so the phase read
+		// at the arming instant is unreliable by up to one period —
+		// enormous compared to s_N. A real synchronous counter has
+		// the same start-up hazard; like hardware, we warm up: run
+		// one full counting window before the first reported Q, so
+		// every reported count uses boundaries measured with a
+		// settled edge cursor.
+		c.lastEdge1 = c.pair.Osc1.Now()
+		c.nextEdge1 = c.pair.Osc1.NextEdge()
+		c.phiAt(c.pair.Osc2.Now())
+		for i := 0; i < c.n; i++ {
+			c.pair.Osc2.NextPeriod()
+		}
+		c.lastQ = c.phiAt(c.pair.Osc2.Now())
+		c.primed = true
+	}
+	for i := 0; i < c.n; i++ {
+		c.pair.Osc2.NextPeriod()
+	}
+	end := c.pair.Osc2.Now()
+	q := c.phiAt(end)
+	dq := q - c.lastQ
+	c.lastQ = q
+	return dq
+}
+
+// QSeries collects m consecutive window counts.
+func (c *Counter) QSeries(m int) []int64 {
+	out := make([]int64, m)
+	for i := range out {
+		out[i] = c.NextQ()
+	}
+	return out
+}
+
+// SNFromQ converts consecutive window counts into s_N values via eq. 12
+// generalized to subdivided counts:
+// s_N(t_i) = (Q_N^{i+1} − Q_N^i)/(M·f0). The result has len(q)−1
+// entries.
+func SNFromQ(q []int64, f0 float64, subdivide int) []float64 {
+	if f0 <= 0 {
+		panic(fmt.Sprintf("measure: f0 = %g must be > 0", f0))
+	}
+	if subdivide < 1 {
+		panic(fmt.Sprintf("measure: subdivision %d must be >= 1", subdivide))
+	}
+	if len(q) < 2 {
+		return nil
+	}
+	out := make([]float64, len(q)-1)
+	scale := 1 / (f0 * float64(subdivide))
+	for i := 1; i < len(q); i++ {
+		out[i-1] = float64(q[i]-q[i-1]) * scale
+	}
+	return out
+}
+
+// SN runs the counter for windows+1 windows and returns the s_N series
+// in seconds.
+func (c *Counter) SN(windows int) []float64 {
+	q := c.QSeries(windows + 1)
+	return SNFromQ(q, c.pair.Osc1.F0(), c.sub)
+}
+
+// QuantizationFloor returns the additive variance contributed by the
+// counter's phase quantization to Var(s_N) when the boundary phase is
+// well dithered (mismatched rings): the second difference of three
+// independent uniform quantization errors has variance 6·Δ²/12 with
+// Δ = 1/(M·f0), i.e. Δ²/2.
+func (c *Counter) QuantizationFloor() float64 {
+	d := c.Resolution()
+	return d * d / 2
+}
+
+// EstimateSigmaN2 measures σ²_N from windows consecutive counter
+// readings: it collects Q_N, forms s_N via eq. 12 and returns the
+// variance with its standard error. Adjacent s_N values share one Q_N
+// reading, so they have a lag-1 correlation of −1/2 under independence;
+// the standard error accounts for it with the conservative factor √2.
+//
+// The returned variance INCLUDES the counter quantization floor; use
+// fitting.FitWithOffset (or subtract QuantizationFloor for a dithered
+// counter) when small-N precision matters.
+func (c *Counter) EstimateSigmaN2(windows int) (jitter.VarianceEstimate, error) {
+	if windows < 3 {
+		return jitter.VarianceEstimate{}, fmt.Errorf("measure: need >= 3 windows, got %d", windows)
+	}
+	s := c.SN(windows)
+	_, v := stats.MeanVariance(s)
+	return jitter.VarianceEstimate{
+		N:       c.n,
+		SigmaN2: v,
+		StdErr:  stats.StdErrOfVariance(v, len(s)) * math.Sqrt2,
+		Samples: len(s),
+	}, nil
+}
+
+// SweepConfig controls a multi-N measurement campaign (the Fig. 7
+// experiment).
+type SweepConfig struct {
+	// Ns is the window-length grid.
+	Ns []int
+	// WindowsPerN is the number of counter windows collected at each
+	// N. More windows shrink the σ²_N error bars as 1/√windows.
+	WindowsPerN int
+	// WindowBudget, when > 0, replaces WindowsPerN with
+	// max(minWindows, WindowBudget/N): a fixed total-periods budget
+	// spread across the sweep, matching how a fixed-duration hardware
+	// capture behaves.
+	WindowBudget int
+	// MinWindows floors the per-N window count when WindowBudget is
+	// used (default 64).
+	MinWindows int
+	// Subdivide forwards the TDC resolution to every counter.
+	Subdivide int
+}
+
+// Sweep runs the Fig. 7 campaign: for every N in cfg.Ns it configures a
+// counter on the pair and estimates σ²_N. The pair's oscillators keep
+// advancing across Ns (one long capture, like the hardware experiment).
+func Sweep(pair *osc.Pair, cfg SweepConfig) ([]jitter.VarianceEstimate, error) {
+	if len(cfg.Ns) == 0 {
+		return nil, fmt.Errorf("measure: empty N grid")
+	}
+	minW := cfg.MinWindows
+	if minW == 0 {
+		minW = 64
+	}
+	out := make([]jitter.VarianceEstimate, 0, len(cfg.Ns))
+	for _, n := range cfg.Ns {
+		windows := cfg.WindowsPerN
+		if cfg.WindowBudget > 0 {
+			windows = cfg.WindowBudget / n
+			if windows < minW {
+				windows = minW
+			}
+		}
+		if windows < 3 {
+			windows = 3
+		}
+		c, err := NewCounterConfig(pair, n, Config{Subdivide: cfg.Subdivide})
+		if err != nil {
+			return nil, err
+		}
+		est, err := c.EstimateSigmaN2(windows)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, est)
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/osc"
+	"repro/internal/phase"
+)
+
+func paperModel() phase.Model {
+	const f0 = 103e6
+	return phase.Model{
+		Bth: 5.36e-6 * f0 / 2,
+		Bfl: 5.36e-6 / 5354 * f0 * f0 / (8 * math.Ln2),
+		F0:  f0,
+	}
+}
+
+func newPair(t *testing.T, m phase.Model, seed uint64) *osc.Pair {
+	t.Helper()
+	p, err := osc.NewPair(m, 0, osc.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewCounterValidation(t *testing.T) {
+	p := newPair(t, paperModel(), 1)
+	if _, err := NewCounter(p, 0); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := NewCounter(nil, 4); err == nil {
+		t.Fatal("nil pair accepted")
+	}
+}
+
+func TestCounterMeanCount(t *testing.T) {
+	// Identical nominal frequencies: Q_N averages N.
+	p := newPair(t, paperModel(), 2)
+	c, err := NewCounter(p, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := c.QSeries(2000)
+	var sum float64
+	for _, v := range q {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(q))
+	if math.Abs(mean-128) > 1 {
+		t.Fatalf("mean count %g, want ~128", mean)
+	}
+}
+
+func TestCounterTracksMismatch(t *testing.T) {
+	// 1% faster counted oscillator: Q_N averages 1.01·N.
+	m := paperModel()
+	p, err := osc.NewPair(m, -0.00990099, osc.Options{Seed: 3})
+	// Osc2 slower by ~1% → Osc1 counts ~1% more edges per window.
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCounter(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := c.QSeries(500)
+	var sum float64
+	for _, v := range q {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(q))
+	if math.Abs(mean-1010) > 2 {
+		t.Fatalf("mean count %g, want ~1010", mean)
+	}
+}
+
+func TestSNFromQ(t *testing.T) {
+	s := SNFromQ([]int64{100, 103, 99}, 100e6, 1)
+	if len(s) != 2 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if math.Abs(s[0]-3e-8) > 1e-15 || math.Abs(s[1]+4e-8) > 1e-15 {
+		t.Fatalf("s = %v", s)
+	}
+	if SNFromQ([]int64{5}, 1e8, 1) != nil {
+		t.Fatal("single count should give nil")
+	}
+	// Subdivided counts scale by 1/M.
+	s2 := SNFromQ([]int64{100, 103}, 100e6, 4)
+	if math.Abs(s2[0]-3e-8/4) > 1e-18 {
+		t.Fatalf("subdivided s = %g", s2[0])
+	}
+}
+
+func TestSNFromQPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for f0=0")
+		}
+	}()
+	SNFromQ([]int64{1, 2}, 0, 1)
+}
+
+func TestCounterSigmaN2MatchesRelativeTheory(t *testing.T) {
+	// The counter measures the RELATIVE jitter: both oscillators
+	// contribute, so σ²_N(counter) ≈ σ²_N(single) × 2 plus the
+	// quantization floor. With an M=64 TDC the floor is negligible
+	// at this N.
+	m := paperModel()
+	p := newPair(t, m, 4)
+	const n = 4096
+	c, err := NewCounterConfig(p, n, Config{Subdivide: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := c.EstimateSigmaN2(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := p.RelativeModel()
+	want := rel.SigmaN2(n) + c.QuantizationFloor()
+	if math.Abs(est.SigmaN2-want) > 0.15*want {
+		t.Fatalf("counter σ²_N = %g, want ~%g (relative model + floor)", est.SigmaN2, want)
+	}
+}
+
+func TestPlainCounterQuantizationDominatesSmallN(t *testing.T) {
+	// The physics the package documentation warns about: a plain
+	// single-edge counter at small N reports mostly quantization, not
+	// jitter. This test pins the behaviour so nobody "fixes" it away.
+	m := paperModel()
+	p := newPair(t, m, 12)
+	c, err := NewCounter(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := c.EstimateSigmaN2(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := p.RelativeModel()
+	if est.SigmaN2 < 5*rel.SigmaN2(64) {
+		t.Fatalf("expected quantization-dominated estimate, got %g vs signal %g",
+			est.SigmaN2, rel.SigmaN2(64))
+	}
+}
+
+func TestSubdivisionReducesQuantization(t *testing.T) {
+	m := paperModel()
+	p1 := newPair(t, m, 13)
+	p2 := newPair(t, m, 13)
+	const n = 64
+	plain, err := NewCounter(p1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdc, err := NewCounterConfig(p2, n, Config{Subdivide: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := plain.EstimateSigmaN2(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := tdc.EstimateSigmaN2(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.SigmaN2 >= ep.SigmaN2/3 {
+		t.Fatalf("TDC did not reduce quantization: plain %g vs M=128 %g", ep.SigmaN2, et.SigmaN2)
+	}
+	if plain.QuantizationFloor() <= tdc.QuantizationFloor() {
+		t.Fatal("floor ordering wrong")
+	}
+}
+
+func TestCounterQuantizationFloor(t *testing.T) {
+	// With all noise off, consecutive counts differ by at most 1 and
+	// s_N variance is bounded by the quantization floor (1 count)².
+	m := phase.Model{Bth: 0, Bfl: 0, F0: 103e6}
+	p := newPair(t, m, 5)
+	c, err := NewCounter(p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := c.QSeries(1000)
+	for i := 1; i < len(q); i++ {
+		if d := q[i] - q[i-1]; d > 1 || d < -1 {
+			t.Fatalf("noiseless counter jumped by %d", d)
+		}
+	}
+}
+
+func TestEstimateSigmaN2Validation(t *testing.T) {
+	p := newPair(t, paperModel(), 6)
+	c, err := NewCounter(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EstimateSigmaN2(2); err == nil {
+		t.Fatal("2 windows accepted")
+	}
+}
+
+func TestPeriodOsc1(t *testing.T) {
+	p := newPair(t, paperModel(), 7)
+	c, err := NewCounter(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.PeriodOsc1()-1/103e6) > 1e-18 {
+		t.Fatalf("PeriodOsc1 = %g", c.PeriodOsc1())
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	p := newPair(t, paperModel(), 8)
+	ns := []int{16, 64, 256}
+	ests, err := Sweep(p, SweepConfig{Ns: ns, WindowsPerN: 200, Subdivide: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != len(ns) {
+		t.Fatalf("%d estimates", len(ests))
+	}
+	for i, e := range ests {
+		if e.N != ns[i] || e.SigmaN2 <= 0 || e.StdErr <= 0 {
+			t.Fatalf("estimate %d malformed: %+v", i, e)
+		}
+	}
+	// σ²_N grows with N
+	if !(ests[0].SigmaN2 < ests[1].SigmaN2 && ests[1].SigmaN2 < ests[2].SigmaN2) {
+		t.Fatalf("σ²_N not increasing: %v", ests)
+	}
+}
+
+func TestSweepBudget(t *testing.T) {
+	p := newPair(t, paperModel(), 9)
+	ests, err := Sweep(p, SweepConfig{Ns: []int{10, 1000}, WindowBudget: 10000, MinWindows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N=10 gets 1000 windows (+1 estimator adjustment), N=1000 floors
+	// at MinWindows.
+	if ests[0].Samples < 500 {
+		t.Fatalf("small-N windows = %d", ests[0].Samples)
+	}
+	if ests[1].Samples > 50 {
+		t.Fatalf("large-N windows = %d, expected floor ~16", ests[1].Samples)
+	}
+}
+
+func TestSweepEmptyGrid(t *testing.T) {
+	p := newPair(t, paperModel(), 10)
+	if _, err := Sweep(p, SweepConfig{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestCounterVsDirectJitterConsistency(t *testing.T) {
+	// Cross-validation: the counter-based σ²_N at moderate N must
+	// agree with the direct-periods relative jitter statistic within
+	// combined error bars. This ties the Fig.-6 circuit model to the
+	// analytic chain end-to-end.
+	m := paperModel()
+	p := newPair(t, m, 11)
+	const n = 1024
+	c, err := NewCounterConfig(p, n, Config{Subdivide: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := c.EstimateSigmaN2(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := p.RelativeModel()
+	want := rel.SigmaN2(n) + c.QuantizationFloor()
+	if est.SigmaN2 < 0.7*want || est.SigmaN2 > 1.4*want {
+		t.Fatalf("counter %g vs theory %g", est.SigmaN2, want)
+	}
+}

@@ -1,0 +1,79 @@
+package measure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSNFromQShiftInvariance: adding a constant to every count leaves
+// s_N unchanged (differences kill constants) — the property that makes
+// eq. 12 immune to the absolute counter offset.
+func TestSNFromQShiftInvariance(t *testing.T) {
+	f := func(raw []int16, off int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		q := make([]int64, len(raw))
+		qOff := make([]int64, len(raw))
+		for i, v := range raw {
+			q[i] = int64(v)
+			qOff[i] = int64(v) + int64(off)
+		}
+		a := SNFromQ(q, 1e8, 4)
+		b := SNFromQ(qOff, 1e8, 4)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSNFromQLinearity: s_N is linear in the counts.
+func TestSNFromQLinearity(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		q := make([]int64, len(raw))
+		q2 := make([]int64, len(raw))
+		for i, v := range raw {
+			q[i] = int64(v)
+			q2[i] = 3 * int64(v)
+		}
+		a := SNFromQ(q, 1e8, 1)
+		b := SNFromQ(q2, 1e8, 1)
+		for i := range a {
+			if math.Abs(b[i]-3*a[i]) > 1e-18 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubdivisionConsistency: the subdivided conversion divides by M,
+// so integer counts scaled by M give identical seconds.
+func TestSubdivisionConsistency(t *testing.T) {
+	q := []int64{100, 103, 99, 101}
+	qSub := make([]int64, len(q))
+	const m = 16
+	for i, v := range q {
+		qSub[i] = v * m
+	}
+	a := SNFromQ(q, 1e8, 1)
+	b := SNFromQ(qSub, 1e8, m)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-20 {
+			t.Fatalf("subdivision inconsistency at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

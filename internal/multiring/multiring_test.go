@@ -1,0 +1,183 @@
+package multiring
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phase"
+)
+
+// hot returns a thermal-boosted per-ring model so sampling statistics
+// converge quickly in tests (same rationale as the trng tests).
+func hot() phase.Model {
+	const f0 = 103e6
+	return phase.Model{Bth: 100 * 5.36e-6 * f0 / 4, Bfl: 0, F0: f0}
+}
+
+func baseConfig() Config {
+	return Config{
+		Model:          hot(),
+		Rings:          4,
+		SampleRate:     103e6 / 1000,
+		RelativeSpread: 0.01,
+		Seed:           1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Model.F0 = 0 },
+		func(c *Config) { c.Rings = 0 },
+		func(c *Config) { c.SampleRate = 0 },
+		func(c *Config) { c.SampleRate = c.Model.F0 * 20 },
+		func(c *Config) { c.RelativeSpread = 0.9 },
+	}
+	for i, mutate := range bad {
+		c := baseConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBitsBinaryAndDeterministic(t *testing.T) {
+	a, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(baseConfig())
+	ba := a.Bits(3000)
+	bb := b.Bits(3000)
+	for i := range ba {
+		if ba[i] > 1 {
+			t.Fatalf("non-binary bit %d", ba[i])
+		}
+		if ba[i] != bb[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+	if a.Rings() != 4 {
+		t.Fatalf("rings = %d", a.Rings())
+	}
+}
+
+func TestMoreRingsLowerBias(t *testing.T) {
+	// With slow per-ring diffusion, a single ring is visibly biased
+	// over a short record; XOR-ing more rings drives it down.
+	slow := baseConfig()
+	slow.Model.Bth /= 10000
+	slow.Rings = 1
+	slow.RelativeSpread = 0.003
+	g1, err := New(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := math.Abs(g1.EmpiricalBias(4000))
+
+	slow.Rings = 8
+	g8, err := New(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8 := math.Abs(g8.EmpiricalBias(4000))
+	if b8 > b1 && b8 > 0.1 {
+		t.Fatalf("8 rings bias %g vs 1 ring %g", b8, b1)
+	}
+}
+
+func TestFilledUrnsAllAtSlowSampling(t *testing.T) {
+	// f0/fs = 1000 periods per sample: every ring has edges in every
+	// interval.
+	g, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if u := g.FilledUrns(); u != 4 {
+			t.Fatalf("urns = %d, want 4", u)
+		}
+	}
+}
+
+func TestFilledUrnsPartialAtFastSampling(t *testing.T) {
+	c := baseConfig()
+	// Sampling interval of 0.625 periods: some intervals contain no
+	// rising edge, leaving urns unfilled (Sunar's fast-sampler case).
+	c.SampleRate = c.Model.F0 * 1.6
+	g, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPartial := false
+	for i := 0; i < 2000 && !sawPartial; i++ {
+		if g.FilledUrns() < 4 {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Fatal("fast sampling never left an urn unfilled")
+	}
+}
+
+func TestSunarBiasPilingUp(t *testing.T) {
+	per := SunarBias(0.05, 1)
+	two := SunarBias(0.05, 2)
+	if math.Abs(two-2*per*per) > 1e-15 {
+		t.Fatalf("piling-up broken: %g vs %g", two, 2*per*per)
+	}
+	// Monotone in sigma.
+	if SunarBias(0.3, 1) >= SunarBias(0.1, 1) {
+		t.Fatal("bias should fall with diffusion")
+	}
+}
+
+func TestAssessOrdering(t *testing.T) {
+	c := baseConfig()
+	// Use the paper model (with flicker) for the assessment.
+	const f0 = 103e6
+	c.Model = phase.Model{
+		Bth: 5.36e-6 * f0 / 4,
+		Bfl: 5.36e-6 / 5354 * f0 * f0 / (16 * math.Ln2),
+		F0:  f0,
+	}
+	a, err := Assess(c, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SigmaNaive <= a.SigmaRefined {
+		t.Fatalf("naive σ %g should exceed refined %g", a.SigmaNaive, a.SigmaRefined)
+	}
+	if a.BiasNaive > a.BiasRefined {
+		t.Fatalf("naive bias %g should be BELOW refined %g (overclaimed diffusion)", a.BiasNaive, a.BiasRefined)
+	}
+	if a.EntropyNaive < a.EntropyRefined {
+		t.Fatal("naive entropy should be the optimistic one")
+	}
+	if _, err := Assess(c, 0); err == nil {
+		t.Fatal("nMeas=0 accepted")
+	}
+}
+
+func TestEmpiricalBiasSmallWithManyRings(t *testing.T) {
+	g, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := math.Abs(g.EmpiricalBias(20000)); b > 0.03 {
+		t.Fatalf("bias = %g with 4 rings at slow sampling", b)
+	}
+}
+
+func TestLagCorrelationModest(t *testing.T) {
+	g, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := math.Abs(g.LagCorrelation(20000)); r > 0.05 {
+		t.Fatalf("lag-1 correlation = %g at slow sampling", r)
+	}
+}

@@ -1,0 +1,227 @@
+package osc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phase"
+	"repro/internal/stats"
+)
+
+func paperModel() phase.Model {
+	const f0 = 103e6
+	return phase.Model{
+		Bth: 5.36e-6 * f0 / 2,
+		Bfl: 5.36e-6 / 5354 * f0 * f0 / (8 * math.Ln2),
+		F0:  f0,
+	}
+}
+
+func thermalOnly() phase.Model {
+	m := paperModel()
+	m.Bfl = 0
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(phase.Model{F0: 0}, Options{}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := New(paperModel(), Options{FlickerGenerator: "nope"}); err == nil {
+		t.Fatal("unknown flicker generator accepted")
+	}
+	if _, err := New(paperModel(), Options{FlickerGenerator: "kasdin"}); err != nil {
+		t.Fatalf("kasdin generator rejected: %v", err)
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	a, _ := New(paperModel(), Options{Seed: 42})
+	b, _ := New(paperModel(), Options{Seed: 42})
+	for i := 0; i < 10000; i++ {
+		if a.NextPeriod() != b.NextPeriod() {
+			t.Fatalf("same-seed oscillators diverge at period %d", i)
+		}
+	}
+	c, _ := New(paperModel(), Options{Seed: 43})
+	diff := 0
+	for i := 0; i < 100; i++ {
+		if a.NextPeriod() != c.NextPeriod() {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produce identical streams")
+	}
+}
+
+func TestMeanPeriod(t *testing.T) {
+	o, _ := New(paperModel(), Options{Seed: 1})
+	p := o.Periods(200000)
+	mean := stats.Mean(p)
+	t0 := 1 / paperModel().F0
+	if math.Abs(mean-t0) > 1e-4*t0 {
+		t.Fatalf("mean period %g, want %g", mean, t0)
+	}
+}
+
+func TestThermalOnlyPeriodVariance(t *testing.T) {
+	m := thermalOnly()
+	o, _ := New(m, Options{Seed: 2})
+	j := o.Jitter(500000)
+	v := stats.Variance(j)
+	want := m.Bth / (m.F0 * m.F0 * m.F0)
+	if math.Abs(v-want) > 0.02*want {
+		t.Fatalf("thermal period variance %g, want %g", v, want)
+	}
+}
+
+func TestThermalOnlyJitterUncorrelated(t *testing.T) {
+	o, _ := New(thermalOnly(), Options{Seed: 3})
+	j := o.Jitter(200000)
+	rho := stats.Autocorrelation(j, 5)
+	for k := 1; k <= 5; k++ {
+		if math.Abs(rho[k]) > 0.01 {
+			t.Fatalf("thermal jitter autocorrelation lag %d = %g", k, rho[k])
+		}
+	}
+}
+
+func TestFlickerInducesAutocorrelation(t *testing.T) {
+	// With a flicker-dominated model the fractional frequency is
+	// strongly autocorrelated; period jitter inherits it.
+	m := paperModel()
+	m.Bfl *= 1e4 // exaggerate so lag-1 correlation is clearly visible
+	o, _ := New(m, Options{Seed: 4})
+	j := o.Jitter(200000)
+	rho := stats.Autocorrelation(j, 1)
+	if rho[1] < 0.1 {
+		t.Fatalf("flicker-dominated jitter lag-1 autocorrelation = %g, want >> 0", rho[1])
+	}
+}
+
+func TestEdgeTimesMonotone(t *testing.T) {
+	o, _ := New(paperModel(), Options{Seed: 5})
+	prev := 0.0
+	for i := 0; i < 100000; i++ {
+		e := o.NextEdge()
+		if e <= prev {
+			t.Fatalf("edge %d not monotone: %g after %g", i, e, prev)
+		}
+		prev = e
+	}
+	if o.Index() != 100000 {
+		t.Fatalf("index = %d", o.Index())
+	}
+	if o.Now() != prev {
+		t.Fatalf("Now() = %g, want %g", o.Now(), prev)
+	}
+}
+
+func TestNegativePeriodClamp(t *testing.T) {
+	m := thermalOnly()
+	o, _ := New(m, Options{Seed: 6, ThermalScale: 1e9}) // absurd noise
+	t0 := 1 / m.F0
+	for i := 0; i < 10000; i++ {
+		if p := o.NextPeriod(); p < t0*1e-3 {
+			t.Fatalf("period %g below clamp", p)
+		}
+	}
+}
+
+func TestModulatorApplied(t *testing.T) {
+	m := thermalOnly()
+	m.Bth = 0 // noiseless: pure modulation
+	const dt = 1e-12
+	o, _ := New(m, Options{Seed: 7, Modulator: func(tm float64, i uint64) float64 { return dt }})
+	p := o.NextPeriod()
+	if math.Abs(p-(1/m.F0+dt)) > 1e-18 {
+		t.Fatalf("modulated period %g", p)
+	}
+}
+
+func TestSineInjectionModulator(t *testing.T) {
+	mod := SineInjection(1e6, 0.01, 1e-8)
+	// At t=0 the sine is 0; at quarter period it is maximal.
+	if v := mod(0, 0); math.Abs(v) > 1e-15 {
+		t.Fatalf("injection at t=0: %g", v)
+	}
+	if v := mod(0.25e-6, 0); math.Abs(v-0.01*1e-8) > 1e-12*0.01*1e-8 {
+		t.Fatalf("injection at quarter period: %g", v)
+	}
+}
+
+func TestScaleSetters(t *testing.T) {
+	m := paperModel()
+	o, _ := New(m, Options{Seed: 8})
+	o.SetThermalScale(0)
+	o.SetFlickerScale(0)
+	t0 := 1 / m.F0
+	// With both noise sources zeroed, periods are exactly nominal.
+	for i := 0; i < 100; i++ {
+		if p := o.NextPeriod(); math.Abs(p-t0) > 1e-20 {
+			t.Fatalf("period with zero scales: %g vs %g", p, t0)
+		}
+	}
+}
+
+func TestThermalScaleQuadraticInVariance(t *testing.T) {
+	m := thermalOnly()
+	a, _ := New(m, Options{Seed: 9})
+	b, _ := New(m, Options{Seed: 9, ThermalScale: 2})
+	ja := a.Jitter(300000)
+	jb := b.Jitter(300000)
+	ratio := stats.Variance(jb) / stats.Variance(ja)
+	if math.Abs(ratio-4) > 0.1 {
+		t.Fatalf("2× amplitude should give 4× variance, got %g", ratio)
+	}
+}
+
+func TestPairIndependentStreams(t *testing.T) {
+	p, err := NewPair(paperModel(), 0, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := p.Osc1.Jitter(100000)
+	j2 := p.Osc2.Jitter(100000)
+	if c := stats.Correlation(j1, j2); math.Abs(c) > 0.01 {
+		t.Fatalf("pair jitter correlation %g, want ~0", c)
+	}
+}
+
+func TestPairMismatch(t *testing.T) {
+	p, err := NewPair(thermalOnly(), 0.01, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := p.Osc1.F0()
+	f2 := p.Osc2.F0()
+	if math.Abs(f2/f1-1.01) > 1e-12 {
+		t.Fatalf("mismatch not applied: %g", f2/f1)
+	}
+}
+
+func TestRelativeModelAddsCoefficients(t *testing.T) {
+	p, _ := NewPair(paperModel(), 0, Options{Seed: 12})
+	rel := p.RelativeModel()
+	m := paperModel()
+	if math.Abs(rel.Bth-2*m.Bth) > 1e-9*m.Bth || math.Abs(rel.Bfl-2*m.Bfl) > 1e-9*m.Bfl {
+		t.Fatalf("relative model %+v", rel)
+	}
+}
+
+func TestKasdinBackendVariance(t *testing.T) {
+	// The Kasdin-backed oscillator must produce the same thermal
+	// variance and a comparable flicker effect as the OU backend.
+	m := paperModel()
+	o, err := New(m, Options{Seed: 13, FlickerGenerator: "kasdin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := o.Jitter(200000)
+	v := stats.Variance(j)
+	want := m.SigmaN2(1) / 2 // per-period variance ≈ σ²_th (flicker tiny at N=1)
+	if v < want/2 || v > want*2 {
+		t.Fatalf("kasdin-backed variance %g, want ~%g", v, want)
+	}
+}

@@ -1,0 +1,132 @@
+package osc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/phys"
+	"repro/internal/rng"
+)
+
+// StageLevel simulates a ring oscillator one INVERTER TRANSITION at a
+// time — the bottom rung of the multilevel ladder (paper Fig. 3). Each
+// of the 2n transitions per period takes the nominal stage delay plus a
+// Gaussian perturbation derived from the stage's thermal noise charge:
+//
+//	σ_d² = S_th·t_d / (2·I_D²)
+//
+// (integrated white current noise over the switching window, converted
+// through the slew rate I_D/C_L). Summing 2n independent stage delays
+// yields white-FM period jitter; the simulator exists to demonstrate —
+// and let tests verify — that the stage-level picture aggregates to the
+// same σ²_N = 2Nσ² law the phase-level model postulates for thermal
+// noise.
+//
+// Flicker is deliberately absent here: per-stage flicker is correlated
+// across transitions of the same device, which is exactly what the
+// phase-level flicker-FM model (and not an i.i.d. per-stage term)
+// represents. Use the phase-level Oscillator for the full model.
+type StageLevel struct {
+	ring    phys.Ring
+	sigmaD  float64 // per-transition delay jitter
+	tStage  float64 // nominal stage delay
+	src     *rng.Source
+	t       float64
+	stage   int
+	periods uint64
+	excess  float64 // optional excess-noise factor applied to σ_d
+}
+
+// StageLevelOptions configures the simulator.
+type StageLevelOptions struct {
+	// Seed seeds the noise stream.
+	Seed uint64
+	// ThermalExcess scales the per-stage noise CHARGE variance, the
+	// same role as device.Options.ThermalExcess (default 1: intrinsic
+	// channel noise only).
+	ThermalExcess float64
+}
+
+// NewStageLevel builds the simulator from ring device parameters.
+func NewStageLevel(ring phys.Ring, opt StageLevelOptions) (*StageLevel, error) {
+	if err := ring.Validate(); err != nil {
+		return nil, err
+	}
+	excess := opt.ThermalExcess
+	if excess == 0 {
+		excess = 1
+	}
+	inv := ring.Stage
+	td := inv.SwitchingDelay()
+	// Charge noise over the switching window: q_n² = S_th·t_d/2
+	// (one-sided PSD integrated over the effective bandwidth 1/(2t_d)
+	// ... folded as charge variance); delay jitter = q_n/I_D.
+	sTh := excess * inv.ThermalCurrentPSD()
+	qn2 := sTh * td / 2
+	sigmaD := math.Sqrt(qn2) / inv.NMOS.ID
+	return &StageLevel{
+		ring:   ring,
+		sigmaD: sigmaD,
+		tStage: td,
+		src:    rng.New(opt.Seed),
+		excess: excess,
+	}, nil
+}
+
+// SigmaStage returns the per-transition delay jitter in seconds.
+func (s *StageLevel) SigmaStage() float64 { return s.sigmaD }
+
+// PredictedPeriodSigma returns the aggregate period jitter
+// σ = σ_d·sqrt(2n): 2n independent transitions per period.
+func (s *StageLevel) PredictedPeriodSigma() float64 {
+	return s.sigmaD * math.Sqrt(2*float64(s.ring.Stages))
+}
+
+// NextTransition advances one inverter transition and returns its
+// delay.
+func (s *StageLevel) NextTransition() float64 {
+	d := s.tStage + s.sigmaD*s.src.Norm()
+	if d < s.tStage*1e-3 {
+		d = s.tStage * 1e-3
+	}
+	s.t += d
+	s.stage++
+	if s.stage == 2*s.ring.Stages {
+		s.stage = 0
+		s.periods++
+	}
+	return d
+}
+
+// NextPeriod advances 2n transitions and returns the period duration.
+func (s *StageLevel) NextPeriod() float64 {
+	var sum float64
+	for i := 0; i < 2*s.ring.Stages; i++ {
+		sum += s.NextTransition()
+	}
+	return sum
+}
+
+// Periods generates n consecutive periods.
+func (s *StageLevel) Periods(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.NextPeriod()
+	}
+	return out
+}
+
+// Now returns the current simulation time.
+func (s *StageLevel) Now() float64 { return s.t }
+
+// EquivalentPhaseModel returns the phase-level model this stage-level
+// configuration aggregates to: white FM with σ² = 2n·σ_d², i.e.
+// b_th = σ²·f0³, no flicker.
+func (s *StageLevel) EquivalentPhaseModel() (bth, f0 float64, err error) {
+	f0 = s.ring.Frequency()
+	sigma := s.PredictedPeriodSigma()
+	if sigma == 0 {
+		return 0, f0, fmt.Errorf("osc: stage-level model has zero noise")
+	}
+	return sigma * sigma * f0 * f0 * f0, f0, nil
+}

@@ -1,0 +1,126 @@
+package osc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phys"
+	"repro/internal/stats"
+)
+
+func TestStageLevelValidation(t *testing.T) {
+	bad := phys.DefaultRing()
+	bad.Stages = 2
+	if _, err := NewStageLevel(bad, StageLevelOptions{}); err == nil {
+		t.Fatal("even-stage ring accepted")
+	}
+}
+
+func TestStageLevelNominalFrequency(t *testing.T) {
+	ring := phys.DefaultRing()
+	s, err := NewStageLevel(ring, StageLevelOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Periods(20000)
+	mean := stats.Mean(p)
+	want := ring.Period()
+	if math.Abs(mean-want) > 1e-4*want {
+		t.Fatalf("mean period %g, want %g", mean, want)
+	}
+}
+
+func TestStageLevelPeriodVarianceAggregates(t *testing.T) {
+	// Var(period) must equal 2n·σ_d² — the Bienaymé aggregation of
+	// independent stage delays (the multilevel ladder's bottom rung).
+	ring := phys.DefaultRing()
+	s, err := NewStageLevel(ring, StageLevelOptions{Seed: 2, ThermalExcess: 165})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Periods(200000)
+	v := stats.Variance(p)
+	sig := s.PredictedPeriodSigma()
+	want := sig * sig
+	if math.Abs(v-want) > 0.03*want {
+		t.Fatalf("period variance %g, want %g", v, want)
+	}
+}
+
+func TestStageLevelJitterIsWhite(t *testing.T) {
+	ring := phys.DefaultRing()
+	s, err := NewStageLevel(ring, StageLevelOptions{Seed: 3, ThermalExcess: 165})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Periods(100000)
+	j := make([]float64, len(p))
+	t0 := ring.Period()
+	for i, v := range p {
+		j[i] = v - t0
+	}
+	rho := stats.Autocorrelation(j, 3)
+	for k := 1; k <= 3; k++ {
+		if math.Abs(rho[k]) > 0.02 {
+			t.Fatalf("stage-level jitter autocorrelated at lag %d: %g", k, rho[k])
+		}
+	}
+}
+
+func TestStageLevelMatchesPhaseLevel(t *testing.T) {
+	// The stage-level aggregate must reproduce the phase-level white
+	// FM law: σ²_N(stage sim) ≈ 2Nσ² with σ from the equivalent model.
+	ring := phys.DefaultRing()
+	s, err := NewStageLevel(ring, StageLevelOptions{Seed: 4, ThermalExcess: 165})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bth, f0, err := s.EquivalentPhaseModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Periods(400000)
+	t0 := ring.Period()
+	j := make([]float64, len(p))
+	for i, v := range p {
+		j[i] = v - t0
+	}
+	// σ²_N at N=64 via disjoint windows.
+	const n = 64
+	var snVals []float64
+	for i := 0; i+2*n <= len(j); i += 2 * n {
+		var lo, hi float64
+		for k := 0; k < n; k++ {
+			lo += j[i+k]
+			hi += j[i+n+k]
+		}
+		snVals = append(snVals, hi-lo)
+	}
+	got := stats.Variance(snVals)
+	want := 2 * float64(n) * bth / (f0 * f0 * f0)
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("stage-level σ²_64 = %g, phase-level law %g", got, want)
+	}
+}
+
+func TestStageLevelExcessScaling(t *testing.T) {
+	ring := phys.DefaultRing()
+	a, _ := NewStageLevel(ring, StageLevelOptions{Seed: 5})
+	b, _ := NewStageLevel(ring, StageLevelOptions{Seed: 5, ThermalExcess: 4})
+	if math.Abs(b.SigmaStage()/a.SigmaStage()-2) > 1e-9 {
+		t.Fatalf("excess 4 should double σ_d: ratio %g", b.SigmaStage()/a.SigmaStage())
+	}
+}
+
+func TestStageLevelTransitionCount(t *testing.T) {
+	ring := phys.DefaultRing()
+	s, _ := NewStageLevel(ring, StageLevelOptions{Seed: 6})
+	before := s.Now()
+	s.NextPeriod()
+	if s.Now() <= before {
+		t.Fatal("time did not advance")
+	}
+	if s.periods != 1 {
+		t.Fatalf("period counter %d", s.periods)
+	}
+}

@@ -1,0 +1,228 @@
+// Package phase implements the oscillator excess-phase stochastic model
+// at the center of the paper:
+//
+//	Sφ(f) = b_fl/f³ + b_th/f²          (eq. 10)
+//
+// and the variance of the Allan-style accumulated-jitter statistic
+//
+//	s_N(t_i) = Σ_{j=0}^{2N−1} a_j·J(t_{i+j}),  a_j = −1 (j<N), +1 (j≥N)
+//
+// for which the paper derives, via the Wiener–Khinchine theorem
+// (eq. 9 / appendix eq. 17):
+//
+//	σ²_N = (8/(π²·f0²))·∫₀^∞ Sφ(f)·sin⁴(π·f·N/f0)·df
+//	     = (2·b_th/f0³)·N + (8·ln2·b_fl/f0⁴)·N²   (eq. 11)
+//
+// The linear term is the thermal (white) contribution — the only part
+// compatible with mutually independent jitter realizations (Bienaymé) —
+// and the quadratic term is the flicker contribution that makes
+// realizations mutually dependent at large N.
+package phase
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is the two-coefficient phase-noise model of eq. 10.
+type Model struct {
+	// Bth is the thermal coefficient of the 1/f² region, in Hz.
+	Bth float64
+	// Bfl is the flicker coefficient of the 1/f³ region, in Hz².
+	Bfl float64
+	// F0 is the oscillator nominal frequency in Hz.
+	F0 float64
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	switch {
+	case m.F0 <= 0:
+		return fmt.Errorf("phase: f0 = %g must be > 0", m.F0)
+	case m.Bth < 0:
+		return fmt.Errorf("phase: b_th = %g must be >= 0", m.Bth)
+	case m.Bfl < 0:
+		return fmt.Errorf("phase: b_fl = %g must be >= 0", m.Bfl)
+	}
+	return nil
+}
+
+// PSD returns the one-sided excess-phase PSD Sφ(f) (rad²/Hz) at Fourier
+// frequency f > 0 (eq. 10).
+func (m Model) PSD(f float64) float64 {
+	if f <= 0 {
+		panic(fmt.Sprintf("phase: PSD requires f > 0, got %g", f))
+	}
+	return m.Bfl/(f*f*f) + m.Bth/(f*f)
+}
+
+// SigmaN2 returns the analytic accumulated variance σ²_N of s_N
+// (eq. 11) for N >= 1 periods per half-window, in s².
+func (m Model) SigmaN2(n int) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("phase: SigmaN2 requires N >= 1, got %d", n))
+	}
+	nf := float64(n)
+	f0 := m.F0
+	th := 2 * m.Bth / (f0 * f0 * f0) * nf
+	fl := 8 * math.Ln2 * m.Bfl / (f0 * f0 * f0 * f0) * nf * nf
+	return th + fl
+}
+
+// SigmaN2Thermal returns only the thermal (linear-in-N) part of σ²_N.
+func (m Model) SigmaN2Thermal(n int) float64 {
+	return 2 * m.Bth / (m.F0 * m.F0 * m.F0) * float64(n)
+}
+
+// SigmaN2Flicker returns only the flicker (quadratic-in-N) part of σ²_N.
+func (m Model) SigmaN2Flicker(n int) float64 {
+	nf := float64(n)
+	return 8 * math.Ln2 * m.Bfl / (m.F0 * m.F0 * m.F0 * m.F0) * nf * nf
+}
+
+// SigmaThermal returns the thermal-only period jitter standard deviation
+// σ = sqrt(b_th/f0³): the quantity the paper's §IV method extracts
+// (15.89 ps in their experiment).
+func (m Model) SigmaThermal() float64 {
+	return math.Sqrt(m.Bth / (m.F0 * m.F0 * m.F0))
+}
+
+// PeriodJitterRatio returns σ/T0 = σ·f0 (the paper reports 1.6 ‰).
+func (m Model) PeriodJitterRatio() float64 {
+	return m.SigmaThermal() * m.F0
+}
+
+// RN returns the thermal-noise share r_N = σ²_N,th/σ²_N of the
+// accumulated variance (paper §III-E). With the fit coefficients
+// a = 2b_th/f0, b = 8ln2·b_fl/f0² (for f0²σ²_N), it equals
+// (a/b)/((a/b)+N); the paper's experiment had a/b = 5354.
+func (m Model) RN(n int) float64 {
+	tot := m.SigmaN2(n)
+	if tot == 0 {
+		return 0
+	}
+	return m.SigmaN2Thermal(n) / tot
+}
+
+// CornerN returns the ratio a/b at which the flicker contribution equals
+// the thermal one (r_N = 1/2). Infinite when the model has no flicker.
+func (m Model) CornerN() float64 {
+	if m.Bfl == 0 {
+		return math.Inf(1)
+	}
+	a := 2 * m.Bth / m.F0
+	b := 8 * math.Ln2 * m.Bfl / (m.F0 * m.F0)
+	return a / b
+}
+
+// IndependenceThreshold returns the largest N for which r_N > rMin,
+// i.e. the accumulation length below which 2N consecutive jitter
+// realizations may be treated as mutually independent with thermal share
+// at least rMin (paper: rMin = 0.95 gives N < 281). Returns MaxInt-ish
+// values as +Inf via ok=false when flicker is absent.
+func (m Model) IndependenceThreshold(rMin float64) (n int, ok bool) {
+	if rMin <= 0 || rMin >= 1 {
+		panic(fmt.Sprintf("phase: rMin %g out of (0,1)", rMin))
+	}
+	if m.Bfl == 0 {
+		return 0, false
+	}
+	// r_N = K/(K+N) > rMin  ⇔  N < K·(1−rMin)/rMin, K = CornerN.
+	k := m.CornerN()
+	return int(math.Floor(k * (1 - rMin) / rMin)), true
+}
+
+// FitCoefficients returns the coefficients (a, b) of the normalized fit
+// f0²·σ²_N = a·N + b·N² used in the paper's Fig. 7:
+// a = 2·b_th/f0, b = 8·ln2·b_fl/f0².
+func (m Model) FitCoefficients() (a, b float64) {
+	a = 2 * m.Bth / m.F0
+	b = 8 * math.Ln2 * m.Bfl / (m.F0 * m.F0)
+	return a, b
+}
+
+// ModelFromFit inverts FitCoefficients: given the fitted (a, b) of
+// f0²·σ²_N = a·N + b·N² and the oscillator frequency, it reconstructs
+// the phase-noise model. This is the paper's §IV measurement principle:
+// b_th = a·f0/2 (and σ = sqrt(b_th/f0³)).
+func ModelFromFit(a, b, f0 float64) Model {
+	return Model{
+		Bth: a * f0 / 2,
+		Bfl: b * f0 * f0 / (8 * math.Ln2),
+		F0:  f0,
+	}
+}
+
+// SigmaN2Numeric evaluates eq. 9 by direct numerical quadrature,
+//
+//	σ²_N = (8/(π²f0²))·∫₀^∞ Sφ(f)·sin⁴(πfN/f0)·df,
+//
+// as an independent check of the closed form (eq. 11). The integral is
+// computed in the dimensionless variable u = f·N/f0: oscillation-aware
+// Simpson panels cover u ∈ (0, uMax], and the oscillatory tail beyond
+// uMax is added analytically using ⟨sin⁴⟩ = 3/8.
+func (m Model) SigmaN2Numeric(n int) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("phase: SigmaN2Numeric requires N >= 1, got %d", n))
+	}
+	nf := float64(n)
+	f0 := m.F0
+	// f = u·f0/N, df = f0/N·du
+	// Sφ(f) = b_fl·N³/(u³f0³) + b_th·N²/(u²f0²)
+	integrand := func(u float64) float64 {
+		if u == 0 {
+			return 0
+		}
+		s := math.Sin(math.Pi * u)
+		s4 := s * s * s * s
+		fl := m.Bfl * nf * nf * nf / (u * u * u * f0 * f0 * f0)
+		th := m.Bth * nf * nf / (u * u * f0 * f0)
+		return (fl + th) * s4
+	}
+	// Integrate u from 0 to uMax with panels aligned to the sin⁴
+	// period (length 1 in u), 64 Simpson points per panel.
+	const uMax = 4096.0
+	var sum float64
+	for p := 0.0; p < uMax; p++ {
+		sum += simpson(integrand, p, p+1, 64)
+	}
+	// Tail: ∫_{uMax}^∞ (b_fl N³/(u³f0³) + b_th N²/(u²f0²))·(3/8) du
+	tail := 3.0 / 8.0 * (m.Bfl*nf*nf*nf/(2*uMax*uMax*f0*f0*f0) + m.Bth*nf*nf/(uMax*f0*f0))
+	total := sum + tail
+	return 8 / (math.Pi * math.Pi * f0 * f0) * total * (f0 / nf)
+}
+
+// simpson integrates g over [a, b] with n (even) subintervals.
+func simpson(g func(float64) float64, a, b float64, n int) float64 {
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := g(a) + g(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * g(x)
+		} else {
+			sum += 2 * g(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// PeriodJitterPSDs returns the coefficients (h0, hm1) of the equivalent
+// fractional-frequency PSD S_y(f) = h0 + hm1/f that reproduces the
+// paper's σ²_N law when the oscillator is simulated period-by-period:
+//
+//   - white FM with per-period variance σ² = b_th/f0³ gives the linear
+//     term σ²_N,th = 2σ²N;
+//   - flicker FM with one-sided S_y(f) = hm1/f, hm1 = 2·b_fl/f0²,
+//     gives σ²_N,fl = 2·(N/f0)²·σ²_y,Allan with σ²_y,Allan = 2·ln2·hm1,
+//     i.e. 8·ln2·b_fl·N²/f0⁴, matching eq. 11.
+//
+// These are the calibration constants used by internal/osc.
+func (m Model) PeriodJitterPSDs() (h0, hm1 float64) {
+	h0 = 2 * m.Bth / (m.F0 * m.F0) // such that σ² = h0/(2f0) = b_th/f0³
+	hm1 = 2 * m.Bfl / (m.F0 * m.F0)
+	return h0, hm1
+}

@@ -1,0 +1,247 @@
+package phase
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func paperModel() Model {
+	// Calibrated to the paper: a = 5.36e-6, a/b = 5354, f0 = 103 MHz.
+	const f0 = 103e6
+	return Model{
+		Bth: 5.36e-6 * f0 / 2,
+		Bfl: 5.36e-6 / 5354 * f0 * f0 / (8 * math.Ln2),
+		F0:  f0,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := paperModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Model{Bth: 1, Bfl: 1, F0: 0}).Validate(); err == nil {
+		t.Fatal("f0=0 accepted")
+	}
+	if err := (Model{Bth: -1, F0: 1}).Validate(); err == nil {
+		t.Fatal("negative Bth accepted")
+	}
+	if err := (Model{Bfl: -1, F0: 1}).Validate(); err == nil {
+		t.Fatal("negative Bfl accepted")
+	}
+}
+
+func TestPSDShape(t *testing.T) {
+	m := Model{Bth: 100, Bfl: 1e6, F0: 1e8}
+	// At high f the 1/f² term dominates; ratio across one octave → 4.
+	hi := 1e7
+	if r := m.PSD(hi) / m.PSD(2*hi); math.Abs(r-4) > 0.1 {
+		t.Fatalf("high-frequency PSD ratio %g, want ~4", r)
+	}
+	// At low f the 1/f³ term dominates; ratio across one octave → 8.
+	lo := 10.0
+	if r := m.PSD(lo) / m.PSD(2*lo); math.Abs(r-8) > 0.1 {
+		t.Fatalf("low-frequency PSD ratio %g, want ~8", r)
+	}
+}
+
+func TestPSDPanicsAtDC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic at f=0")
+		}
+	}()
+	paperModel().PSD(0)
+}
+
+func TestSigmaN2Decomposition(t *testing.T) {
+	m := paperModel()
+	for _, n := range []int{1, 10, 281, 5354, 100000} {
+		tot := m.SigmaN2(n)
+		th := m.SigmaN2Thermal(n)
+		fl := m.SigmaN2Flicker(n)
+		if math.Abs(tot-(th+fl)) > 1e-12*tot {
+			t.Fatalf("N=%d: decomposition broken", n)
+		}
+	}
+}
+
+func TestSigmaN2LinearWithoutFlicker(t *testing.T) {
+	m := Model{Bth: 276, Bfl: 0, F0: 103e6}
+	s1 := m.SigmaN2(1)
+	for _, n := range []int{2, 17, 1000} {
+		if math.Abs(m.SigmaN2(n)-float64(n)*s1) > 1e-12*m.SigmaN2(n) {
+			t.Fatalf("thermal-only σ²_N not linear at N=%d", n)
+		}
+	}
+}
+
+func TestSigmaThermalPaperValue(t *testing.T) {
+	m := paperModel()
+	if sigma := m.SigmaThermal(); math.Abs(sigma-15.89e-12) > 0.05e-12 {
+		t.Fatalf("σ = %g ps, want 15.89 ps", sigma*1e12)
+	}
+	if r := m.PeriodJitterRatio(); math.Abs(r-1.64e-3) > 0.05e-3 {
+		t.Fatalf("σ/T0 = %g ‰, want ~1.64 ‰", r*1e3)
+	}
+}
+
+func TestRNPaperLaw(t *testing.T) {
+	m := paperModel()
+	// r_N = 5354/(5354+N)
+	for _, n := range []int{1, 100, 281, 5354, 50000} {
+		want := 5354.0 / (5354.0 + float64(n))
+		if got := m.RN(n); math.Abs(got-want) > 1e-3 {
+			t.Fatalf("r_%d = %g, want %g", n, got, want)
+		}
+	}
+}
+
+func TestCornerN(t *testing.T) {
+	m := paperModel()
+	if c := m.CornerN(); math.Abs(c-5354) > 1 {
+		t.Fatalf("corner = %g, want 5354", c)
+	}
+	if r := m.RN(int(m.CornerN())); math.Abs(r-0.5) > 1e-3 {
+		t.Fatalf("r at corner = %g, want 0.5", r)
+	}
+	noFl := Model{Bth: 1, F0: 1e8}
+	if !math.IsInf(noFl.CornerN(), 1) {
+		t.Fatal("corner without flicker should be +Inf")
+	}
+}
+
+func TestIndependenceThresholdPaper281(t *testing.T) {
+	m := paperModel()
+	n, ok := m.IndependenceThreshold(0.95)
+	if !ok {
+		t.Fatal("threshold not found")
+	}
+	if n != 281 {
+		t.Fatalf("N*(95%%) = %d, want 281", n)
+	}
+	// Verify the defining property: r_N > 0.95 at n, <= 0.95 just above.
+	if m.RN(n) <= 0.95 {
+		t.Fatalf("r at threshold = %g", m.RN(n))
+	}
+	if m.RN(n+1) > 0.95 {
+		t.Fatalf("r just above threshold = %g", m.RN(n+1))
+	}
+	if _, ok := (Model{Bth: 1, F0: 1e8}).IndependenceThreshold(0.95); ok {
+		t.Fatal("threshold defined without flicker")
+	}
+}
+
+func TestIndependenceThresholdPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for rMin out of range")
+		}
+	}()
+	paperModel().IndependenceThreshold(1.5)
+}
+
+func TestFitCoefficientsRoundTrip(t *testing.T) {
+	m := paperModel()
+	a, b := m.FitCoefficients()
+	if math.Abs(a-5.36e-6) > 1e-11 {
+		t.Fatalf("a = %g, want 5.36e-6", a)
+	}
+	if math.Abs(a/b-5354) > 0.5 {
+		t.Fatalf("a/b = %g, want 5354", a/b)
+	}
+	back := ModelFromFit(a, b, m.F0)
+	if math.Abs(back.Bth-m.Bth) > 1e-9*m.Bth || math.Abs(back.Bfl-m.Bfl) > 1e-9*m.Bfl {
+		t.Fatalf("roundtrip model %+v vs %+v", back, m)
+	}
+}
+
+func TestFitRoundTripProperty(t *testing.T) {
+	f := func(rawBth, rawBfl uint16) bool {
+		bth := 1 + float64(rawBth)
+		bfl := 1 + float64(rawBfl)*1e3
+		m := Model{Bth: bth, Bfl: bfl, F0: 103e6}
+		a, b := m.FitCoefficients()
+		back := ModelFromFit(a, b, m.F0)
+		return math.Abs(back.Bth-bth) < 1e-9*bth && math.Abs(back.Bfl-bfl) < 1e-9*bfl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigmaN2NumericMatchesAnalytic(t *testing.T) {
+	// The central identity of the paper: eq. 9 (integral) equals
+	// eq. 11 (closed form).
+	m := paperModel()
+	for _, n := range []int{1, 4, 32, 281, 2048} {
+		ana := m.SigmaN2(n)
+		num := m.SigmaN2Numeric(n)
+		if math.Abs(num-ana) > 0.02*ana {
+			t.Fatalf("N=%d: numeric %g vs analytic %g (%.2f%%)", n, num, ana, 100*math.Abs(num-ana)/ana)
+		}
+	}
+}
+
+func TestSigmaN2NumericThermalOnly(t *testing.T) {
+	m := Model{Bth: 276.04, Bfl: 0, F0: 103e6}
+	for _, n := range []int{1, 64, 1024} {
+		ana := m.SigmaN2(n)
+		num := m.SigmaN2Numeric(n)
+		if math.Abs(num-ana) > 0.02*ana {
+			t.Fatalf("thermal-only N=%d: numeric %g vs analytic %g", n, num, ana)
+		}
+	}
+}
+
+func TestSigmaN2NumericFlickerOnly(t *testing.T) {
+	m := Model{Bth: 0, Bfl: 1.9e6, F0: 103e6}
+	for _, n := range []int{4, 64, 512} {
+		ana := m.SigmaN2(n)
+		num := m.SigmaN2Numeric(n)
+		if math.Abs(num-ana) > 0.02*ana {
+			t.Fatalf("flicker-only N=%d: numeric %g vs analytic %g", n, num, ana)
+		}
+	}
+}
+
+func TestSigmaN2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for N=0")
+		}
+	}()
+	paperModel().SigmaN2(0)
+}
+
+func TestPeriodJitterPSDs(t *testing.T) {
+	m := paperModel()
+	h0, hm1 := m.PeriodJitterPSDs()
+	// σ² = h0/(2f0) must equal b_th/f0³.
+	sigma2 := h0 / (2 * m.F0)
+	want := m.Bth / (m.F0 * m.F0 * m.F0)
+	if math.Abs(sigma2-want) > 1e-12*want {
+		t.Fatalf("h0 inconsistent: σ² %g vs %g", sigma2, want)
+	}
+	// Flicker: Var(s_N) from the Allan plateau must equal eq. 11's
+	// quadratic term: 2(N/f0)²·2ln2·hm1 = 8ln2·Bfl·N²/f0⁴.
+	n := 1000.0
+	fromAllan := 2 * (n / m.F0) * (n / m.F0) * 2 * math.Ln2 * hm1
+	fromEq11 := 8 * math.Ln2 * m.Bfl * n * n / (m.F0 * m.F0 * m.F0 * m.F0)
+	if math.Abs(fromAllan-fromEq11) > 1e-9*fromEq11 {
+		t.Fatalf("hm1 inconsistent: %g vs %g", fromAllan, fromEq11)
+	}
+}
+
+func TestSimpsonExact(t *testing.T) {
+	// Simpson is exact for cubics.
+	got := simpson(func(x float64) float64 { return x * x * x }, 0, 2, 16)
+	if math.Abs(got-4) > 1e-12 {
+		t.Fatalf("simpson ∫x³ = %g, want 4", got)
+	}
+	// Odd n is rounded up internally.
+	got = simpson(func(x float64) float64 { return x }, 0, 1, 3)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("simpson with odd n = %g", got)
+	}
+}

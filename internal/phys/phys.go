@@ -1,0 +1,245 @@
+// Package phys provides physical constants, device operating parameters
+// and the transistor-level noise current power spectral densities used by
+// the multilevel P-TRNG stochastic model (Haddad et al., DATE 2014, §III-A).
+//
+// The package models the two dominant noise mechanisms of bulk CMOS
+// devices identified by Lundberg:
+//
+//   - thermal noise, white (non-autocorrelated), with current PSD
+//     S_th(f) = (8/3)·k·T·gm           [A²/Hz]
+//   - flicker noise, autocorrelated, with current PSD
+//     S_fl(f) = α·k·T·I_D² / (W·L²·f)  [A²/Hz]
+//
+// Both are modeled as a parasitic current source ids between drain and
+// source. Because the two mechanisms are physically independent, the PSD
+// of ids is their sum (paper eq. 1).
+package phys
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Physical constants (SI units).
+const (
+	// Boltzmann is the Boltzmann constant k in J/K.
+	Boltzmann = 1.380649e-23
+	// ElectronCharge is the elementary charge q in C.
+	ElectronCharge = 1.602176634e-19
+	// RoomTemperature is the default operating temperature in K.
+	RoomTemperature = 300.0
+)
+
+// Transistor describes the small-signal and geometry parameters of a MOS
+// transistor that enter the noise PSD formulas of paper §III-A.
+type Transistor struct {
+	// Gm is the transconductance gm in A/V (siemens).
+	Gm float64
+	// ID is the nominal drain-source current I_D in A.
+	ID float64
+	// W is the channel width in m.
+	W float64
+	// L is the channel length in m.
+	L float64
+	// KFlicker is the technology constant α associated with the
+	// crystallography of the silicon (dimensionless scaling of the
+	// flicker PSD formula). Typical bulk CMOS values fall in the
+	// 1e-2 .. 1e2 range depending on normalization; the model only
+	// uses it as a linear scale factor.
+	KFlicker float64
+	// Temperature is the operating temperature T in K. Zero means
+	// RoomTemperature.
+	Temperature float64
+}
+
+// Validate reports whether the transistor parameters are physically
+// meaningful (all strictly positive where required).
+func (t Transistor) Validate() error {
+	switch {
+	case t.Gm <= 0:
+		return fmt.Errorf("phys: transconductance Gm = %g must be > 0", t.Gm)
+	case t.ID <= 0:
+		return fmt.Errorf("phys: drain current ID = %g must be > 0", t.ID)
+	case t.W <= 0:
+		return fmt.Errorf("phys: channel width W = %g must be > 0", t.W)
+	case t.L <= 0:
+		return fmt.Errorf("phys: channel length L = %g must be > 0", t.L)
+	case t.KFlicker < 0:
+		return fmt.Errorf("phys: flicker constant KFlicker = %g must be >= 0", t.KFlicker)
+	case t.Temperature < 0:
+		return fmt.Errorf("phys: temperature %g K must be >= 0", t.Temperature)
+	}
+	return nil
+}
+
+// T returns the operating temperature, defaulting to RoomTemperature.
+func (t Transistor) T() float64 {
+	if t.Temperature == 0 {
+		return RoomTemperature
+	}
+	return t.Temperature
+}
+
+// ThermalCurrentPSD returns the one-sided thermal noise current PSD
+// S_th = (8/3)·k·T·gm in A²/Hz. Thermal noise is white: the value is
+// independent of frequency.
+func (t Transistor) ThermalCurrentPSD() float64 {
+	return 8.0 / 3.0 * Boltzmann * t.T() * t.Gm
+}
+
+// FlickerCurrentPSD returns the one-sided flicker noise current PSD
+// S_fl(f) = α·k·T·I_D²/(W·L²·f) in A²/Hz at Fourier frequency f (Hz).
+// It panics for f <= 0: the 1/f law diverges at DC and the caller must
+// band-limit the analysis.
+func (t Transistor) FlickerCurrentPSD(f float64) float64 {
+	if f <= 0 {
+		panic(fmt.Sprintf("phys: FlickerCurrentPSD requires f > 0, got %g", f))
+	}
+	return t.KFlicker * Boltzmann * t.T() * t.ID * t.ID / (t.W * t.L * t.L * f)
+}
+
+// FlickerCornerFrequency returns the frequency at which the flicker PSD
+// equals the thermal PSD. Above the corner, thermal noise dominates.
+// Returns 0 when flicker noise is absent.
+func (t Transistor) FlickerCornerFrequency() float64 {
+	th := t.ThermalCurrentPSD()
+	if th == 0 {
+		return math.Inf(1)
+	}
+	// S_fl(fc) = S_th  =>  fc = alpha·k·T·ID²/(W·L²·S_th)
+	return t.KFlicker * Boltzmann * t.T() * t.ID * t.ID / (t.W * t.L * t.L * th)
+}
+
+// CurrentPSD returns the total noise current PSD S_ids(f) = S_th + S_fl(f)
+// (paper eq. 1) in A²/Hz. The two mechanisms are independent so their
+// PSDs add.
+func (t Transistor) CurrentPSD(f float64) float64 {
+	return t.ThermalCurrentPSD() + t.FlickerCurrentPSD(f)
+}
+
+// Inverter describes a CMOS inverter stage of a ring oscillator. The
+// load capacitance and supply voltage enter Hajimiri's conversion from
+// noise current to excess phase.
+type Inverter struct {
+	// NMOS and PMOS are the two transistors of the inverter.
+	NMOS, PMOS Transistor
+	// CLoad is the load capacitance C_L in F seen at the inverter
+	// output (next-stage gate + wiring).
+	CLoad float64
+	// VDD is the supply voltage in V.
+	VDD float64
+}
+
+// Validate reports whether the inverter parameters are physically
+// meaningful.
+func (inv Inverter) Validate() error {
+	if err := inv.NMOS.Validate(); err != nil {
+		return fmt.Errorf("NMOS: %w", err)
+	}
+	if err := inv.PMOS.Validate(); err != nil {
+		return fmt.Errorf("PMOS: %w", err)
+	}
+	if inv.CLoad <= 0 {
+		return fmt.Errorf("phys: load capacitance %g must be > 0", inv.CLoad)
+	}
+	if inv.VDD <= 0 {
+		return fmt.Errorf("phys: supply voltage %g must be > 0", inv.VDD)
+	}
+	return nil
+}
+
+// SwitchingDelay returns the nominal propagation delay of the stage,
+// approximated by the time to (dis)charge CLoad across half the supply
+// with the average drive current: t_d = C_L·V_DD / (2·I_D).
+// The NMOS drive current is used; for a symmetric inverter NMOS and PMOS
+// currents are equal.
+func (inv Inverter) SwitchingDelay() float64 {
+	return inv.CLoad * inv.VDD / (2 * inv.NMOS.ID)
+}
+
+// ThermalCurrentPSD returns the combined thermal current PSD of both
+// devices. During a transition one device conducts at a time, but both
+// contribute noise over a full period; the standard approximation sums
+// the two white PSDs.
+func (inv Inverter) ThermalCurrentPSD() float64 {
+	return inv.NMOS.ThermalCurrentPSD() + inv.PMOS.ThermalCurrentPSD()
+}
+
+// FlickerCurrentPSD returns the combined flicker current PSD of both
+// devices at frequency f.
+func (inv Inverter) FlickerCurrentPSD(f float64) float64 {
+	return inv.NMOS.FlickerCurrentPSD(f) + inv.PMOS.FlickerCurrentPSD(f)
+}
+
+// ErrStageCount is returned when a ring has an invalid stage count.
+var ErrStageCount = errors.New("phys: ring oscillator needs an odd stage count >= 3")
+
+// Ring describes a classical single-ended ring oscillator made of
+// identical inverter stages.
+type Ring struct {
+	// Stage is the inverter replicated around the loop.
+	Stage Inverter
+	// Stages is the number of inverters. Must be odd and >= 3 for a
+	// classical single-ended ring to oscillate.
+	Stages int
+}
+
+// Validate checks the ring parameters.
+func (r Ring) Validate() error {
+	if r.Stages < 3 || r.Stages%2 == 0 {
+		return fmt.Errorf("%w: got %d", ErrStageCount, r.Stages)
+	}
+	return r.Stage.Validate()
+}
+
+// Frequency returns the nominal oscillation frequency
+// f0 = 1/(2·n·t_d) for an n-stage ring with stage delay t_d.
+func (r Ring) Frequency() float64 {
+	return 1.0 / (2.0 * float64(r.Stages) * r.Stage.SwitchingDelay())
+}
+
+// Period returns the nominal oscillation period 1/f0.
+func (r Ring) Period() float64 {
+	return 2.0 * float64(r.Stages) * r.Stage.SwitchingDelay()
+}
+
+// DefaultTransistor returns transistor parameters representative of a
+// mature bulk CMOS node (~130 nm class, as on a Cyclone III FPGA die),
+// suitable as a starting point for examples and tests.
+func DefaultTransistor() Transistor {
+	return Transistor{
+		Gm: 1.2e-3, // 1.2 mS
+		ID: 120e-6, // 120 µA
+		W:  1.0e-6, // 1 µm
+		L:  130e-9, // 130 nm
+		// Technology constant of the flicker formula
+		// S_fl = α·k·T·I_D²/(W·L²·f). With this node's geometry it
+		// places the device's flicker corner near 450 MHz, which —
+		// through the ring's ISF up-conversion — yields the
+		// a/b ≈ 5354 flicker share the paper measured.
+		KFlicker:    1.68e-6,
+		Temperature: RoomTemperature,
+	}
+}
+
+// DefaultInverter returns an inverter built from DefaultTransistor with
+// a load capacitance and supply representative of the same node.
+func DefaultInverter() Inverter {
+	t := DefaultTransistor()
+	return Inverter{
+		NMOS:  t,
+		PMOS:  t,
+		CLoad: 12e-15, // 12 fF
+		VDD:   1.2,    // V
+	}
+}
+
+// DefaultRing returns a ring sized so that its nominal frequency is close
+// to the paper's 103 MHz experimental oscillator.
+func DefaultRing() Ring {
+	inv := DefaultInverter()
+	// t_d = C·V/(2I) = 12f·1.2/(240µ) = 60 ps; f0 = 1/(2·n·60ps).
+	// n = 81 gives f0 ≈ 102.9 MHz.
+	return Ring{Stage: inv, Stages: 81}
+}

@@ -1,0 +1,185 @@
+package phys
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestThermalCurrentPSDFormula(t *testing.T) {
+	tr := Transistor{Gm: 1e-3, ID: 1e-4, W: 1e-6, L: 1e-7, KFlicker: 0}
+	want := 8.0 / 3.0 * Boltzmann * RoomTemperature * 1e-3
+	if got := tr.ThermalCurrentPSD(); math.Abs(got-want) > 1e-30 {
+		t.Fatalf("thermal PSD = %g, want %g", got, want)
+	}
+}
+
+func TestThermalPSDScalesWithTemperature(t *testing.T) {
+	tr := DefaultTransistor()
+	tr.Temperature = 300
+	p300 := tr.ThermalCurrentPSD()
+	tr.Temperature = 600
+	p600 := tr.ThermalCurrentPSD()
+	if math.Abs(p600/p300-2) > 1e-12 {
+		t.Fatalf("thermal PSD ratio %g, want 2", p600/p300)
+	}
+}
+
+func TestFlickerCurrentPSDInverseF(t *testing.T) {
+	tr := DefaultTransistor()
+	p1 := tr.FlickerCurrentPSD(1e3)
+	p2 := tr.FlickerCurrentPSD(2e3)
+	if math.Abs(p1/p2-2) > 1e-12 {
+		t.Fatalf("flicker PSD not 1/f: ratio %g", p1/p2)
+	}
+}
+
+func TestFlickerPSDShrinkLaw(t *testing.T) {
+	// The paper's conclusion: flicker PSD ∝ 1/L² (at fixed W it is
+	// 1/(W·L²)); halving L quadruples it.
+	tr := DefaultTransistor()
+	p := tr.FlickerCurrentPSD(1e3)
+	tr.L /= 2
+	p2 := tr.FlickerCurrentPSD(1e3)
+	if math.Abs(p2/p-4) > 1e-9 {
+		t.Fatalf("flicker shrink ratio %g, want 4", p2/p)
+	}
+}
+
+func TestFlickerPSDPanicsAtDC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic at f=0")
+		}
+	}()
+	DefaultTransistor().FlickerCurrentPSD(0)
+}
+
+func TestCurrentPSDSum(t *testing.T) {
+	tr := DefaultTransistor()
+	f := 1e4
+	want := tr.ThermalCurrentPSD() + tr.FlickerCurrentPSD(f)
+	if got := tr.CurrentPSD(f); got != want {
+		t.Fatalf("CurrentPSD = %g, want %g", got, want)
+	}
+}
+
+func TestFlickerCornerFrequency(t *testing.T) {
+	tr := DefaultTransistor()
+	fc := tr.FlickerCornerFrequency()
+	if fc <= 0 {
+		t.Fatalf("corner %g must be positive", fc)
+	}
+	// At the corner the two PSDs are equal by definition.
+	th := tr.ThermalCurrentPSD()
+	fl := tr.FlickerCurrentPSD(fc)
+	if math.Abs(th-fl) > 1e-9*th {
+		t.Fatalf("PSDs at corner differ: %g vs %g", th, fl)
+	}
+}
+
+func TestTransistorValidate(t *testing.T) {
+	good := DefaultTransistor()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default transistor invalid: %v", err)
+	}
+	cases := []func(*Transistor){
+		func(tr *Transistor) { tr.Gm = 0 },
+		func(tr *Transistor) { tr.ID = -1 },
+		func(tr *Transistor) { tr.W = 0 },
+		func(tr *Transistor) { tr.L = 0 },
+		func(tr *Transistor) { tr.KFlicker = -1 },
+		func(tr *Transistor) { tr.Temperature = -1 },
+	}
+	for i, mutate := range cases {
+		tr := DefaultTransistor()
+		mutate(&tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: invalid transistor accepted", i)
+		}
+	}
+}
+
+func TestTemperatureDefault(t *testing.T) {
+	tr := Transistor{}
+	if tr.T() != RoomTemperature {
+		t.Fatalf("default temperature %g", tr.T())
+	}
+	tr.Temperature = 350
+	if tr.T() != 350 {
+		t.Fatalf("explicit temperature %g", tr.T())
+	}
+}
+
+func TestInverterValidateAndDelay(t *testing.T) {
+	inv := DefaultInverter()
+	if err := inv.Validate(); err != nil {
+		t.Fatalf("default inverter invalid: %v", err)
+	}
+	// t_d = C·V/(2I) with the defaults: 12fF·1.2V/240µA = 60 ps.
+	want := 12e-15 * 1.2 / (2 * 120e-6)
+	if got := inv.SwitchingDelay(); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("delay %g, want %g", got, want)
+	}
+	inv.CLoad = 0
+	if err := inv.Validate(); err == nil {
+		t.Fatal("zero CLoad accepted")
+	}
+	inv = DefaultInverter()
+	inv.VDD = 0
+	if err := inv.Validate(); err == nil {
+		t.Fatal("zero VDD accepted")
+	}
+	inv = DefaultInverter()
+	inv.NMOS.Gm = 0
+	if err := inv.Validate(); err == nil {
+		t.Fatal("bad NMOS accepted")
+	}
+}
+
+func TestInverterNoiseSums(t *testing.T) {
+	inv := DefaultInverter()
+	if got := inv.ThermalCurrentPSD(); math.Abs(got-2*inv.NMOS.ThermalCurrentPSD()) > 1e-30 {
+		t.Fatal("inverter thermal PSD is not the sum of both devices")
+	}
+	f := 1e3
+	if got := inv.FlickerCurrentPSD(f); math.Abs(got-2*inv.NMOS.FlickerCurrentPSD(f)) > 1e-30 {
+		t.Fatal("inverter flicker PSD is not the sum of both devices")
+	}
+}
+
+func TestRingValidate(t *testing.T) {
+	r := DefaultRing()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("default ring invalid: %v", err)
+	}
+	r.Stages = 4
+	if err := r.Validate(); !errors.Is(err, ErrStageCount) {
+		t.Fatalf("even stage count: %v", err)
+	}
+	r.Stages = 1
+	if err := r.Validate(); !errors.Is(err, ErrStageCount) {
+		t.Fatalf("single stage: %v", err)
+	}
+}
+
+func TestRingFrequencyNearPaper(t *testing.T) {
+	r := DefaultRing()
+	f0 := r.Frequency()
+	if f0 < 95e6 || f0 > 110e6 {
+		t.Fatalf("default ring f0 = %g MHz, want ~103 MHz", f0/1e6)
+	}
+	if math.Abs(r.Period()*f0-1) > 1e-12 {
+		t.Fatal("Period and Frequency inconsistent")
+	}
+}
+
+func TestRingFrequencyScalesWithStages(t *testing.T) {
+	r := DefaultRing()
+	f1 := r.Frequency()
+	r.Stages = 2*r.Stages + 1 // more stages, slower
+	f2 := r.Frequency()
+	if f2 >= f1 {
+		t.Fatalf("more stages should slow the ring: %g -> %g", f1, f2)
+	}
+}

@@ -1,0 +1,284 @@
+// Package pll implements the PLL-based P-TRNG of Bernard, Fischer &
+// Valtchanov [5] ("Mathematical model of physical RNGs based on
+// coherent sampling"), the first of the modeled generator classes the
+// paper's §II surveys. Its randomness extraction differs from the
+// eRO-TRNG: a PLL locks the sampled clock CLK1 to the sampling clock
+// CLK0 with a rational ratio
+//
+//	f1/f0 = KM/KD   (KM, KD coprime),
+//
+// so KD consecutive samples of CLK1 taken at CLK0 edges sweep one full
+// pattern period T_Q = KD·T0 = KM·T1 in deterministic phase steps of
+// Δ = T1/KD. Jitter only matters at the few "critical" samples that
+// land within the jitter amplitude of a CLK1 edge; XOR-ing the KD
+// samples of each pattern concentrates that randomness into one raw
+// bit per pattern.
+//
+// The coherent-sampling structure makes the stochastic model tractable
+// — and it inherits the paper's warning identically: the exploitable
+// per-pattern randomness is the THERMAL jitter accumulated over T_Q,
+// not the total measured jitter, because flicker noise is
+// autocorrelated across patterns.
+package pll
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/phase"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Config describes the coherent-sampling pair.
+type Config struct {
+	// F0 is the sampling clock frequency in Hz.
+	F0 float64
+	// KM and KD are the PLL multiplication/division factors; they
+	// should be coprime so the pattern sweeps all KD phases.
+	KM, KD int
+	// SigmaThermal is the rms thermal jitter of a CLK1 edge relative
+	// to CLK0 at each sample, in seconds. (In hardware this is the
+	// accumulated tracking jitter of the PLL loop, white across
+	// samples.)
+	SigmaThermal float64
+	// FlickerSigma, when > 0, adds a slowly wandering phase offset
+	// with this rms magnitude (seconds) and correlation length
+	// FlickerTau samples — the autocorrelated component.
+	FlickerSigma float64
+	FlickerTau   int
+	// PhaseOffset is the static CLK0→CLK1 phase skew in CLK1 cycles
+	// (routing delay). Zero selects 1/(2·KD): half a pattern step,
+	// so no nominal sample sits exactly on a waveform edge — with
+	// coprime KM/KD and even KD, offset 0 would place samples
+	// exactly on the edges, a measure-zero coincidence real skew
+	// never realizes. Negative values select exactly 0.
+	PhaseOffset float64
+	// Seed seeds the jitter streams.
+	Seed uint64
+}
+
+// phaseOffset resolves the default.
+func (c Config) phaseOffset() float64 {
+	if c.PhaseOffset < 0 {
+		return 0
+	}
+	if c.PhaseOffset == 0 {
+		return 1 / (2 * float64(c.KD))
+	}
+	return c.PhaseOffset
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.F0 <= 0:
+		return fmt.Errorf("pll: f0 = %g must be > 0", c.F0)
+	case c.KM < 1 || c.KD < 1:
+		return fmt.Errorf("pll: KM=%d, KD=%d must be >= 1", c.KM, c.KD)
+	case gcd(c.KM, c.KD) != 1:
+		return fmt.Errorf("pll: KM=%d and KD=%d must be coprime", c.KM, c.KD)
+	case c.SigmaThermal < 0 || c.FlickerSigma < 0:
+		return fmt.Errorf("pll: negative jitter")
+	case c.FlickerSigma > 0 && c.FlickerTau < 1:
+		return fmt.Errorf("pll: flicker requires FlickerTau >= 1")
+	}
+	return nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Generator is a running PLL-TRNG.
+type Generator struct {
+	cfg    Config
+	t1     float64 // CLK1 period
+	src    *rng.Source
+	sample uint64
+	wander float64 // current flicker phase offset (s)
+	aFl    float64 // AR(1) pole for the wander
+	qFl    float64 // innovation rms
+}
+
+// New builds the generator.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg: cfg,
+		t1:  float64(cfg.KD) / (float64(cfg.KM) * cfg.F0),
+		src: rng.New(cfg.Seed),
+	}
+	if cfg.FlickerSigma > 0 {
+		g.aFl = math.Exp(-1 / float64(cfg.FlickerTau))
+		g.qFl = cfg.FlickerSigma * math.Sqrt(1-g.aFl*g.aFl)
+		g.wander = cfg.FlickerSigma * g.src.Norm()
+	}
+	return g, nil
+}
+
+// PatternLength returns KD, the number of samples per raw bit.
+func (g *Generator) PatternLength() int { return g.cfg.KD }
+
+// nextSample returns one sampled value of CLK1 at the current CLK0
+// edge: the square waveform evaluated at the jittered relative phase.
+func (g *Generator) nextSample() byte {
+	t0 := 1 / g.cfg.F0
+	tSample := float64(g.sample) * t0
+	g.sample++
+	if g.cfg.FlickerSigma > 0 {
+		g.wander = g.aFl*g.wander + g.qFl*g.src.Norm()
+	}
+	jitter := g.wander
+	if g.cfg.SigmaThermal > 0 {
+		jitter += g.cfg.SigmaThermal * g.src.Norm()
+	}
+	phase := math.Mod((tSample+jitter)/g.t1+g.cfg.phaseOffset(), 1)
+	if phase < 0 {
+		phase++
+	}
+	if phase < 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// NextBit produces one raw bit: the XOR of the KD samples of one
+// pattern period (the decimator of [5]).
+func (g *Generator) NextBit() byte {
+	var b byte
+	for i := 0; i < g.cfg.KD; i++ {
+		b ^= g.nextSample()
+	}
+	return b
+}
+
+// Bits produces n raw bits.
+func (g *Generator) Bits(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = g.NextBit()
+	}
+	return out
+}
+
+// Pattern returns the KD samples of one pattern period without
+// decimation — useful for inspecting which samples are critical.
+func (g *Generator) Pattern() []byte {
+	out := make([]byte, g.cfg.KD)
+	for i := range out {
+		out[i] = g.nextSample()
+	}
+	return out
+}
+
+// CriticalSamples counts the pattern positions whose nominal sampling
+// phase lies within k·sigma of a CLK1 edge — the samples that carry
+// randomness. The model of [5] shows the raw-bit entropy is governed
+// by this count and the per-sample flip probability.
+func (g *Generator) CriticalSamples(k float64) int {
+	t0 := 1 / g.cfg.F0
+	window := k * g.cfg.SigmaThermal / g.t1 // in CLK1 phase units
+	count := 0
+	for i := 0; i < g.cfg.KD; i++ {
+		ph := math.Mod(float64(i)*t0/g.t1+g.cfg.phaseOffset(), 1)
+		// distance to the nearest switching phase (0 or 0.5)
+		d := math.Min(distMod(ph, 0), distMod(ph, 0.5))
+		if d <= window {
+			count++
+		}
+	}
+	return count
+}
+
+func distMod(x, c float64) float64 {
+	d := math.Abs(math.Mod(x-c+0.5, 1) - 0.5)
+	return d
+}
+
+// Model is the analytic stochastic description of the raw bit.
+type Model struct {
+	// FlipProbability is the per-pattern probability that the
+	// decimated bit differs from its noiseless value.
+	FlipProbability float64
+	// EntropyPerBit is the Shannon entropy of the raw bit under the
+	// stationary model (flip probability applied to an alternating
+	// deterministic pattern).
+	EntropyPerBit float64
+	// Critical is the number of jitter-sensitive samples.
+	Critical int
+}
+
+// Analyze evaluates the analytic model: each critical sample flips
+// independently with probability derived from the Gaussian phase noise;
+// the XOR of the pattern flips when an odd number flip (piling-up).
+func (g *Generator) Analyze() Model {
+	t0 := 1 / g.cfg.F0
+	sigmaPh := g.cfg.SigmaThermal / g.t1
+	var pOdd float64 // probability of odd number of flips, via piling-up product
+	prod := 1.0
+	critical := 0
+	for i := 0; i < g.cfg.KD; i++ {
+		ph := math.Mod(float64(i)*t0/g.t1+g.cfg.phaseOffset(), 1)
+		d := math.Min(distMod(ph, 0), distMod(ph, 0.5))
+		var p float64
+		if sigmaPh > 0 {
+			p = stats.NormalSF(d / sigmaPh)
+		}
+		if p > 1e-9 {
+			critical++
+		}
+		prod *= 1 - 2*p
+	}
+	pOdd = (1 - prod) / 2
+	h := 0.0
+	if pOdd > 0 && pOdd < 1 {
+		h = -pOdd*math.Log2(pOdd) - (1-pOdd)*math.Log2(1-pOdd)
+	}
+	return Model{FlipProbability: pOdd, EntropyPerBit: h, Critical: critical}
+}
+
+// RequiredSigma returns the thermal jitter needed for the analytic
+// entropy to reach hMin, found by bisection over sigma. It mirrors
+// entropy.RequiredDivider for the PLL architecture: the designer's
+// question under the REFINED model (thermal jitter only).
+func RequiredSigma(cfg Config, hMin float64) (float64, error) {
+	if hMin <= 0 || hMin >= 1 {
+		return 0, fmt.Errorf("pll: hMin %g out of (0,1)", hMin)
+	}
+	lo := 0.0
+	hi := 1 / cfg.F0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		c := cfg
+		c.SigmaThermal = mid
+		g, err := New(c)
+		if err != nil {
+			return 0, err
+		}
+		if g.Analyze().EntropyPerBit >= hMin {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// EquivalentEROModel maps the PLL tracking jitter onto an eRO-style
+// phase model for comparison experiments: a ring at f1 whose thermal
+// period jitter accumulated over one pattern equals the PLL jitter.
+func EquivalentEROModel(cfg Config) phase.Model {
+	f1 := 1 / (float64(cfg.KD) / (float64(cfg.KM) * cfg.F0))
+	// σ_acc² = KM·σ_period²  ⇒  σ_period = σ/√KM
+	sigmaPeriod := cfg.SigmaThermal / math.Sqrt(float64(cfg.KM))
+	return phase.Model{
+		Bth: sigmaPeriod * sigmaPeriod * f1 * f1 * f1,
+		F0:  f1,
+	}
+}

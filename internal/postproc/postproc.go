@@ -1,0 +1,89 @@
+// Package postproc implements the algebraic post-processing blocks of
+// the AIS31 P-TRNG architecture (paper Fig. 1): deterministic
+// transformations applied to the raw binary sequence to increase entropy
+// per bit at the cost of throughput.
+package postproc
+
+import "fmt"
+
+// XORDecimate compresses the sequence k:1 by XOR-ing each group of k
+// consecutive bits. For independent bits with bias b (P(1)=1/2+b) the
+// output bias shrinks to 2^(k−1)·b^k (piling-up lemma); note the paper's
+// warning applies here too — autocorrelated inputs do not enjoy the full
+// piling-up gain.
+func XORDecimate(bits []byte, k int) []byte {
+	if k < 1 {
+		panic(fmt.Sprintf("postproc: decimation factor %d must be >= 1", k))
+	}
+	out := make([]byte, 0, len(bits)/k)
+	for i := 0; i+k <= len(bits); i += k {
+		var b byte
+		for j := 0; j < k; j++ {
+			b ^= bits[i+j]
+		}
+		out = append(out, b&1)
+	}
+	return out
+}
+
+// VonNeumann applies the von Neumann corrector: consecutive
+// non-overlapping pairs map 01→0, 10→1, and 00/11 are discarded. For
+// independent bits of any fixed bias the output is exactly unbiased;
+// autocorrelation between the pair halves breaks the guarantee.
+func VonNeumann(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)/4)
+	for i := 0; i+1 < len(bits); i += 2 {
+		a, b := bits[i]&1, bits[i+1]&1
+		if a != b {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Parity returns the parity (XOR) of the whole block — the limiting case
+// of XORDecimate with k = len(bits).
+func Parity(bits []byte) byte {
+	var p byte
+	for _, b := range bits {
+		p ^= b
+	}
+	return p & 1
+}
+
+// Pack packs bits MSB-first into bytes; the final partial byte (if any)
+// is zero-padded on the right.
+func Pack(bits []byte) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b&1 == 1 {
+			out[i/8] |= 0x80 >> (i % 8)
+		}
+	}
+	return out
+}
+
+// Unpack expands bytes into bits MSB-first.
+func Unpack(data []byte) []byte {
+	out := make([]byte, len(data)*8)
+	for i := range out {
+		if data[i/8]&(0x80>>(i%8)) != 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Bias returns the empirical bias P̂(1) − 1/2 of a bit slice.
+func Bias(bits []byte) float64 {
+	if len(bits) == 0 {
+		return 0
+	}
+	var ones int
+	for _, b := range bits {
+		if b&1 == 1 {
+			ones++
+		}
+	}
+	return float64(ones)/float64(len(bits)) - 0.5
+}

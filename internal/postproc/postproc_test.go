@@ -1,0 +1,142 @@
+package postproc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// biasedBits produces independent bits with P(1) = p.
+func biasedBits(n int, p float64, seed uint64) []byte {
+	r := rng.New(seed)
+	out := make([]byte, n)
+	for i := range out {
+		if r.Float64() < p {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func TestBias(t *testing.T) {
+	if b := Bias([]byte{1, 1, 1, 1}); b != 0.5 {
+		t.Fatalf("all-ones bias = %g", b)
+	}
+	if b := Bias([]byte{0, 1, 0, 1}); b != 0 {
+		t.Fatalf("balanced bias = %g", b)
+	}
+	if b := Bias(nil); b != 0 {
+		t.Fatalf("empty bias = %g", b)
+	}
+}
+
+func TestXORDecimateReducesBias(t *testing.T) {
+	const p = 0.6 // bias 0.1
+	in := biasedBits(1_000_000, p, 1)
+	out := XORDecimate(in, 4)
+	if len(out) != len(in)/4 {
+		t.Fatalf("output length %d", len(out))
+	}
+	// Piling-up: bias_out = 2^3·(0.1)^4 = 8e-4.
+	got := math.Abs(Bias(out))
+	if got > 5e-3 {
+		t.Fatalf("decimated bias = %g, want ~8e-4", got)
+	}
+	inBias := math.Abs(Bias(in))
+	if got > inBias/10 {
+		t.Fatalf("XOR did not reduce bias: %g -> %g", inBias, got)
+	}
+}
+
+func TestXORDecimateK1Identity(t *testing.T) {
+	in := biasedBits(1000, 0.5, 2)
+	out := XORDecimate(in, 1)
+	for i := range in {
+		if out[i] != in[i]&1 {
+			t.Fatalf("k=1 not identity at %d", i)
+		}
+	}
+}
+
+func TestXORDecimatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for k=0")
+		}
+	}()
+	XORDecimate([]byte{1}, 0)
+}
+
+func TestVonNeumannUnbiased(t *testing.T) {
+	in := biasedBits(2_000_000, 0.7, 3)
+	out := VonNeumann(in)
+	// Output rate: 2·p·(1−p) per pair = 0.21 per input bit·0.5.
+	expected := float64(len(in)) / 2 * 2 * 0.7 * 0.3
+	if math.Abs(float64(len(out))-expected) > 0.05*expected {
+		t.Fatalf("output length %d, want ~%g", len(out), expected)
+	}
+	if b := math.Abs(Bias(out)); b > 3e-3 {
+		t.Fatalf("von Neumann output bias = %g, want ~0", b)
+	}
+}
+
+func TestVonNeumannKnownPattern(t *testing.T) {
+	// pairs: (0,1)->0, (1,0)->1, (1,1)->drop, (0,0)->drop
+	out := VonNeumann([]byte{0, 1, 1, 0, 1, 1, 0, 0})
+	if len(out) != 2 || out[0] != 0 || out[1] != 1 {
+		t.Fatalf("von Neumann output %v", out)
+	}
+}
+
+func TestParity(t *testing.T) {
+	if Parity([]byte{1, 1, 1}) != 1 {
+		t.Fatal("parity of three ones")
+	}
+	if Parity([]byte{1, 1}) != 0 {
+		t.Fatal("parity of two ones")
+	}
+	if Parity(nil) != 0 {
+		t.Fatal("parity of empty")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		bits := make([]byte, len(raw))
+		for i, v := range raw {
+			bits[i] = v & 1
+		}
+		// Round-trip only full-byte multiples for exact equality.
+		n := (len(bits) / 8) * 8
+		bits = bits[:n]
+		back := Unpack(Pack(bits))
+		if len(back) != n {
+			return false
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackPartialByte(t *testing.T) {
+	packed := Pack([]byte{1, 0, 1}) // 101 -> 1010_0000
+	if len(packed) != 1 || packed[0] != 0xA0 {
+		t.Fatalf("packed = %x", packed)
+	}
+}
+
+func TestUnpackKnown(t *testing.T) {
+	bits := Unpack([]byte{0x80, 0x01})
+	if bits[0] != 1 || bits[7] != 0 || bits[15] != 1 {
+		t.Fatalf("unpacked = %v", bits)
+	}
+}

@@ -1,0 +1,169 @@
+// Package rng provides a deterministic, seedable pseudo-random number
+// generator used by every simulator in this repository.
+//
+// Reproducibility is a hard requirement for the experiment harness: each
+// experiment documents its seed, and re-running it must produce the same
+// tables. The package wraps a xoshiro256** core seeded through SplitMix64
+// (the initialization recommended by the xoshiro authors), and layers
+// Gaussian sampling and stream splitting on top.
+//
+// The generators are NOT cryptographically secure and must never be used
+// as an entropy source in production; they exist to simulate physical
+// noise.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used for seeding so that nearby seeds yield uncorrelated states.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a xoshiro256** pseudo-random generator with convenience
+// methods for the distributions the simulators need. The zero value is
+// not usable; construct with New.
+type Source struct {
+	s [4]uint64
+	// cached second Gaussian variate from the polar method
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a Source seeded from the given seed. Two sources created
+// with different seeds produce statistically independent streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		src.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Split returns a new Source whose stream is independent of the
+// receiver's future output. It burns one output of the receiver to
+// derive the child seed, so parent and child do not overlap.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn requires n > 0")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// Norm returns a standard Gaussian variate (mean 0, variance 1) using
+// the Marsaglia polar method. A second variate is cached between calls.
+func (r *Source) Norm() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		factor := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * factor
+		r.hasGauss = true
+		return u * factor
+	}
+}
+
+// NormScaled returns a Gaussian variate with the given mean and standard
+// deviation.
+func (r *Source) NormScaled(mean, sigma float64) float64 {
+	return mean + sigma*r.Norm()
+}
+
+// Exp returns an exponentially distributed variate with rate 1.
+func (r *Source) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// FillNorm fills dst with independent standard Gaussian variates.
+func (r *Source) FillNorm(dst []float64) {
+	for i := range dst {
+		dst[i] = r.Norm()
+	}
+}
+
+// FillUniform fills dst with independent uniform variates in [0, 1).
+func (r *Source) FillUniform(dst []float64) {
+	for i := range dst {
+		dst[i] = r.Float64()
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice, using
+// the Fisher–Yates shuffle.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the elements of a slice in place using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,268 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at step %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical outputs across different seeds", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	v := r.Uint64()
+	w := r.Uint64()
+	if v == 0 && w == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(4)
+	const n = 1 << 20
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		sum2 += f * f
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-0.5) > 0.002 {
+		t.Errorf("uniform mean = %g, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12.0) > 0.002 {
+		t.Errorf("uniform variance = %g, want ~%g", variance, 1.0/12.0)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(5)
+	const n = 1 << 20
+	var sum, sum2, sum4 float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sum2 += x * x
+		sum4 += x * x * x * x
+	}
+	mean := sum / n
+	variance := sum2 / n
+	kurt := sum4 / n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.01 {
+		t.Errorf("normal variance = %g, want ~1", variance)
+	}
+	if math.Abs(kurt-3) > 0.1 {
+		t.Errorf("normal 4th moment = %g, want ~3", kurt)
+	}
+}
+
+func TestNormScaled(t *testing.T) {
+	r := New(6)
+	const n = 1 << 18
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.NormScaled(10, 2)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("scaled mean = %g, want ~10", mean)
+	}
+	if math.Abs(sd-2) > 0.05 {
+		t.Errorf("scaled sd = %g, want ~2", sd)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(7)
+	const n = 1 << 19
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exp()
+		if x < 0 {
+			t.Fatalf("Exp returned negative %g", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("exponential mean = %g, want ~1", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(8)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 30} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(9)
+	const n, draws = 10, 1 << 18
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn(%d): value %d count %d far from %g", n, v, c, want)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(10)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(11)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(12)
+	child := parent.Split()
+	// Child and parent streams must differ.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 collisions between parent and child streams", same)
+	}
+}
+
+func TestFillHelpers(t *testing.T) {
+	r := New(13)
+	buf := make([]float64, 257)
+	r.FillNorm(buf)
+	allZero := true
+	for _, v := range buf {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("FillNorm left buffer zero")
+	}
+	r.FillUniform(buf)
+	for _, v := range buf {
+		if v < 0 || v >= 1 {
+			t.Fatalf("FillUniform value %g out of range", v)
+		}
+	}
+}
+
+func TestUint64BitBalance(t *testing.T) {
+	r := New(14)
+	var ones [64]int
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		v := r.Uint64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<uint(b)) != 0 {
+				ones[b]++
+			}
+		}
+	}
+	for b, c := range ones {
+		if math.Abs(float64(c)-n/2) > 6*math.Sqrt(n/4) {
+			t.Errorf("bit %d: %d ones out of %d", b, c, n)
+		}
+	}
+}
+
+func TestQuickIntnRange(t *testing.T) {
+	r := New(15)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFloat64Range(t *testing.T) {
+	r := New(16)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package spectral validates the oscillator phase-noise model in the
+// frequency domain: it reconstructs the excess phase φ(t) from a
+// simulated edge-time series, estimates its one-sided PSD with Welch's
+// method, and fits the two power-law regions of paper eq. 10,
+//
+//	Sφ(f) = b_fl/f³ + b_th/f²,
+//
+// recovering (b_th, b_fl) and the flicker corner f_c = b_fl/b_th. This
+// closes the loop between the time-domain σ²_N analysis (the paper's
+// route) and the classical phase-noise view: both must yield the same
+// coefficients from the same edge stream.
+package spectral
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/osc"
+	"repro/internal/stats"
+)
+
+// PhaseRecord is a uniformly resampled excess-phase trace.
+type PhaseRecord struct {
+	// Phi holds φ(t_k) in radians at t_k = k/SampleRate.
+	Phi []float64
+	// SampleRate is the resampling rate in Hz (== the oscillator's
+	// nominal f0: one sample per nominal period).
+	SampleRate float64
+}
+
+// ExtractPhase runs the oscillator for n periods and converts its edge
+// times into an excess-phase trace: at the i-th rising edge the total
+// phase is exactly 2π·i, so the excess over the nominal ramp is
+//
+//	φ(t_i) = 2π·(i − f0·t_i).
+//
+// Sampling φ at edge times rather than uniform wall-clock times skews
+// the spectrum only at the jitter's own magnitude (ppm-level here) —
+// the standard approximation in counter-based phase-noise measurement.
+func ExtractPhase(o *osc.Oscillator, n int) PhaseRecord {
+	phi := make([]float64, n)
+	f0 := o.F0()
+	t := o.Now()
+	base := float64(o.Index()) - f0*t
+	for i := 0; i < n; i++ {
+		t += o.NextPeriod()
+		phi[i] = 2 * math.Pi * (float64(o.Index()) - f0*t - base)
+	}
+	return PhaseRecord{Phi: phi, SampleRate: f0}
+}
+
+// PSD estimates the one-sided excess-phase PSD (rad²/Hz).
+func (p PhaseRecord) PSD(segment int) (dsp.PSD, error) {
+	return dsp.Welch(p.Phi, p.SampleRate, dsp.WelchOptions{
+		SegmentLength: segment,
+		Overlap:       0.5,
+		Window:        dsp.Hann,
+		Detrend:       true,
+	})
+}
+
+// FitResult carries the spectral estimate of the eq. 10 coefficients.
+type FitResult struct {
+	// Bth and Bfl are the recovered coefficients.
+	Bth, Bfl float64
+	// Corner is the flicker corner frequency b_fl/b_th in Hz (the
+	// frequency where the 1/f³ and 1/f² regions cross).
+	Corner float64
+	// SlopeLow and SlopeHigh are the measured log-log slopes in the
+	// flicker- and thermal-dominated bands (expected ≈ −3 and −2).
+	SlopeLow, SlopeHigh float64
+	// Points counts PSD bins used in each band.
+	PointsLow, PointsHigh int
+}
+
+// FitEq10 fits Sφ(f) = b_fl/f³ + b_th/f² to the PSD by weighted least
+// squares in the variables (1/f³, 1/f²) over [fLo, fHi]. Relative
+// errors of Welch bins are roughly constant, so weights 1/S² equalize
+// the relative residuals.
+func FitEq10(psd dsp.PSD, fLo, fHi float64) (FitResult, error) {
+	var x3, x2, y, w []float64
+	for i, f := range psd.Freq {
+		if f < fLo || f > fHi || psd.Power[i] <= 0 {
+			continue
+		}
+		x3 = append(x3, 1/(f*f*f))
+		x2 = append(x2, 1/(f*f))
+		y = append(y, psd.Power[i])
+		w = append(w, 1/(psd.Power[i]*psd.Power[i]))
+	}
+	if len(y) < 8 {
+		return FitResult{}, fmt.Errorf("spectral: only %d usable PSD bins in [%g, %g] Hz", len(y), fLo, fHi)
+	}
+	// Normal equations for y = a·x3 + b·x2 with weights w.
+	var s33, s32, s22, s3y, s2y float64
+	for i := range y {
+		s33 += w[i] * x3[i] * x3[i]
+		s32 += w[i] * x3[i] * x2[i]
+		s22 += w[i] * x2[i] * x2[i]
+		s3y += w[i] * x3[i] * y[i]
+		s2y += w[i] * x2[i] * y[i]
+	}
+	det := s33*s22 - s32*s32
+	if det == 0 {
+		return FitResult{}, fmt.Errorf("spectral: degenerate design")
+	}
+	// Welch estimates the ONE-SIDED PSD; the paper's (b_th, b_fl) are
+	// coefficients of the two-sided density (its appendix integrates
+	// Sφ over ±∞ before folding, eq. 16). Halve the one-sided fit to
+	// report in the paper's convention — the same convention the
+	// time-domain σ²_N law uses, so both routes are comparable.
+	bfl := (s3y*s22 - s2y*s32) / det / 2
+	bth := (s2y*s33 - s3y*s32) / det / 2
+	if bfl < 0 {
+		bfl = 0
+	}
+	if bth < 0 {
+		bth = 0
+	}
+	res := FitResult{Bth: bth, Bfl: bfl}
+	if bth > 0 {
+		res.Corner = bfl / bth
+	} else {
+		res.Corner = math.Inf(1)
+	}
+	// Diagnostic band slopes around the corner.
+	if res.Corner > 0 && !math.IsInf(res.Corner, 1) {
+		lo, nLo, errLo := psd.LogLogSlope(fLo, res.Corner/3)
+		if errLo == nil {
+			res.SlopeLow = lo
+			res.PointsLow = nLo
+		}
+		hi, nHi, errHi := psd.LogLogSlope(res.Corner*3, fHi)
+		if errHi == nil {
+			res.SlopeHigh = hi
+			res.PointsHigh = nHi
+		}
+	}
+	return res, nil
+}
+
+// MeasureOscillator is the one-call spectral pipeline: extract phase,
+// estimate PSD, fit eq. 10. periods controls the record length; the
+// Welch segment is sized to resolve the expected corner.
+func MeasureOscillator(o *osc.Oscillator, periods, segment int) (FitResult, dsp.PSD, error) {
+	if segment == 0 {
+		segment = 1 << 14
+	}
+	rec := ExtractPhase(o, periods)
+	psd, err := rec.PSD(segment)
+	if err != nil {
+		return FitResult{}, dsp.PSD{}, err
+	}
+	f0 := o.F0()
+	fit, err := FitEq10(psd, f0/float64(segment)*2, f0/8)
+	if err != nil {
+		return FitResult{}, psd, err
+	}
+	return fit, psd, nil
+}
+
+// CrossCheck compares the spectral estimate with a time-domain σ²_N
+// law: it returns the relative differences of b_th and b_fl between the
+// two routes. Used by tests and EXP-PSD to demonstrate that the
+// multilevel model's two views agree.
+func CrossCheck(spectralBth, spectralBfl, timeBth, timeBfl float64) (dBth, dBfl float64) {
+	if timeBth != 0 {
+		dBth = (spectralBth - timeBth) / timeBth
+	}
+	if timeBfl != 0 {
+		dBfl = (spectralBfl - timeBfl) / timeBfl
+	}
+	return dBth, dBfl
+}
+
+// AutocorrelationTime estimates the 1/e decay lag (in periods) of the
+// fractional-frequency process behind an edge record — a direct
+// time-domain witness of the flicker memory that makes jitter
+// realizations dependent. For white FM it returns ~1.
+func AutocorrelationTime(periods []float64, f0 float64, maxLag int) int {
+	y := make([]float64, len(periods))
+	t0 := 1 / f0
+	for i, p := range periods {
+		y[i] = (p - t0) * f0
+	}
+	rho := stats.Autocorrelation(y, maxLag)
+	for k := 1; k <= maxLag; k++ {
+		if rho[k] < 1/math.E {
+			return k
+		}
+	}
+	return maxLag
+}

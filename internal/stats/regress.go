@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a least-squares normal system is singular.
+var ErrSingular = errors.New("stats: singular design matrix")
+
+// LinearFit holds the result of a straight-line least-squares fit
+// y = Intercept + Slope·x.
+type LinearFit struct {
+	Slope, Intercept       float64
+	SlopeErr, InterceptErr float64 // standard errors
+	R2                     float64 // coefficient of determination
+	Residuals              []float64
+}
+
+// FitLine performs an ordinary least-squares straight-line fit.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: FitLine length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("stats: FitLine needs >= 2 points, got %d", len(xs))
+	}
+	n := float64(len(xs))
+	mx := Mean(xs)
+	my := Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrSingular
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	fit := LinearFit{Slope: slope, Intercept: intercept}
+	fit.Residuals = make([]float64, len(xs))
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := intercept + slope*xs[i]
+		r := ys[i] - pred
+		fit.Residuals[i] = r
+		ssRes += r * r
+		dy := ys[i] - my
+		ssTot += dy * dy
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	if len(xs) > 2 {
+		s2 := ssRes / (n - 2)
+		fit.SlopeErr = math.Sqrt(s2 / sxx)
+		fit.InterceptErr = math.Sqrt(s2 * (1/n + mx*mx/sxx))
+	}
+	return fit, nil
+}
+
+// PolyFit holds a weighted polynomial least-squares fit
+// y = Σ Coeff[k]·x^k with per-coefficient standard errors.
+type PolyFit struct {
+	Coeff    []float64
+	CoeffErr []float64
+	ChiSq    float64 // weighted residual sum of squares
+	DoF      int     // degrees of freedom (n − terms)
+}
+
+// FitPolyWeighted fits y ≈ Σ_{k∈powers} c_k·x^k by weighted least
+// squares, where weights[i] = 1/σ_i² (precision weights). Passing nil
+// weights performs an ordinary fit. The powers slice selects which
+// monomials participate, so a through-origin fit a·N + b·N² is
+// powers = []int{1, 2}.
+//
+// Coefficients are returned in the order of powers. Standard errors come
+// from the diagonal of the inverse normal matrix (exact when weights are
+// true precisions).
+func FitPolyWeighted(xs, ys, weights []float64, powers []int) (PolyFit, error) {
+	n := len(xs)
+	if len(ys) != n {
+		return PolyFit{}, fmt.Errorf("stats: FitPolyWeighted length mismatch %d vs %d", n, len(ys))
+	}
+	if weights != nil && len(weights) != n {
+		return PolyFit{}, fmt.Errorf("stats: weights length %d != %d", len(weights), n)
+	}
+	p := len(powers)
+	if p == 0 {
+		return PolyFit{}, errors.New("stats: FitPolyWeighted needs at least one power")
+	}
+	if n < p {
+		return PolyFit{}, fmt.Errorf("stats: %d points cannot determine %d coefficients", n, p)
+	}
+
+	// Build normal equations A c = b with A = XᵀWX, b = XᵀWy.
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p)
+	}
+	b := make([]float64, p)
+	row := make([]float64, p)
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+			if w < 0 {
+				return PolyFit{}, fmt.Errorf("stats: negative weight %g at index %d", w, i)
+			}
+		}
+		for k, pw := range powers {
+			row[k] = math.Pow(xs[i], float64(pw))
+		}
+		for r := 0; r < p; r++ {
+			for c := 0; c < p; c++ {
+				a[r][c] += w * row[r] * row[c]
+			}
+			b[r] += w * row[r] * ys[i]
+		}
+	}
+
+	inv, err := invertSymmetric(a)
+	if err != nil {
+		return PolyFit{}, err
+	}
+	coeff := make([]float64, p)
+	for r := 0; r < p; r++ {
+		for c := 0; c < p; c++ {
+			coeff[r] += inv[r][c] * b[c]
+		}
+	}
+
+	fit := PolyFit{Coeff: coeff, DoF: n - p}
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		pred := 0.0
+		for k, pw := range powers {
+			pred += coeff[k] * math.Pow(xs[i], float64(pw))
+		}
+		r := ys[i] - pred
+		fit.ChiSq += w * r * r
+	}
+	fit.CoeffErr = make([]float64, p)
+	// If no weights were given, scale covariance by residual variance.
+	scale := 1.0
+	if weights == nil && fit.DoF > 0 {
+		scale = fit.ChiSq / float64(fit.DoF)
+	}
+	for k := 0; k < p; k++ {
+		fit.CoeffErr[k] = math.Sqrt(math.Abs(inv[k][k]) * scale)
+	}
+	return fit, nil
+}
+
+// invertSymmetric inverts a small symmetric positive-definite matrix by
+// Gauss–Jordan elimination with partial pivoting.
+func invertSymmetric(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	// augmented [a | I]
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// pivot
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(aug[piv][col]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		aug[col], aug[piv] = aug[piv], aug[col]
+		pv := aug[col][col]
+		for c := 0; c < 2*n; c++ {
+			aug[col][c] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < 2*n; c++ {
+				aug[r][c] -= f * aug[col][c]
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = aug[i][n:]
+	}
+	return inv, nil
+}
+
+// EvalPoly evaluates Σ coeff[k]·x^powers[k].
+func EvalPoly(coeff []float64, powers []int, x float64) float64 {
+	var y float64
+	for k, pw := range powers {
+		y += coeff[k] * math.Pow(x, float64(pw))
+	}
+	return y
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 3, 1e-12) || !almostEqual(fit.Intercept, -7, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %g, want 1", fit.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	r := rng.New(1)
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2.5*xs[i] + 10 + r.NormScaled(0, 5)
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2.5) > 4*fit.SlopeErr {
+		t.Fatalf("slope %g ± %g far from 2.5", fit.Slope, fit.SlopeErr)
+	}
+	if math.Abs(fit.Intercept-10) > 4*fit.InterceptErr {
+		t.Fatalf("intercept %g ± %g far from 10", fit.Intercept, fit.InterceptErr)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %g too low", fit.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if _, err := FitLine([]float64{1, 1, 1}, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected error for single point")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+}
+
+func TestFitPolyWeightedExactQuadratic(t *testing.T) {
+	// y = 5.36e-6·x + 1.0e-9·x² through origin — the paper's law.
+	xs := []float64{8, 16, 64, 256, 1024, 4096, 16384}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5.36e-6*x + 1.0e-9*x*x
+	}
+	fit, err := FitPolyWeighted(xs, ys, nil, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Coeff[0], 5.36e-6, 1e-9) {
+		t.Fatalf("a = %g, want 5.36e-6", fit.Coeff[0])
+	}
+	if !almostEqual(fit.Coeff[1], 1.0e-9, 1e-9) {
+		t.Fatalf("b = %g, want 1e-9", fit.Coeff[1])
+	}
+	if fit.ChiSq > 1e-20 {
+		t.Fatalf("exact fit chi2 = %g", fit.ChiSq)
+	}
+}
+
+func TestFitPolyWeightedRecoversWithNoise(t *testing.T) {
+	r := rng.New(2)
+	const a, b = 2.0, 0.01
+	var xs, ys, ws []float64
+	for x := 1.0; x <= 3000; x *= 1.5 {
+		y := a*x + b*x*x
+		sigma := 0.01 * y
+		xs = append(xs, x)
+		ys = append(ys, y+r.NormScaled(0, sigma))
+		ws = append(ws, 1/(sigma*sigma))
+	}
+	fit, err := FitPolyWeighted(xs, ys, ws, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Coeff[0]-a) > 5*fit.CoeffErr[0] {
+		t.Fatalf("a = %g ± %g, want %g", fit.Coeff[0], fit.CoeffErr[0], a)
+	}
+	if math.Abs(fit.Coeff[1]-b) > 5*fit.CoeffErr[1] {
+		t.Fatalf("b = %g ± %g, want %g", fit.Coeff[1], fit.CoeffErr[1], b)
+	}
+	// χ²/dof should be near 1 with honest weights.
+	red := fit.ChiSq / float64(fit.DoF)
+	if red > 4 || red < 0.05 {
+		t.Fatalf("reduced chi2 = %g implausible", red)
+	}
+}
+
+func TestFitPolyWeightedValidation(t *testing.T) {
+	if _, err := FitPolyWeighted([]float64{1}, []float64{1, 2}, nil, []int{1}); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+	if _, err := FitPolyWeighted([]float64{1, 2}, []float64{1, 2}, []float64{1}, []int{1}); err == nil {
+		t.Fatal("weights length mismatch not detected")
+	}
+	if _, err := FitPolyWeighted([]float64{1, 2}, []float64{1, 2}, nil, nil); err == nil {
+		t.Fatal("empty powers not detected")
+	}
+	if _, err := FitPolyWeighted([]float64{1}, []float64{1}, nil, []int{1, 2}); err == nil {
+		t.Fatal("underdetermined system not detected")
+	}
+	if _, err := FitPolyWeighted([]float64{1, 2}, []float64{1, 2}, []float64{-1, 1}, []int{1}); err == nil {
+		t.Fatal("negative weight not detected")
+	}
+}
+
+func TestFitPolySingular(t *testing.T) {
+	// All x equal: powers 1 and 2 are collinear.
+	xs := []float64{2, 2, 2}
+	ys := []float64{1, 2, 3}
+	if _, err := FitPolyWeighted(xs, ys, nil, []int{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestEvalPoly(t *testing.T) {
+	got := EvalPoly([]float64{2, 3}, []int{1, 2}, 4)
+	if got != 2*4+3*16 {
+		t.Fatalf("EvalPoly = %g", got)
+	}
+}
+
+func TestInvertSymmetricIdentity(t *testing.T) {
+	a := [][]float64{{4, 1}, {1, 3}}
+	inv, err := invertSymmetric(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a·inv = I
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var s float64
+			for k := 0; k < 2; k++ {
+				s += a[i][k] * inv[k][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-12 {
+				t.Fatalf("a·inv[%d][%d] = %g", i, j, s)
+			}
+		}
+	}
+}

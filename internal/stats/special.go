@@ -1,0 +1,226 @@
+package stats
+
+import "math"
+
+// NormalCDF returns the standard normal cumulative distribution function
+// Φ(x).
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalSF returns the standard normal survival function 1−Φ(x),
+// computed directly from erfc for accuracy in the far tail.
+func NormalSF(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p in (0,1) using the
+// Beasley–Springer–Moro rational approximation refined by one Newton
+// step, accurate to ~1e-12 over the full open interval.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		if p == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	// Acklam's algorithm.
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((-7.784894002430293e-03*q-3.223964580411365e-01)*q-2.400758277161838e+00)*q-2.549732539343734e+00)*q+4.374664141464968e+00)*q + 2.938163982698783e+00) /
+			((((7.784695709041462e-03*q+3.224671290700398e-01)*q+2.445134137142996e+00)*q+3.754408661907416e+00)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((-3.969683028665376e+01*r+2.209460984245205e+02)*r-2.759285104469687e+02)*r+1.383577518672690e+02)*r-3.066479806614716e+01)*r + 2.506628277459239e+00) * q /
+			(((((-5.447609879822406e+01*r+1.615858368580409e+02)*r-1.556989798598866e+02)*r+6.680131188771972e+01)*r-1.328068155288572e+01)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((-7.784894002430293e-03*q-3.223964580411365e-01)*q-2.400758277161838e+00)*q-2.549732539343734e+00)*q+4.374664141464968e+00)*q + 2.938163982698783e+00) /
+			((((7.784695709041462e-03*q+3.224671290700398e-01)*q+2.445134137142996e+00)*q+3.754408661907416e+00)*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// lnGamma returns the natural log of the Gamma function via the standard
+// library.
+func lnGamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// RegularizedGammaP returns the regularized lower incomplete gamma
+// function P(a, x) = γ(a,x)/Γ(a) for a > 0, x >= 0. It chooses between
+// the series expansion (x < a+1) and the continued fraction (otherwise),
+// following Numerical Recipes.
+func RegularizedGammaP(a, x float64) float64 {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaPSeries(a, x)
+	}
+	return 1 - gammaQContinuedFraction(a, x)
+}
+
+// RegularizedGammaQ returns Q(a, x) = 1 − P(a, x).
+func RegularizedGammaQ(a, x float64) float64 {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+func gammaPSeries(a, x float64) float64 {
+	const (
+		maxIter = 1000
+		eps     = 1e-15
+	)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lnGamma(a))
+}
+
+func gammaQContinuedFraction(a, x float64) float64 {
+	const (
+		maxIter = 1000
+		eps     = 1e-15
+		fpmin   = 1e-300
+	)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lnGamma(a)) * h
+}
+
+// ChiSquareCDF returns the CDF of the chi-square distribution with k
+// degrees of freedom at x.
+func ChiSquareCDF(x float64, k float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegularizedGammaP(k/2, x/2)
+}
+
+// ChiSquareSF returns the survival function (upper tail probability) of
+// the chi-square distribution with k degrees of freedom at x.
+func ChiSquareSF(x float64, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return RegularizedGammaQ(k/2, x/2)
+}
+
+// ChiSquareQuantile returns the x such that ChiSquareCDF(x, k) = p,
+// found by bisection on the monotone CDF. p must be in (0, 1).
+func ChiSquareQuantile(p, k float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, k+10
+	for ChiSquareCDF(hi, k) < p {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if ChiSquareCDF(mid, k) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ErfInv returns the inverse error function for |x| < 1.
+func ErfInv(x float64) float64 {
+	if x <= -1 {
+		return math.Inf(-1)
+	}
+	if x >= 1 {
+		return math.Inf(1)
+	}
+	// erf(z) = 2Φ(z√2) − 1  =>  erf⁻¹(x) = Φ⁻¹((x+1)/2)/√2
+	return NormalQuantile((x+1)/2) / math.Sqrt2
+}
+
+// BinomialTailNormal returns the two-sided normal-approximation p-value
+// for observing k successes in n Bernoulli(p0) trials (with continuity
+// correction). Used by monobit-style tests.
+func BinomialTailNormal(k, n int, p0 float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	mean := float64(n) * p0
+	sd := math.Sqrt(float64(n) * p0 * (1 - p0))
+	if sd == 0 {
+		if float64(k) == mean {
+			return 1
+		}
+		return 0
+	}
+	z := (math.Abs(float64(k)-mean) - 0.5) / sd
+	if z < 0 {
+		z = 0
+	}
+	return 2 * NormalSF(z)
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalCDFKnown(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormalCDF(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalSFSymmetry(t *testing.T) {
+	for _, x := range []float64{-3, -1, 0, 0.5, 2, 5} {
+		if s := NormalSF(x) + NormalCDF(x); math.Abs(s-1) > 1e-14 {
+			t.Errorf("SF+CDF at %g = %g, want 1", x, s)
+		}
+	}
+}
+
+func TestNormalSFFarTail(t *testing.T) {
+	// At x=10 the tail is ~7.6e-24; erfc-based SF must not underflow
+	// to the 1−CDF cancellation error.
+	got := NormalSF(10)
+	want := 7.61985302416053e-24
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("NormalSF(10) = %g, want %g", got, want)
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-6, 0.01, 0.3, 0.5, 0.7, 0.975, 0.999999} {
+		x := NormalQuantile(p)
+		back := NormalCDF(x)
+		if math.Abs(back-p) > 1e-9*math.Max(p, 1-p) && math.Abs(back-p) > 1e-12 {
+			t.Errorf("roundtrip p=%g -> x=%g -> %g", p, x, back)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("quantile edges not infinite")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) {
+		t.Fatal("quantile of negative p not NaN")
+	}
+	if NormalQuantile(0.5) != 0 {
+		// one Halley step from 0 stays 0
+		if math.Abs(NormalQuantile(0.5)) > 1e-15 {
+			t.Fatalf("quantile(0.5) = %g", NormalQuantile(0.5))
+		}
+	}
+}
+
+func TestGammaPQComplement(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 10, 100} {
+		for _, x := range []float64{0.1, 1, 5, 50, 200} {
+			p := RegularizedGammaP(a, x)
+			q := RegularizedGammaQ(a, x)
+			if math.Abs(p+q-1) > 1e-10 {
+				t.Errorf("P+Q(a=%g,x=%g) = %g, want 1", a, x, p+q)
+			}
+		}
+	}
+}
+
+func TestGammaPKnown(t *testing.T) {
+	// P(1, x) = 1 − e^−x
+	for _, x := range []float64{0.5, 1, 2, 10} {
+		want := 1 - math.Exp(-x)
+		if got := RegularizedGammaP(1, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	// P(a, 0) = 0, Q(a, 0) = 1
+	if RegularizedGammaP(3, 0) != 0 || RegularizedGammaQ(3, 0) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	if !math.IsNaN(RegularizedGammaP(-1, 1)) {
+		t.Fatal("negative a should give NaN")
+	}
+}
+
+func TestChiSquareKnown(t *testing.T) {
+	// χ²(k=2) CDF(x) = 1 − e^{−x/2}
+	for _, x := range []float64{0.5, 2, 5, 10} {
+		want := 1 - math.Exp(-x/2)
+		if got := ChiSquareCDF(x, 2); math.Abs(got-want) > 1e-12 {
+			t.Errorf("ChiSquareCDF(%g, 2) = %g, want %g", x, got, want)
+		}
+	}
+	// 95th percentile of χ²(1) is 3.841458820694124
+	if got := ChiSquareSF(3.841458820694124, 1); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("ChiSquareSF(3.84, 1) = %g, want 0.05", got)
+	}
+}
+
+func TestChiSquareQuantileRoundTrip(t *testing.T) {
+	for _, k := range []float64{1, 2, 5, 30, 200} {
+		for _, p := range []float64{0.01, 0.5, 0.95, 0.999} {
+			x := ChiSquareQuantile(p, k)
+			back := ChiSquareCDF(x, k)
+			if math.Abs(back-p) > 1e-8 {
+				t.Errorf("chi2 roundtrip k=%g p=%g -> x=%g -> %g", k, p, x, back)
+			}
+		}
+	}
+	if ChiSquareQuantile(0, 3) != 0 {
+		t.Fatal("quantile(0) should be 0")
+	}
+	if !math.IsInf(ChiSquareQuantile(1, 3), 1) {
+		t.Fatal("quantile(1) should be +Inf")
+	}
+}
+
+func TestErfInvRoundTrip(t *testing.T) {
+	for _, x := range []float64{-0.999, -0.5, 0, 0.3, 0.9, 0.99999} {
+		y := ErfInv(x)
+		if math.Abs(math.Erf(y)-x) > 1e-9 {
+			t.Errorf("ErfInv roundtrip x=%g -> %g -> %g", x, y, math.Erf(y))
+		}
+	}
+	if !math.IsInf(ErfInv(1), 1) || !math.IsInf(ErfInv(-1), -1) {
+		t.Fatal("ErfInv edge values")
+	}
+}
+
+func TestBinomialTailNormal(t *testing.T) {
+	// Balanced outcome: p-value ~ 1.
+	if p := BinomialTailNormal(5000, 10000, 0.5); p < 0.9 {
+		t.Errorf("balanced p-value = %g, want ~1", p)
+	}
+	// Extreme outcome: tiny p-value.
+	if p := BinomialTailNormal(6000, 10000, 0.5); p > 1e-20 {
+		t.Errorf("extreme p-value = %g, want ~0", p)
+	}
+	if p := BinomialTailNormal(0, 0, 0.5); p != 1 {
+		t.Errorf("empty trial p-value = %g, want 1", p)
+	}
+}

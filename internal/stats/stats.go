@@ -1,0 +1,224 @@
+// Package stats provides the statistical machinery shared by the jitter
+// analysis pipeline: descriptive statistics, autocovariance, special
+// functions (regularized incomplete gamma, chi-square and normal tails),
+// ordinary and weighted least squares, and the hypothesis tests used to
+// probe independence of jitter realizations (Ljung–Box, runs test).
+//
+// Everything is implemented from scratch on the standard library so the
+// module works offline.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs. It panics on empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty slice")
+	}
+	// Kahan summation keeps the estimate stable for the long jitter
+	// traces (1e7+ samples) used by the experiment harness.
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (denominator n-1).
+// It panics if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	m, v := MeanVariance(xs)
+	_ = m
+	return v
+}
+
+// MeanVariance returns the sample mean and unbiased variance in one pass
+// using Welford's algorithm. It panics if len(xs) < 2.
+func MeanVariance(xs []float64) (mean, variance float64) {
+	if len(xs) < 2 {
+		panic(fmt.Sprintf("stats: variance needs >= 2 samples, got %d", len(xs)))
+	}
+	var m, m2 float64
+	for i, x := range xs {
+		delta := x - m
+		m += delta / float64(i+1)
+		m2 += delta * (x - m)
+	}
+	return m, m2 / float64(len(xs)-1)
+}
+
+// PopVariance returns the population variance (denominator n).
+func PopVariance(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: PopVariance of empty slice")
+	}
+	if len(xs) == 1 {
+		return 0
+	}
+	m, v := MeanVariance(xs)
+	_ = m
+	return v * float64(len(xs)-1) / float64(len(xs))
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// StdErrOfVariance returns the approximate standard error of the sample
+// variance of a Gaussian sample: Var(s²) ≈ 2σ⁴/(n−1).
+func StdErrOfVariance(sampleVar float64, n int) float64 {
+	if n < 2 {
+		return math.Inf(1)
+	}
+	return sampleVar * math.Sqrt(2.0/float64(n-1))
+}
+
+// Covariance returns the unbiased sample covariance of paired samples.
+// It panics if the lengths differ or are < 2.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Covariance length mismatch")
+	}
+	if len(xs) < 2 {
+		panic("stats: Covariance needs >= 2 samples")
+	}
+	mx := Mean(xs)
+	my := Mean(ys)
+	var sum float64
+	for i := range xs {
+		sum += (xs[i] - mx) * (ys[i] - my)
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// Correlation returns the Pearson correlation coefficient of paired
+// samples. Returns 0 when either sample has zero variance.
+func Correlation(xs, ys []float64) float64 {
+	sx := StdDev(xs)
+	sy := StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}
+
+// Autocovariance returns the biased autocovariance estimate at the given
+// lag (divides by n, the convention that keeps the estimated sequence
+// positive semi-definite). It panics if lag is out of [0, n).
+func Autocovariance(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || lag >= n {
+		panic(fmt.Sprintf("stats: lag %d out of range for n=%d", lag, n))
+	}
+	m := Mean(xs)
+	var sum float64
+	for i := 0; i+lag < n; i++ {
+		sum += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return sum / float64(n)
+}
+
+// Autocorrelation returns the autocorrelation coefficients for lags
+// 0..maxLag inclusive (so the result has maxLag+1 entries and entry 0 is
+// always 1 for a non-constant series).
+func Autocorrelation(xs []float64, maxLag int) []float64 {
+	if maxLag >= len(xs) {
+		panic(fmt.Sprintf("stats: maxLag %d >= n %d", maxLag, len(xs)))
+	}
+	c0 := Autocovariance(xs, 0)
+	out := make([]float64, maxLag+1)
+	if c0 == 0 {
+		out[0] = 1
+		return out
+	}
+	for k := 0; k <= maxLag; k++ {
+		out[k] = Autocovariance(xs, k) / c0
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+// The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g out of [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MinMax returns the minimum and maximum of xs. It panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Histogram counts xs into nbins equal-width bins over [lo, hi]. Values
+// outside the range are clamped into the edge bins. Returns the counts
+// and the bin edges (nbins+1 entries).
+func Histogram(xs []float64, lo, hi float64, nbins int) (counts []int, edges []float64) {
+	if nbins <= 0 {
+		panic("stats: Histogram needs nbins > 0")
+	}
+	if hi <= lo {
+		panic("stats: Histogram needs hi > lo")
+	}
+	counts = make([]int, nbins)
+	edges = make([]float64, nbins+1)
+	width := (hi - lo) / float64(nbins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts, edges
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMeanKnown(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestMeanPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty input")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestVarianceKnown(t *testing.T) {
+	// Var of {2,4,4,4,5,5,7,9} (population 4, sample 32/7)
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+	if got := PopVariance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("PopVariance = %g, want 4", got)
+	}
+}
+
+func TestMeanVarianceAgainstNaive(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.NormScaled(5, 3)
+	}
+	m, v := MeanVariance(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	nm := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - nm) * (x - nm)
+	}
+	nv := ss / float64(len(xs)-1)
+	if !almostEqual(m, nm, 1e-12) || !almostEqual(v, nv, 1e-10) {
+		t.Fatalf("Welford (%g, %g) vs naive (%g, %g)", m, v, nm, nv)
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		return Variance(xs) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdErrOfVariance(t *testing.T) {
+	if se := StdErrOfVariance(2.0, 101); !almostEqual(se, 2*math.Sqrt(2.0/100), 1e-12) {
+		t.Fatalf("StdErrOfVariance = %g", se)
+	}
+	if !math.IsInf(StdErrOfVariance(1, 1), 1) {
+		t.Fatal("StdErrOfVariance with n=1 should be +Inf")
+	}
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if c := Correlation(xs, ys); !almostEqual(c, 1, 1e-12) {
+		t.Fatalf("perfect correlation = %g", c)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if c := Correlation(xs, neg); !almostEqual(c, -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation = %g", c)
+	}
+	if c := Correlation(xs, []float64{3, 3, 3, 3, 3}); c != 0 {
+		t.Fatalf("zero-variance correlation = %g, want 0", c)
+	}
+}
+
+func TestCorrelationBoundsProperty(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + r.Intn(100)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		r.FillNorm(xs)
+		r.FillNorm(ys)
+		c := Correlation(xs, ys)
+		if c < -1-1e-12 || c > 1+1e-12 {
+			t.Fatalf("correlation %g out of [-1,1]", c)
+		}
+	}
+}
+
+func TestAutocovarianceLagZeroIsPopVariance(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 5000)
+	r.FillNorm(xs)
+	if !almostEqual(Autocovariance(xs, 0), PopVariance(xs), 1e-10) {
+		t.Fatal("lag-0 autocovariance != population variance")
+	}
+}
+
+func TestAutocorrelationWhite(t *testing.T) {
+	r := rng.New(4)
+	xs := make([]float64, 200000)
+	r.FillNorm(xs)
+	rho := Autocorrelation(xs, 5)
+	if rho[0] != 1 {
+		t.Fatalf("rho[0] = %g, want 1", rho[0])
+	}
+	for k := 1; k <= 5; k++ {
+		if math.Abs(rho[k]) > 0.01 {
+			t.Errorf("white noise rho[%d] = %g, want ~0", k, rho[k])
+		}
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	r := rng.New(5)
+	const phi = 0.8
+	xs := make([]float64, 300000)
+	x := 0.0
+	for i := range xs {
+		x = phi*x + r.Norm()
+		xs[i] = x
+	}
+	rho := Autocorrelation(xs, 3)
+	for k := 1; k <= 3; k++ {
+		want := math.Pow(phi, float64(k))
+		if math.Abs(rho[k]-want) > 0.02 {
+			t.Errorf("AR(1) rho[%d] = %g, want ~%g", k, rho[k], want)
+		}
+	}
+}
+
+func TestQuantileMedian(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if m := Median(xs); m != 3 {
+		t.Fatalf("Median = %g, want 3", m)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("Quantile(0) = %g, want 1", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("Quantile(1) = %g, want 5", q)
+	}
+	// interpolation: 0.25 quantile of 1..5 is 2
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("Quantile(0.25) = %g, want 2", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%g, %g)", lo, hi)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.6, 0.9, -5, 5}
+	counts, edges := Histogram(xs, 0, 1, 2)
+	if len(counts) != 2 || len(edges) != 3 {
+		t.Fatalf("unexpected shapes %d %d", len(counts), len(edges))
+	}
+	// -5 clamps into bin 0, 5 into bin 1.
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if edges[0] != 0 || edges[2] != 1 {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestHistogramTotalProperty(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(500)
+		xs := make([]float64, n)
+		r.FillNorm(xs)
+		counts, _ := Histogram(xs, -1, 1, 7)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("histogram lost samples: %d != %d", total, n)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TestResult is the outcome of a hypothesis test.
+type TestResult struct {
+	// Statistic is the value of the test statistic.
+	Statistic float64
+	// PValue is the probability, under the null hypothesis, of a
+	// statistic at least as extreme as observed.
+	PValue float64
+	// DoF is the degrees of freedom of the reference distribution,
+	// when applicable.
+	DoF int
+}
+
+// Reject reports whether the null hypothesis is rejected at significance
+// level alpha.
+func (t TestResult) Reject(alpha float64) bool { return t.PValue < alpha }
+
+// String renders the result for experiment logs.
+func (t TestResult) String() string {
+	return fmt.Sprintf("stat=%.4g p=%.4g dof=%d", t.Statistic, t.PValue, t.DoF)
+}
+
+// LjungBox performs the Ljung–Box portmanteau test for absence of
+// autocorrelation up to maxLag. Under the null of independent
+// identically distributed data the statistic is chi-square with maxLag
+// degrees of freedom. It panics if maxLag <= 0 or maxLag >= len(xs).
+func LjungBox(xs []float64, maxLag int) TestResult {
+	n := len(xs)
+	if maxLag <= 0 || maxLag >= n {
+		panic(fmt.Sprintf("stats: LjungBox maxLag %d invalid for n=%d", maxLag, n))
+	}
+	rho := Autocorrelation(xs, maxLag)
+	q := 0.0
+	for k := 1; k <= maxLag; k++ {
+		q += rho[k] * rho[k] / float64(n-k)
+	}
+	q *= float64(n) * (float64(n) + 2)
+	return TestResult{
+		Statistic: q,
+		PValue:    ChiSquareSF(q, float64(maxLag)),
+		DoF:       maxLag,
+	}
+}
+
+// BoxPierce performs the simpler Box–Pierce portmanteau test; kept as a
+// cross-check against Ljung–Box for large samples.
+func BoxPierce(xs []float64, maxLag int) TestResult {
+	n := len(xs)
+	if maxLag <= 0 || maxLag >= n {
+		panic(fmt.Sprintf("stats: BoxPierce maxLag %d invalid for n=%d", maxLag, n))
+	}
+	rho := Autocorrelation(xs, maxLag)
+	q := 0.0
+	for k := 1; k <= maxLag; k++ {
+		q += rho[k] * rho[k]
+	}
+	q *= float64(n)
+	return TestResult{
+		Statistic: q,
+		PValue:    ChiSquareSF(q, float64(maxLag)),
+		DoF:       maxLag,
+	}
+}
+
+// WaldWolfowitzRuns performs the runs test for randomness on the signs
+// of xs relative to its median. Under the null (exchangeable sequence),
+// the number of runs is asymptotically normal.
+func WaldWolfowitzRuns(xs []float64) TestResult {
+	med := Median(xs)
+	var nPlus, nMinus, runs int
+	prev := 0 // 0 = unset, +1, -1
+	for _, x := range xs {
+		var s int
+		if x > med {
+			s = 1
+		} else if x < med {
+			s = -1
+		} else {
+			continue // drop ties with the median
+		}
+		if s > 0 {
+			nPlus++
+		} else {
+			nMinus++
+		}
+		if s != prev {
+			runs++
+			prev = s
+		}
+	}
+	n1 := float64(nPlus)
+	n2 := float64(nMinus)
+	if n1 == 0 || n2 == 0 {
+		return TestResult{Statistic: 0, PValue: 0}
+	}
+	mean := 2*n1*n2/(n1+n2) + 1
+	vr := 2 * n1 * n2 * (2*n1*n2 - n1 - n2) / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1))
+	if vr <= 0 {
+		return TestResult{Statistic: 0, PValue: 1}
+	}
+	z := (float64(runs) - mean) / math.Sqrt(vr)
+	return TestResult{Statistic: z, PValue: 2 * NormalSF(math.Abs(z))}
+}
+
+// TurningPoints performs the turning-point test for serial independence:
+// counts local extrema; under i.i.d. the count is asymptotically normal
+// with mean 2(n−2)/3 and variance (16n−29)/90.
+func TurningPoints(xs []float64) TestResult {
+	n := len(xs)
+	if n < 3 {
+		return TestResult{PValue: 1}
+	}
+	var tp int
+	for i := 1; i < n-1; i++ {
+		if (xs[i] > xs[i-1] && xs[i] > xs[i+1]) || (xs[i] < xs[i-1] && xs[i] < xs[i+1]) {
+			tp++
+		}
+	}
+	mean := 2 * float64(n-2) / 3
+	vr := (16*float64(n) - 29) / 90
+	z := (float64(tp) - mean) / math.Sqrt(vr)
+	return TestResult{Statistic: z, PValue: 2 * NormalSF(math.Abs(z))}
+}
+
+// ChiSquareGoodness performs Pearson's chi-square goodness-of-fit test
+// for observed counts against expected counts. Bins with expected count
+// below minExpected are pooled into their neighbor. The degrees of
+// freedom are bins−1−extraConstraints.
+func ChiSquareGoodness(observed []int, expected []float64, extraConstraints int) TestResult {
+	if len(observed) != len(expected) {
+		panic("stats: ChiSquareGoodness length mismatch")
+	}
+	var stat float64
+	bins := 0
+	for i := range observed {
+		if expected[i] <= 0 {
+			continue
+		}
+		d := float64(observed[i]) - expected[i]
+		stat += d * d / expected[i]
+		bins++
+	}
+	dof := bins - 1 - extraConstraints
+	if dof < 1 {
+		dof = 1
+	}
+	return TestResult{Statistic: stat, PValue: ChiSquareSF(stat, float64(dof)), DoF: dof}
+}
+
+// KolmogorovSmirnovUniform tests xs (values in [0,1]) against the
+// uniform distribution, returning the asymptotic p-value via the
+// Kolmogorov distribution series.
+func KolmogorovSmirnovUniform(xs []float64) TestResult {
+	n := len(xs)
+	if n == 0 {
+		return TestResult{PValue: 1}
+	}
+	s := append([]float64(nil), xs...)
+	sortFloats(s)
+	var d float64
+	for i, x := range s {
+		lo := float64(i)/float64(n) - x
+		hi := x - float64(i+1)/float64(n)
+		if lo < 0 {
+			lo = -lo
+		}
+		_ = hi
+		d1 := math.Abs(float64(i+1)/float64(n) - x)
+		d2 := math.Abs(x - float64(i)/float64(n))
+		if d1 > d {
+			d = d1
+		}
+		if d2 > d {
+			d = d2
+		}
+	}
+	lambda := (math.Sqrt(float64(n)) + 0.12 + 0.11/math.Sqrt(float64(n))) * d
+	p := kolmogorovQ(lambda)
+	return TestResult{Statistic: d, PValue: p}
+}
+
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*float64(j)*float64(j)*lambda*lambda)
+		sum += term
+		sign = -sign
+		if math.Abs(term) < 1e-16 {
+			break
+		}
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func sortFloats(s []float64) {
+	// insertion-free: use sort from stdlib via interface-free helper
+	// (kept separate so tests.go has no sort import clutter).
+	quickSort(s, 0, len(s)-1)
+}
+
+func quickSort(s []float64, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && s[j] < s[j-1]; j-- {
+					s[j], s[j-1] = s[j-1], s[j]
+				}
+			}
+			return
+		}
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < pivot {
+				i++
+			}
+			for s[j] > pivot {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickSort(s, lo, j)
+			lo = i
+		} else {
+			quickSort(s, i, hi)
+			hi = j
+		}
+	}
+}

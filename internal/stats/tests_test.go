@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestLjungBoxWhiteNoise(t *testing.T) {
+	r := rng.New(1)
+	rejections := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 4000)
+		r.FillNorm(xs)
+		res := LjungBox(xs, 10)
+		if res.Reject(0.01) {
+			rejections++
+		}
+	}
+	// Expect ~1% rejections; more than 5/40 means the test is broken.
+	if rejections > 5 {
+		t.Fatalf("Ljung–Box rejected white noise %d/%d times at α=0.01", rejections, trials)
+	}
+}
+
+func TestLjungBoxAR1Rejects(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 4000)
+	x := 0.0
+	for i := range xs {
+		x = 0.5*x + r.Norm()
+		xs[i] = x
+	}
+	res := LjungBox(xs, 10)
+	if !res.Reject(1e-6) {
+		t.Fatalf("Ljung–Box failed to reject AR(1): %v", res)
+	}
+}
+
+func TestBoxPierceMatchesLjungBoxAsymptotically(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 50000)
+	r.FillNorm(xs)
+	lb := LjungBox(xs, 5)
+	bp := BoxPierce(xs, 5)
+	if math.Abs(lb.Statistic-bp.Statistic) > 0.05*math.Max(lb.Statistic, 1) {
+		t.Fatalf("LB %g vs BP %g diverge on large sample", lb.Statistic, bp.Statistic)
+	}
+}
+
+func TestLjungBoxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad maxLag")
+		}
+	}()
+	LjungBox([]float64{1, 2, 3}, 5)
+}
+
+func TestRunsTestIID(t *testing.T) {
+	r := rng.New(4)
+	xs := make([]float64, 10000)
+	r.FillNorm(xs)
+	res := WaldWolfowitzRuns(xs)
+	if res.Reject(0.001) {
+		t.Fatalf("runs test rejected iid data: %v", res)
+	}
+}
+
+func TestRunsTestAlternatingRejects(t *testing.T) {
+	xs := make([]float64, 2000)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	res := WaldWolfowitzRuns(xs)
+	if !res.Reject(1e-10) {
+		t.Fatalf("runs test failed on alternating series: %v", res)
+	}
+}
+
+func TestRunsTestClustered(t *testing.T) {
+	// Long blocks of same sign: too few runs.
+	xs := make([]float64, 2000)
+	for i := range xs {
+		if (i/200)%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	res := WaldWolfowitzRuns(xs)
+	if !res.Reject(1e-6) {
+		t.Fatalf("runs test failed on clustered series: %v", res)
+	}
+}
+
+func TestTurningPointsIID(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 20000)
+	r.FillNorm(xs)
+	res := TurningPoints(xs)
+	if res.Reject(0.001) {
+		t.Fatalf("turning points rejected iid: %v", res)
+	}
+}
+
+func TestTurningPointsMonotoneRejects(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	res := TurningPoints(xs)
+	if !res.Reject(1e-10) {
+		t.Fatalf("turning points failed on monotone series: %v", res)
+	}
+}
+
+func TestChiSquareGoodnessUniform(t *testing.T) {
+	r := rng.New(6)
+	const bins, n = 10, 100000
+	obs := make([]int, bins)
+	for i := 0; i < n; i++ {
+		obs[r.Intn(bins)]++
+	}
+	exp := make([]float64, bins)
+	for i := range exp {
+		exp[i] = float64(n) / bins
+	}
+	res := ChiSquareGoodness(obs, exp, 0)
+	if res.Reject(0.001) {
+		t.Fatalf("chi2 goodness rejected uniform counts: %v", res)
+	}
+	// Heavily skewed observed counts must reject.
+	obs[0] += 5000
+	obs[1] -= 5000
+	res = ChiSquareGoodness(obs, exp, 0)
+	if !res.Reject(1e-10) {
+		t.Fatalf("chi2 goodness failed on skew: %v", res)
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	r := rng.New(7)
+	xs := make([]float64, 5000)
+	r.FillUniform(xs)
+	res := KolmogorovSmirnovUniform(xs)
+	if res.Reject(0.001) {
+		t.Fatalf("KS rejected uniform sample: %v", res)
+	}
+	// Squashed sample (all values < 0.5) must reject hard.
+	for i := range xs {
+		xs[i] /= 2
+	}
+	res = KolmogorovSmirnovUniform(xs)
+	if !res.Reject(1e-10) {
+		t.Fatalf("KS failed on squashed sample: %v", res)
+	}
+}
+
+func TestQuickSortMatchesStdlib(t *testing.T) {
+	r := rng.New(8)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		a := make([]float64, n)
+		r.FillNorm(a)
+		b := append([]float64(nil), a...)
+		sortFloats(a)
+		sort.Float64s(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("sort mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestTestResultString(t *testing.T) {
+	s := TestResult{Statistic: 1.5, PValue: 0.25, DoF: 3}.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

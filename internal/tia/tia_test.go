@@ -1,0 +1,173 @@
+package tia
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/osc"
+	"repro/internal/phase"
+)
+
+func paperPerRing() phase.Model {
+	const f0 = 103e6
+	return phase.Model{
+		Bth: 5.36e-6 * f0 / 4,
+		Bfl: 5.36e-6 / 5354 * f0 * f0 / (16 * math.Ln2),
+		F0:  f0,
+	}
+}
+
+func newOsc(t *testing.T, m phase.Model, seed uint64) *osc.Oscillator {
+	t.Helper()
+	o, err := osc.New(m, osc.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestPeriods(t *testing.T) {
+	p := Periods([]float64{0, 1, 3, 6})
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("period %d = %g", i, p[i])
+		}
+	}
+	if Periods([]float64{1}) != nil {
+		t.Fatal("single timestamp should give nil")
+	}
+}
+
+func TestIdealMeasureThermalOnly(t *testing.T) {
+	m := paperPerRing()
+	m.Bfl = 0
+	o := newOsc(t, m, 1)
+	a := New(Config{})
+	res, err := a.Measure(o, 300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := m.SigmaThermal()
+	if math.Abs(res.PeriodSigma-sigma) > 0.03*sigma {
+		t.Fatalf("period σ = %g, want %g", res.PeriodSigma, sigma)
+	}
+	if math.Abs(res.SigmaThermal-sigma) > 0.03*sigma {
+		t.Fatalf("thermal σ = %g, want %g", res.SigmaThermal, sigma)
+	}
+	if math.Abs(res.MeanPeriod-1/m.F0) > 1e-4/m.F0 {
+		t.Fatalf("mean period %g", res.MeanPeriod)
+	}
+	// c2c of white FM is √2·σ.
+	if math.Abs(res.C2C-math.Sqrt2*sigma) > 0.05*sigma {
+		t.Fatalf("c2c = %g, want %g", res.C2C, math.Sqrt2*sigma)
+	}
+}
+
+func TestThermalEstimateImmuneToFlicker(t *testing.T) {
+	// Even with flicker boosted 100×, the cycle-to-cycle route must
+	// recover the thermal σ within a few percent — the property that
+	// makes the TIA a valid oracle for the counter method.
+	m := paperPerRing()
+	m.Bfl *= 100
+	o := newOsc(t, m, 2)
+	a := New(Config{})
+	res, err := a.Measure(o, 300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := m.SigmaThermal()
+	if math.Abs(res.SigmaThermal-sigma) > 0.1*sigma {
+		t.Fatalf("thermal σ with flicker = %g, want %g", res.SigmaThermal, sigma)
+	}
+	// The plain period σ, in contrast, is inflated by the wander.
+	if res.PeriodSigma < res.SigmaThermal {
+		t.Fatalf("period σ %g should exceed thermal %g under flicker", res.PeriodSigma, res.SigmaThermal)
+	}
+}
+
+func TestInstrumentNoiseSubtraction(t *testing.T) {
+	m := paperPerRing()
+	m.Bfl = 0
+	o := newOsc(t, m, 3)
+	// Instrument floor comparable to the jitter itself.
+	a := New(Config{ResolutionRMS: 10e-12, Seed: 7})
+	res, err := a.Measure(o, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := m.SigmaThermal()
+	if math.Abs(res.SigmaThermal-sigma) > 0.1*sigma {
+		t.Fatalf("noise-corrected σ = %g, want %g", res.SigmaThermal, sigma)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	o := newOsc(t, paperPerRing(), 4)
+	if _, err := New(Config{}).Measure(o, 4); err == nil {
+		t.Fatal("tiny record accepted")
+	}
+}
+
+func TestAccumulatedJitterShape(t *testing.T) {
+	// Thermal-only: Var(t_{i+N} − t_i) = N·σ² (linear). With heavy
+	// flicker the large-N points bend above the linear extrapolation.
+	mTh := paperPerRing()
+	mTh.Bfl = 0
+	a := New(Config{})
+	tsTh := a.Capture(newOsc(t, mTh, 5), 400000)
+	ns := []int{1, 16, 256, 4096}
+	accTh, err := AccumulatedJitter(tsTh, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma2 := mTh.SigmaThermal() * mTh.SigmaThermal()
+	for k, n := range ns {
+		want := float64(n) * sigma2
+		if math.Abs(accTh[k]-want) > 0.15*want {
+			t.Fatalf("thermal accumulation at N=%d: %g, want %g", n, accTh[k], want)
+		}
+	}
+
+	mFl := paperPerRing()
+	mFl.Bfl *= 100
+	tsFl := a.Capture(newOsc(t, mFl, 6), 400000)
+	accFl, err := AccumulatedJitter(tsFl, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear extrapolation from N=1 underestimates the N=4096 point.
+	extrap := accFl[0] * 4096
+	if accFl[3] < 2*extrap {
+		t.Fatalf("flicker bend not visible: %g vs linear %g", accFl[3], extrap)
+	}
+
+	if _, err := AccumulatedJitter(tsTh[:10], []int{100}); err == nil {
+		t.Fatal("oversized N accepted")
+	}
+}
+
+func TestCrossCheckSigma(t *testing.T) {
+	res := Result{SigmaThermal: 16e-12}
+	if d := CrossCheckSigma(15.89e-12, res); math.Abs(d+0.0069) > 1e-3 {
+		t.Fatalf("cross-check deviation %g", d)
+	}
+	if !math.IsInf(CrossCheckSigma(1, Result{}), 1) {
+		t.Fatal("zero oracle handling")
+	}
+}
+
+func TestCaptureDeterminism(t *testing.T) {
+	m := paperPerRing()
+	o1 := newOsc(t, m, 8)
+	o2 := newOsc(t, m, 8)
+	a1 := New(Config{ResolutionRMS: 1e-12, Seed: 9})
+	a2 := New(Config{ResolutionRMS: 1e-12, Seed: 9})
+	t1 := a1.Capture(o1, 1000)
+	t2 := a2.Capture(o2, 1000)
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("captures diverge at %d", i)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package trace provides the on-disk interchange formats that connect
+// the command-line tools: period/jitter records (binary, little-endian
+// float64 with a small header) and packed bit streams. A hardware lab
+// would capture these from the Evariste board; here they come from the
+// simulators, but the analysis tools (cmd/aistest, offline σ²_N
+// analysis) are agnostic to the origin — which is the point: the same
+// pipeline can ingest real capture files.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Magic identifies a period-trace file.
+const Magic = "PTRJ1\n"
+
+// Header describes a period trace.
+type Header struct {
+	// F0 is the nominal oscillator frequency in Hz.
+	F0 float64
+	// Count is the number of period samples.
+	Count uint64
+	// Seed records the simulation seed (0 for hardware captures).
+	Seed uint64
+}
+
+// WritePeriods writes a period trace (seconds) with its header.
+func WritePeriods(w io.Writer, h Header, periods []float64) error {
+	if h.Count != 0 && h.Count != uint64(len(periods)) {
+		return fmt.Errorf("trace: header count %d != %d periods", h.Count, len(periods))
+	}
+	h.Count = uint64(len(periods))
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.F0); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Count); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Seed); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, p := range periods {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(p))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPeriods reads a period trace.
+func ReadPeriods(r io.Reader) (Header, []float64, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return Header{}, nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var h Header
+	if err := binary.Read(br, binary.LittleEndian, &h.F0); err != nil {
+		return Header{}, nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &h.Count); err != nil {
+		return Header{}, nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &h.Seed); err != nil {
+		return Header{}, nil, err
+	}
+	if h.F0 <= 0 || math.IsNaN(h.F0) || math.IsInf(h.F0, 0) {
+		return Header{}, nil, fmt.Errorf("trace: invalid f0 %g", h.F0)
+	}
+	const maxCount = 1 << 32
+	if h.Count > maxCount {
+		return Header{}, nil, fmt.Errorf("trace: implausible count %d", h.Count)
+	}
+	periods := make([]float64, h.Count)
+	buf := make([]byte, 8)
+	for i := range periods {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return Header{}, nil, fmt.Errorf("trace: truncated at sample %d: %w", i, err)
+		}
+		periods[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return h, periods, nil
+}
+
+// SavePeriods writes a trace to a file path.
+func SavePeriods(path string, h Header, periods []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WritePeriods(f, h, periods); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadPeriods reads a trace from a file path.
+func LoadPeriods(path string) (Header, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer f.Close()
+	return ReadPeriods(f)
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRoundTrip(t *testing.T) {
+	periods := []float64{1e-8, 1.01e-8, 0.99e-8}
+	h := Header{F0: 103e6, Seed: 42}
+	var buf bytes.Buffer
+	if err := WritePeriods(&buf, h, periods); err != nil {
+		t.Fatal(err)
+	}
+	got, p, err := ReadPeriods(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.F0 != 103e6 || got.Seed != 42 || got.Count != 3 {
+		t.Fatalf("header %+v", got)
+	}
+	for i := range periods {
+		if p[i] != periods[i] {
+			t.Fatalf("sample %d: %g vs %g", i, p[i], periods[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []float64, f0raw uint16) bool {
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		h := Header{F0: 1 + float64(f0raw)}
+		var buf bytes.Buffer
+		if err := WritePeriods(&buf, h, raw); err != nil {
+			return false
+		}
+		got, p, err := ReadPeriods(&buf)
+		if err != nil || got.Count != uint64(len(raw)) {
+			return false
+		}
+		for i := range raw {
+			if p[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, _, err := ReadPeriods(strings.NewReader("NOPE!\nxxxxxxxxxxxxxxxxxxxxxxxx")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	periods := make([]float64, 100)
+	var buf bytes.Buffer
+	if err := WritePeriods(&buf, Header{F0: 1e8}, periods); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-5]
+	if _, _, err := ReadPeriods(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestInvalidHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePeriods(&buf, Header{F0: 1e8, Count: 5}, make([]float64, 3)); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+	// f0 = 0 round trip must be rejected on read.
+	buf.Reset()
+	if err := WritePeriods(&buf, Header{F0: 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadPeriods(&buf); err == nil {
+		t.Fatal("f0=0 accepted on read")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.ptrj")
+	r := rng.New(1)
+	periods := make([]float64, 10000)
+	for i := range periods {
+		periods[i] = 1e-8 + 1e-12*r.Norm()
+	}
+	if err := SavePeriods(path, Header{F0: 1e8, Seed: 7}, periods); err != nil {
+		t.Fatal(err)
+	}
+	h, p, err := LoadPeriods(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seed != 7 || len(p) != len(periods) {
+		t.Fatalf("reload mismatch: %+v, %d", h, len(p))
+	}
+	for i := range p {
+		if p[i] != periods[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := LoadPeriods("/nonexistent/trace.ptrj"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

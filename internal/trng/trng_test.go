@@ -1,0 +1,202 @@
+package trng
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phase"
+	"repro/internal/postproc"
+)
+
+func paperModel() phase.Model {
+	const f0 = 103e6
+	return phase.Model{
+		Bth: 5.36e-6 * f0 / 2,
+		Bfl: 5.36e-6 / 5354 * f0 * f0 / (8 * math.Ln2),
+		F0:  f0,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Model: paperModel(), Divider: 0}); err == nil {
+		t.Fatal("divider 0 accepted")
+	}
+	if _, err := New(Config{Model: phase.Model{}, Divider: 8}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestBitsAreBinary(t *testing.T) {
+	g, err := New(Config{Model: paperModel(), Divider: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := g.Bits(10000)
+	for i, b := range bits {
+		if b != 0 && b != 1 {
+			t.Fatalf("bit %d = %d", i, b)
+		}
+	}
+	if g.BitsEmitted() != 10000 {
+		t.Fatalf("BitsEmitted = %d", g.BitsEmitted())
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	a, _ := New(Config{Model: paperModel(), Divider: 32, Seed: 7})
+	b, _ := New(Config{Model: paperModel(), Divider: 32, Seed: 7})
+	ba := a.Bits(5000)
+	bb := b.Bits(5000)
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+// hotModel is a thermal-only model with 100× the paper's b_th (10× the
+// period jitter). Statistical TRNG tests use it so the per-bit phase
+// diffusion reaches the well-mixed regime with computationally feasible
+// dividers: the paper model needs K ≈ 10⁵ periods/bit for full entropy,
+// which is physically realistic but needlessly slow for unit tests.
+func hotModel() phase.Model {
+	m := paperModel()
+	m.Bth *= 100
+	m.Bfl = 0
+	return m
+}
+
+func TestLargeDividerBalancedBits(t *testing.T) {
+	// With enough accumulation the output must be nearly balanced.
+	// σ per sample = sqrt(2K)·σ_th·f0 ≈ 0.73 cycles at K = 1000.
+	g, err := New(Config{Model: hotModel(), Divider: 1000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := g.Bits(20000)
+	bias := postproc.Bias(bits)
+	if math.Abs(bias) > 0.02 {
+		t.Fatalf("bias = %g with large divider", bias)
+	}
+}
+
+func TestLargeDividerLowAutocorrelation(t *testing.T) {
+	g, err := New(Config{Model: hotModel(), Divider: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := g.Bits(20000)
+	// lag-1 correlation of ±1-mapped bits
+	var n01 [2][2]int
+	for i := 1; i < len(bits); i++ {
+		n01[bits[i-1]][bits[i]]++
+	}
+	total := float64(len(bits) - 1)
+	pSame := float64(n01[0][0]+n01[1][1]) / total
+	if math.Abs(pSame-0.5) > 0.03 {
+		t.Fatalf("P(same as previous) = %g, want ~0.5", pSame)
+	}
+}
+
+func TestSmallDividerPredictable(t *testing.T) {
+	// With divider 1 and (nearly) identical frequencies the sampling
+	// point barely moves between samples: consecutive bits repeat —
+	// visibly low entropy. This is the regime the entropy models
+	// guard against.
+	g, err := New(Config{Model: paperModel(), Divider: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := g.Bits(20000)
+	var same int
+	for i := 1; i < len(bits); i++ {
+		if bits[i] == bits[i-1] {
+			same++
+		}
+	}
+	frac := float64(same) / float64(len(bits)-1)
+	if frac < 0.9 {
+		t.Fatalf("P(repeat) = %g; divider-1 output should be strongly correlated", frac)
+	}
+}
+
+func TestMismatchWalksSamplingPoint(t *testing.T) {
+	// With a deliberate frequency mismatch, the sampling point sweeps
+	// the waveform deterministically: the bit stream shows the beat
+	// pattern (long alternating blocks ~ 1/(2·mismatch·K) bits).
+	g, err := New(Config{Model: paperModel(), Divider: 1, Mismatch: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := g.Bits(4000)
+	// Beat period in samples: waveform advances by K·mismatch ≈ 0.01
+	// cycles per sample → full cycle every ~100 samples, half-high.
+	transitions := 0
+	for i := 1; i < len(bits); i++ {
+		if bits[i] != bits[i-1] {
+			transitions++
+		}
+	}
+	// Expect ≈ 2 transitions per 100-sample beat → ~80; pure noise
+	// would give ~2000, frozen output 0.
+	if transitions < 20 || transitions > 400 {
+		t.Fatalf("transitions = %d, want beat-dominated ~80", transitions)
+	}
+}
+
+func TestBytesPacking(t *testing.T) {
+	g, err := New(Config{Model: paperModel(), Divider: 64, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := g.Bytes(100)
+	if len(bs) != 100 {
+		t.Fatalf("%d bytes", len(bs))
+	}
+	if g.BitsEmitted() != 800 {
+		t.Fatalf("BitsEmitted = %d after Bytes(100)", g.BitsEmitted())
+	}
+	// Must not be constant.
+	allSame := true
+	for _, b := range bs[1:] {
+		if b != bs[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("byte output constant")
+	}
+}
+
+func TestAccumulatedJitterVariance(t *testing.T) {
+	g, err := New(Config{Model: paperModel(), Divider: 128, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	av := g.AccumulatedJitterVariance()
+	if av.SamplePeriods != 128 {
+		t.Fatalf("sample periods = %d", av.SamplePeriods)
+	}
+	if av.Thermal <= 0 || av.Total <= av.Thermal {
+		t.Fatalf("accumulated variance split broken: %+v", av)
+	}
+	// Thermal part: rel model has 2·Bth; Var(ΣJ) = K·σ²_rel.
+	rel := g.Pair().RelativeModel()
+	want := rel.SigmaN2Thermal(128) / 2
+	if math.Abs(av.Thermal-want) > 1e-12*want {
+		t.Fatalf("thermal accumulation = %g, want %g", av.Thermal, want)
+	}
+}
+
+func TestDividerAccessors(t *testing.T) {
+	g, err := New(Config{Model: paperModel(), Divider: 9, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Divider() != 9 {
+		t.Fatalf("divider = %d", g.Divider())
+	}
+	if g.Pair() == nil {
+		t.Fatal("nil pair")
+	}
+}

@@ -1,6 +1,9 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -149,6 +152,39 @@ func BenchmarkAIS31(b *testing.B) {
 		if i == 0 {
 			b.Logf("\n%s", res.Table())
 		}
+	}
+}
+
+// BenchmarkSweepParallel measures the engine-backed counter campaign
+// (measure.SweepParallel) at 1, 4 and NumCPU workers. The grid uses a
+// fixed WindowBudget so every N cell costs about the same number of
+// simulated periods — the balanced-load shape under which the pool's
+// scaling is visible (ascending-N equal-window grids are dominated by
+// the largest cell). Results are bit-identical across the widths; only
+// the wall clock moves.
+func BenchmarkSweepParallel(b *testing.B) {
+	m := core.PaperModel()
+	cfg := measure.SweepConfig{
+		Ns:           jitter.LogSpacedNs(16, 4096, 4),
+		WindowBudget: 400_000,
+		MinWindows:   64,
+		Subdivide:    64,
+	}
+	widths := []int{1, 4, runtime.NumCPU()}
+	for _, jobs := range widths {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			c := cfg
+			c.Jobs = jobs
+			for i := 0; i < b.N; i++ {
+				ests, err := measure.SweepParallel(context.Background(), m.RingPair, uint64(i)+1, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ests) != len(c.Ns) {
+					b.Fatalf("%d estimates", len(ests))
+				}
+			}
+		})
 	}
 }
 

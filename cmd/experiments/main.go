@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|full] [-seed S] [-only EXP-ID]
+//	experiments [-scale quick|full] [-seed S] [-only EXP-ID] [-jobs N]
 package main
 
 import (
@@ -23,6 +23,7 @@ func main() {
 		scaleFlag = flag.String("scale", "quick", "effort: quick or full")
 		seed      = flag.Uint64("seed", 1, "campaign seed")
 		only      = flag.String("only", "", "run a single experiment (EXP-F7, EXP-RN, EXP-TH, EXP-EQ11, EXP-IND, EXP-ENT, EXP-PSD, EXP-TIA, EXP-ATT, EXP-AIS)")
+		jobs      = flag.Int("jobs", 0, "campaign worker-pool width (0 = NumCPU, 1 = sequential; tables are identical for every value)")
 	)
 	flag.Parse()
 
@@ -34,6 +35,25 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleFlag)
 	}
+	opt := experiments.Options{Jobs: *jobs}
+
+	// EXP-F7, EXP-RN, EXP-TH and EXP-TIA all derive from the same
+	// (scale, seed) counter campaign; run it once and share it.
+	var (
+		f7     experiments.Fig7Result
+		f7done bool
+	)
+	getF7 := func() (experiments.Fig7Result, error) {
+		if f7done {
+			return f7, nil
+		}
+		var err error
+		f7, err = experiments.Fig7Opts(scale, *seed, opt)
+		if err == nil {
+			f7done = true
+		}
+		return f7, err
+	}
 
 	type runner struct {
 		id  string
@@ -41,22 +61,28 @@ func main() {
 	}
 	runners := []runner{
 		{"EXP-F7", func() (string, error) {
-			r, err := experiments.Fig7(scale, *seed)
+			r, err := getF7()
 			return tbl(r.Table(), err)
 		}},
 		{"EXP-RN", func() (string, error) {
-			r, err := experiments.RNThreshold(scale, *seed)
-			return tbl(r.Table(), err)
+			r, err := getF7()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RNThresholdFromFig7(r).Table(), nil
 		}},
 		{"EXP-TH", func() (string, error) {
-			r, err := experiments.ThermalExtraction(scale, *seed)
-			return tbl(r.Table(), err)
+			r, err := getF7()
+			if err != nil {
+				return "", err
+			}
+			return experiments.ThermalExtractionFromFig7(r).Table(), nil
 		}},
 		{"EXP-EQ11", func() (string, error) {
 			return experiments.Eq11Validation().Table(), nil
 		}},
 		{"EXP-IND", func() (string, error) {
-			r, err := experiments.Independence(scale, *seed)
+			r, err := experiments.IndependenceOpts(scale, *seed, opt)
 			return tbl(r.Table(), err)
 		}},
 		{"EXP-ENT", func() (string, error) {
@@ -68,11 +94,15 @@ func main() {
 			return tbl(r.Table(), err)
 		}},
 		{"EXP-TIA", func() (string, error) {
-			r, err := experiments.TIACrossCheck(scale, *seed)
+			f, err := getF7()
+			if err != nil {
+				return "", err
+			}
+			r, err := experiments.TIACrossCheckFromThermal(experiments.ThermalExtractionFromFig7(f), scale, *seed)
 			return tbl(r.Table(), err)
 		}},
 		{"EXP-ATT", func() (string, error) {
-			r, err := experiments.OnlineTest(scale, *seed)
+			r, err := experiments.OnlineTestOpts(scale, *seed, opt)
 			return tbl(r.Table(), err)
 		}},
 		{"EXP-AIS", func() (string, error) {

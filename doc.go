@@ -11,10 +11,23 @@
 // extraction, naive-vs-refined entropy assessment, the proposed online
 // thermal-noise monitor, and the AIS31 statistical test context.
 //
+// Campaign execution: every evaluation artifact is a counter campaign
+// over many accumulation lengths N — embarrassingly parallel per
+// (N, seed) cell. The campaigns run on internal/engine, a
+// deterministic worker-pool layer: one task per cell, each cell's
+// randomness derived from the campaign root seed with
+// engine.DeriveSeed, results written to per-task slots. Tables are
+// therefore bit-identical for every worker count (the -jobs flag of
+// cmd/experiments and cmd/trngsim), which keeps parallel reproduction
+// runs citable from (scale, seed) alone. Underneath, the oscillators
+// generate edge times in chunks (osc.Oscillator.NextEdges) so each
+// worker's hot loop is amortized as well as parallel.
+//
 // Entry points:
 //
 //   - internal/core.Model — the multilevel model façade
 //   - internal/experiments — regenerates every paper artifact
+//   - internal/engine — the deterministic campaign runner
 //   - cmd/* — command-line tools
 //   - examples/* — runnable walkthroughs
 //

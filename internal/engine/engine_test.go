@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapDeterministicAcrossJobs(t *testing.T) {
+	// The engine's core contract: results depend only on (root, task),
+	// never on worker count or scheduling.
+	const tasks = 257
+	f := func(_ context.Context, i int) (uint64, error) {
+		return DeriveSeed(42, uint64(i)), nil
+	}
+	ref, err := Map(context.Background(), tasks, f, Jobs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 3, runtime.NumCPU(), 4 * runtime.NumCPU()} {
+		got, err := Map(context.Background(), tasks, f, Jobs(jobs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("jobs=%d task %d: %d != %d", jobs, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestRunVisitsEveryTaskOnce(t *testing.T) {
+	const tasks = 1000
+	var visits [tasks]atomic.Int32
+	err := Run(context.Background(), tasks, func(_ context.Context, i int) error {
+		visits[i].Add(1)
+		return nil
+	}, Jobs(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range visits {
+		if n := visits[i].Load(); n != 1 {
+			t.Fatalf("task %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestRunFailFastReturnsLowestIndexError(t *testing.T) {
+	bad := map[int]bool{7: true, 31: true, 900: true}
+	worker := func(_ context.Context, i int) error {
+		if bad[i] {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	}
+	// Sequential path: the in-order loop guarantees the first failing
+	// index exactly.
+	err := Run(context.Background(), 1000, worker, Jobs(1))
+	if err == nil || err.Error() != "task 7 failed" {
+		t.Fatalf("jobs=1: err = %v, want task 7", err)
+	}
+	// Parallel paths guarantee only "lowest index among tasks that
+	// ran": a worker that claimed task 7 but was preempted past the
+	// cancel can legally skip it, so any failing task is acceptable —
+	// but never success or a non-task error.
+	for _, jobs := range []int{4, 16} {
+		err := Run(context.Background(), 1000, worker, Jobs(jobs))
+		if err == nil {
+			t.Fatalf("jobs=%d: no error", jobs)
+		}
+		switch got := err.Error(); got {
+		case "task 7 failed", "task 31 failed", "task 900 failed":
+		default:
+			t.Fatalf("jobs=%d: err = %q, want one of the failing tasks", jobs, got)
+		}
+	}
+}
+
+func TestRunFailFastCancelsPool(t *testing.T) {
+	var started atomic.Int32
+	boom := errors.New("boom")
+	err := Run(context.Background(), 10000, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	}, Jobs(2))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); int(n) == 10000 {
+		t.Fatal("pool did not stop early after failure")
+	}
+}
+
+func TestRunRespectsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := Run(ctx, 5, func(_ context.Context, _ int) error {
+		ran = true
+		return nil
+	}, Jobs(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("worker ran under cancelled context")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := Run(context.Background(), -1, func(_ context.Context, _ int) error { return nil }); err == nil {
+		t.Fatal("negative task count accepted")
+	}
+	if err := Run(context.Background(), 1, nil); err == nil {
+		t.Fatal("nil worker accepted")
+	}
+	if err := Run(context.Background(), 0, func(_ context.Context, _ int) error { return nil }); err != nil {
+		t.Fatalf("zero tasks: %v", err)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	// Distinct tasks from one root never collide, and nearby
+	// (root, task) pairs decorrelate.
+	seen := make(map[uint64]uint64)
+	for task := uint64(0); task < 10000; task++ {
+		s := DeriveSeed(1, task)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("collision: tasks %d and %d both derive %#x", prev, task, s)
+		}
+		seen[s] = task
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("adjacent roots collide at task 0")
+	}
+	// Pure function: stable across calls.
+	if DeriveSeed(123, 456) != DeriveSeed(123, 456) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	// Avalanche sanity: one-bit root change flips about half the bits.
+	d := DeriveSeed(1, 7) ^ DeriveSeed(1|1<<63, 7)
+	pop := 0
+	for ; d != 0; d &= d - 1 {
+		pop++
+	}
+	if pop < 16 || pop > 48 {
+		t.Fatalf("weak avalanche: %d bits flipped", pop)
+	}
+}
+
+func TestRunCancelAbortDoesNotMaskRealError(t *testing.T) {
+	// Tasks 0-2 are ctx-respecting workers that only return once the
+	// pool cancels; task 3 carries the real failure. The cancellation
+	// errors surface at lower task indices than the real error and
+	// must not win the lowest-index selection.
+	boom := errors.New("boom")
+	err := Run(context.Background(), 4, func(ctx context.Context, task int) error {
+		if task == 3 {
+			return boom
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	}, Jobs(4))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the real task error", err)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	if _, err := Map(context.Background(), -1, func(_ context.Context, _ int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative task count accepted")
+	}
+}

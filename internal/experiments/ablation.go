@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/entropy"
 	"repro/internal/indep"
 	"repro/internal/jitter"
@@ -33,6 +35,14 @@ type IndependenceResult struct{ Cases []IndependenceCase }
 // adding flicker keeps the small-N region looking independent but is
 // rejected on a wide sweep.
 func Independence(scale Scale, seed uint64) (IndependenceResult, error) {
+	return IndependenceOpts(scale, seed, Options{})
+}
+
+// IndependenceOpts is Independence with explicit execution options:
+// each noise configuration is one engine task (its jitter record,
+// sweeps and diagnostics are private to the task), so the ablation
+// matrix is identical for every worker-pool width.
+func IndependenceOpts(scale Scale, seed uint64, opt Options) (IndependenceResult, error) {
 	samples := 3_000_000
 	if scale == Full {
 		samples = 8_000_000
@@ -41,28 +51,28 @@ func Independence(scale Scale, seed uint64) (IndependenceResult, error) {
 
 	configs := []struct {
 		name string
-		mut  func() (j []float64, err error)
+		mut  func(taskSeed uint64) (j []float64, err error)
 	}{
-		{"thermal-only", func() ([]float64, error) {
+		{"thermal-only", func(taskSeed uint64) ([]float64, error) {
 			m := paper
 			m.Bfl = 0
-			o, err := osc.New(m, osc.Options{Seed: seed})
+			o, err := osc.New(m, osc.Options{Seed: taskSeed})
 			if err != nil {
 				return nil, err
 			}
 			return o.Jitter(samples), nil
 		}},
-		{"thermal+flicker (paper)", func() ([]float64, error) {
-			o, err := osc.New(paper, osc.Options{Seed: seed + 1})
+		{"thermal+flicker (paper)", func(taskSeed uint64) ([]float64, error) {
+			o, err := osc.New(paper, osc.Options{Seed: taskSeed})
 			if err != nil {
 				return nil, err
 			}
 			return o.Jitter(samples), nil
 		}},
-		{"flicker x10", func() ([]float64, error) {
+		{"flicker x10", func(taskSeed uint64) ([]float64, error) {
 			m := paper
 			m.Bfl *= 10
-			o, err := osc.New(m, osc.Options{Seed: seed + 2})
+			o, err := osc.New(m, osc.Options{Seed: taskSeed})
 			if err != nil {
 				return nil, err
 			}
@@ -70,43 +80,46 @@ func Independence(scale Scale, seed uint64) (IndependenceResult, error) {
 		}},
 	}
 
-	var res IndependenceResult
 	smallNs := []int{4, 8, 16, 32, 64, 128}
 	wideNs := jitter.LogSpacedNs(16, samples/64, 4)
-	for _, cfg := range configs {
-		j, err := cfg.mut()
+	cases, err := engine.Map(context.Background(), len(configs), func(_ context.Context, i int) (IndependenceCase, error) {
+		cfg := configs[i]
+		j, err := cfg.mut(engine.DeriveSeed(seed, uint64(i)))
 		if err != nil {
-			return IndependenceResult{}, err
+			return IndependenceCase{}, err
 		}
 		sweepSmall, err := jitter.Sweep(j, smallNs)
 		if err != nil {
-			return IndependenceResult{}, err
+			return IndependenceCase{}, err
 		}
 		linSmall, err := indep.BienaymeLinearity(sweepSmall, paper.F0)
 		if err != nil {
-			return IndependenceResult{}, err
+			return IndependenceCase{}, err
 		}
 		sweepWide, err := jitter.Sweep(j, wideNs)
 		if err != nil {
-			return IndependenceResult{}, err
+			return IndependenceCase{}, err
 		}
 		linWide, err := indep.BienaymeLinearity(sweepWide, paper.F0)
 		if err != nil {
-			return IndependenceResult{}, err
+			return IndependenceCase{}, err
 		}
 		pm, err := indep.SNPortmanteau(j, 64, 20)
 		if err != nil {
-			return IndependenceResult{}, err
+			return IndependenceCase{}, err
 		}
-		res.Cases = append(res.Cases, IndependenceCase{
+		return IndependenceCase{
 			Name:              cfg.name,
 			PlausibleSmallN:   linSmall.IndependencePlausible(0.001),
 			PlausibleLargeN:   linWide.IndependencePlausible(0.001),
 			BSignificanceWide: linWide.BSignificance,
 			PortmanteauP:      pm.PValue,
-		})
+		}, nil
+	}, engine.Jobs(opt.Jobs))
+	if err != nil {
+		return IndependenceResult{}, err
 	}
-	return res, nil
+	return IndependenceResult{Cases: cases}, nil
 }
 
 // Table renders the ablation matrix.

@@ -84,6 +84,13 @@ func TIACrossCheck(scale Scale, seed uint64) (TIAResult, error) {
 	if err != nil {
 		return TIAResult{}, err
 	}
+	return TIACrossCheckFromThermal(th, scale, seed)
+}
+
+// TIACrossCheckFromThermal runs only the TIA-oracle side against an
+// already-run §IV-B extraction, so the expensive counter campaign can
+// be shared with the other derived artifacts.
+func TIACrossCheckFromThermal(th ThermalResult, scale Scale, seed uint64) (TIAResult, error) {
 	// The TIA observes ONE ring; the counter fit measured the
 	// relative (two-ring) jitter, so compare per-ring σ = σ_rel/√2.
 	m := core.PaperModel().PerRing().Phase

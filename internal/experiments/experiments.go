@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -23,6 +24,16 @@ import (
 	"repro/internal/measure"
 	"repro/internal/phase"
 )
+
+// Options tunes how a campaign executes without changing what it
+// computes: every experiment fans its cells out on the
+// internal/engine worker pool, and the engine's determinism contract
+// guarantees the tables are bit-identical for every Jobs value.
+type Options struct {
+	// Jobs is the worker-pool width: 0 selects runtime.NumCPU(),
+	// 1 forces the sequential reference path.
+	Jobs int
+}
 
 // Paper-reported constants (§III-E, §IV-B).
 const (
@@ -76,17 +87,22 @@ type Fig7Result struct {
 	Model phase.Model
 }
 
-// Fig7 reproduces Fig. 7: a counter sweep over N on a simulated
-// 103 MHz pair calibrated to the paper, with the quadratic fit overlay.
+// Fig7 reproduces Fig. 7: a counter sweep over N on simulated 103 MHz
+// pairs calibrated to the paper, with the quadratic fit overlay. It
+// runs with the default worker-pool width; see Fig7Opts.
 func Fig7(scale Scale, seed uint64) (Fig7Result, error) {
+	return Fig7Opts(scale, seed, Options{})
+}
+
+// Fig7Opts is Fig7 with explicit execution options. The campaign fans
+// out one engine task per accumulation length N; each cell builds its
+// own paper-calibrated pair from a seed derived from the campaign
+// seed, so the table depends only on (scale, seed).
+func Fig7Opts(scale Scale, seed uint64, opt Options) (Fig7Result, error) {
 	m := core.PaperModel()
-	pair, err := m.RingPair(seed)
-	if err != nil {
-		return Fig7Result{}, err
-	}
 	ns := jitter.LogSpacedNs(16, 32768, 4)
-	sweep, err := measure.Sweep(pair, measure.SweepConfig{
-		Ns: ns, WindowsPerN: scale.windows(), Subdivide: 256,
+	sweep, err := measure.SweepParallel(context.Background(), m.RingPair, seed, measure.SweepConfig{
+		Ns: ns, WindowsPerN: scale.windows(), Subdivide: 256, Jobs: opt.Jobs,
 	})
 	if err != nil {
 		return Fig7Result{}, err
@@ -153,10 +169,25 @@ type ThresholdRow struct {
 // RNThreshold reproduces the paper's r_N analysis: the ratio curve and
 // the N*(r) thresholds (N*(95 %) = 281 in the paper).
 func RNThreshold(scale Scale, seed uint64) (RNResult, error) {
-	f7, err := Fig7(scale, seed)
+	return RNThresholdOpts(scale, seed, Options{})
+}
+
+// RNThresholdOpts is RNThreshold with explicit execution options; the
+// underlying Fig. 7 window campaign fans out on the engine pool.
+func RNThresholdOpts(scale Scale, seed uint64, opt Options) (RNResult, error) {
+	f7, err := Fig7Opts(scale, seed, opt)
 	if err != nil {
 		return RNResult{}, err
 	}
+	return RNThresholdFromFig7(f7), nil
+}
+
+// RNThresholdFromFig7 derives the r_N analysis from an already-run
+// Fig. 7 campaign. The counter campaign is the expensive part; every
+// derived artifact (this one, ThermalExtractionFromFig7) should share
+// one campaign rather than re-running it — the hardware experiment is
+// likewise one capture with many views.
+func RNThresholdFromFig7(f7 Fig7Result) RNResult {
 	res := RNResult{Fit: f7.Fit}
 	paper := core.PaperModel().Phase
 	for _, n := range []int{1, 10, 100, 281, 1000, 5354, 30000} {
@@ -172,7 +203,7 @@ func RNThreshold(scale Scale, seed uint64) (RNResult, error) {
 		np, _ := paper.IndependenceThreshold(rmin)
 		res.Thresholds = append(res.Thresholds, ThresholdRow{RMin: rmin, NMeasured: nm, NPaper: np})
 	}
-	return res, nil
+	return res
 }
 
 // Table renders the r_N comparison.
@@ -205,10 +236,24 @@ type ThermalResult struct {
 // ThermalExtraction reproduces §IV-B: extract b_th, σ and σ/T0 from the
 // counter campaign.
 func ThermalExtraction(scale Scale, seed uint64) (ThermalResult, error) {
-	f7, err := Fig7(scale, seed)
+	return ThermalExtractionOpts(scale, seed, Options{})
+}
+
+// ThermalExtractionOpts is ThermalExtraction with explicit execution
+// options; the underlying Fig. 7 window campaign fans out on the
+// engine pool.
+func ThermalExtractionOpts(scale Scale, seed uint64, opt Options) (ThermalResult, error) {
+	f7, err := Fig7Opts(scale, seed, opt)
 	if err != nil {
 		return ThermalResult{}, err
 	}
+	return ThermalExtractionFromFig7(f7), nil
+}
+
+// ThermalExtractionFromFig7 derives the §IV-B extraction from an
+// already-run Fig. 7 campaign (see RNThresholdFromFig7 on sharing one
+// campaign across derived artifacts).
+func ThermalExtractionFromFig7(f7 Fig7Result) ThermalResult {
 	fit := f7.Fit
 	return ThermalResult{
 		BthHz:            fit.Model.Bth,
@@ -219,7 +264,7 @@ func ThermalExtraction(scale Scale, seed uint64) (ThermalResult, error) {
 		PaperSigmaPs:     PaperSigmaPs,
 		PaperRatioPermil: PaperRatioPermil,
 		Fit:              fit,
-	}, nil
+	}
 }
 
 // Table renders the extraction comparison.

@@ -3,14 +3,25 @@ package experiments
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
+
+// sharedFig7 runs the Quick Fig. 7 campaign once per test binary; the
+// r_N, thermal-extraction and TIA tests derive their artifacts from it
+// (one capture, many views — like the hardware experiment). The
+// campaign is the dominant cost of this package's suite, and running
+// it once keeps the binary well inside the default go test timeout.
+var sharedFig7 = sync.OnceValues(func() (Fig7Result, error) {
+	return Fig7(Quick, 1)
+})
 
 func TestFig7ShapeAndFit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
-	res, err := Fig7(Quick, 1)
+	t.Parallel()
+	res, err := sharedFig7()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,10 +52,12 @@ func TestRNThresholdReproduces281(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
-	res, err := RNThreshold(Quick, 2)
+	t.Parallel()
+	f7, err := sharedFig7()
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := RNThresholdFromFig7(f7)
 	var n95Measured, n95Paper int
 	for _, row := range res.Thresholds {
 		if row.RMin == 0.95 {
@@ -66,10 +79,12 @@ func TestThermalExtractionReproducesPaper(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
-	res, err := ThermalExtraction(Quick, 3)
+	t.Parallel()
+	f7, err := sharedFig7()
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := ThermalExtractionFromFig7(f7)
 	if math.Abs(res.SigmaPs-PaperSigmaPs) > 1.5 {
 		t.Fatalf("σ = %g ps, want ≈%g", res.SigmaPs, PaperSigmaPs)
 	}
@@ -97,6 +112,7 @@ func TestIndependenceAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
+	t.Parallel()
 	res, err := Independence(Quick, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -146,6 +162,7 @@ func TestOnlineTestDetection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
+	t.Parallel()
 	res, err := OnlineTest(Quick, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -170,6 +187,7 @@ func TestPSDCrossCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
+	t.Parallel()
 	res, err := PSDCrossCheck(Quick, 7)
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +207,12 @@ func TestTIACrossCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
-	res, err := TIACrossCheck(Quick, 8)
+	t.Parallel()
+	f7, err := sharedFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TIACrossCheckFromThermal(ThermalExtractionFromFig7(f7), Quick, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,6 +228,7 @@ func TestAIS31Run(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
+	t.Parallel()
 	res, err := AIS31Run(Quick, 6)
 	if err != nil {
 		t.Fatal(err)

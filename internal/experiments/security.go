@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/ais31"
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/measure"
 	"repro/internal/onlinetest"
 	"repro/internal/osc"
@@ -41,6 +43,14 @@ type OnlineResult struct {
 // monitor (§V): a clean run must stay silent; thermal suppression and
 // frequency-injection attacks must trip the alarm quickly.
 func OnlineTest(scale Scale, seed uint64) (OnlineResult, error) {
+	return OnlineTestOpts(scale, seed, Options{})
+}
+
+// OnlineTestOpts is OnlineTest with explicit execution options: each
+// attack scenario is one engine task with its own pair, counter and
+// monitor, so the detection matrix is identical for every worker-pool
+// width.
+func OnlineTestOpts(scale Scale, seed uint64, opt Options) (OnlineResult, error) {
 	m := core.PaperModel()
 	const n = 64 // well inside the N*(95%) = 281 independence zone
 	samples := 3000
@@ -64,16 +74,20 @@ func OnlineTest(scale Scale, seed uint64) (OnlineResult, error) {
 		}},
 	}
 
-	var res OnlineResult
-	for i, sc := range scenarios {
-		pair, err := m.RingPair(seed + uint64(i)*17)
+	type caseRun struct {
+		c       OnlineCase
+		windows int
+	}
+	runs, err := engine.Map(context.Background(), len(scenarios), func(_ context.Context, i int) (caseRun, error) {
+		sc := scenarios[i]
+		pair, err := m.RingPair(engine.DeriveSeed(seed, uint64(i)))
 		if err != nil {
-			return OnlineResult{}, err
+			return caseRun{}, err
 		}
 		sc.arm(pair.Osc1, pair.Osc2)
 		c, err := measure.NewCounterConfig(pair, n, measure.Config{Subdivide: 64})
 		if err != nil {
-			return OnlineResult{}, err
+			return caseRun{}, err
 		}
 		mon, err := onlinetest.New(onlinetest.Config{
 			N:          n,
@@ -81,11 +95,11 @@ func OnlineTest(scale Scale, seed uint64) (OnlineResult, error) {
 			RefSigmaN2: m.Phase.SigmaN2Thermal(n) + c.QuantizationFloor(),
 		})
 		if err != nil {
-			return OnlineResult{}, err
+			return caseRun{}, err
 		}
 		run, err := onlinetest.Run(mon, c, samples)
 		if err != nil {
-			return OnlineResult{}, err
+			return caseRun{}, err
 		}
 		oc := OnlineCase{
 			Name:           sc.name,
@@ -99,10 +113,15 @@ func OnlineTest(scale Scale, seed uint64) (OnlineResult, error) {
 		} else {
 			oc.LatencySamples = -1
 		}
-		if i == 0 {
-			res.CleanWindows = run.Windows
-		}
-		res.Cases = append(res.Cases, oc)
+		return caseRun{c: oc, windows: run.Windows}, nil
+	}, engine.Jobs(opt.Jobs))
+	if err != nil {
+		return OnlineResult{}, err
+	}
+	var res OnlineResult
+	res.CleanWindows = runs[0].windows
+	for _, r := range runs {
+		res.Cases = append(res.Cases, r.c)
 	}
 	return res, nil
 }

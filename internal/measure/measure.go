@@ -33,13 +33,20 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/jitter"
 	"repro/internal/osc"
 	"repro/internal/stats"
 )
+
+// edgeChunk is the Osc1/Osc2 read-ahead chunk size: large enough to
+// amortize per-edge call overhead, small enough that the read-ahead a
+// counter may discard when re-armed mid-stream stays negligible.
+const edgeChunk = 512
 
 // Counter is the differential counter of Fig. 6 configured for windows
 // of n reference (Osc2) cycles.
@@ -48,10 +55,16 @@ type Counter struct {
 	n    int
 	sub  int
 	// Osc1 waveform tracking for the event-driven phase read-out.
+	// Edges are pulled through a chunk buffer (osc.NextEdges) so the
+	// hot loop pays one oscillator call per edgeChunk edges instead of
+	// one per edge.
 	edges     uint64  // rising edges emitted up to nextEdge1 (exclusive)
 	lastEdge1 float64 // time of the most recent Osc1 edge <= cursor
 	nextEdge1 float64 // time of the next Osc1 edge
-	lastQ     int64   // subdivided phase count at the previous boundary
+	buf1      []float64
+	pos1      int
+	win2      []float64 // Osc2 window scratch for chunked advancement
+	lastQ     int64     // subdivided phase count at the previous boundary
 	primed    bool
 }
 
@@ -101,13 +114,51 @@ func (c *Counter) PeriodOsc1() float64 { return 1 / c.pair.Osc1.F0() }
 // Resolution returns the counter's time resolution 1/(M·f0) in seconds.
 func (c *Counter) Resolution() float64 { return c.PeriodOsc1() / float64(c.sub) }
 
+// nextOsc1Edge returns the time of Osc1's next rising edge, refilling
+// the read-ahead chunk buffer when exhausted.
+func (c *Counter) nextOsc1Edge() float64 {
+	if c.pos1 == len(c.buf1) {
+		if c.buf1 == nil {
+			c.buf1 = make([]float64, edgeChunk)
+		}
+		c.pair.Osc1.NextEdges(c.buf1)
+		c.pos1 = 0
+	}
+	e := c.buf1[c.pos1]
+	c.pos1++
+	return e
+}
+
+// advanceOsc2 advances Osc2 by n periods in chunks and returns the time
+// of its last edge (== Osc2.Now() afterwards).
+func (c *Counter) advanceOsc2(n int) float64 {
+	if c.win2 == nil {
+		w := n
+		if w > edgeChunk {
+			w = edgeChunk
+		}
+		c.win2 = make([]float64, w)
+	}
+	end := c.pair.Osc2.Now()
+	for n > 0 {
+		k := n
+		if k > len(c.win2) {
+			k = len(c.win2)
+		}
+		chunk := c.pair.Osc2.NextEdges(c.win2[:k])
+		end = chunk[k-1]
+		n -= k
+	}
+	return end
+}
+
 // phiAt advances the Osc1 edge cursor to cover time t and returns the
 // subdivided phase count floor(M·Φ1(t)), where Φ1 counts Osc1 periods
 // with linear interpolation inside the current period (the TDC model).
 func (c *Counter) phiAt(t float64) int64 {
 	for c.nextEdge1 <= t {
 		c.lastEdge1 = c.nextEdge1
-		c.nextEdge1 = c.pair.Osc1.NextEdge()
+		c.nextEdge1 = c.nextOsc1Edge()
 		c.edges++
 	}
 	frac := 0.0
@@ -139,19 +190,32 @@ func (c *Counter) NextQ() int64 {
 		// one full counting window before the first reported Q, so
 		// every reported count uses boundaries measured with a
 		// settled edge cursor.
+		// A counter arms exactly once, before its read-ahead buffer
+		// has drawn anything, so the oscillator's current edge is the
+		// anchor (exactly the old behaviour). When arming on a pair
+		// another counter already read ahead on, Osc1.Now() may lie
+		// past the Osc2 boundary — the start-up hazard the warm-up
+		// window below absorbs.
 		c.lastEdge1 = c.pair.Osc1.Now()
-		c.nextEdge1 = c.pair.Osc1.NextEdge()
+		c.nextEdge1 = c.nextOsc1Edge()
 		c.phiAt(c.pair.Osc2.Now())
-		for i := 0; i < c.n; i++ {
-			c.pair.Osc2.NextPeriod()
+		// Warm up: at least one full window, and as many more as it
+		// takes for the edge cursor to straddle the window boundary
+		// (lastEdge1 <= boundary < nextEdge1). A counter arming after
+		// another counter's chunked read-ahead on the same pair starts
+		// with its anchor up to edgeChunk periods past the Osc2
+		// cursor; reporting counts before the cursor re-enters the
+		// live edge stream would return pure warm-up artifacts.
+		for {
+			end := c.advanceOsc2(c.n)
+			c.lastQ = c.phiAt(end)
+			if c.lastEdge1 <= end {
+				break
+			}
 		}
-		c.lastQ = c.phiAt(c.pair.Osc2.Now())
 		c.primed = true
 	}
-	for i := 0; i < c.n; i++ {
-		c.pair.Osc2.NextPeriod()
-	}
-	end := c.pair.Osc2.Now()
+	end := c.advanceOsc2(c.n)
 	q := c.phiAt(end)
 	dq := q - c.lastQ
 	c.lastQ = q
@@ -247,40 +311,92 @@ type SweepConfig struct {
 	MinWindows int
 	// Subdivide forwards the TDC resolution to every counter.
 	Subdivide int
+	// Jobs is the engine worker-pool width used by SweepParallel:
+	// 0 selects runtime.NumCPU(), 1 forces the sequential reference
+	// path. The results are bit-identical for every value.
+	Jobs int
 }
 
-// Sweep runs the Fig. 7 campaign: for every N in cfg.Ns it configures a
-// counter on the pair and estimates σ²_N. The pair's oscillators keep
-// advancing across Ns (one long capture, like the hardware experiment).
-func Sweep(pair *osc.Pair, cfg SweepConfig) ([]jitter.VarianceEstimate, error) {
-	if len(cfg.Ns) == 0 {
-		return nil, fmt.Errorf("measure: empty N grid")
-	}
+// windowsFor returns the number of counter windows collected at grid
+// point N under this configuration's budget policy.
+func (cfg SweepConfig) windowsFor(n int) int {
 	minW := cfg.MinWindows
 	if minW == 0 {
 		minW = 64
 	}
+	windows := cfg.WindowsPerN
+	if cfg.WindowBudget > 0 {
+		windows = cfg.WindowBudget / n
+		if windows < minW {
+			windows = minW
+		}
+	}
+	if windows < 3 {
+		windows = 3
+	}
+	return windows
+}
+
+// Sweep runs the Fig. 7 campaign against ONE live pair: for every N in
+// cfg.Ns it configures a counter on the pair and estimates σ²_N. The
+// pair's oscillators keep advancing across Ns (one long capture, like
+// the hardware experiment) — the right shape when the pair is a
+// specific physical article being measured (core.Measure, attack
+// scenarios with armed modulators). Campaign-style reproduction runs
+// that only need statistically equivalent cells should use
+// SweepParallel, which fans the grid out on the engine worker pool.
+func Sweep(pair *osc.Pair, cfg SweepConfig) ([]jitter.VarianceEstimate, error) {
+	if len(cfg.Ns) == 0 {
+		return nil, fmt.Errorf("measure: empty N grid")
+	}
 	out := make([]jitter.VarianceEstimate, 0, len(cfg.Ns))
 	for _, n := range cfg.Ns {
-		windows := cfg.WindowsPerN
-		if cfg.WindowBudget > 0 {
-			windows = cfg.WindowBudget / n
-			if windows < minW {
-				windows = minW
-			}
-		}
-		if windows < 3 {
-			windows = 3
-		}
 		c, err := NewCounterConfig(pair, n, Config{Subdivide: cfg.Subdivide})
 		if err != nil {
 			return nil, err
 		}
-		est, err := c.EstimateSigmaN2(windows)
+		est, err := c.EstimateSigmaN2(cfg.windowsFor(n))
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, est)
 	}
 	return out, nil
+}
+
+// PairFactory builds an independent oscillator pair from a campaign
+// task seed. core's Model.RingPair and Model.SimulatePair satisfy it
+// directly.
+type PairFactory func(seed uint64) (*osc.Pair, error)
+
+// SweepParallel runs the Fig. 7 campaign as one engine task per N
+// value: campaign cell i gets its own independent pair built from
+// mk(engine.DeriveSeed(seed, i)), its own counter, and writes only its
+// own result slot. Results are therefore bit-identical for every
+// worker-pool width (cfg.Jobs), including the sequential Jobs == 1
+// reference path, and depend only on (seed, cfg).
+//
+// Statistically the per-cell pairs are as faithful as Sweep's one long
+// capture: the flicker generators start in their stationary
+// distribution, so every cell observes the same stationary jitter
+// process the hardware capture does.
+func SweepParallel(ctx context.Context, mk PairFactory, seed uint64, cfg SweepConfig) ([]jitter.VarianceEstimate, error) {
+	if len(cfg.Ns) == 0 {
+		return nil, fmt.Errorf("measure: empty N grid")
+	}
+	if mk == nil {
+		return nil, fmt.Errorf("measure: nil pair factory")
+	}
+	return engine.Map(ctx, len(cfg.Ns), func(_ context.Context, i int) (jitter.VarianceEstimate, error) {
+		n := cfg.Ns[i]
+		pair, err := mk(engine.DeriveSeed(seed, uint64(i)))
+		if err != nil {
+			return jitter.VarianceEstimate{}, err
+		}
+		c, err := NewCounterConfig(pair, n, Config{Subdivide: cfg.Subdivide})
+		if err != nil {
+			return jitter.VarianceEstimate{}, err
+		}
+		return c.EstimateSigmaN2(cfg.windowsFor(n))
+	}, engine.Jobs(cfg.Jobs))
 }

@@ -1,7 +1,11 @@
 package measure
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/osc"
@@ -280,5 +284,103 @@ func TestCounterVsDirectJitterConsistency(t *testing.T) {
 	want := rel.SigmaN2(n) + c.QuantizationFloor()
 	if est.SigmaN2 < 0.7*want || est.SigmaN2 > 1.4*want {
 		t.Fatalf("counter %g vs theory %g", est.SigmaN2, want)
+	}
+}
+
+func paperPairFactory(mismatch float64) PairFactory {
+	m := paperModel()
+	return func(seed uint64) (*osc.Pair, error) {
+		return osc.NewPair(m, mismatch, osc.Options{Seed: seed})
+	}
+}
+
+func TestSweepParallelDeterminism(t *testing.T) {
+	// The engine contract surfaced at the measurement layer: the
+	// campaign result is a pure function of (seed, config) — worker
+	// count must not be observable, down to the last bit.
+	cfg := SweepConfig{Ns: []int{16, 64, 256, 1024}, WindowsPerN: 300, Subdivide: 64}
+	ref, err := SweepParallel(context.Background(), paperPairFactory(2e-3), 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Jobs != 0 {
+		t.Fatal("config mutated")
+	}
+	for _, jobs := range []int{1, 2, 4, 8} {
+		c := cfg
+		c.Jobs = jobs
+		got, err := SweepParallel(context.Background(), paperPairFactory(2e-3), 5, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("jobs=%d: results differ from default-jobs run\n got %+v\nwant %+v", jobs, got, ref)
+		}
+	}
+	// A different campaign seed must produce different data.
+	other, err := SweepParallel(context.Background(), paperPairFactory(2e-3), 6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(other, ref) {
+		t.Fatal("seed not threaded into campaign cells")
+	}
+}
+
+func TestSweepParallelMatchesSequentialStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical equivalence needs long captures")
+	}
+	// Parallel per-cell pairs must estimate the same physics as the
+	// legacy one-long-capture Sweep: same σ²_N within error bars.
+	ns := []int{64, 512, 4096}
+	cfg := SweepConfig{Ns: ns, WindowsPerN: 2000, Subdivide: 64}
+	par, err := SweepParallel(context.Background(), paperPairFactory(2e-3), 21, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newPair(t, paperModel(), 21)
+	seq, err := Sweep(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ns {
+		d := math.Abs(par[i].SigmaN2 - seq[i].SigmaN2)
+		tol := 5 * (par[i].StdErr + seq[i].StdErr)
+		if d > tol {
+			t.Fatalf("N=%d: parallel %g vs sequential %g (tol %g)", ns[i], par[i].SigmaN2, seq[i].SigmaN2, tol)
+		}
+	}
+}
+
+func TestSweepParallelRace(t *testing.T) {
+	// Race-safety witness: saturate the pool well past NumCPU so the
+	// race detector (go test -race) sees real worker interleaving.
+	cfg := SweepConfig{Ns: []int{8, 16, 32, 64, 128, 256, 8, 16, 32, 64, 128, 256},
+		WindowsPerN: 100, Subdivide: 16, Jobs: 4 * runtime.NumCPU()}
+	ests, err := SweepParallel(context.Background(), paperPairFactory(2e-3), 7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != len(cfg.Ns) {
+		t.Fatalf("%d estimates", len(ests))
+	}
+	for i, e := range ests {
+		if e.N != cfg.Ns[i] || e.SigmaN2 <= 0 {
+			t.Fatalf("estimate %d malformed: %+v", i, e)
+		}
+	}
+}
+
+func TestSweepParallelValidation(t *testing.T) {
+	if _, err := SweepParallel(context.Background(), paperPairFactory(0), 1, SweepConfig{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := SweepParallel(context.Background(), nil, 1, SweepConfig{Ns: []int{8}}); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	bad := func(seed uint64) (*osc.Pair, error) { return nil, fmt.Errorf("factory down") }
+	if _, err := SweepParallel(context.Background(), bad, 1, SweepConfig{Ns: []int{8, 16}}); err == nil {
+		t.Fatal("factory error swallowed")
 	}
 }

@@ -15,13 +15,18 @@
 package multiring
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/osc"
 	"repro/internal/phase"
 	"repro/internal/stats"
 )
+
+// ringChunk is the per-ring edge read-ahead (osc.NextEdges) chunk size.
+const ringChunk = 256
 
 // Config describes the generator.
 type Config struct {
@@ -57,11 +62,48 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// ringState tracks one ring's waveform between samples.
+// ringState tracks one ring's waveform between samples. Edges are
+// pulled through a chunk buffer (osc.NextEdges) so sampling pays one
+// oscillator call per ringChunk edges. Each ringState is mutated only
+// by the goroutine that owns its ring — the property BitsParallel's
+// per-replica tasks rely on.
 type ringState struct {
 	o        *osc.Oscillator
 	lastEdge float64
 	nextEdge float64
+	buf      []float64
+	pos      int
+}
+
+// popEdge returns the ring's next rising-edge time.
+func (st *ringState) popEdge() float64 {
+	if st.pos == len(st.buf) {
+		if st.buf == nil {
+			st.buf = make([]float64, ringChunk)
+		}
+		st.o.NextEdges(st.buf)
+		st.pos = 0
+	}
+	e := st.buf[st.pos]
+	st.pos++
+	return e
+}
+
+// bitAt advances the ring's waveform to the sample instant t and
+// returns the sampled square-wave bit.
+func (st *ringState) bitAt(t float64) byte {
+	for st.nextEdge <= t {
+		st.lastEdge = st.nextEdge
+		st.nextEdge = st.popEdge()
+	}
+	frac := 0.0
+	if st.nextEdge > st.lastEdge {
+		frac = (t - st.lastEdge) / (st.nextEdge - st.lastEdge)
+	}
+	if frac < 0.5 {
+		return 1
+	}
+	return 0
 }
 
 // Generator is a running multi-ring TRNG.
@@ -89,7 +131,7 @@ func New(cfg Config) (*Generator, error) {
 			return nil, err
 		}
 		st := ringState{o: o}
-		st.nextEdge = o.NextEdge()
+		st.nextEdge = st.popEdge()
 		g.rings = append(g.rings, st)
 	}
 	return g, nil
@@ -105,18 +147,7 @@ func (g *Generator) NextBit() byte {
 	t := float64(g.tick) / g.cfg.SampleRate
 	var bit byte
 	for i := range g.rings {
-		st := &g.rings[i]
-		for st.nextEdge <= t {
-			st.lastEdge = st.nextEdge
-			st.nextEdge = st.o.NextEdge()
-		}
-		frac := 0.0
-		if st.nextEdge > st.lastEdge {
-			frac = (t - st.lastEdge) / (st.nextEdge - st.lastEdge)
-		}
-		if frac < 0.5 {
-			bit ^= 1
-		}
+		bit ^= g.rings[i].bitAt(t)
 	}
 	return bit
 }
@@ -128,6 +159,50 @@ func (g *Generator) Bits(n int) []byte {
 		out[i] = g.NextBit()
 	}
 	return out
+}
+
+// BitsParallel produces the same n output bits as Bits, but runs each
+// ring replica as one engine task: every ring samples its own square
+// waveform for the whole span (touching only its own ringState), and
+// the streams are XOR-reduced afterwards. Because the per-ring streams
+// and the sample instants are independent of scheduling, the output is
+// bit-identical to the sequential Bits for every worker-pool width
+// (jobs: 0 = NumCPU, 1 = sequential).
+//
+// If the context is cancelled mid-span the error is returned and the
+// generator must be discarded: rings that already ran sit n samples
+// ahead of rings that never started, so no subsequent output would
+// correspond to any reproducible (seed, n) layout.
+func (g *Generator) BitsParallel(ctx context.Context, n, jobs int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("multiring: bit count %d must be >= 0", n)
+	}
+	if err := ctx.Err(); err != nil {
+		// Fail before any ring advances: a pre-cancelled context must
+		// not leave the generator in the discard-only state above.
+		return nil, err
+	}
+	base := g.tick
+	fs := g.cfg.SampleRate
+	streams, err := engine.Map(ctx, len(g.rings), func(_ context.Context, r int) ([]byte, error) {
+		st := &g.rings[r]
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = st.bitAt(float64(base+uint64(i)+1) / fs)
+		}
+		return out, nil
+	}, engine.Jobs(jobs))
+	if err != nil {
+		return nil, err
+	}
+	g.tick = base + uint64(n)
+	out := make([]byte, n)
+	for _, s := range streams {
+		for i := range out {
+			out[i] ^= s[i]
+		}
+	}
+	return out, nil
 }
 
 // FilledUrns counts, over one sampling interval, how many rings had at
@@ -142,7 +217,7 @@ func (g *Generator) FilledUrns() int {
 		had := false
 		for st.nextEdge <= t {
 			st.lastEdge = st.nextEdge
-			st.nextEdge = st.o.NextEdge()
+			st.nextEdge = st.popEdge()
 			had = true
 		}
 		if had {

@@ -1,6 +1,8 @@
 package multiring
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -179,5 +181,46 @@ func TestLagCorrelationModest(t *testing.T) {
 	}
 	if r := math.Abs(g.LagCorrelation(20000)); r > 0.05 {
 		t.Fatalf("lag-1 correlation = %g at slow sampling", r)
+	}
+}
+
+func TestBitsParallelDeterminism(t *testing.T) {
+	// Each ring replica runs as one engine task; the XOR-reduced
+	// output must be bit-identical to the sequential path and across
+	// worker-pool widths.
+	cfg := Config{
+		Model:          phase.Model{Bth: 300, Bfl: 1e-4, F0: 100e6},
+		Rings:          6,
+		SampleRate:     1e6,
+		RelativeSpread: 0.01,
+		Seed:           42,
+	}
+	const n = 4000
+	gSeq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gSeq.Bits(n)
+	wantTick := gSeq.tick
+	wantNext := gSeq.NextBit()
+	for _, jobs := range []int{1, 2, 8} {
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.BitsParallel(context.Background(), n, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("jobs=%d: parallel bits differ from sequential", jobs)
+		}
+		if g.tick != wantTick {
+			t.Fatalf("jobs=%d: tick %d, want %d", jobs, g.tick, wantTick)
+		}
+		// The generator must keep producing the same continuation.
+		if g.NextBit() != wantNext {
+			t.Fatalf("jobs=%d: stream continuation diverged", jobs)
+		}
 	}
 }

@@ -171,6 +171,70 @@ func (o *Oscillator) Now() float64 { return o.t }
 // Index returns the number of periods generated so far.
 func (o *Oscillator) Index() uint64 { return o.index }
 
+// NextPeriods fills dst with the next len(dst) consecutive period
+// durations and returns dst. It is the chunked form of NextPeriod: one
+// call amortizes the per-period method dispatch and state write-back
+// over the whole chunk, which is what makes the campaign workers' hot
+// loops fast. The emitted sequence is bit-identical to len(dst)
+// successive NextPeriod calls.
+func (o *Oscillator) NextPeriods(dst []float64) []float64 {
+	// Hoist the true loop invariants (no API mutates them mid-run).
+	// Everything a Modulator may legally touch — thScale/flScale via
+	// the Set*Scale setters, the modulator itself via SetModulator —
+	// is re-read every iteration, and o.t/o.index are synced before
+	// each modulator call so a modulator reading Now()/Index() sees
+	// exactly what the scalar NextPeriod path would show it.
+	var (
+		t       = o.t
+		index   = o.index
+		period0 = o.period0
+		sigmaTh = o.sigmaTh
+		src     = o.src
+		fm      = o.fm
+		floor   = period0 * 1e-3
+	)
+	for i := range dst {
+		period := period0
+		if sigmaTh > 0 {
+			period += o.thScale * sigmaTh * src.Norm()
+		}
+		if fm != nil {
+			period += o.flScale * fm.Next() * period0
+		}
+		if o.mod != nil {
+			o.t, o.index = t, index
+			period += o.mod(t, index)
+		}
+		if period < floor {
+			period = floor
+		}
+		t += period
+		index++
+		dst[i] = period
+	}
+	o.t = t
+	o.index = index
+	return dst
+}
+
+// NextEdges fills dst with the absolute times of the next len(dst)
+// rising edges and returns dst — the chunked form of NextEdge used by
+// edge-consuming clients (measure.Counter, multiring) to amortize
+// per-edge call overhead. Bit-identical to len(dst) successive
+// NextEdge calls.
+func (o *Oscillator) NextEdges(dst []float64) []float64 {
+	t0 := o.t
+	o.NextPeriods(dst)
+	// Convert in-place from period durations to absolute edge times by
+	// the same left-to-right accumulation NextEdge performs, so the
+	// float rounding matches exactly.
+	for i := range dst {
+		t0 += dst[i]
+		dst[i] = t0
+	}
+	return dst
+}
+
 // Periods generates n consecutive periods into a fresh slice.
 func (o *Oscillator) Periods(n int) []float64 {
 	out := make([]float64, n)

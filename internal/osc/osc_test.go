@@ -225,3 +225,147 @@ func TestKasdinBackendVariance(t *testing.T) {
 		t.Fatalf("kasdin-backed variance %g, want ~%g", v, want)
 	}
 }
+
+func TestNextPeriodsMatchesNextPeriod(t *testing.T) {
+	// The chunked generator must be bit-identical to the one-at-a-time
+	// path: same model, same seed, same stream.
+	m := paperModel()
+	ref, err := New(m, Options{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := New(m, Options{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 10000
+	want := make([]float64, total)
+	for i := range want {
+		want[i] = ref.NextPeriod()
+	}
+	got := make([]float64, 0, total)
+	// Uneven chunk sizes exercise the state write-back between calls.
+	for _, n := range []int{1, 7, 256, 1000, total} {
+		if len(got)+n > total {
+			n = total - len(got)
+		}
+		buf := make([]float64, n)
+		got = append(got, chk.NextPeriods(buf)...)
+	}
+	for len(got) < total {
+		buf := make([]float64, min(513, total-len(got)))
+		got = append(got, chk.NextPeriods(buf)...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("period %d: chunked %v != sequential %v", i, got[i], want[i])
+		}
+	}
+	if ref.Now() != chk.Now() || ref.Index() != chk.Index() {
+		t.Fatalf("state diverged: t %v vs %v, index %d vs %d", ref.Now(), chk.Now(), ref.Index(), chk.Index())
+	}
+}
+
+func TestNextEdgesMatchesNextEdge(t *testing.T) {
+	m := paperModel()
+	ref, err := New(m, Options{Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := New(m, Options{Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 4096
+	want := make([]float64, total)
+	for i := range want {
+		want[i] = ref.NextEdge()
+	}
+	got := make([]float64, 0, total)
+	for len(got) < total {
+		buf := make([]float64, min(300, total-len(got)))
+		got = append(got, chk.NextEdges(buf)...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: chunked %v != sequential %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNextPeriodsWithModulatorScaleMutation(t *testing.T) {
+	// A time-gated modulator that flips the thermal scale mid-chunk
+	// (the internal/attack pattern) must behave identically on the
+	// chunked and sequential paths.
+	m := paperModel()
+	onset := 2000 / m.F0 // ~2000 periods in
+	arm := func(o *Oscillator) {
+		armed := false
+		o.SetModulator(func(tm float64, _ uint64) float64 {
+			if !armed && tm >= onset {
+				o.SetThermalScale(0.05)
+				armed = true
+			}
+			return 0
+		})
+	}
+	ref, err := New(m, Options{Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm(ref)
+	chk, err := New(m, Options{Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm(chk)
+	const total = 5000
+	want := make([]float64, total)
+	for i := range want {
+		want[i] = ref.NextPeriod()
+	}
+	got := chk.NextPeriods(make([]float64, total))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("period %d: chunked %v != sequential %v (scale mutation lost?)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNextPeriodsWithSelfUninstallingModulator(t *testing.T) {
+	// A modulator that removes itself mid-chunk (SetModulator(nil))
+	// must take effect on the very next period, exactly as on the
+	// scalar path.
+	m := paperModel()
+	arm := func(o *Oscillator) {
+		count := 0
+		o.SetModulator(func(_ float64, _ uint64) float64 {
+			count++
+			if count == 1500 {
+				o.SetModulator(nil)
+			}
+			return 0.1 / m.F0
+		})
+	}
+	ref, err := New(m, Options{Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm(ref)
+	chk, err := New(m, Options{Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm(chk)
+	const total = 4000
+	want := make([]float64, total)
+	for i := range want {
+		want[i] = ref.NextPeriod()
+	}
+	got := chk.NextPeriods(make([]float64, total))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("period %d: chunked %v != sequential %v (modulator swap lost?)", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Campaign-scale tests use it to right-size their workload:
+// the detector costs ~10-15× on the simulation hot loops.
+const raceEnabled = true

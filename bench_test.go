@@ -13,10 +13,10 @@ import (
 	"repro/internal/osc"
 )
 
-// The benchmarks below regenerate the paper's evaluation artifacts
-// (DESIGN.md §4). Each prints its table once via b.Logf on the first
-// iteration (`go test -bench=. -v` to see them); run cmd/experiments
-// for the full EXPERIMENTS.md regeneration.
+// The benchmarks below regenerate the paper's evaluation artifacts.
+// Each prints its table once via b.Logf on the first iteration
+// (`go test -bench=. -v` to see them); run cmd/experiments for the
+// full-scale regeneration.
 
 // BenchmarkFig7 regenerates Fig. 7: the counter campaign over N plus
 // the quadratic fit (EXP-F7).

@@ -1,6 +1,6 @@
 // Command experiments regenerates every evaluation artifact of the
-// paper (the per-experiment index of DESIGN.md §4) and prints the
-// tables that EXPERIMENTS.md records.
+// paper and prints the result tables, side by side with the paper's
+// stated values.
 //
 // Usage:
 //

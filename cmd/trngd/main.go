@@ -1,0 +1,338 @@
+// Command trngd serves entropy over HTTP from a sharded, health-gated
+// P-TRNG pool (internal/entropyd): the repository's production-shaped
+// daemon. Every shard is an independent simulated generator gated by
+// the AIS31 embedded tests AND the paper's §V thermal-noise monitor;
+// shards that alarm are quarantined and recalibrated while the rest
+// keep serving.
+//
+// Endpoints:
+//
+//	GET /random?bytes=N   N gated random bytes (application/octet-stream).
+//	                      503 when the request queue is full or the pool
+//	                      cannot produce N bytes before -wait expires.
+//	GET /healthz          JSON per-shard state; 503 when no shard is healthy.
+//	GET /metrics          Prometheus-style text metrics.
+//	POST /quarantine?shard=I   (with -admin) force-quarantine a shard — an
+//	                      operator drill for the self-healing path.
+//
+// Backpressure: at most -queue requests are in flight; excess requests
+// are rejected immediately with 503 rather than piling onto the pool.
+//
+// The default profile runs the paper's calibrated model with its
+// jitter amplified -amp× (amplitude; variances scale amp²). Scaling
+// thermal and flicker together preserves every ratio the paper's
+// analysis rests on (r_N, the a/b corner, N*(95%)) while letting the
+// simulation reach serving-scale throughput: at the paper's true
+// operating point (-amp 1) an eRO-TRNG needs K ≈ 10⁵ periods per bit
+// and the simulated pool serves only a few hundred bits per second per
+// shard — physically honest, operationally patient. The sampling
+// divider auto-scales as K = 64·(100/amp)² unless -divider is given.
+//
+// Usage:
+//
+//	trngd [-addr :8080] [-shards N] [-source ero|multiring] [-amp A]
+//	      [-divider K] [-post none|xor2|xor4|xor8|vn] [-seed S]
+//	      [-queue Q] [-maxbytes M] [-wait D] [-buf B] [-admin]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/entropyd"
+)
+
+// server wraps the pool with HTTP concerns: the bounded in-flight
+// queue, request accounting and the endpoint handlers.
+type server struct {
+	pool     *entropyd.Pool
+	sem      chan struct{} // bounded request queue
+	maxBytes int
+	wait     time.Duration
+	admin    bool
+	start    time.Time
+
+	requests atomic.Uint64
+	rejected atomic.Uint64 // queue-full rejections
+	starved  atomic.Uint64 // deadline starvations
+	served   atomic.Uint64 // bytes delivered
+}
+
+// newServer assembles the handler set (split out for httptest).
+func newServer(pool *entropyd.Pool, queue, maxBytes int, wait time.Duration, admin bool) *server {
+	return &server{
+		pool:     pool,
+		sem:      make(chan struct{}, queue),
+		maxBytes: maxBytes,
+		wait:     wait,
+		admin:    admin,
+		start:    time.Now(),
+	}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/random", s.handleRandom)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.admin {
+		mux.HandleFunc("/quarantine", s.handleQuarantine)
+	}
+	return mux
+}
+
+// handleRandom is GET /random?bytes=N.
+func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	n := 32
+	if q := r.URL.Query().Get("bytes"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "bytes must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	if n > s.maxBytes {
+		http.Error(w, fmt.Sprintf("bytes exceeds limit %d", s.maxBytes), http.StatusBadRequest)
+		return
+	}
+	// Bounded queue: reject instead of queueing unboundedly.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.rejected.Add(1)
+		http.Error(w, "request queue full", http.StatusServiceUnavailable)
+		return
+	}
+	// ReadBuffered waits out the deadline internally; a short return
+	// means the healthy shards could not produce n bytes in time (or
+	// none are healthy). The partial bytes are dropped.
+	buf := make([]byte, n)
+	got, err := s.pool.ReadBuffered(buf, s.wait)
+	if err != nil && !errors.Is(err, entropyd.ErrStarved) && !errors.Is(err, entropyd.ErrNotServing) {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if got < n {
+		// Starved or shutting down: either way the pool could not
+		// produce n bytes in time — unavailability, not an error.
+		s.starved.Add(1)
+		http.Error(w, "pool unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	s.served.Add(uint64(n))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(n))
+	w.Write(buf)
+}
+
+// healthzShard is the per-shard healthz payload.
+type healthzResponse struct {
+	Status  string                 `json:"status"`
+	Healthy int                    `json:"healthy"`
+	Shards  []entropyd.ShardStatus `json:"shards"`
+}
+
+// handleHealthz is GET /healthz.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	resp := healthzResponse{Healthy: st.Healthy, Shards: st.Shards}
+	code := http.StatusOK
+	switch {
+	case st.Healthy == len(st.Shards):
+		resp.Status = "ok"
+	case st.Healthy > 0:
+		resp.Status = "degraded"
+	default:
+		resp.Status = "starved"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleMetrics is GET /metrics (Prometheus text format 0.0.4).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	up := time.Since(s.start).Seconds()
+	served := s.served.Load()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP trngd_uptime_seconds Daemon uptime.\n")
+	fmt.Fprintf(w, "trngd_uptime_seconds %g\n", up)
+	fmt.Fprintf(w, "# HELP trngd_requests_total /random requests received.\n")
+	fmt.Fprintf(w, "trngd_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(w, "# HELP trngd_requests_rejected_total Requests rejected by the bounded queue.\n")
+	fmt.Fprintf(w, "trngd_requests_rejected_total %d\n", s.rejected.Load())
+	fmt.Fprintf(w, "# HELP trngd_requests_starved_total Requests failed on pool starvation.\n")
+	fmt.Fprintf(w, "trngd_requests_starved_total %d\n", s.starved.Load())
+	fmt.Fprintf(w, "# HELP trngd_bytes_served_total Random bytes delivered.\n")
+	fmt.Fprintf(w, "trngd_bytes_served_total %d\n", served)
+	fmt.Fprintf(w, "# HELP trngd_throughput_bytes_per_second Mean delivery rate since start.\n")
+	fmt.Fprintf(w, "trngd_throughput_bytes_per_second %g\n", float64(served)/math.Max(up, 1e-9))
+	fmt.Fprintf(w, "# HELP trngd_shards_healthy Healthy shard count.\n")
+	fmt.Fprintf(w, "trngd_shards_healthy %d\n", st.Healthy)
+	fmt.Fprintf(w, "# HELP trngd_shard_state Shard state (0 startup, 1 healthy, 2 quarantined).\n")
+	for _, sh := range st.Shards {
+		state := 0
+		switch sh.State {
+		case "healthy":
+			state = 1
+		case "quarantined":
+			state = 2
+		}
+		fmt.Fprintf(w, "trngd_shard_state{shard=\"%d\"} %d\n", sh.Index, state)
+	}
+	emit := func(name, help string, value func(entropyd.ShardStatus) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		for _, sh := range st.Shards {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, sh.Index, value(sh))
+		}
+	}
+	emit("trngd_shard_bytes_total", "Gated bytes produced.", func(sh entropyd.ShardStatus) uint64 { return sh.BytesOut })
+	emit("trngd_shard_raw_bits_total", "Raw (das) bits consumed.", func(sh entropyd.ShardStatus) uint64 { return sh.RawBits })
+	emit("trngd_shard_tot_alarms_total", "Total-failure test alarms.", func(sh entropyd.ShardStatus) uint64 { return sh.TotAlarms })
+	emit("trngd_shard_thermal_low_alarms_total", "Thermal monitor low-side alarms.", func(sh entropyd.ShardStatus) uint64 { return sh.MonitorLow })
+	emit("trngd_shard_thermal_high_alarms_total", "Thermal monitor high-side alarms.", func(sh entropyd.ShardStatus) uint64 { return sh.MonitorHigh })
+	emit("trngd_shard_startup_failures_total", "Startup test failures.", func(sh entropyd.ShardStatus) uint64 { return sh.StartupFailures })
+	emit("trngd_shard_quarantines_total", "Quarantine events.", func(sh entropyd.ShardStatus) uint64 { return sh.Quarantines })
+	emit("trngd_shard_drained_bytes_total", "Bytes discarded by quarantine drains.", func(sh entropyd.ShardStatus) uint64 { return sh.DrainedBytes })
+}
+
+// handleQuarantine is POST /quarantine?shard=I (admin only).
+func (s *server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	i, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		http.Error(w, "shard must be an integer", http.StatusBadRequest)
+		return
+	}
+	if err := s.pool.InjectAlarm(i); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "alarm injected into shard %d\n", i)
+}
+
+// postChain parses the -post flag.
+func postChain(name string) ([]entropyd.PostStage, error) {
+	switch name {
+	case "none", "":
+		return nil, nil
+	case "xor2":
+		return []entropyd.PostStage{{Op: entropyd.PostXOR, K: 2}}, nil
+	case "xor4":
+		return []entropyd.PostStage{{Op: entropyd.PostXOR, K: 4}}, nil
+	case "xor8":
+		return []entropyd.PostStage{{Op: entropyd.PostXOR, K: 8}}, nil
+	case "vn":
+		return []entropyd.PostStage{{Op: entropyd.PostVonNeumann}}, nil
+	default:
+		return nil, fmt.Errorf("unknown post-processing %q", name)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trngd: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		shards   = flag.Int("shards", 4, "independent generator shards")
+		source   = flag.String("source", "ero", "entropy source: ero or multiring")
+		amp      = flag.Float64("amp", 100, "jitter amplification over the paper model (1 = calibrated physics)")
+		divider  = flag.Int("divider", 0, "eRO sampling divider K (0 = auto-scale 64*(100/amp)^2)")
+		post     = flag.String("post", "none", "post-processing: none, xor2, xor4, xor8 or vn")
+		seed     = flag.Uint64("seed", 1, "pool root seed")
+		queue    = flag.Int("queue", 64, "max in-flight /random requests (backpressure bound)")
+		maxBytes = flag.Int("maxbytes", 1<<20, "largest /random request")
+		wait     = flag.Duration("wait", 5*time.Second, "max time to wait for the pool per request")
+		buf      = flag.Int("buf", 1<<16, "per-shard ring buffer bytes")
+		admin    = flag.Bool("admin", false, "enable POST /quarantine (operator drills)")
+	)
+	flag.Parse()
+	if *amp <= 0 {
+		log.Fatal("-amp must be > 0")
+	}
+	model := core.PaperModel().ScaleJitter(*amp)
+	k := *divider
+	if k == 0 {
+		k = int(math.Max(1, math.Round(64*(100 / *amp)*(100 / *amp))))
+	}
+	chain, err := postChain(*post)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var kind entropyd.SourceKind
+	switch *source {
+	case "ero":
+		kind = entropyd.SourceERO
+	case "multiring":
+		kind = entropyd.SourceMultiRing
+	default:
+		log.Fatalf("unknown source %q", *source)
+	}
+
+	cfg := entropyd.Config{
+		Shards:   *shards,
+		Seed:     *seed,
+		Source:   entropyd.SourceConfig{Kind: kind, Model: model.Phase, Divider: k},
+		Post:     chain,
+		BufBytes: *buf,
+	}
+	log.Printf("calibrating %d %s shard(s) (amp=%g divider=%d post=%s)...", *shards, *source, *amp, k, *post)
+	t0 := time.Now()
+	pool, err := entropyd.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := pool.Stats()
+	log.Printf("startup tests done in %v: %d/%d shards healthy", time.Since(t0).Round(time.Millisecond), st.Healthy, len(st.Shards))
+	for _, sh := range st.Shards {
+		log.Printf("  shard %d: %s (reason %s)", sh.Index, sh.State, sh.Reason)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := pool.Serve(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Stop()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(pool, *queue, *maxBytes, *wait, *admin).handler(),
+	}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
+	log.Printf("serving on %s (/random /healthz /metrics)", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/entropyd"
+	"repro/internal/rng"
+)
+
+// fairSource is a cheap scripted bit source for handler tests: the
+// HTTP layer is under test here, not the oscillator physics.
+type fairSource struct{ r *rng.Source }
+
+func (s *fairSource) NextBit() byte { return byte(s.r.Uint64() & 1) }
+
+func testConfig(shards int, seed uint64) entropyd.Config {
+	return entropyd.Config{
+		Shards: shards,
+		Seed:   seed,
+		Health: entropyd.HealthConfig{
+			DisableMonitor:     true,
+			RecalibrateBackoff: 2 * time.Millisecond,
+		},
+		NewSource: func(_, _ int, seed uint64) (entropyd.RawSource, error) {
+			return &fairSource{r: rng.New(seed)}, nil
+		},
+	}
+}
+
+// startServed builds a serving pool plus its handler.
+func startServed(t *testing.T, cfg entropyd.Config, queue int, admin bool) (*entropyd.Pool, http.Handler) {
+	t.Helper()
+	pool, err := entropyd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := pool.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Stop(); cancel() })
+	return pool, newServer(pool, queue, 1<<16, 10*time.Second, admin).handler()
+}
+
+func TestRandomEndpoint(t *testing.T) {
+	t.Parallel()
+	_, h := startServed(t, testConfig(2, 1), 16, false)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/random?bytes=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 100 {
+		t.Fatalf("status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	for _, bad := range []string{"/random?bytes=0", "/random?bytes=-5", "/random?bytes=x", "/random?bytes=999999999"} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	resp, err = http.Post(ts.URL+"/random", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /random: status %d", resp.StatusCode)
+	}
+	// Admin endpoint absent unless enabled.
+	resp, err = http.Post(ts.URL+"/quarantine?shard=0", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled /quarantine: status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	t.Parallel()
+	_, h := startServed(t, testConfig(2, 2), 16, false)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hz.Status != "ok" || hz.Healthy != 2 || len(hz.Shards) != 2 {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, hz)
+	}
+
+	if _, err := http.Get(ts.URL + "/random?bytes=64"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"trngd_requests_total",
+		"trngd_bytes_served_total",
+		"trngd_throughput_bytes_per_second",
+		"trngd_shards_healthy 2",
+		`trngd_shard_state{shard="1"} 1`,
+		"trngd_shard_quarantines_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestServedStreamMatchesFill pins the contract the daemon rides on:
+// the HTTP-served byte stream equals the deterministic Fill stream of
+// an identically configured pool, across request boundaries, at
+// jobs=1 and jobs=N alike.
+func TestServedStreamMatchesFill(t *testing.T) {
+	t.Parallel()
+	_, h := startServed(t, testConfig(2, 3), 16, false)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var got []byte
+	for _, n := range []string{"300", "212", "512"} {
+		resp, err := http.Get(ts.URL + "/random?bytes=" + n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		got = append(got, body...)
+	}
+
+	for _, jobs := range []int{1, 0} {
+		cfg := testConfig(2, 3)
+		cfg.Jobs = jobs
+		batch, err := entropyd.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, len(got))
+		if _, err := batch.Fill(want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("served stream diverges from Fill stream at jobs=%d", jobs)
+		}
+	}
+}
+
+// TestRacedHandlers hammers /random from many goroutines; with -race
+// this is the torn-read witness for the whole serving path (SPSC
+// rings, rotation cursor, request accounting).
+func TestRacedHandlers(t *testing.T) {
+	t.Parallel()
+	pool, h := startServed(t, testConfig(3, 4), 32, false)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	const (
+		workers  = 8
+		requests = 5
+		size     = 256
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*requests)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				resp, err := http.Get(ts.URL + "/random?bytes=256")
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK || len(body) != size {
+					errs <- io.ErrShortBuffer
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if served := pool.Stats().BytesServed; served < workers*requests*size {
+		t.Fatalf("pool served %d bytes, want >= %d", served, workers*requests*size)
+	}
+}
+
+// TestQuarantineDrill drives the admin endpoint: a forced alarm
+// quarantines a shard mid-service, /healthz degrades, /random keeps
+// answering, and the shard self-heals.
+func TestQuarantineDrill(t *testing.T) {
+	t.Parallel()
+	pool, h := startServed(t, testConfig(3, 5), 16, true)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/quarantine?shard=1", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quarantine: status %d", resp.StatusCode)
+	}
+	if resp, err := http.Post(ts.URL+"/quarantine?shard=99", "text/plain", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("out-of-range quarantine: status %d", resp.StatusCode)
+		}
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	cycled := false
+	for !cycled {
+		resp, err := http.Get(ts.URL + "/random?bytes=512")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/random during drill: status %d", resp.StatusCode)
+		}
+		st := pool.Stats().Shards[1]
+		cycled = st.Quarantines >= 1 && st.State == "healthy" && st.Epoch >= 1
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 1 never cycled: %+v", st)
+		}
+	}
+}
+
+func TestPostChainFlag(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"none", "", "xor2", "xor4", "xor8", "vn"} {
+		if _, err := postChain(name); err != nil {
+			t.Fatalf("%q rejected: %v", name, err)
+		}
+	}
+	if _, err := postChain("bogus"); err == nil {
+		t.Fatal("bogus chain accepted")
+	}
+}
+
+func TestDividerAutoScale(t *testing.T) {
+	t.Parallel()
+	// The -divider auto-scale formula at amp=100 must give the demo
+	// default, and grow quadratically as amp shrinks toward physics.
+	if k := int(math.Round(64 * (100.0 / 100) * (100.0 / 100))); k != 64 {
+		t.Fatalf("amp=100: k=%d", k)
+	}
+	if k := int(math.Round(64 * (100.0 / 10) * (100.0 / 10))); k != 6400 {
+		t.Fatalf("amp=10: k=%d", k)
+	}
+}

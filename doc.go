@@ -23,14 +23,22 @@
 // generate edge times in chunks (osc.Oscillator.NextEdges) so each
 // worker's hot loop is amortized as well as parallel.
 //
+// Serving: internal/entropyd composes the generators (internal/trng,
+// internal/multiring — both io.Readers), the post-processing blocks
+// and the embedded tests (AIS31 tot/startup tests plus the paper's §V
+// thermal monitor) into a sharded, health-gated entropy pool: shards
+// that alarm are quarantined, drained and recalibrated while the pool
+// keeps serving. cmd/trngd exposes the pool over HTTP (/random,
+// /healthz, /metrics) with bounded-queue backpressure.
+//
 // Entry points:
 //
 //   - internal/core.Model — the multilevel model façade
 //   - internal/experiments — regenerates every paper artifact
 //   - internal/engine — the deterministic campaign runner
-//   - cmd/* — command-line tools
+//   - internal/entropyd — the sharded, health-gated serving pool
+//   - cmd/* — command-line tools (cmd/trngd is the entropy daemon)
 //   - examples/* — runnable walkthroughs
 //
-// See README.md for the architecture overview, DESIGN.md for the
-// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for the architecture overview and layer map.
 package repro

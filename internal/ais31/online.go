@@ -17,7 +17,8 @@ import (
 // standard choices. The paper's own §V proposal — the thermal-noise
 // monitor of internal/onlinetest — is a generator-SPECIFIC online test
 // designed to replace/augment these generic ones with a physically
-// calibrated criterion.
+// calibrated criterion. internal/entropyd wires all three (tot,
+// startup, thermal monitor) into every shard of its serving pool.
 
 // TotTest detects total failure of the noise source: it alarms when
 // the last `window` bits are all equal. For a live source the false

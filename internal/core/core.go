@@ -163,6 +163,27 @@ func (m Model) NewTRNG(divider int, seed uint64) (*trng.Generator, error) {
 	return trng.New(trng.Config{Model: m.Phase, Divider: divider, Seed: seed})
 }
 
+// ScaleJitter returns the model with both noise amplitudes multiplied
+// by amp (variances, i.e. b_th and b_fl, scale by amp²). Because the
+// thermal and flicker coefficients scale together, every RATIO the
+// paper's analysis rests on — r_N, the a/b corner, N*(95%) — is
+// preserved exactly; only the absolute jitter magnitude changes. The
+// serving demos use it to model a hypothetical high-jitter technology
+// whose TRNG reaches full entropy at computationally convenient
+// sampling dividers (the paper's own operating point needs K ≈ 10⁵
+// periods per bit, which a simulation serves at only a few hundred
+// bits per second).
+//
+// The returned model deliberately carries no Budget or Fit
+// provenance: a device budget or measurement fit calibrated at the
+// original amplitude does not describe the scaled model.
+func (m Model) ScaleJitter(amp float64) Model {
+	s := m.Phase
+	s.Bth *= amp * amp
+	s.Bfl *= amp * amp
+	return Model{Phase: s}
+}
+
 // RelativeModel returns the phase model of the relative jitter between
 // two independent rings following this model (coefficients double).
 func (m Model) RelativeModel() phase.Model {

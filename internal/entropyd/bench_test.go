@@ -1,0 +1,62 @@
+package entropyd
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkPoolThroughput measures the pool's batch hot path in
+// bytes/sec (the SetBytes rate) at 1, 4 and NumCPU shards: the
+// scaling trajectory later performance PRs optimize against. The
+// source is the jitter-amplified paper model at divider 16, with the
+// full health battery (tot + startup + thermal monitor) engaged — the
+// gating cost is part of the serving path, so it belongs in the
+// measurement.
+func BenchmarkPoolThroughput(b *testing.B) {
+	shardCounts := []int{1, 4, runtime.NumCPU()}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p, err := New(Config{
+				Shards: shards,
+				Seed:   1,
+				Source: SourceConfig{Kind: SourceERO, Model: testModel(), Divider: 16},
+				Health: HealthConfig{MonitorWindow: 16},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 1<<15)
+			b.SetBytes(int64(len(buf)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if n, err := p.Fill(buf); err != nil || n != len(buf) {
+					b.Fatalf("Fill = (%d, %v)", n, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardProduce isolates one shard's gated generation (no
+// pool fan-out): the per-lane cost floor.
+func BenchmarkShardProduce(b *testing.B) {
+	p, err := New(Config{
+		Shards: 1,
+		Seed:   2,
+		Source: SourceConfig{Kind: SourceERO, Model: testModel(), Divider: 16},
+		Health: HealthConfig{MonitorWindow: 16},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := p.Shard(0)
+	buf := make([]byte, 4096)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := s.produce(buf); n != len(buf) {
+			b.Fatalf("produce = %d", n)
+		}
+	}
+}

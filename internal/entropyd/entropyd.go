@@ -1,0 +1,616 @@
+// Package entropyd is the serving layer of the repository: it composes
+// the simulated entropy sources (internal/trng, internal/multiring),
+// the algebraic post-processing blocks (internal/postproc) and the
+// embedded health tests (internal/ais31, internal/onlinetest — the
+// paper's §V thermal-noise monitor) into a sharded, health-gated
+// entropy pool, following the AIS31 source → digitizer → post-
+// processing → online-test pipeline of paper Fig. 1.
+//
+// # Architecture
+//
+// A Pool owns S independent shards. Each shard has its own generator
+// instance (seeded engine.DeriveSeed(pool seed, shard)), its own
+// post-processing chain, and its own embedded test battery:
+//
+//   - the AIS31 total-failure (tot) test on the raw (das) bits;
+//   - the AIS31 startup test (T1–T4, 20000 bits) on the gated output
+//     of every calibration epoch, before any output is admitted;
+//   - the paper's thermal-noise monitor: a Fig. 6 counter at small
+//     accumulation length N (inside the independence region N < N*)
+//     whose windowed s_N variance is checked against chi-square bounds
+//     calibrated from the model's σ²_N — the generator-specific online
+//     test the paper proposes.
+//
+// # Health state machine
+//
+// Every shard runs the machine below; the pool keeps serving from the
+// remaining healthy shards whenever one drops out (graceful
+// degradation), and returns ErrStarved only when no shard is
+// admissible.
+//
+//	           ┌─────────┐  startup test passes   ┌─────────┐
+//	epoch e:   │ startup ├───────────────────────▶│ healthy │
+//	           └────┬────┘                        └────┬────┘
+//	                │ startup test fails               │ tot alarm /
+//	                │ (or alarm during startup)        │ thermal monitor alarm /
+//	                ▼                                  │ injected alarm
+//	         ┌─────────────┐◀─────────────────────────┘
+//	         │ quarantined │   (output ring DRAINED: undelivered
+//	         └──────┬──────┘    bytes of the epoch are discarded)
+//	                │ recalibrate: epoch e+1 — rebuild source and
+//	                │ monitor from fresh derived seeds, re-run the
+//	                │ startup test (serve mode retries with backoff)
+//	                └──────────▶ back to startup
+//
+// Quarantine drains undelivered output because bits produced shortly
+// before an alarm are suspect: the embedded tests detect a degradation
+// only after it has affected the stream for a window.
+//
+// # Consumption modes
+//
+// The pool is consumable three ways:
+//
+//   - Fill(dst): the deterministic batch fast path. Output blocks of
+//     fillBlock bytes are assigned round-robin over the healthy
+//     shards and produced in parallel on internal/engine; because
+//     every shard's stream is private and the block layout is a pure
+//     function of (len(dst), healthy set), the output is bit-identical
+//     for every worker count (jobs = 1 vs NumCPU).
+//   - Read(p): io.Reader over Fill.
+//   - Serve/ReadBuffered: the daemon hot path (cmd/trngd). Each shard
+//     runs a producer goroutine that keeps a lock-light SPSC ring
+//     topped up; consumers drain the rings in the same round-robin
+//     block order, so in the healthy steady state the served stream
+//     equals the Fill stream of a twin pool.
+//
+// Quarantined shards heal automatically in serve mode (producer
+// goroutines recalibrate with backoff); in batch mode the caller
+// triggers healing explicitly with Recalibrate.
+package entropyd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/osc"
+)
+
+// fillBlock is the interleave granularity of the pool output: byte
+// block i of a Fill (and of the buffered serve stream) comes from the
+// i-th healthy shard in round-robin order. Block-sized interleave keeps
+// parallel fills free of false sharing while bounding how much output
+// any single shard contributes contiguously.
+const fillBlock = 256
+
+// ErrStarved is returned when no healthy shard remains to produce
+// output (all quarantined and not yet recalibrated).
+var ErrStarved = errors.New("entropyd: all shards quarantined")
+
+// ErrNotServing is returned by ReadBuffered when the pool is not in
+// serve mode (never entered, or already stopped/cancelled) — for an
+// HTTP front end this is unavailability, not an internal error.
+var ErrNotServing = errors.New("entropyd: pool is not serving")
+
+// HealthConfig parameterizes the per-shard embedded tests.
+type HealthConfig struct {
+	// TotWindow is the total-failure window in raw bits (default 64).
+	TotWindow int
+	// DisableTot switches the tot test off (tests/benchmarks only).
+	DisableTot bool
+	// DisableStartup skips the AIS31 startup test (tests/benchmarks
+	// only; AIS31 classes require it).
+	DisableStartup bool
+	// DisableMonitor switches the thermal monitor off.
+	DisableMonitor bool
+	// MonitorN is the monitor's accumulation length; keep it below
+	// the model's independence threshold N* (default 64; paper:
+	// N < 281 for r_N > 95%).
+	MonitorN int
+	// MonitorWindow is the number of s_N samples per variance window
+	// (default 64).
+	MonitorWindow int
+	// MonitorEveryBits is the raw-bit cadence between s_N samples
+	// (default 1024): the duty cycle of the embedded counter.
+	MonitorEveryBits int
+	// MonitorSubdivide is the monitor counter's TDC sub-period
+	// resolution (default 64).
+	MonitorSubdivide int
+	// RefSigmaN2 overrides the monitor's calibrated reference σ²_N;
+	// 0 derives it from the source model (relative σ²_N at MonitorN
+	// plus the counter quantization floor).
+	RefSigmaN2 float64
+	// AlphaLow/AlphaHigh are the per-window false-alarm rates
+	// (default 1e-6 each, see onlinetest.Config).
+	AlphaLow, AlphaHigh float64
+	// RecalibrateBackoff is the serve-mode delay between failed
+	// recalibration attempts (default 250ms).
+	RecalibrateBackoff time.Duration
+}
+
+// withDefaults fills zero fields.
+func (h HealthConfig) withDefaults() HealthConfig {
+	if h.TotWindow == 0 {
+		h.TotWindow = 64
+	}
+	if h.MonitorN == 0 {
+		h.MonitorN = 64
+	}
+	if h.MonitorWindow == 0 {
+		h.MonitorWindow = 64
+	}
+	if h.MonitorEveryBits == 0 {
+		h.MonitorEveryBits = 1024
+	}
+	if h.MonitorSubdivide == 0 {
+		h.MonitorSubdivide = 64
+	}
+	if h.RecalibrateBackoff == 0 {
+		h.RecalibrateBackoff = 250 * time.Millisecond
+	}
+	return h
+}
+
+// PostOp is one post-processing stage kind.
+type PostOp int
+
+// Post-processing operations (see internal/postproc).
+const (
+	// PostXOR is k:1 XOR decimation.
+	PostXOR PostOp = iota
+	// PostVonNeumann is the von Neumann corrector.
+	PostVonNeumann
+)
+
+// PostStage is one element of a shard's post-processing chain, applied
+// in order to each raw chunk.
+type PostStage struct {
+	Op PostOp
+	// K is the XOR decimation factor (PostXOR only).
+	K int
+}
+
+// Config assembles a Pool.
+type Config struct {
+	// Shards is the number of independent generator lanes
+	// (default 4).
+	Shards int
+	// Seed is the pool root seed; every shard and epoch derives its
+	// private seeds from it via engine.DeriveSeed, so pool output is
+	// reproducible from (Config, Seed) alone.
+	Seed uint64
+	// Source describes the per-shard entropy source.
+	Source SourceConfig
+	// Post is the per-shard post-processing chain (applied chunk-
+	// local, in order). Empty = raw gated bits.
+	Post []PostStage
+	// Health parameterizes the embedded tests.
+	Health HealthConfig
+	// Jobs is the engine worker-pool width for Fill and construction
+	// (0 = NumCPU, 1 = sequential; output identical either way).
+	Jobs int
+	// BufBytes is the per-shard serve-mode ring capacity (default
+	// 64 KiB, rounded up to a power of two, minimum one fill block).
+	BufBytes int
+
+	// NewSource, when non-nil, replaces the Source-derived generator
+	// factory. It receives the shard index, the calibration epoch and
+	// the derived seed. Tests and attack experiments use it to script
+	// source behaviour per shard and epoch.
+	NewSource func(shard, epoch int, seed uint64) (RawSource, error)
+	// NewMonitorPair, when non-nil, replaces the default thermal-
+	// monitor oscillator pair factory (same hook contract). The
+	// default builds a pair of Source.Model rings with a 0.2%
+	// mismatch — the simulation stand-in for tapping the physical
+	// rings with the embedded counter.
+	NewMonitorPair func(shard, epoch int, seed uint64) (*osc.Pair, error)
+}
+
+// Pool is a sharded, health-gated entropy pool.
+type Pool struct {
+	cfg    Config
+	shards []*Shard
+
+	mu sync.Mutex // serializes Fill/Read/Recalibrate
+
+	// Serve-mode state. stop cancels the current session; finish is
+	// the session's idempotent shutdown (waits the producers out and
+	// reopens batch mode), shared by Stop and the context watcher.
+	serving atomic.Bool
+	stop    context.CancelFunc
+	finish  func()
+	consMu  sync.Mutex // serializes buffered consumers
+
+	// Persistent output rotation, shared by the batch walk (under mu)
+	// and the buffered consumer (under consMu; the modes are mutually
+	// exclusive): the shard whose block is currently being emitted and
+	// the bytes left of that block. Persistence is what makes the pool
+	// a single continuous stream across calls and across modes.
+	rrShard  int
+	rrLeft   int
+	bytesOut atomic.Uint64
+}
+
+// New builds the pool and calibrates every shard in parallel (each
+// runs its startup test). Shards whose startup test fails begin life
+// quarantined; New fails only when the configuration itself is
+// unusable or when NO shard could be admitted.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("entropyd: shards = %d must be >= 1", cfg.Shards)
+	}
+	cfg.Source = cfg.Source.withDefaults()
+	if cfg.NewSource == nil {
+		if err := cfg.Source.validate(); err != nil {
+			return nil, err
+		}
+	}
+	cfg.Health = cfg.Health.withDefaults()
+	for _, st := range cfg.Post {
+		switch st.Op {
+		case PostXOR:
+			if st.K < 1 || st.K > rawChunk {
+				return nil, fmt.Errorf("entropyd: xor decimation factor %d out of [1, %d]", st.K, rawChunk)
+			}
+		case PostVonNeumann:
+		default:
+			return nil, fmt.Errorf("entropyd: unknown post-processing op %d", int(st.Op))
+		}
+	}
+	if cfg.BufBytes == 0 {
+		cfg.BufBytes = 1 << 16
+	}
+	if cfg.BufBytes < fillBlock {
+		return nil, fmt.Errorf("entropyd: ring capacity %d below one fill block (%d)", cfg.BufBytes, fillBlock)
+	}
+
+	p := &Pool{cfg: cfg, rrLeft: fillBlock}
+	p.shards = make([]*Shard, cfg.Shards)
+	for i := range p.shards {
+		p.shards[i] = &Shard{
+			index: i,
+			pool:  p,
+			seed:  engine.DeriveSeed(cfg.Seed, uint64(i)),
+			ring:  newRing(cfg.BufBytes),
+		}
+	}
+	err := engine.Run(context.Background(), cfg.Shards, func(_ context.Context, i int) error {
+		return p.shards[i].calibrate()
+	}, engine.Jobs(cfg.Jobs))
+	if err != nil {
+		return nil, err
+	}
+	if p.Healthy() == 0 {
+		return nil, fmt.Errorf("entropyd: no shard passed its startup test (%w)", ErrStarved)
+	}
+	return p, nil
+}
+
+// newSource dispatches to the configured source factory.
+func (p *Pool) newSource(shard, epoch int, seed uint64) (RawSource, error) {
+	if p.cfg.NewSource != nil {
+		return p.cfg.NewSource(shard, epoch, seed)
+	}
+	return p.cfg.Source.newSource(seed)
+}
+
+// newMonitorPair dispatches to the configured monitor-pair factory.
+func (p *Pool) newMonitorPair(shard, epoch int, seed uint64) (*osc.Pair, error) {
+	if p.cfg.NewMonitorPair != nil {
+		return p.cfg.NewMonitorPair(shard, epoch, seed)
+	}
+	return osc.NewPair(p.cfg.Source.Model, 2e-3, osc.Options{Seed: seed})
+}
+
+// NumShards returns the configured shard count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Shard returns shard i (for status inspection and attack hooks).
+func (p *Pool) Shard(i int) *Shard { return p.shards[i] }
+
+// Healthy counts the shards currently admitted.
+func (p *Pool) Healthy() int {
+	n := 0
+	for _, s := range p.shards {
+		if s.State() == StateHealthy {
+			n++
+		}
+	}
+	return n
+}
+
+// InjectAlarm forces shard i into quarantine at its next production
+// step (an operator drill / test hook; races cleanly with serving).
+// It refuses shards that are not currently healthy: an alarm injected
+// into a quarantined or recalibrating shard would be silently
+// discarded by the next calibration, which is worse than an error.
+func (p *Pool) InjectAlarm(i int) error {
+	if i < 0 || i >= len(p.shards) {
+		return fmt.Errorf("entropyd: shard %d out of range [0, %d)", i, len(p.shards))
+	}
+	if st := p.shards[i].State(); st != StateHealthy {
+		return fmt.Errorf("entropyd: shard %d is %v, not healthy", i, st)
+	}
+	p.shards[i].injected.Store(true)
+	return nil
+}
+
+// span is a half-open byte range of a fill destination.
+type span struct{ off, n int }
+
+// Fill produces len(dst) gated bytes across the healthy shards and is
+// the deterministic batch fast path: the pool's PERSISTENT round-robin
+// rotation assigns blocks of fillBlock bytes to the healthy shards,
+// and the per-shard shares are generated in parallel (one engine task
+// per shard, Config.Jobs wide). Because every shard's stream is
+// private and the rotation is a pure function of the request sizes and
+// the healthy set, the output is bit-identical for every worker count
+// (jobs = 1 vs NumCPU) and for every request chunking — Fill(300) then
+// Fill(724) yields the same 1024 bytes as one Fill(1024), and the same
+// stream ReadBuffered serves in daemon mode.
+//
+// Shards that alarm mid-fill are quarantined and their unproduced
+// blocks are redistributed to the survivors, so service degrades
+// without failing. Returns the bytes written; n < len(dst) (with
+// ErrStarved) happens only when every shard is quarantined before the
+// buffer is complete, in which case the filled prefix is compacted to
+// dst[:n].
+func (p *Pool) Fill(dst []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.serving.Load() {
+		return 0, errors.New("entropyd: Fill is unavailable while serving (use ReadBuffered)")
+	}
+	// Also exclude any buffered consumer still draining out of a
+	// just-stopped serve session: a ReadBuffered that was past its
+	// serving check when Stop() flipped the flag may hold the
+	// rotation cursor for one more poll interval, and the cursor must
+	// only ever have one writer.
+	p.consMu.Lock()
+	defer p.consMu.Unlock()
+	n, err := p.fillLocked(dst)
+	p.bytesOut.Add(uint64(n))
+	return n, err
+}
+
+// fillLocked runs fill rounds until the destination is complete or the
+// pool starves. Round 0 walks the pool's persistent rotation; later
+// rounds (only reached when a shard alarmed) redistribute the
+// surrendered spans over the surviving shards with a fresh block walk.
+func (p *Pool) fillLocked(dst []byte) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	pending := []span{{0, len(dst)}}
+	for round := 0; len(pending) > 0; round++ {
+		var admitted []*Shard
+		for _, s := range p.shards {
+			if s.State() == StateHealthy {
+				admitted = append(admitted, s)
+			}
+		}
+		if len(admitted) == 0 {
+			n := compact(dst, pending)
+			return n, ErrStarved
+		}
+		perShard := make([][]span, len(p.shards))
+		if round == 0 {
+			p.walkRotation(pending, perShard)
+		} else {
+			walkFresh(pending, admitted, perShard)
+		}
+		leftover := make([][]span, len(admitted))
+		err := engine.Run(context.Background(), len(admitted), func(_ context.Context, j int) error {
+			sh := admitted[j]
+			leftover[j] = produceSpans(dst, sh, perShard[sh.index])
+			return nil
+		}, engine.Jobs(p.cfg.Jobs))
+		if err != nil {
+			return 0, err
+		}
+		pending = pending[:0]
+		for _, l := range leftover {
+			pending = append(pending, l...)
+		}
+		sortSpans(pending)
+	}
+	return len(dst), nil
+}
+
+// walkRotation advances the pool's persistent rotation cursor across
+// the given spans, appending each shard's assigned sub-spans to
+// perShard (indexed by shard). The caller guarantees at least one
+// healthy shard.
+func (p *Pool) walkRotation(spans []span, perShard [][]span) {
+	for _, sp := range spans {
+		off, n := sp.off, sp.n
+		for n > 0 {
+			s := p.shards[p.rrShard]
+			if s.State() != StateHealthy || p.rrLeft == 0 {
+				if !p.nextHealthy(s.State() != StateHealthy) {
+					return
+				}
+				continue
+			}
+			t := n
+			if t > p.rrLeft {
+				t = p.rrLeft
+			}
+			perShard[p.rrShard] = append(perShard[p.rrShard], span{off, t})
+			off += t
+			n -= t
+			p.rrLeft -= t
+		}
+	}
+}
+
+// walkFresh assigns spans to the admitted shards with a fresh block
+// rotation (redistribution rounds after an alarm).
+func walkFresh(spans []span, admitted []*Shard, perShard [][]span) {
+	j, left := 0, fillBlock
+	for _, sp := range spans {
+		off, n := sp.off, sp.n
+		for n > 0 {
+			t := n
+			if t > left {
+				t = left
+			}
+			perShard[admitted[j].index] = append(perShard[admitted[j].index], span{off, t})
+			off += t
+			n -= t
+			left -= t
+			if left == 0 {
+				j = (j + 1) % len(admitted)
+				left = fillBlock
+			}
+		}
+	}
+}
+
+// produceSpans generates sh's assigned spans in order. On a mid-span
+// alarm the WHOLE current span plus everything after it is returned as
+// leftover: bytes gated shortly before an alarm are suspect, so the
+// partial span is regenerated by a surviving shard (the batch analogue
+// of the serve-mode ring drain).
+func produceSpans(dst []byte, sh *Shard, spans []span) []span {
+	for i, sp := range spans {
+		if n := sh.produce(dst[sp.off : sp.off+sp.n]); n < sp.n {
+			return append([]span(nil), spans[i:]...)
+		}
+	}
+	return nil
+}
+
+// sortSpans orders spans by offset (insertion sort: the lists are
+// short — at most one run per alarmed shard).
+func sortSpans(s []span) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].off < s[j-1].off; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// compact moves the filled bytes of dst to the front, skipping the
+// unfilled spans, and returns the filled count.
+func compact(dst []byte, unfilled []span) int {
+	n := 0
+	pos := 0
+	for _, sp := range unfilled {
+		n += copy(dst[n:], dst[pos:sp.off])
+		pos = sp.off + sp.n
+	}
+	n += copy(dst[n:], dst[pos:])
+	return n
+}
+
+// Read implements io.Reader over Fill: it fills p completely in the
+// healthy case, and returns the compacted partial fill (n > 0, nil
+// error) when the pool starved mid-way — the starvation error then
+// surfaces on the next call, per io.Reader convention.
+func (p *Pool) Read(q []byte) (int, error) {
+	if len(q) == 0 {
+		return 0, nil
+	}
+	n, err := p.Fill(q)
+	if n > 0 {
+		return n, nil
+	}
+	return n, err
+}
+
+// Recalibrate attempts to heal every quarantined shard (in parallel on
+// the engine pool) and returns how many came back healthy. It is the
+// batch-mode counterpart of the serve-mode self-healing loop. The
+// context bounds the attempt: shards not yet re-admitted when it is
+// cancelled simply stay quarantined.
+func (p *Pool) Recalibrate(ctx context.Context) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.serving.Load() {
+		return 0 // serve mode heals itself
+	}
+	var quarantined []*Shard
+	for _, s := range p.shards {
+		if s.State() == StateQuarantined {
+			quarantined = append(quarantined, s)
+		}
+	}
+	if len(quarantined) == 0 {
+		return 0
+	}
+	healed := make([]bool, len(quarantined))
+	_ = engine.Run(ctx, len(quarantined), func(_ context.Context, i int) error {
+		healed[i] = quarantined[i].recalibrate()
+		return nil
+	}, engine.Jobs(p.cfg.Jobs))
+	n := 0
+	for _, h := range healed {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+// ShardStatus is a point-in-time snapshot of one shard's health.
+type ShardStatus struct {
+	Index           int    `json:"index"`
+	State           string `json:"state"`
+	Reason          string `json:"reason"`
+	Epoch           int64  `json:"epoch"`
+	BytesOut        uint64 `json:"bytes_out"`
+	RawBits         uint64 `json:"raw_bits"`
+	TotAlarms       uint64 `json:"tot_alarms"`
+	MonitorLow      uint64 `json:"monitor_low_alarms"`
+	MonitorHigh     uint64 `json:"monitor_high_alarms"`
+	StartupFailures uint64 `json:"startup_failures"`
+	Quarantines     uint64 `json:"quarantines"`
+	DrainedBytes    uint64 `json:"drained_bytes"`
+	Buffered        int    `json:"buffered"`
+}
+
+// Stats is a point-in-time snapshot of the pool. BytesServed counts
+// bytes delivered to consumers through any mode (Fill, Read,
+// ReadBuffered); the per-shard BytesOut counters additionally include
+// produced-but-undelivered bytes sitting in (or drained from) rings.
+type Stats struct {
+	Shards      []ShardStatus `json:"shards"`
+	Healthy     int           `json:"healthy"`
+	BytesServed uint64        `json:"bytes_served"`
+}
+
+// Stats snapshots every shard's counters (atomics: safe while
+// serving).
+func (p *Pool) Stats() Stats {
+	st := Stats{Shards: make([]ShardStatus, len(p.shards)), BytesServed: p.bytesOut.Load()}
+	for i, s := range p.shards {
+		state := s.State()
+		if state == StateHealthy {
+			st.Healthy++
+		}
+		st.Shards[i] = ShardStatus{
+			Index:           i,
+			State:           state.String(),
+			Reason:          s.LastReason().String(),
+			Epoch:           s.Epoch(),
+			BytesOut:        s.bytesOut.Load(),
+			RawBits:         s.rawBits.Load(),
+			TotAlarms:       s.totAlarms.Load(),
+			MonitorLow:      s.monLow.Load(),
+			MonitorHigh:     s.monHigh.Load(),
+			StartupFailures: s.startupFails.Load(),
+			Quarantines:     s.quarantines.Load(),
+			DrainedBytes:    s.drainedBytes.Load(),
+			Buffered:        s.ring.buffered(),
+		}
+	}
+	return st
+}

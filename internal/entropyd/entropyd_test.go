@@ -1,0 +1,330 @@
+package entropyd
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/phase"
+	"repro/internal/rng"
+)
+
+var _ io.Reader = (*Pool)(nil)
+
+// testModel is the paper model with jitter amplified 100× (variances
+// ×10⁴): every ratio of the paper's analysis (r_N, corner, N*) is
+// preserved, but the eRO-TRNG reaches the well-mixed regime at
+// divider 64 instead of ~10⁵, which keeps unit tests fast.
+func testModel() phase.Model {
+	return core.PaperModel().ScaleJitter(100).Phase
+}
+
+// eroConfig is the standard physical test pool: eRO shards with the
+// full health battery on a fast monitor cadence.
+func eroConfig(shards int, seed uint64) Config {
+	return Config{
+		Shards: shards,
+		Seed:   seed,
+		Source: SourceConfig{Kind: SourceERO, Model: testModel(), Divider: 32},
+		Health: HealthConfig{MonitorWindow: 16, MonitorEveryBits: 256},
+	}
+}
+
+// scriptSource emits fair pseudo-random bits until failAfter bits have
+// been drawn, then flatlines to constant zeros (a dead source). It
+// stands in for the physical generator in health-machine tests that
+// do not need oscillator physics.
+type scriptSource struct {
+	r         *rng.Source
+	bias      float64
+	n         uint64
+	failAfter uint64
+}
+
+func (s *scriptSource) NextBit() byte {
+	s.n++
+	if s.n > s.failAfter {
+		return 0
+	}
+	if s.bias != 0 {
+		if s.r.Float64() < 0.5+s.bias {
+			return 1
+		}
+		return 0
+	}
+	return byte(s.r.Uint64() & 1)
+}
+
+// goodScript builds an always-healthy scripted source factory.
+func goodScript(_ int, _ int, seed uint64) (RawSource, error) {
+	return &scriptSource{r: rng.New(seed), failAfter: math.MaxUint64}, nil
+}
+
+func TestFillDeterministicAcrossJobs(t *testing.T) {
+	t.Parallel()
+	mk := func(jobs int) *Pool {
+		cfg := eroConfig(3, 11)
+		cfg.Jobs = jobs
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Healthy() != 3 {
+			t.Fatalf("jobs=%d: %d/3 shards healthy after startup", jobs, p.Healthy())
+		}
+		return p
+	}
+	seq := mk(1)
+	par := mk(0)
+	a := make([]byte, 2048)
+	b := make([]byte, 2048)
+	for round := 0; round < 2; round++ {
+		if _, err := seq.Fill(a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := par.Fill(b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("round %d: jobs=1 and jobs=N pool output differ", round)
+		}
+	}
+	// The gated stream must not be degenerate.
+	ones := 0
+	for _, v := range a {
+		for k := 0; k < 8; k++ {
+			ones += int(v >> k & 1)
+		}
+	}
+	frac := float64(ones) / float64(8*len(a))
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("output one-fraction %.3f far from 1/2", frac)
+	}
+}
+
+func TestReadIsStreamOfFill(t *testing.T) {
+	t.Parallel()
+	p1, err := New(eroConfig(2, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := New(eroConfig(2, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := make([]byte, 1024)
+	if _, err := p1.Fill(whole); err != nil {
+		t.Fatal(err)
+	}
+	pieces := make([]byte, 1024)
+	if _, err := io.ReadFull(p2, pieces[:300]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(p2, pieces[300:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole, pieces) {
+		t.Fatal("Read stream diverges from Fill stream")
+	}
+}
+
+func TestPostprocChains(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		name string
+		post []PostStage
+	}{
+		{"xor4", []PostStage{{Op: PostXOR, K: 4}}},
+		{"vn", []PostStage{{Op: PostVonNeumann}}},
+		{"xor2+vn", []PostStage{{Op: PostXOR, K: 2}, {Op: PostVonNeumann}}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				Shards:    2,
+				Seed:      5,
+				Post:      tc.post,
+				Health:    HealthConfig{DisableMonitor: true},
+				NewSource: goodScript,
+			}
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 1024)
+			if n, err := p.Fill(buf); err != nil || n != len(buf) {
+				t.Fatalf("Fill = (%d, %v)", n, err)
+			}
+		})
+	}
+}
+
+func TestPostValidation(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Post: []PostStage{{Op: PostXOR, K: 0}}, NewSource: goodScript}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("xor k=0 accepted")
+	}
+	cfg = Config{Post: []PostStage{{Op: PostOp(99)}}, NewSource: goodScript}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown post op accepted")
+	}
+}
+
+func TestMultiRingSource(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Shards: 2,
+		Seed:   3,
+		Source: SourceConfig{
+			Kind:       SourceMultiRing,
+			Model:      testModel(),
+			Rings:      3,
+			SampleRate: testModel().F0 / 50,
+		},
+		// The multi-ring monitor taps the same per-ring model, so the
+		// default calibration applies; startup is skipped only to keep
+		// the slowest architecture fast under -race.
+		Health: HealthConfig{DisableStartup: true, MonitorWindow: 16, MonitorEveryBits: 256},
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	if n, err := p.Fill(buf); err != nil || n != len(buf) {
+		t.Fatalf("Fill = (%d, %v)", n, err)
+	}
+	if p.Healthy() != 2 {
+		t.Fatalf("healthy = %d", p.Healthy())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(Config{Shards: -1, NewSource: goodScript}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	if _, err := New(Config{Source: SourceConfig{Kind: SourceKind(7), Model: testModel()}}); err == nil {
+		t.Fatal("unknown source kind accepted")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero model accepted")
+	}
+	if _, err := New(Config{NewSource: goodScript, BufBytes: 16}); err == nil {
+		t.Fatal("sub-block ring accepted")
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Shards:    2,
+		Seed:      9,
+		Health:    HealthConfig{DisableMonitor: true},
+		NewSource: goodScript,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2048)
+	if _, err := p.Fill(buf); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Healthy != 2 || len(st.Shards) != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	var total uint64
+	for _, sh := range st.Shards {
+		if sh.State != "healthy" {
+			t.Fatalf("shard %d state %q", sh.Index, sh.State)
+		}
+		if sh.RawBits == 0 {
+			t.Fatalf("shard %d consumed no raw bits", sh.Index)
+		}
+		total += sh.BytesOut
+	}
+	if total < uint64(len(buf)) {
+		t.Fatalf("bytes out %d < fill size %d", total, len(buf))
+	}
+}
+
+func TestInjectAlarmRange(t *testing.T) {
+	t.Parallel()
+	p, err := New(Config{Shards: 1, NewSource: goodScript, Health: HealthConfig{DisableMonitor: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InjectAlarm(5); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if err := p.InjectAlarm(0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := p.Fill(buf)
+	if err != ErrStarved {
+		t.Fatalf("single-shard pool with injected alarm: Fill = (%d, %v), want ErrStarved", n, err)
+	}
+	if p.Shard(0).LastReason() != ReasonInjected {
+		t.Fatalf("reason = %v", p.Shard(0).LastReason())
+	}
+	// Injecting into an already-quarantined shard must be refused
+	// loudly, not silently swallowed by the next recalibration.
+	if err := p.InjectAlarm(0); err == nil {
+		t.Fatal("alarm injection into quarantined shard accepted")
+	}
+	if healed := p.Recalibrate(context.Background()); healed != 1 {
+		t.Fatalf("recalibrate healed %d, want 1", healed)
+	}
+	if n, err := p.Fill(buf); err != nil || n != len(buf) {
+		t.Fatalf("Fill after heal = (%d, %v)", n, err)
+	}
+}
+
+func TestWalkFresh(t *testing.T) {
+	t.Parallel()
+	a := &Shard{index: 0}
+	b := &Shard{index: 2}
+	perShard := make([][]span, 3)
+	walkFresh([]span{{0, 300}, {700, 300}}, []*Shard{a, b}, perShard)
+	// Block budgets carry across spans: shard 0 takes the first 256-
+	// byte block, shard 2 the next (44 bytes of span one + 212 of span
+	// two), then the rotation returns to shard 0 for the tail.
+	want0 := []span{{0, 256}, {912, 88}}
+	want2 := []span{{256, 44}, {700, 212}}
+	check := func(got, want []span) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("got %+v want %+v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("got %+v want %+v", got, want)
+			}
+		}
+	}
+	check(perShard[0], want0)
+	check(perShard[2], want2)
+	if perShard[1] != nil {
+		t.Fatalf("unassigned shard got %+v", perShard[1])
+	}
+}
+
+func TestCompact(t *testing.T) {
+	t.Parallel()
+	dst := []byte{1, 2, 0, 0, 3, 4, 0, 5}
+	n := compact(dst, []span{{2, 2}, {6, 1}})
+	if n != 5 {
+		t.Fatalf("compact length %d", n)
+	}
+	if !bytes.Equal(dst[:n], []byte{1, 2, 3, 4, 5}) {
+		t.Fatalf("compacted %v", dst[:n])
+	}
+}

@@ -1,0 +1,107 @@
+package entropyd
+
+import "sync/atomic"
+
+// ring is the lock-light single-producer/single-consumer byte queue
+// between a shard's producer goroutine and the pool's consumer side.
+//
+// Synchronization model (no mutexes, no CAS loops):
+//
+//   - tail is written only by the producer (after the bytes it covers),
+//     head only by the consumer, so each index has a single writer;
+//   - the producer computes free space from a stale head, the consumer
+//     computes availability from a stale tail — both errors are
+//     conservative (less space / fewer bytes than truly available);
+//   - quarantine "drain" must discard buffered-but-undelivered bytes
+//     without the producer touching the consumer-owned head. The
+//     producer instead publishes a monotone drainUpTo watermark; the
+//     consumer fast-forwards its head past the watermark before the
+//     next pop. Bytes below the watermark are never delivered after
+//     the drain request is observed.
+//
+// Capacity is a power of two so index arithmetic wraps with a mask.
+// Indices are free-running uint64s (never reduced mod capacity until
+// buffer access), so tail-head is always the buffered byte count.
+type ring struct {
+	buf       []byte
+	mask      uint64
+	head      atomic.Uint64 // next unread index; consumer-owned
+	tail      atomic.Uint64 // next write index; producer-owned
+	drainUpTo atomic.Uint64 // producer watermark: discard below this
+}
+
+// newRing builds a ring with at least the requested capacity, rounded
+// up to a power of two (minimum 8 bytes).
+func newRing(capacity int) *ring {
+	size := 8
+	for size < capacity {
+		size <<= 1
+	}
+	return &ring{buf: make([]byte, size), mask: uint64(size - 1)}
+}
+
+// capacity returns the usable byte capacity.
+func (r *ring) capacity() int { return len(r.buf) }
+
+// buffered returns the number of undelivered bytes (including any the
+// consumer will discard at its next pop due to a pending drain).
+func (r *ring) buffered() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// free returns a lower bound on the writable space. Producer-side.
+func (r *ring) free() int {
+	return len(r.buf) - int(r.tail.Load()-r.head.Load())
+}
+
+// push appends p to the ring. Producer-side; the caller must not push
+// more than free() bytes (shard producers size their chunks from
+// free(), which only grows under a racing consumer). At most two
+// copy() calls: the run up to the wrap point, then the remainder.
+func (r *ring) push(p []byte) {
+	t := r.tail.Load()
+	i := int(t & r.mask)
+	n := copy(r.buf[i:], p)
+	copy(r.buf, p[n:])
+	r.tail.Store(t + uint64(len(p)))
+}
+
+// drain requests that every byte produced so far be discarded instead
+// of delivered. Producer-side (called on quarantine). Returns the
+// number of bytes that were buffered at the request, an upper bound on
+// how many actually get discarded (the consumer may already have some
+// in flight).
+func (r *ring) drain() int {
+	t := r.tail.Load()
+	buffered := int(t - r.head.Load())
+	r.drainUpTo.Store(t)
+	return buffered
+}
+
+// pop moves up to len(p) bytes into p and returns the count. Consumer-
+// side; the pool serializes consumers. A pending drain watermark is
+// applied first, so post-quarantine pops never see pre-quarantine
+// bytes.
+func (r *ring) pop(p []byte) int {
+	h := r.head.Load()
+	t := r.tail.Load()
+	if d := r.drainUpTo.Load(); d > h {
+		if d > t {
+			d = t
+		}
+		h = d
+		r.head.Store(h)
+	}
+	n := int(t - h)
+	if n == 0 {
+		return 0
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	i := int(h & r.mask)
+	first := copy(p[:n], r.buf[i:])
+	copy(p[first:n], r.buf)
+	r.head.Store(h + uint64(n))
+	return n
+}

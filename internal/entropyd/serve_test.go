@@ -1,0 +1,202 @@
+package entropyd
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// readAll drains n buffered bytes, failing the test on timeout.
+func readAll(t *testing.T, p *Pool, n int) []byte {
+	t.Helper()
+	out := make([]byte, n)
+	got := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for got < n {
+		m, err := p.ReadBuffered(out[got:], time.Second)
+		if err != nil && err != ErrStarved {
+			t.Fatal(err)
+		}
+		got += m
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %d/%d bytes", got, n)
+		}
+	}
+	return out
+}
+
+// TestServeMatchesFill pins the cross-mode determinism contract: in
+// the healthy steady state the buffered serve stream equals the batch
+// Fill stream of an identically configured pool, byte for byte.
+func TestServeMatchesFill(t *testing.T) {
+	t.Parallel()
+	served, err := New(eroConfig(2, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := New(eroConfig(2, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := served.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := served.Serve(ctx); err == nil {
+		t.Fatal("double Serve accepted")
+	}
+	if _, err := served.Fill(make([]byte, 8)); err == nil {
+		t.Fatal("Fill accepted while serving")
+	}
+	got := readAll(t, served, 2048)
+	served.Stop()
+
+	want := make([]byte, 2048)
+	if _, err := batch.Fill(want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("buffered serve stream diverges from Fill stream")
+	}
+	if served.Stats().BytesServed != 2048 {
+		t.Fatalf("bytes served = %d", served.Stats().BytesServed)
+	}
+}
+
+// TestServeQuarantineAndSelfHeal exercises the daemon path of the
+// state machine: a forced alarm quarantines one shard mid-service, the
+// pool keeps serving from the others, and the shard's producer
+// goroutine recalibrates and re-admits it automatically.
+func TestServeQuarantineAndSelfHeal(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Shards:    3,
+		Seed:      77,
+		Health:    HealthConfig{DisableMonitor: true, RecalibrateBackoff: 2 * time.Millisecond},
+		NewSource: goodScript,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := p.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	readAll(t, p, 1024)
+	if err := p.InjectAlarm(1); err != nil {
+		t.Fatal(err)
+	}
+	// Service must continue while the alarm lands and the shard heals.
+	sawQuarantine := false
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		readAll(t, p, 512)
+		st := p.Stats().Shards[1]
+		if st.Quarantines >= 1 {
+			sawQuarantine = true
+		}
+		if sawQuarantine && st.State == "healthy" && st.Epoch >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 1 never cycled: %+v", st)
+		}
+	}
+	if p.Shard(1).LastReason() != ReasonNone {
+		t.Fatalf("reason after heal = %v", p.Shard(1).LastReason())
+	}
+}
+
+// TestServeContextCancelReopensBatchMode: cancelling the Serve
+// context (the documented alternative to Stop) must return the pool
+// to batch mode instead of wedging it.
+func TestServeContextCancelReopensBatchMode(t *testing.T) {
+	t.Parallel()
+	p, err := New(Config{Shards: 2, NewSource: goodScript, Health: HealthConfig{DisableMonitor: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := p.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, p, 512)
+	cancel()
+	buf := make([]byte, 512)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		n, err := p.Fill(buf)
+		if err == nil && n == len(buf) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool still wedged after cancel: Fill = (%d, %v)", n, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Stop after a context-driven shutdown is a harmless no-op.
+	p.Stop()
+}
+
+// TestServeInjectOnIdleDaemon: with full rings and no consumers the
+// producer loop never calls produce(), but an injected alarm must
+// still quarantine the shard (the operator-drill path of cmd/trngd).
+func TestServeInjectOnIdleDaemon(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Shards:    2,
+		BufBytes:  fillBlock, // minimal ring: fills instantly
+		Health:    HealthConfig{DisableMonitor: true, RecalibrateBackoff: time.Hour},
+		NewSource: goodScript,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := p.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	// Let the rings fill, then drill shard 0 without any reads.
+	deadline := time.Now().Add(30 * time.Second)
+	for p.Shard(0).State() != StateHealthy || p.shards[0].ring.free() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ring never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.InjectAlarm(0); err != nil {
+		t.Fatal(err)
+	}
+	for p.Shard(0).State() != StateQuarantined {
+		if time.Now().After(deadline) {
+			t.Fatal("injected alarm never landed on idle daemon")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.Shard(0).LastReason(); got != ReasonInjected {
+		t.Fatalf("reason = %v", got)
+	}
+}
+
+// TestReadBufferedRequiresServe guards the mode split.
+func TestReadBufferedRequiresServe(t *testing.T) {
+	t.Parallel()
+	p, err := New(Config{Shards: 1, NewSource: goodScript, Health: HealthConfig{DisableMonitor: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadBuffered(make([]byte, 8), time.Millisecond); err != ErrNotServing {
+		t.Fatalf("err = %v", err)
+	}
+	// Stop without Serve is a no-op.
+	p.Stop()
+}

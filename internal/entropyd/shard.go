@@ -1,0 +1,407 @@
+package entropyd
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/ais31"
+	"repro/internal/engine"
+	"repro/internal/measure"
+	"repro/internal/onlinetest"
+	"repro/internal/osc"
+	"repro/internal/postproc"
+)
+
+// State is a shard's position in the health state machine (see the
+// package comment for the full transition diagram).
+type State int32
+
+// Shard states.
+const (
+	// StateStartup: the shard is calibrating (startup test running);
+	// no output is admitted yet.
+	StateStartup State = iota
+	// StateHealthy: all embedded tests pass; output is gated into the
+	// pool.
+	StateHealthy
+	// StateQuarantined: an embedded test alarmed (or startup failed);
+	// output is discarded until a recalibration succeeds.
+	StateQuarantined
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateStartup:
+		return "startup"
+	case StateHealthy:
+		return "healthy"
+	case StateQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Reason records why a shard was last quarantined.
+type Reason int32
+
+// Quarantine reasons.
+const (
+	ReasonNone Reason = iota
+	// ReasonStartup: the AIS31 startup test (T1–T4 on the first 20000
+	// gated bits of the epoch) failed.
+	ReasonStartup
+	// ReasonTot: the AIS31 total-failure test fired (window of
+	// identical raw bits — dead source).
+	ReasonTot
+	// ReasonThermalLow: the paper's thermal monitor measured the
+	// small-N jitter variance below its calibrated bound — entropy
+	// loss (cooling, locking, injection).
+	ReasonThermalLow
+	// ReasonThermalHigh: variance above the high bound — injected
+	// beat or measurement fault.
+	ReasonThermalHigh
+	// ReasonInjected: an operator/test forced the quarantine
+	// (Pool.InjectAlarm).
+	ReasonInjected
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonStartup:
+		return "startup"
+	case ReasonTot:
+		return "tot"
+	case ReasonThermalLow:
+		return "thermal-low"
+	case ReasonThermalHigh:
+		return "thermal-high"
+	case ReasonInjected:
+		return "injected"
+	default:
+		return fmt.Sprintf("Reason(%d)", int32(r))
+	}
+}
+
+// startupBits is the AIS31 startup-test sample size (T1–T4 need 20000
+// bits).
+const startupBits = 20000
+
+// rawChunk is the raw-bit batch a shard pulls from its source per
+// gating step: large enough to amortize per-chunk bookkeeping, small
+// enough that an alarm stops output within a fraction of a block.
+const rawChunk = 512
+
+// maxDryChunks bounds how many consecutive raw chunks may yield zero
+// gated bits before the shard declares the conditioner starved (e.g. a
+// von Neumann corrector fed a stuck source with the tot test disabled)
+// and quarantines instead of spinning. A live source makes even a
+// short dry streak astronomically unlikely.
+const maxDryChunks = 1024
+
+// Shard is one independent generator lane of a Pool: its own entropy
+// source, post-processing chain, embedded tests and output ring. The
+// mutable generation state (source, tests, bit buffers) is owned by
+// exactly one goroutine at a time — the engine task filling it, or its
+// producer goroutine in serve mode. Everything the rest of the system
+// reads (state, counters) is atomic.
+type Shard struct {
+	index int
+	pool  *Pool
+	seed  uint64 // shard root seed: engine.DeriveSeed(pool seed, index)
+
+	// Owner-goroutine generation state.
+	src          RawSource
+	tot          *ais31.TotTest
+	mon          *onlinetest.Monitor
+	monCounter   *measure.Counter
+	monPair      *osc.Pair
+	monPrevQ     int64
+	monScale     float64
+	monCountdown int
+	bitbuf       []byte // gated bits awaiting byte packing
+	bitpos       int    // consumed prefix of bitbuf
+	raw          []byte // raw chunk scratch
+
+	// Serve-mode output buffer.
+	ring *ring
+
+	// Published state (atomics; readable from any goroutine).
+	state        atomic.Int32
+	reason       atomic.Int32
+	epoch        atomic.Int64
+	injected     atomic.Bool
+	bytesOut     atomic.Uint64
+	rawBits      atomic.Uint64
+	totAlarms    atomic.Uint64
+	monLow       atomic.Uint64
+	monHigh      atomic.Uint64
+	startupFails atomic.Uint64
+	quarantines  atomic.Uint64
+	drainedBytes atomic.Uint64
+}
+
+// Index returns the shard's position in the pool.
+func (s *Shard) Index() int { return s.index }
+
+// State returns the current health state.
+func (s *Shard) State() State { return State(s.state.Load()) }
+
+// LastReason returns the most recent quarantine reason.
+func (s *Shard) LastReason() Reason { return Reason(s.reason.Load()) }
+
+// Epoch returns the calibration epoch (0 at construction, +1 per
+// recalibration attempt).
+func (s *Shard) Epoch() int64 { return s.epoch.Load() }
+
+// MonitorPair exposes the oscillator pair behind the shard's thermal
+// monitor, nil when the monitor is disabled. It exists for attack
+// experiments (arming modulators before the pool starts producing);
+// mutating it while the shard is producing is a data race.
+func (s *Shard) MonitorPair() *osc.Pair { return s.monPair }
+
+// Source exposes the current entropy source instance (same caveat as
+// MonitorPair).
+func (s *Shard) Source() RawSource { return s.src }
+
+// calibrate (re)builds the shard's generation state for the current
+// epoch and runs the AIS31 startup test on it. On success the shard is
+// Healthy; on a statistical failure it is Quarantined with
+// ReasonStartup. A non-nil error means the configuration itself is
+// unusable (only possible at construction, where Pool.New aborts).
+func (s *Shard) calibrate() error {
+	s.state.Store(int32(StateStartup))
+	s.injected.Store(false)
+	s.bitbuf, s.bitpos = s.bitbuf[:0], 0
+	if s.raw == nil {
+		s.raw = make([]byte, rawChunk)
+	}
+	epoch := uint64(s.epoch.Load())
+	h := &s.pool.cfg.Health
+
+	src, err := s.pool.newSource(s.index, int(epoch), engine.DeriveSeed(s.seed, 2*epoch))
+	if err != nil {
+		return err
+	}
+	s.src = src
+
+	s.tot = nil
+	if !h.DisableTot {
+		t, err := ais31.NewTotTest(h.TotWindow)
+		if err != nil {
+			return err
+		}
+		s.tot = t
+	}
+
+	s.mon, s.monCounter, s.monPair = nil, nil, nil
+	if !h.DisableMonitor {
+		pair, err := s.pool.newMonitorPair(s.index, int(epoch), engine.DeriveSeed(s.seed, 2*epoch+1))
+		if err != nil {
+			return err
+		}
+		counter, err := measure.NewCounterConfig(pair, h.MonitorN, measure.Config{Subdivide: h.MonitorSubdivide})
+		if err != nil {
+			return err
+		}
+		ref := h.RefSigmaN2
+		if ref == 0 {
+			// Calibrate against the model: total σ²_N of the
+			// RELATIVE jitter at the monitor's small N (thermal-
+			// dominated below the corner — the regime the paper
+			// prescribes), plus the dithered counter's quantization
+			// floor.
+			rel := pair.RelativeModel()
+			ref = rel.SigmaN2(h.MonitorN) + counter.QuantizationFloor()
+		}
+		mon, err := onlinetest.New(onlinetest.Config{
+			N:          h.MonitorN,
+			Window:     h.MonitorWindow,
+			RefSigmaN2: ref,
+			AlphaLow:   h.AlphaLow,
+			AlphaHigh:  h.AlphaHigh,
+		})
+		if err != nil {
+			return err
+		}
+		s.mon = mon
+		s.monCounter = counter
+		s.monPair = pair
+		s.monScale = counter.PeriodOsc1() / float64(counter.Subdivision())
+		s.monPrevQ = counter.NextQ() // arm: first s_N needs a previous Q
+		s.monCountdown = h.MonitorEveryBits
+	}
+
+	if !h.DisableStartup {
+		// The startup test inspects the GATED (post-processed) bit
+		// stream — the quality actually delivered — while the tot
+		// test keeps watching the raw bits underneath. Startup bits
+		// are discarded, per AIS31: no output before the test passes.
+		bits := make([]byte, 0, startupBits)
+		dry := 0
+		for len(bits) < startupBits {
+			gated, alarm := s.gateChunk()
+			if alarm != ReasonNone {
+				s.quarantine(alarm)
+				return nil
+			}
+			if len(gated) == 0 {
+				if dry++; dry >= maxDryChunks {
+					s.quarantine(ReasonTot)
+					return nil
+				}
+				continue
+			}
+			dry = 0
+			bits = append(bits, gated...)
+		}
+		_, pass, err := ais31.StartupTest(bits)
+		if err != nil {
+			return err
+		}
+		if !pass {
+			s.startupFails.Add(1)
+			s.quarantine(ReasonStartup)
+			return nil
+		}
+	}
+
+	s.reason.Store(int32(ReasonNone))
+	s.state.Store(int32(StateHealthy))
+	return nil
+}
+
+// recalibrate advances the epoch and re-runs calibration: the
+// simulation analogue of power-cycling and re-admitting a quarantined
+// source. Returns true when the shard came back Healthy.
+func (s *Shard) recalibrate() bool {
+	s.epoch.Add(1)
+	if err := s.calibrate(); err != nil {
+		// Construction errors cannot normally happen after epoch 0
+		// (same configuration); treat defensively as a failed
+		// startup so the shard stays out of service.
+		s.startupFails.Add(1)
+		s.quarantine(ReasonStartup)
+		return false
+	}
+	return s.State() == StateHealthy
+}
+
+// quarantine moves the shard out of service: records the reason,
+// discards gated-but-unpacked bits and asks the ring to drop
+// everything undelivered ("drain").
+func (s *Shard) quarantine(r Reason) {
+	s.reason.Store(int32(r))
+	s.state.Store(int32(StateQuarantined))
+	s.quarantines.Add(1)
+	switch r {
+	case ReasonTot:
+		s.totAlarms.Add(1)
+	case ReasonThermalLow:
+		s.monLow.Add(1)
+	case ReasonThermalHigh:
+		s.monHigh.Add(1)
+	}
+	s.bitbuf, s.bitpos = s.bitbuf[:0], 0
+	if s.ring != nil {
+		s.drainedBytes.Add(uint64(s.ring.drain()))
+	}
+}
+
+// gateChunk pulls one rawChunk of source bits through the embedded
+// tests and the post-processing chain, returning the resulting gated
+// bits. A non-None reason means an alarm fired; the chunk is discarded
+// and the caller must quarantine.
+func (s *Shard) gateChunk() ([]byte, Reason) {
+	h := &s.pool.cfg.Health
+	raw := s.raw[:rawChunk]
+	for i := range raw {
+		b := s.src.NextBit() & 1
+		raw[i] = b
+		if s.tot != nil && s.tot.Push(b) {
+			return nil, ReasonTot
+		}
+		if s.mon != nil {
+			s.monCountdown--
+			if s.monCountdown <= 0 {
+				s.monCountdown = h.MonitorEveryBits
+				q := s.monCounter.NextQ()
+				sn := float64(q-s.monPrevQ) * s.monScale
+				s.monPrevQ = q
+				switch s.mon.Push(sn) {
+				case onlinetest.AlarmLow:
+					return nil, ReasonThermalLow
+				case onlinetest.AlarmHigh:
+					return nil, ReasonThermalHigh
+				}
+			}
+		}
+	}
+	s.rawBits.Add(rawChunk)
+	bits := raw
+	for _, st := range s.pool.cfg.Post {
+		switch st.Op {
+		case PostXOR:
+			bits = postproc.XORDecimate(bits, st.K)
+		case PostVonNeumann:
+			bits = postproc.VonNeumann(bits)
+		}
+	}
+	return bits, ReasonNone
+}
+
+// produce fills dst with gated output bytes, advancing the shard's
+// stream. It returns the bytes written; a short count means an alarm
+// fired and the shard quarantined itself mid-way (the caller must
+// treat the whole current block as suspect). Only callable on the
+// shard's owner goroutine while Healthy.
+func (s *Shard) produce(dst []byte) int {
+	n := 0
+	dry := 0
+	for {
+		// Pack whole bytes out of the gated-bit buffer.
+		for len(s.bitbuf)-s.bitpos >= 8 && n < len(dst) {
+			var b byte
+			for _, bit := range s.bitbuf[s.bitpos : s.bitpos+8] {
+				b = b<<1 | bit&1
+			}
+			s.bitpos += 8
+			dst[n] = b
+			n++
+		}
+		if n == len(dst) {
+			s.bytesOut.Add(uint64(n))
+			return n
+		}
+		if s.injected.Swap(false) {
+			s.quarantine(ReasonInjected)
+			s.bytesOut.Add(uint64(n))
+			return n
+		}
+		gated, alarm := s.gateChunk()
+		if alarm != ReasonNone {
+			s.quarantine(alarm)
+			s.bytesOut.Add(uint64(n))
+			return n
+		}
+		if len(gated) == 0 {
+			dry++
+			if dry >= maxDryChunks {
+				s.quarantine(ReasonTot)
+				s.bytesOut.Add(uint64(n))
+				return n
+			}
+			continue
+		}
+		dry = 0
+		// Compact the consumed prefix (< 8 leftover bits) before
+		// appending the fresh chunk, keeping the buffer bounded.
+		s.bitbuf = s.bitbuf[:copy(s.bitbuf, s.bitbuf[s.bitpos:])]
+		s.bitpos = 0
+		s.bitbuf = append(s.bitbuf, gated...)
+	}
+}

@@ -1,5 +1,5 @@
 // Package experiments regenerates every evaluation artifact of the
-// paper (DESIGN.md §4): Fig. 7, the r_N ratio and independence
+// paper: Fig. 7, the r_N ratio and independence
 // threshold, the §IV-B thermal-noise extraction, the eq. 9 vs eq. 11
 // identity, the independence ablations, the naive-vs-refined entropy
 // comparison, the online-test attack detection, and the AIS31 context
@@ -9,7 +9,7 @@
 // prints the same rows/series the paper reports, side by side with the
 // paper's values where the paper states them. The benchmark harness
 // (bench_test.go) and cmd/experiments both drive these functions, so
-// EXPERIMENTS.md is regenerable from a single source of truth.
+// every reported table regenerates from a single source of truth.
 package experiments
 
 import (
@@ -53,7 +53,7 @@ type Scale int
 const (
 	// Quick targets CI and benchmarks: minutes of CPU total.
 	Quick Scale = iota
-	// Full targets EXPERIMENTS.md regeneration: closer to the
+	// Full targets publication-grade regeneration: closer to the
 	// paper's statistical weight.
 	Full
 )

@@ -161,6 +161,21 @@ func (g *Generator) Bits(n int) []byte {
 	return out
 }
 
+// Read implements io.Reader: it fills p entirely with packed output
+// bits (8 bits per byte, MSB-first) and never fails — the simulated
+// source cannot run dry. It lets the generator compose directly with
+// the standard library and with the internal/entropyd serving layer.
+func (g *Generator) Read(p []byte) (int, error) {
+	for i := range p {
+		var b byte
+		for k := 0; k < 8; k++ {
+			b = b<<1 | g.NextBit()
+		}
+		p[i] = b
+	}
+	return len(p), nil
+}
+
 // BitsParallel produces the same n output bits as Bits, but runs each
 // ring replica as one engine task: every ring samples its own square
 // waveform for the whole span (touching only its own ringState), and

@@ -3,11 +3,15 @@ package multiring
 import (
 	"bytes"
 	"context"
+	"io"
 	"math"
 	"testing"
 
 	"repro/internal/phase"
+	"repro/internal/postproc"
 )
+
+var _ io.Reader = (*Generator)(nil)
 
 // hot returns a thermal-boosted per-ring model so sampling statistics
 // converge quickly in tests (same rationale as the trng tests).
@@ -181,6 +185,32 @@ func TestLagCorrelationModest(t *testing.T) {
 	}
 	if r := math.Abs(g.LagCorrelation(20000)); r > 0.05 {
 		t.Fatalf("lag-1 correlation = %g at slow sampling", r)
+	}
+}
+
+func TestReadMatchesBits(t *testing.T) {
+	// Read packs the NextBit stream 8 bits per byte, MSB-first, and
+	// composes with io helpers; chunking must not change the stream.
+	cfg := baseConfig()
+	cfg.Seed = 9
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := postproc.Pack(a.Bits(8 * 48))
+	got := make([]byte, 48)
+	if _, err := io.ReadFull(b, got[:7]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(b, got[7:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("Read stream diverges from packed Bits")
 	}
 }
 

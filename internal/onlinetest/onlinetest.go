@@ -18,6 +18,10 @@
 // extracted with the quadratic fit; calibrating against total measured
 // jitter at large N would bake flicker noise into the reference and
 // blind the test to thermal-noise loss.
+//
+// In the serving stack the monitor runs embedded: internal/entropyd
+// attaches one Monitor (fed by a dedicated measure.Counter) to every
+// pool shard and quarantines the shard on any alarm.
 package onlinetest
 
 import (

@@ -109,14 +109,29 @@ func (g *Generator) Bits(n int) []byte {
 // Bytes packs 8·n raw bits MSB-first into n bytes.
 func (g *Generator) Bytes(n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
+	g.mustRead(out)
+	return out
+}
+
+// Read implements io.Reader: it fills p entirely with packed raw bits
+// (8 bits per byte, MSB-first) and never fails — the simulated source
+// cannot run dry. It lets a generator compose directly with the
+// standard library (io.ReadFull, io.CopyN, bufio) and with the
+// internal/entropyd serving layer.
+func (g *Generator) Read(p []byte) (int, error) {
+	g.mustRead(p)
+	return len(p), nil
+}
+
+// mustRead fills p with packed raw bits.
+func (g *Generator) mustRead(p []byte) {
+	for i := range p {
 		var b byte
 		for k := 0; k < 8; k++ {
 			b = b<<1 | g.NextBit()
 		}
-		out[i] = b
+		p[i] = b
 	}
-	return out
 }
 
 // AccumulatedJitterVariance returns the variance of the relative phase

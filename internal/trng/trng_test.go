@@ -1,12 +1,16 @@
 package trng
 
 import (
+	"bytes"
+	"io"
 	"math"
 	"testing"
 
 	"repro/internal/phase"
 	"repro/internal/postproc"
 )
+
+var _ io.Reader = (*Generator)(nil)
 
 func paperModel() phase.Model {
 	const f0 = 103e6
@@ -165,6 +169,46 @@ func TestBytesPacking(t *testing.T) {
 	}
 	if allSame {
 		t.Fatal("byte output constant")
+	}
+}
+
+func TestReadMatchesBytes(t *testing.T) {
+	// Read is Bytes in io.Reader clothing: same seed, same stream,
+	// regardless of how the reads are chunked.
+	a, err := New(Config{Model: paperModel(), Divider: 64, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Model: paperModel(), Divider: 64, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Bytes(64)
+	got := make([]byte, 64)
+	if _, err := io.ReadFull(b, got[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(b, got[10:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("Read stream diverges from Bytes")
+	}
+	if b.BitsEmitted() != 512 {
+		t.Fatalf("BitsEmitted = %d after reading 64 bytes", b.BitsEmitted())
+	}
+}
+
+func TestReadPacksBitsMSBFirst(t *testing.T) {
+	a, _ := New(Config{Model: paperModel(), Divider: 64, Seed: 13})
+	b, _ := New(Config{Model: paperModel(), Divider: 64, Seed: 13})
+	bits := a.Bits(32)
+	var buf [4]byte
+	if n, err := b.Read(buf[:]); n != 4 || err != nil {
+		t.Fatalf("Read = (%d, %v)", n, err)
+	}
+	if packed := postproc.Pack(bits); !bytes.Equal(packed, buf[:]) {
+		t.Fatalf("packing mismatch: bits %v -> %v, Read %v", bits, packed, buf)
 	}
 }
 

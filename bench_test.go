@@ -11,6 +11,7 @@ import (
 	"repro/internal/jitter"
 	"repro/internal/measure"
 	"repro/internal/osc"
+	"repro/internal/trng"
 )
 
 // The benchmarks below regenerate the paper's evaluation artifacts.
@@ -252,4 +253,39 @@ func BenchmarkTRNGBit(b *testing.B) {
 		sink ^= g.NextBit()
 	}
 	_ = sink
+}
+
+// BenchmarkLeapfrogBit is the PR-3 acceptance benchmark: raw eRO-TRNG
+// output at the paper's CALIBRATED physics (amp = 1) and honest
+// operating point (K = 10⁵ Osc2 periods of accumulated jitter per
+// bit), edge-level reference vs the leapfrog fast path. One op is one
+// packed output byte (8 bits), so the reported bytes/sec are the raw
+// serving rate; the fast path must be ≥ 100× the edge path.
+func BenchmarkLeapfrogBit(b *testing.B) {
+	const divider = 100_000
+	for _, mode := range []struct {
+		name string
+		leap bool
+	}{{"edge", false}, {"leapfrog", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			g, err := trng.New(trng.Config{
+				Model:    core.PaperModel().Phase,
+				Divider:  divider,
+				Mismatch: 2e-3,
+				Seed:     7,
+				Leapfrog: mode.leap,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 1)
+			b.SetBytes(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Read(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-seed S] [-only EXP-ID] [-jobs N]
+//	            [-leapfrog] [-cpuprofile F] [-memprofile F]
+//
+// -leapfrog runs the counter campaigns (EXP-F7 and everything derived
+// from it) on the O(1)-per-window fast path: statistically equivalent
+// tables (same fits within tolerance) at a fraction of the large-N
+// cost. -cpuprofile / -memprofile write pprof profiles of the campaign
+// path so perf work does not need to patch the binary.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -24,6 +32,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "campaign seed")
 		only      = flag.String("only", "", "run a single experiment (EXP-F7, EXP-RN, EXP-TH, EXP-EQ11, EXP-IND, EXP-ENT, EXP-PSD, EXP-TIA, EXP-ATT, EXP-AIS)")
 		jobs      = flag.Int("jobs", 0, "campaign worker-pool width (0 = NumCPU, 1 = sequential; tables are identical for every value)")
+		leapfrog  = flag.Bool("leapfrog", false, "run counter campaigns on the O(1)-per-window fast path (statistically equivalent; default is the edge-level reference)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -35,7 +46,14 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleFlag)
 	}
-	opt := experiments.Options{Jobs: *jobs}
+	stopProf, err := profiling.Start(*cpuprof, *memprof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// os.Exit skips defers, so the fatal paths below flush the
+	// profiles explicitly before exiting.
+	defer stopProf()
+	opt := experiments.Options{Jobs: *jobs, Leapfrog: *leapfrog}
 
 	// EXP-F7, EXP-RN, EXP-TH and EXP-TIA all derive from the same
 	// (scale, seed) counter campaign; run it once and share it.
@@ -118,12 +136,14 @@ func main() {
 		}
 		out, err := r.run()
 		if err != nil {
+			stopProf()
 			log.Fatalf("%s: %v", r.id, err)
 		}
 		fmt.Println(out)
 		ran++
 	}
 	if ran == 0 {
+		stopProf()
 		log.Fatalf("no experiment matches %q", *only)
 	}
 }

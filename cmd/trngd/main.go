@@ -18,21 +18,40 @@
 // Backpressure: at most -queue requests are in flight; excess requests
 // are rejected immediately with 503 rather than piling onto the pool.
 //
-// The default profile runs the paper's calibrated model with its
-// jitter amplified -amp× (amplitude; variances scale amp²). Scaling
-// thermal and flicker together preserves every ratio the paper's
-// analysis rests on (r_N, the a/b corner, N*(95%)) while letting the
-// simulation reach serving-scale throughput: at the paper's true
-// operating point (-amp 1) an eRO-TRNG needs K ≈ 10⁵ periods per bit
-// and the simulated pool serves only a few hundred bits per second per
-// shard — physically honest, operationally patient. The sampling
-// divider auto-scales as K = 64·(100/amp)² unless -divider is given.
+// # Operating point
+//
+// The default profile serves the paper's CALIBRATED model (-amp 1) at
+// its honest operating point — K ≈ 10⁵ Osc2 periods of accumulated
+// jitter per output bit — on the leapfrog fast path (-leapfrog,
+// default on): each bit's window is advanced in O(1) closed form
+// (internal/osc Leapfrog), so the cost of a bit no longer scales with
+// the divider and calibrated physics serves at real throughput.
+//
+// -amp remains as an EXPERIMENT knob, not a throughput necessity: it
+// amplifies the jitter amplitude -amp× (variances scale amp²) to model
+// a hypothetical higher-jitter technology. Scaling thermal and flicker
+// together preserves every ratio the paper's analysis rests on (r_N,
+// the a/b corner, N*(95%)); the sampling divider auto-scales as
+// K = 64·(100/amp)² unless -divider is given, holding the accumulated
+// jitter per bit — and with it the entropy per bit — constant across
+// amp. With -leapfrog=false the pre-fast-path behaviour (edge-level
+// simulation, where -amp 100 was needed for serving-scale rates) is
+// available as the golden reference.
+//
+// At the calibrated default, expect ~10 s per shard of startup (the
+// AIS31 startup test consumes 20000 bits at the honest divider) and a
+// steady-state raw rate of a few hundred bytes/s per shard — faster
+// than the 103 MHz hardware itself would emit bits at K ≈ 10⁵.
+//
+// -cpuprofile / -memprofile write pprof profiles of the serving path
+// for perf work (the memory profile is written at shutdown).
 //
 // Usage:
 //
 //	trngd [-addr :8080] [-shards N] [-source ero|multiring] [-amp A]
-//	      [-divider K] [-post none|xor2|xor4|xor8|vn] [-seed S]
-//	      [-queue Q] [-maxbytes M] [-wait D] [-buf B] [-admin]
+//	      [-leapfrog] [-divider K] [-post none|xor2|xor4|xor8|vn]
+//	      [-seed S] [-queue Q] [-maxbytes M] [-wait D] [-buf B]
+//	      [-admin] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -53,6 +72,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/entropyd"
+	"repro/internal/profiling"
 )
 
 // server wraps the pool with HTTP concerns: the bounded in-flight
@@ -237,6 +257,15 @@ func (s *server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "alarm injected into shard %d\n", i)
 }
 
+// autoDivider returns the default eRO sampling divider for a jitter
+// amplification: K = 64·(100/amp)², which holds the accumulated jitter
+// per output bit — and with it the entropy per bit — constant across
+// amp. At calibrated physics (amp = 1) this is the paper's honest
+// operating regime of K ≈ 10⁵ periods per bit.
+func autoDivider(amp float64) int {
+	return int(math.Max(1, math.Round(64*(100/amp)*(100/amp))))
+}
+
 // postChain parses the -post flag.
 func postChain(name string) ([]entropyd.PostStage, error) {
 	switch name {
@@ -259,31 +288,45 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trngd: ")
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		shards   = flag.Int("shards", 4, "independent generator shards")
-		source   = flag.String("source", "ero", "entropy source: ero or multiring")
-		amp      = flag.Float64("amp", 100, "jitter amplification over the paper model (1 = calibrated physics)")
-		divider  = flag.Int("divider", 0, "eRO sampling divider K (0 = auto-scale 64*(100/amp)^2)")
-		post     = flag.String("post", "none", "post-processing: none, xor2, xor4, xor8 or vn")
-		seed     = flag.Uint64("seed", 1, "pool root seed")
-		queue    = flag.Int("queue", 64, "max in-flight /random requests (backpressure bound)")
-		maxBytes = flag.Int("maxbytes", 1<<20, "largest /random request")
-		wait     = flag.Duration("wait", 5*time.Second, "max time to wait for the pool per request")
-		buf      = flag.Int("buf", 1<<16, "per-shard ring buffer bytes")
-		admin    = flag.Bool("admin", false, "enable POST /quarantine (operator drills)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		shards     = flag.Int("shards", 4, "independent generator shards")
+		source     = flag.String("source", "ero", "entropy source: ero or multiring")
+		amp        = flag.Float64("amp", 1, "jitter amplification over the paper model (1 = calibrated physics; >1 is an experiment knob)")
+		leapfrog   = flag.Bool("leapfrog", true, "O(1)-per-window fast path (false = edge-level golden reference)")
+		divider    = flag.Int("divider", 0, "eRO sampling divider K (0 = auto-scale 64*(100/amp)^2)")
+		post       = flag.String("post", "none", "post-processing: none, xor2, xor4, xor8 or vn")
+		seed       = flag.Uint64("seed", 1, "pool root seed")
+		queue      = flag.Int("queue", 64, "max in-flight /random requests (backpressure bound)")
+		maxBytes   = flag.Int("maxbytes", 1<<20, "largest /random request")
+		wait       = flag.Duration("wait", 5*time.Second, "max time to wait for the pool per request")
+		buf        = flag.Int("buf", 1<<16, "per-shard ring buffer bytes")
+		admin      = flag.Bool("admin", false, "enable POST /quarantine (operator drills)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	)
 	flag.Parse()
 	if *amp <= 0 {
 		log.Fatal("-amp must be > 0")
 	}
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// os.Exit skips defers, so every fatal exit below must flush the
+	// profiles explicitly.
+	defer stopProf()
+	fatal := func(v ...any) {
+		stopProf()
+		log.Fatal(v...)
+	}
 	model := core.PaperModel().ScaleJitter(*amp)
 	k := *divider
 	if k == 0 {
-		k = int(math.Max(1, math.Round(64*(100 / *amp)*(100 / *amp))))
+		k = autoDivider(*amp)
 	}
 	chain, err := postChain(*post)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	var kind entropyd.SourceKind
 	switch *source {
@@ -292,21 +335,22 @@ func main() {
 	case "multiring":
 		kind = entropyd.SourceMultiRing
 	default:
+		stopProf()
 		log.Fatalf("unknown source %q", *source)
 	}
 
 	cfg := entropyd.Config{
 		Shards:   *shards,
 		Seed:     *seed,
-		Source:   entropyd.SourceConfig{Kind: kind, Model: model.Phase, Divider: k},
+		Source:   entropyd.SourceConfig{Kind: kind, Model: model.Phase, Divider: k, Leapfrog: *leapfrog},
 		Post:     chain,
 		BufBytes: *buf,
 	}
-	log.Printf("calibrating %d %s shard(s) (amp=%g divider=%d post=%s)...", *shards, *source, *amp, k, *post)
+	log.Printf("calibrating %d %s shard(s) (amp=%g divider=%d post=%s leapfrog=%v)...", *shards, *source, *amp, k, *post, *leapfrog)
 	t0 := time.Now()
 	pool, err := entropyd.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	st := pool.Stats()
 	log.Printf("startup tests done in %v: %d/%d shards healthy", time.Since(t0).Round(time.Millisecond), st.Healthy, len(st.Shards))
@@ -317,7 +361,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := pool.Serve(ctx); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer pool.Stop()
 
@@ -333,6 +377,6 @@ func main() {
 	}()
 	log.Printf("serving on %s (/random /healthz /metrics)", *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+		fatal(err)
 	}
 }

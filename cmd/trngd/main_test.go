@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -293,12 +292,17 @@ func TestPostChainFlag(t *testing.T) {
 
 func TestDividerAutoScale(t *testing.T) {
 	t.Parallel()
-	// The -divider auto-scale formula at amp=100 must give the demo
-	// default, and grow quadratically as amp shrinks toward physics.
-	if k := int(math.Round(64 * (100.0 / 100) * (100.0 / 100))); k != 64 {
+	// The auto-scale formula at amp=100 must give the legacy demo
+	// default, grow quadratically as amp shrinks toward physics, and
+	// land on the paper's honest operating regime (K ≈ 10⁵ periods
+	// per bit) at the calibrated default amp=1.
+	if k := autoDivider(100); k != 64 {
 		t.Fatalf("amp=100: k=%d", k)
 	}
-	if k := int(math.Round(64 * (100.0 / 10) * (100.0 / 10))); k != 6400 {
+	if k := autoDivider(10); k != 6400 {
 		t.Fatalf("amp=10: k=%d", k)
+	}
+	if k := autoDivider(1); k != 640000 {
+		t.Fatalf("amp=1: k=%d", k)
 	}
 }

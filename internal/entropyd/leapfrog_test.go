@@ -1,0 +1,118 @@
+package entropyd
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// leapConfig is a pool at the paper's CALIBRATED physics (amp = 1 —
+// the honest model PR 2 had to amplify away) on the leapfrog fast
+// path, with a mid-size divider so every bit's window genuinely jumps.
+// The startup test is skipped to keep the health machinery out of the
+// timing budget; tot and thermal monitor stay armed.
+func leapConfig(shards int, seed uint64) Config {
+	return Config{
+		Shards: shards,
+		Seed:   seed,
+		Source: SourceConfig{
+			Kind:     SourceERO,
+			Model:    core.PaperModel().Phase,
+			Divider:  2048,
+			Mismatch: 2e-3,
+			Leapfrog: true,
+		},
+		Health: HealthConfig{DisableStartup: true, MonitorWindow: 16},
+	}
+}
+
+// TestLeapfrogFillDeterministicAcrossJobsAndChunking pins the pool
+// determinism contract on the fast path: with leapfrog shard sources,
+// pool output is a pure function of (Config, Seed) — bit-identical
+// across worker-pool widths AND across request chunkings.
+func TestLeapfrogFillDeterministicAcrossJobsAndChunking(t *testing.T) {
+	const total = 2048
+	ref := make([]byte, total)
+	{
+		p, err := New(leapConfig(3, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := p.Fill(ref); err != nil || n != total {
+			t.Fatalf("reference fill: n=%d err=%v", n, err)
+		}
+	}
+	for _, jobs := range []int{1, 4} {
+		cfg := leapConfig(3, 42)
+		cfg.Jobs = jobs
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, total)
+		// Deliberately ragged request chunking.
+		for off, chunks := 0, []int{1, 100, 255, 256, total}; off < total; {
+			k := chunks[0]
+			chunks = append(chunks[1:], total)
+			if off+k > total {
+				k = total - off
+			}
+			if n, err := p.Fill(got[off : off+k]); err != nil || n != k {
+				t.Fatalf("jobs=%d: fill(%d) at %d: n=%d err=%v", jobs, k, off, n, err)
+			}
+			off += k
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("jobs=%d: leapfrog pool stream differs from reference", jobs)
+		}
+	}
+}
+
+// TestLeapfrogServeProductionRace is the -race witness for leapfrog
+// production inside shards: per-shard producer goroutines generate via
+// the fast path while a consumer drains ReadBuffered and another
+// goroutine polls Stats — the full daemon interleaving.
+func TestLeapfrogServeProductionRace(t *testing.T) {
+	p, err := New(leapConfig(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := p.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			p.Stats()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	buf := make([]byte, 4096)
+	for off := 0; off < len(buf); {
+		n, err := p.ReadBuffered(buf[off:], 30*time.Second)
+		if err != nil {
+			t.Fatalf("ReadBuffered at %d: %v", off, err)
+		}
+		off += n
+	}
+	<-done
+	if allZero(buf) {
+		t.Fatal("served leapfrog stream is all zeros")
+	}
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

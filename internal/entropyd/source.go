@@ -62,6 +62,15 @@ type SourceConfig struct {
 	// Spread is the multi-ring relative frequency spread
 	// (default 2e-3).
 	Spread float64
+	// Leapfrog runs every shard source on the O(1)-per-window fast
+	// path (trng.Config.Leapfrog / multiring.Config.Leapfrog): the
+	// cost of a raw bit becomes independent of the sampling divider,
+	// which is what lets a pool serve the paper's calibrated physics
+	// (amp = 1, K ≈ 10⁵ periods per bit) at real throughput. Streams
+	// stay deterministic in (Config, Seed) and invariant to request
+	// chunking and worker counts; they are distribution-exact but not
+	// bit-identical to the edge-level reference realization.
+	Leapfrog bool
 }
 
 // withDefaults fills zero fields.
@@ -103,6 +112,7 @@ func (c SourceConfig) newSource(seed uint64) (RawSource, error) {
 			Divider:  c.Divider,
 			Mismatch: c.Mismatch,
 			Seed:     seed,
+			Leapfrog: c.Leapfrog,
 		})
 	case SourceMultiRing:
 		return multiring.New(multiring.Config{
@@ -111,6 +121,7 @@ func (c SourceConfig) newSource(seed uint64) (RawSource, error) {
 			SampleRate:     c.SampleRate,
 			RelativeSpread: c.Spread,
 			Seed:           seed,
+			Leapfrog:       c.Leapfrog,
 		})
 	default:
 		return nil, fmt.Errorf("entropyd: unknown source kind %d", int(c.Kind))

@@ -33,6 +33,14 @@ type Options struct {
 	// Jobs is the worker-pool width: 0 selects runtime.NumCPU(),
 	// 1 forces the sequential reference path.
 	Jobs int
+	// Leapfrog runs the counter campaigns on the O(1)-per-window fast
+	// path (measure.Config.Leapfrog): cells cost O(windows) instead of
+	// O(windows·N), which makes the large-N end of Fig. 7 essentially
+	// free. The tables are statistically equivalent to the edge-level
+	// reference (same σ²_N law, same fits within tolerance) but not
+	// bit-identical to it: the fast path draws a different — equally
+	// valid — realization of the same jitter process.
+	Leapfrog bool
 }
 
 // Paper-reported constants (§III-E, §IV-B).
@@ -102,7 +110,7 @@ func Fig7Opts(scale Scale, seed uint64, opt Options) (Fig7Result, error) {
 	m := core.PaperModel()
 	ns := jitter.LogSpacedNs(16, 32768, 4)
 	sweep, err := measure.SweepParallel(context.Background(), m.RingPair, seed, measure.SweepConfig{
-		Ns: ns, WindowsPerN: scale.windows(), Subdivide: 256, Jobs: opt.Jobs,
+		Ns: ns, WindowsPerN: scale.windows(), Subdivide: 256, Leapfrog: opt.Leapfrog, Jobs: opt.Jobs,
 	})
 	if err != nil {
 		return Fig7Result{}, err

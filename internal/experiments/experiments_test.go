@@ -246,3 +246,55 @@ func TestAIS31Run(t *testing.T) {
 		t.Fatal("table header missing")
 	}
 }
+
+// sharedLeapfrogFig7 runs the Quick Fig. 7 campaign once on the
+// leapfrog fast path (one more reason it exists: unlike the edge-level
+// sharedFig7, this one is cheap enough to run in every mode).
+var sharedLeapfrogFig7 = sync.OnceValues(func() (Fig7Result, error) {
+	return Fig7Opts(Quick, 1, Options{Leapfrog: true})
+})
+
+// TestFig7LeapfrogMatchesPaperTolerances holds the O(1)-per-window
+// fast path to exactly the tolerances the edge-level campaign must
+// meet: the fitted slope recovers the paper's a within 15 %, the rows
+// track eq. 11, and the derived artifacts (N*(95%), b_th, σ)
+// reproduce the paper's §III-E / §IV-B values. Because every window is
+// O(1), the whole Quick campaign costs seconds where the edge path
+// costs CPU-minutes — so this runs unconditionally.
+func TestFig7LeapfrogMatchesPaperTolerances(t *testing.T) {
+	t.Parallel()
+	res, err := sharedLeapfrogFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Fit.A-PaperSlopeA) > 0.15*PaperSlopeA {
+		t.Fatalf("leapfrog fit a = %g, want %g", res.Fit.A, PaperSlopeA)
+	}
+	within := 0
+	for _, row := range res.Rows {
+		if row.TheoryNorm > 0 && math.Abs(row.MeasuredNorm/row.TheoryNorm-1) < 0.5 {
+			within++
+		}
+	}
+	if within < len(res.Rows)*2/3 {
+		t.Fatalf("only %d/%d leapfrog rows within 50%% of eq. 11", within, len(res.Rows))
+	}
+	rn := RNThresholdFromFig7(res)
+	for _, row := range rn.Thresholds {
+		if row.RMin == 0.95 {
+			if row.NPaper != PaperN95 {
+				t.Fatalf("paper threshold computed as %d, want %d", row.NPaper, PaperN95)
+			}
+			if row.NMeasured < 150 || row.NMeasured > 500 {
+				t.Fatalf("leapfrog-measured N*(95%%) = %d, want ≈281", row.NMeasured)
+			}
+		}
+	}
+	th := ThermalExtractionFromFig7(res)
+	if math.Abs(th.SigmaPs-PaperSigmaPs) > 1.5 {
+		t.Fatalf("leapfrog σ = %g ps, want ≈%g", th.SigmaPs, PaperSigmaPs)
+	}
+	if math.Abs(th.BthHz-PaperBth) > 0.15*PaperBth {
+		t.Fatalf("leapfrog b_th = %g, want ≈%g", th.BthHz, PaperBth)
+	}
+}

@@ -176,10 +176,13 @@ func (g *KasdinGenerator) Fill(dst []float64) {
 // flattens below FMin — which is also what physical flicker noise must
 // do, and keeps long simulations wide-sense stationary.
 type OUGenerator struct {
-	states []float64
-	as     []float64 // AR(1) pole coefficients
-	qs     []float64 // innovation standard deviations
-	src    *rng.Source
+	states  []float64
+	as      []float64 // AR(1) pole coefficients a = exp(−λ·dt)
+	qs      []float64 // innovation standard deviations
+	lams    []float64 // λ·dt per pole (kept exact for the fast-forward)
+	c       float64   // stationary per-pole variance
+	scratch []float64 // reused normal-draw buffer (Fill, AdvanceSum)
+	src     *rng.Source
 }
 
 // OUOptions configures an OUGenerator.
@@ -236,6 +239,8 @@ func NewOU(opt OUOptions) (*OUGenerator, error) {
 		states: make([]float64, nPoles),
 		as:     make([]float64, nPoles),
 		qs:     make([]float64, nPoles),
+		lams:   make([]float64, nPoles),
+		c:      c,
 		src:    rng.New(opt.Seed),
 	}
 	for k := 0; k < nPoles; k++ {
@@ -243,6 +248,7 @@ func NewOU(opt OUOptions) (*OUGenerator, error) {
 		lambda := 2 * math.Pi * fk
 		a := math.Exp(-lambda * dt)
 		g.as[k] = a
+		g.lams[k] = lambda * dt
 		g.qs[k] = math.Sqrt(c * (1 - a*a))
 		// Start each pole in its stationary distribution so the
 		// output is stationary from the first sample.
@@ -264,11 +270,117 @@ func (g *OUGenerator) Next() float64 {
 	return sum
 }
 
-// Fill fills dst with consecutive samples.
+// ouFillBlock is Fill's sample block: the normal-draw scratch is
+// bounded at poles×ouFillBlock floats (≈ 24 KiB at the paper-like
+// ~24-pole configuration — inside L1) while still amortizing the
+// per-block bookkeeping.
+const ouFillBlock = 128
+
+// Fill fills dst with consecutive samples. It is the block form of
+// Next, restructured for locality: all the block's Gaussian innovations
+// are drawn first in one batched pass (rng.Source.FillNorm into a
+// reused scratch buffer), then one inner loop per pole sweeps the whole
+// block with the pole's state, coefficient and innovation σ held in
+// registers. The scratch is filled in sample-major order — sample i's
+// draws at z[i·P..i·P+P) — which is exactly the order repeated Next
+// calls consume the source, and each output accumulates its pole
+// contributions in ascending pole order, so the emitted stream is
+// bit-identical to len(dst) successive Next calls.
 func (g *OUGenerator) Fill(dst []float64) {
-	for i := range dst {
-		dst[i] = g.Next()
+	p := len(g.states)
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > ouFillBlock {
+			n = ouFillBlock
+		}
+		z := g.scratchFor(n * p)
+		g.src.FillNorm(z)
+		blk := dst[:n]
+		for i := range blk {
+			blk[i] = 0
+		}
+		for k := range g.states {
+			a, q, x := g.as[k], g.qs[k], g.states[k]
+			for i := 0; i < n; i++ {
+				x = a*x + q*z[i*p+k]
+				blk[i] += x
+			}
+			g.states[k] = x
+		}
+		dst = dst[n:]
 	}
+}
+
+// scratchFor returns the reused draw buffer resized to n floats.
+func (g *OUGenerator) scratchFor(n int) []float64 {
+	if cap(g.scratch) < n {
+		g.scratch = make([]float64, n)
+	}
+	return g.scratch[:n]
+}
+
+// AdvanceSum fast-forwards the generator by n samples in O(poles) time
+// and returns a sample of the sum of the n skipped outputs. For each
+// AR(1) pole with state x₀, the pair (end state x_n, window sum
+// S_n = Σ_{i=1..n} x_i) is jointly Gaussian with closed-form moments
+// (A = aⁿ, q² the innovation variance):
+//
+//	E[x_n]       = A·x₀
+//	E[S_n]       = x₀·a·(1−A)/(1−a)
+//	Var(x_n)     = q²·(1−A²)/(1−a²)
+//	Cov(x_n,S_n) = q²/(1−a)·[(1−A)/(1−a) − a·(1−A²)/(1−a²)]
+//	Var(S_n)     = q²/(1−a)²·[n − 2a·(1−A)/(1−a) + a²·(1−A²)/(1−a²)]
+//
+// so drawing (x_n, S_n) through the 2×2 Cholesky factor is EXACT in
+// distribution — including the autocorrelation carried across
+// successive windows through the end states — while consuming two
+// normals per pole regardless of n. The geometric-series factors are
+// evaluated through expm1 of the stored λ·dt so slow poles (a → 1)
+// lose no precision. Deterministic in the seed: a fixed call sequence
+// draws a fixed normal stream (batched, pole-major: pole k consumes
+// draws 2k and 2k+1).
+//
+// AdvanceSum is the primitive behind osc.(*Oscillator).Leapfrog; it is
+// NOT the same realization as n Next calls (it spends 2 instead of n
+// draws per pole), so fast-forwarded and stepped streams agree only in
+// distribution.
+func (g *OUGenerator) AdvanceSum(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	z := g.scratchFor(2 * len(g.states))
+	g.src.FillNorm(z)
+	nf := float64(n)
+	var total float64
+	for k := range g.states {
+		lam := g.lams[k]
+		a := g.as[k]
+		em1 := -math.Expm1(-lam)           // 1 − a
+		em2 := -math.Expm1(-2 * lam)       // 1 − a²
+		em1n := -math.Expm1(-nf * lam)     // 1 − aⁿ
+		em2n := -math.Expm1(-2 * nf * lam) // 1 − a²ⁿ
+		r1 := em1n / em1                   // Σ_{i=0..n−1} aⁱ
+		r2 := em2n / em2                   // Σ_{i=0..n−1} a²ⁱ
+		varX := g.c * em2n
+		covXS := g.c * em2 / em1 * (r1 - a*r2)
+		varS := g.c * em2 / (em1 * em1) * (nf - 2*a*r1 + a*a*r2)
+		x := g.states[k]
+		muX := (1 - em1n) * x
+		muS := x * a * r1
+		sx := math.Sqrt(varX)
+		var c1 float64
+		if sx > 0 {
+			c1 = covXS / sx
+		}
+		var res float64
+		if d := varS - c1*c1; d > 0 {
+			res = math.Sqrt(d)
+		}
+		z1, z2 := z[2*k], z[2*k+1]
+		g.states[k] = muX + sx*z1
+		total += muS + c1*z1 + res*z2
+	}
+	return total
 }
 
 // Generator is the common interface of the flicker-noise synthesizers.
@@ -277,7 +389,18 @@ type Generator interface {
 	Fill(dst []float64)
 }
 
+// Summer is the optional fast-forward extension of Generator: an
+// AdvanceSum that skips n samples in O(1) while returning their sum,
+// exact in distribution. The oscillator leapfrog path type-asserts for
+// it and falls back to edge-level stepping when the configured
+// generator (e.g. the Kasdin synthesizer, whose fractional-integration
+// memory has no closed-form skip) does not provide it.
+type Summer interface {
+	Generator
+	AdvanceSum(n int) float64
+}
+
 var (
 	_ Generator = (*KasdinGenerator)(nil)
-	_ Generator = (*OUGenerator)(nil)
+	_ Summer    = (*OUGenerator)(nil)
 )

@@ -257,3 +257,165 @@ func TestCrossGeneratorAgreement(t *testing.T) {
 		t.Fatalf("generators disagree: kasdin %g vs ou %g", ak, ao)
 	}
 }
+
+// BenchmarkOUFill measures block generation throughput of the OU
+// flicker synthesizer with the paper-like pole count (the oscillator
+// hot loop's dominant cost).
+func BenchmarkOUFill(b *testing.B) {
+	g, err := NewOU(OUOptions{HM1: 1e-9, SampleRate: 100e6, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]float64, 4096)
+	b.SetBytes(int64(len(buf) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Fill(buf)
+	}
+}
+
+// TestOUFillMatchesNext pins the restructured block Fill against the
+// scalar path: the batched normal draws and per-pole inner loops must
+// reproduce the Next stream bit for bit, across block boundaries and
+// for lengths that are not multiples of the internal block.
+func TestOUFillMatchesNext(t *testing.T) {
+	opts := OUOptions{HM1: 3e-9, SampleRate: 1e6, Seed: 41}
+	a, err := NewOU(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewOU(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 7, 128, 129, 500} {
+		got := make([]float64, n)
+		a.Fill(got)
+		for i := range got {
+			if want := b.Next(); got[i] != want {
+				t.Fatalf("len %d: Fill[%d] = %g, Next = %g", n, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestAdvanceSumDeterminism pins seed determinism of the fast-forward:
+// the same call sequence on same-seed generators yields identical sums
+// and identical subsequent streams (the fast-forwarded state feeds the
+// scalar path).
+func TestAdvanceSumDeterminism(t *testing.T) {
+	opts := OUOptions{HM1: 3e-9, SampleRate: 1e6, Seed: 42}
+	a, err := NewOU(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewOU(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 10, 1000, 1 << 20} {
+		if sa, sb := a.AdvanceSum(n), b.AdvanceSum(n); sa != sb {
+			t.Fatalf("AdvanceSum(%d): %g vs %g on identical seeds", n, sa, sb)
+		}
+		if na, nb := a.Next(), b.Next(); na != nb {
+			t.Fatalf("post-AdvanceSum(%d) streams diverged", n)
+		}
+	}
+	if a.AdvanceSum(0) != 0 || a.AdvanceSum(-3) != 0 {
+		t.Fatal("AdvanceSum of a non-positive count must be 0")
+	}
+}
+
+// TestAdvanceSumMatchesSteppedDistribution cross-validates the
+// closed-form joint fast-forward against brute-force stepping: over an
+// ensemble of independent generators, two consecutive window sums are
+// collected either by summing Next or by two AdvanceSum calls. The
+// mean, the window-sum variance and the adjacent-window correlation
+// (the statistic the paper's whole argument rests on — flicker windows
+// are NOT independent) must agree between the two methods within
+// Monte-Carlo error.
+func TestAdvanceSumMatchesSteppedDistribution(t *testing.T) {
+	const (
+		trials = 3000
+		n      = 256
+	)
+	opts := OUOptions{HM1: 1e-6, SampleRate: 1e6, FMin: 20, PolesPerDecade: 3, Seed: 0}
+	collect := func(fast bool) (s1, s2 []float64) {
+		s1 = make([]float64, trials)
+		s2 = make([]float64, trials)
+		for i := 0; i < trials; i++ {
+			o := opts
+			o.Seed = uint64(i)*2 + 1
+			if fast {
+				o.Seed += 1 << 32 // decorrelate the two ensembles
+			}
+			g, err := NewOU(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast {
+				s1[i] = g.AdvanceSum(n)
+				s2[i] = g.AdvanceSum(n)
+				continue
+			}
+			for j := 0; j < n; j++ {
+				s1[i] += g.Next()
+			}
+			for j := 0; j < n; j++ {
+				s2[i] += g.Next()
+			}
+		}
+		return s1, s2
+	}
+	moments := func(s1, s2 []float64) (mean, vr, corr float64) {
+		var m1, m2 float64
+		for i := range s1 {
+			m1 += s1[i]
+			m2 += s2[i]
+		}
+		m1 /= trials
+		m2 /= trials
+		var v1, v2, cv float64
+		for i := range s1 {
+			v1 += (s1[i] - m1) * (s1[i] - m1)
+			v2 += (s2[i] - m2) * (s2[i] - m2)
+			cv += (s1[i] - m1) * (s2[i] - m2)
+		}
+		return m1, v1 / trials, cv / math.Sqrt(v1*v2)
+	}
+	sm, sv, sc := moments(collect(false))
+	fm, fv, fc := moments(collect(true))
+	sd := math.Sqrt(sv)
+	// Mean ≈ 0 for a stationary start; Monte-Carlo s.e. of the mean is
+	// sd/√trials.
+	if se := sd / math.Sqrt(trials); math.Abs(sm) > 5*se || math.Abs(fm) > 5*se {
+		t.Fatalf("window-sum means: stepped %g, fast %g (s.e. %g)", sm, fm, se)
+	}
+	// Variance: relative s.e. ≈ √(2/trials) ≈ 2.6 %; allow 5σ-ish.
+	if r := fv / sv; r < 0.87 || r > 1.15 {
+		t.Fatalf("window-sum variance ratio fast/stepped = %g (stepped %g, fast %g)", r, sv, fv)
+	}
+	// Adjacent-window correlation: flicker makes it strongly positive;
+	// both methods must see the same value within ~5/√trials.
+	if sc < 0.2 {
+		t.Fatalf("stepped adjacent-window correlation %g unexpectedly weak — test misconfigured", sc)
+	}
+	if math.Abs(sc-fc) > 0.1 {
+		t.Fatalf("adjacent-window correlation: stepped %g, fast %g", sc, fc)
+	}
+}
+
+// BenchmarkOUAdvanceSum measures the O(poles) fast-forward at the
+// paper's operating window (K ≈ 10⁵ periods per output bit).
+func BenchmarkOUAdvanceSum(b *testing.B) {
+	g, err := NewOU(OUOptions{HM1: 1e-9, SampleRate: 100e6, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += g.AdvanceSum(100_000)
+	}
+	_ = sink
+}

@@ -1,0 +1,125 @@
+package measure
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/fitting"
+	"repro/internal/osc"
+)
+
+// TestLeapfrogCounterMeanCount checks the fast path's Q_N first moment
+// at a window length where every window really jumps: with a 1% slower
+// reference oscillator the counted ring still averages 1.01·N edges
+// per window.
+func TestLeapfrogCounterMeanCount(t *testing.T) {
+	m := paperModel()
+	p, err := osc.NewPair(m, -0.00990099, osc.Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	c, err := NewCounterConfig(p, n, Config{Leapfrog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := c.QSeries(500)
+	var sum float64
+	for _, v := range q {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(q))
+	if want := 1.01 * n; math.Abs(mean-want) > 4 {
+		t.Fatalf("leapfrog mean count %g, want ~%g", mean, want)
+	}
+}
+
+// TestLeapfrogCounterSigmaN2MatchesRelativeTheory mirrors the edge-path
+// test of the same name on the fast path: the leapfrog counter must
+// measure the same relative σ²_N law (eq. 11 with doubled coefficients,
+// plus the TDC quantization floor).
+func TestLeapfrogCounterSigmaN2MatchesRelativeTheory(t *testing.T) {
+	m := paperModel()
+	p := newPair(t, m, 4)
+	const n = 4096
+	c, err := NewCounterConfig(p, n, Config{Subdivide: 64, Leapfrog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := c.EstimateSigmaN2(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := p.RelativeModel()
+	want := rel.SigmaN2(n) + c.QuantizationFloor()
+	if math.Abs(est.SigmaN2-want) > 0.15*want {
+		t.Fatalf("leapfrog counter σ²_N = %g, want ~%g (relative model + floor)", est.SigmaN2, want)
+	}
+}
+
+// TestLeapfrogSweepMatchesEdgePath is the distributional-equivalence
+// pin of the fast path: a σ²_N sweep on leapfrog counters must agree
+// with the edge-level golden reference cell by cell within error bars,
+// and its quadratic fit must recover the model coefficients — the same
+// tolerances the experiments suite applies to the edge path.
+func TestLeapfrogSweepMatchesEdgePath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("edge-path reference sweep is long")
+	}
+	m := paperModel()
+	cfg := SweepConfig{Ns: []int{64, 512, 4096, 16384}, WindowsPerN: 800, Subdivide: 256}
+	edge, err := SweepParallel(context.Background(), paperPairFactory(2e-3), 9, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := cfg
+	lcfg.Leapfrog = true
+	leap, err := SweepParallel(context.Background(), paperPairFactory(2e-3), 109, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.Ns {
+		d := math.Abs(leap[i].SigmaN2 - edge[i].SigmaN2)
+		tol := 5 * (leap[i].StdErr + edge[i].StdErr)
+		if d > tol {
+			t.Fatalf("N=%d: leapfrog %g vs edge %g (tol %g)", cfg.Ns[i], leap[i].SigmaN2, edge[i].SigmaN2, tol)
+		}
+	}
+	fit, err := fitting.FitWithOffset(leap, m.F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, wantB := m.FitCoefficients()
+	// Relative model: both rings contribute, coefficients double.
+	if math.Abs(fit.A-2*wantA) > 0.15*2*wantA {
+		t.Fatalf("leapfrog fit a = %g, want ~%g", fit.A, 2*wantA)
+	}
+	if math.Abs(fit.B-2*wantB) > 0.30*2*wantB {
+		t.Fatalf("leapfrog fit b = %g, want ~%g", fit.B, 2*wantB)
+	}
+}
+
+// TestLeapfrogSweepDeterminism extends the campaign determinism
+// contract to the fast path: leapfrog sweeps are bit-identical for
+// every worker-pool width, and the mode flag changes the realization
+// (fast and edge cells draw different streams).
+func TestLeapfrogSweepDeterminism(t *testing.T) {
+	cfg := SweepConfig{Ns: []int{256, 2048, 16384}, WindowsPerN: 200, Subdivide: 64, Leapfrog: true}
+	ref, err := SweepParallel(context.Background(), paperPairFactory(2e-3), 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{1, 4} {
+		c := cfg
+		c.Jobs = jobs
+		got, err := SweepParallel(context.Background(), paperPairFactory(2e-3), 5, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("jobs=%d: leapfrog results differ from default-jobs run", jobs)
+		}
+	}
+}

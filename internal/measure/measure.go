@@ -54,6 +54,7 @@ type Counter struct {
 	pair *osc.Pair
 	n    int
 	sub  int
+	leap bool // leapfrog window mode (see Config.Leapfrog)
 	// Osc1 waveform tracking for the event-driven phase read-out.
 	// Edges are pulled through a chunk buffer (osc.NextEdges) so the
 	// hot loop pays one oscillator call per edgeChunk edges instead of
@@ -74,6 +75,17 @@ type Config struct {
 	// resolves Osc1 phase to 1/(M·f0) (a delay-line TDC with M taps).
 	// 1 (or 0) is the plain single-edge counter of Fig. 6.
 	Subdivide int
+	// Leapfrog selects the O(1)-per-window fast path: each window
+	// jumps Osc2 by N periods in closed form (osc.Leapfrog), jumps
+	// Osc1 to just short of the window boundary
+	// (osc.LeapfrogToBefore), and walks only the few remaining guard
+	// edges exactly for the TDC phase interpolation. The counts are
+	// exact in distribution (same σ²_N law, same Q_N moments) but are
+	// a different realization than the edge-level reference path;
+	// oscillators that cannot leapfrog (installed Modulator, Kasdin
+	// flicker backend) fall back to edge stepping inside internal/osc,
+	// so the mode is always safe to request.
+	Leapfrog bool
 }
 
 // NewCounter attaches a plain single-edge counter to an oscillator
@@ -98,7 +110,7 @@ func NewCounterConfig(pair *osc.Pair, n int, cfg Config) (*Counter, error) {
 	if sub < 1 || sub > 1<<20 {
 		return nil, fmt.Errorf("measure: subdivision %d out of [1, 2^20]", sub)
 	}
-	return &Counter{pair: pair, n: n, sub: sub}, nil
+	return &Counter{pair: pair, n: n, sub: sub, leap: cfg.Leapfrog}, nil
 }
 
 // N returns the configured window length.
@@ -114,9 +126,14 @@ func (c *Counter) PeriodOsc1() float64 { return 1 / c.pair.Osc1.F0() }
 // Resolution returns the counter's time resolution 1/(M·f0) in seconds.
 func (c *Counter) Resolution() float64 { return c.PeriodOsc1() / float64(c.sub) }
 
-// nextOsc1Edge returns the time of Osc1's next rising edge, refilling
-// the read-ahead chunk buffer when exhausted.
+// nextOsc1Edge returns the time of Osc1's next rising edge. The edge
+// path refills a read-ahead chunk buffer; the leapfrog path pulls
+// single edges, because phiAt's boundary jump advances Osc1's own
+// cursor and any unconsumed read-ahead would be skipped over.
 func (c *Counter) nextOsc1Edge() float64 {
+	if c.leap {
+		return c.pair.Osc1.NextEdge()
+	}
 	if c.pos1 == len(c.buf1) {
 		if c.buf1 == nil {
 			c.buf1 = make([]float64, edgeChunk)
@@ -129,9 +146,14 @@ func (c *Counter) nextOsc1Edge() float64 {
 	return e
 }
 
-// advanceOsc2 advances Osc2 by n periods in chunks and returns the time
-// of its last edge (== Osc2.Now() afterwards).
+// advanceOsc2 advances Osc2 by n periods and returns the time of its
+// last edge (== Osc2.Now() afterwards). In leapfrog mode the whole
+// window is one closed-form jump.
 func (c *Counter) advanceOsc2(n int) float64 {
+	if c.leap {
+		g := c.pair.Osc2.Leapfrog(n)
+		return g[len(g)-1]
+	}
 	if c.win2 == nil {
 		w := n
 		if w > edgeChunk {
@@ -156,6 +178,20 @@ func (c *Counter) advanceOsc2(n int) float64 {
 // subdivided phase count floor(M·Φ1(t)), where Φ1 counts Osc1 periods
 // with linear interpolation inside the current period (the TDC model).
 func (c *Counter) phiAt(t float64) int64 {
+	if c.leap && c.nextEdge1 <= t {
+		// Fast path: Osc1's cursor sits exactly on the already-pulled
+		// nextEdge1 (leapfrog counters read no further ahead), so jump
+		// it to just short of the boundary and let the loop below walk
+		// the remaining slack edges. The jump emits j edges beyond
+		// nextEdge1, all ≤ t with overwhelming probability; nextEdge1
+		// itself plus those j edges enter the phase count, and the
+		// jump's last edge becomes the interpolation anchor.
+		if j := c.pair.Osc1.LeapfrogToBefore(t); j > 0 {
+			c.edges += j + 1
+			c.lastEdge1 = c.pair.Osc1.Now()
+			c.nextEdge1 = c.nextOsc1Edge()
+		}
+	}
 	for c.nextEdge1 <= t {
 		c.lastEdge1 = c.nextEdge1
 		c.nextEdge1 = c.nextOsc1Edge()
@@ -311,6 +347,11 @@ type SweepConfig struct {
 	MinWindows int
 	// Subdivide forwards the TDC resolution to every counter.
 	Subdivide int
+	// Leapfrog forwards the O(1)-per-window fast path to every
+	// counter (see Config.Leapfrog): large-N cells cost O(windows)
+	// instead of O(windows·N), which is what makes calibrated-physics
+	// campaigns at the paper's operating point affordable.
+	Leapfrog bool
 	// Jobs is the engine worker-pool width used by SweepParallel:
 	// 0 selects runtime.NumCPU(), 1 forces the sequential reference
 	// path. The results are bit-identical for every value.
@@ -351,7 +392,7 @@ func Sweep(pair *osc.Pair, cfg SweepConfig) ([]jitter.VarianceEstimate, error) {
 	}
 	out := make([]jitter.VarianceEstimate, 0, len(cfg.Ns))
 	for _, n := range cfg.Ns {
-		c, err := NewCounterConfig(pair, n, Config{Subdivide: cfg.Subdivide})
+		c, err := NewCounterConfig(pair, n, Config{Subdivide: cfg.Subdivide, Leapfrog: cfg.Leapfrog})
 		if err != nil {
 			return nil, err
 		}
@@ -393,7 +434,7 @@ func SweepParallel(ctx context.Context, mk PairFactory, seed uint64, cfg SweepCo
 		if err != nil {
 			return jitter.VarianceEstimate{}, err
 		}
-		c, err := NewCounterConfig(pair, n, Config{Subdivide: cfg.Subdivide})
+		c, err := NewCounterConfig(pair, n, Config{Subdivide: cfg.Subdivide, Leapfrog: cfg.Leapfrog})
 		if err != nil {
 			return jitter.VarianceEstimate{}, err
 		}

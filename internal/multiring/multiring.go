@@ -42,6 +42,17 @@ type Config struct {
 	RelativeSpread float64
 	// Seed seeds all rings.
 	Seed uint64
+	// Leapfrog selects the O(1)-per-sample fast path: between sample
+	// instants each ring jumps most of its stride in closed form
+	// (osc.LeapfrogToBefore) and walks only the last few edges exactly
+	// for the waveform interpolation. Worth enabling when the
+	// per-sample stride f0/SampleRate is large (slow sampling of fast
+	// rings); with short strides the jump primitive declines to engage
+	// and the path degenerates to plain stepping. The output is exact
+	// in distribution but a different realization than the edge-level
+	// reference; rings that cannot leapfrog (Modulator, Kasdin
+	// backend) fall back to edge stepping inside internal/osc.
+	Leapfrog bool
 }
 
 // Validate checks the configuration.
@@ -69,14 +80,20 @@ func (c Config) Validate() error {
 // per-replica tasks rely on.
 type ringState struct {
 	o        *osc.Oscillator
+	leap     bool
 	lastEdge float64
 	nextEdge float64
 	buf      []float64
 	pos      int
 }
 
-// popEdge returns the ring's next rising-edge time.
+// popEdge returns the ring's next rising-edge time. The leapfrog path
+// pulls single edges: bitAt's jump advances the oscillator's own
+// cursor, so any unconsumed read-ahead would be skipped over.
 func (st *ringState) popEdge() float64 {
+	if st.leap {
+		return st.o.NextEdge()
+	}
 	if st.pos == len(st.buf) {
 		if st.buf == nil {
 			st.buf = make([]float64, ringChunk)
@@ -92,6 +109,15 @@ func (st *ringState) popEdge() float64 {
 // bitAt advances the ring's waveform to the sample instant t and
 // returns the sampled square-wave bit.
 func (st *ringState) bitAt(t float64) byte {
+	if st.leap && st.nextEdge <= t {
+		// The ring's cursor sits exactly on the already-pulled
+		// nextEdge; jump it to just short of the sample instant and
+		// let the loop below walk the remaining slack exactly.
+		if j := st.o.LeapfrogToBefore(t); j > 0 {
+			st.lastEdge = st.o.Now()
+			st.nextEdge = st.popEdge()
+		}
+	}
 	for st.nextEdge <= t {
 		st.lastEdge = st.nextEdge
 		st.nextEdge = st.popEdge()
@@ -130,7 +156,7 @@ func New(cfg Config) (*Generator, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := ringState{o: o}
+		st := ringState{o: o, leap: cfg.Leapfrog}
 		st.nextEdge = st.popEdge()
 		g.rings = append(g.rings, st)
 	}

@@ -254,3 +254,85 @@ func TestBitsParallelDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestLeapfrogBitsDeterministicAndBalanced exercises the per-replica
+// stride fast path: with a long stride (slow sampling of fast rings,
+// the regime where the closed-form jump engages) the output must stay
+// deterministic in the seed, invariant to how reads are grouped, and
+// statistically balanced.
+func TestLeapfrogBitsDeterministicAndBalanced(t *testing.T) {
+	cfg := Config{
+		Model:          phase.Model{Bth: 138, Bfl: 2.6e-2, F0: 103e6},
+		Rings:          4,
+		SampleRate:     103e6 / 20000, // 20000-period stride per sample
+		RelativeSpread: 2e-3,
+		Seed:           9,
+		Leapfrog:       true,
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	want := a.Bits(n)
+	var got []byte
+	for _, chunk := range []int{1, 13, 500, n} {
+		if len(got)+chunk > n {
+			chunk = n - len(got)
+		}
+		got = append(got, b.Bits(chunk)...)
+	}
+	ones := 0
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("bit %d differs between read chunkings", i)
+		}
+		if want[i] > 1 {
+			t.Fatalf("bit %d = %d not binary", i, want[i])
+		}
+		ones += int(want[i])
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.5) > 5*0.5/math.Sqrt(n) {
+		t.Fatalf("ones fraction %g", frac)
+	}
+}
+
+// TestLeapfrogBitsParallelDeterminism extends the replica fan-out
+// determinism contract to the fast path: leapfrog output is
+// bit-identical to the sequential path for every worker count.
+func TestLeapfrogBitsParallelDeterminism(t *testing.T) {
+	cfg := Config{
+		Model:          phase.Model{Bth: 138, Bfl: 2.6e-2, F0: 103e6},
+		Rings:          6,
+		SampleRate:     103e6 / 10000,
+		RelativeSpread: 2e-3,
+		Seed:           11,
+		Leapfrog:       true,
+	}
+	seq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 600
+	want := seq.Bits(n)
+	for _, jobs := range []int{1, 4} {
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.BitsParallel(context.Background(), n, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("jobs=%d: bit %d differs from sequential leapfrog", jobs, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Leapfrog fast-forward: O(1)-per-window oscillator advance.
+//
+// The edge-level simulator pays ~(poles + 1) Gaussian draws per period,
+// so an output bit that accumulates K ≈ 10⁵ periods of jitter (the
+// paper's honest operating point) costs millions of draws. The leapfrog
+// path advances a window of n periods at O(poles) cost: the thermal
+// contribution of the window is a single N(0, n·σ²) draw, and the
+// flicker contribution comes from flicker.Summer.AdvanceSum, which
+// draws each AR(1) pole's (end state, window sum) pair from its exact
+// joint Gaussian law. The jump is therefore exact in distribution —
+// including the cross-window autocorrelation the paper's analysis is
+// about, carried through the pole end states — and deterministic in the
+// seed, but it is a DIFFERENT realization from stepping the same window
+// edge by edge: the edge-level path remains the golden reference, and
+// equivalence is distributional (see the σ²_N sweep tests in
+// internal/measure).
+//
+// # Guard band
+//
+// Consumers that sample waveforms (measure.Counter's TDC interpolation,
+// the trng DFF, multiring) need the exact edge times AROUND a window
+// boundary, not just the accumulated jump. Leapfrog therefore uses a
+// CANONICAL decomposition: every window jumps n − g periods in closed
+// form and walks the last g = min(n, LeapfrogGuard) edges exactly,
+// whether or not the caller reads them. The guard band is a view onto
+// generation, not a generation parameter — that is what makes a seeded
+// leapfrog stream invariant to how many guard edges each consumer
+// chooses to use (a per-window guard knob would change the draw layout
+// and with it the whole downstream bit stream).
+//
+// # Fallback
+//
+// A Modulator models a deterministic per-period disturbance (injection
+// attack, drift); skipping periods would skip its samples, so any
+// installed Modulator forces the edge-level path. Likewise a flicker
+// backend without closed-form skip (Kasdin) falls back. The fallback is
+// internal: Leapfrog and LeapfrogToBefore stay correct, only slower,
+// so consumers need no mode branches.
+
+package osc
+
+import (
+	"math"
+
+	"repro/internal/flicker"
+)
+
+// LeapfrogGuard is the canonical guard band: the number of trailing
+// edges of every leapfrog window that are walked exactly (and exposed
+// to the caller) rather than jumped in closed form. It comfortably
+// covers every consumer in the repository — all of them interpolate
+// within the one or two periods straddling a sampling instant.
+const LeapfrogGuard = 16
+
+// leapfrogMinJump is the smallest closed-form jump worth taking; below
+// it the fixed O(poles) jump cost exceeds plain stepping.
+const leapfrogMinJump = 4
+
+// leapfrogSlackSigma sizes the landing margin of LeapfrogToBefore in
+// units of the jump's time-jitter standard deviation. The flicker term
+// of the margin estimate is additionally doubled (the sum-of-OU
+// spectrum can exceed the asymptotic 1/f law near the band edges), so
+// the effective margin stays ≥ leapfrogSlackSigma σ; overshoot
+// probability is below ~1e-50 per jump for any physical model.
+const leapfrogSlackSigma = 16
+
+// CanLeapfrog reports whether the closed-form fast path is available:
+// no Modulator installed and the flicker backend (if any) supports
+// AdvanceSum. When false, Leapfrog and LeapfrogToBefore silently use
+// the edge-level path.
+func (o *Oscillator) CanLeapfrog() bool {
+	if o.mod != nil {
+		return false
+	}
+	if o.fm == nil {
+		return true
+	}
+	_, ok := o.fm.(flicker.Summer)
+	return ok
+}
+
+// Leapfrog advances the oscillator by n periods and returns the times
+// of the last min(n, LeapfrogGuard) edges, in order (the returned slice
+// aliases an internal buffer, valid until the next oscillator call; its
+// last element equals Now()). Cost is O(poles + LeapfrogGuard)
+// regardless of n on the fast path; when CanLeapfrog is false, or n is
+// too small for a jump to pay off, the same edges are produced by
+// exact stepping instead.
+//
+// Same seed + same call sequence ⇒ same stream; the realization is
+// independent of whether or how many guard edges callers read.
+func (o *Oscillator) Leapfrog(n int) []float64 {
+	if n <= 0 {
+		return o.guardFor(0)
+	}
+	g := LeapfrogGuard
+	if g > n {
+		g = n
+	}
+	m := n - g
+	if m < leapfrogMinJump || !o.CanLeapfrog() {
+		return o.walkEdges(n, g)
+	}
+	o.jump(m)
+	return o.walkEdges(g, g)
+}
+
+// jump advances m periods in closed form: Δt is the nominal span plus
+// one thermal draw for the window sum plus the flicker window sum from
+// AdvanceSum. Draw order matches NextPeriod (thermal from the
+// oscillator's source first, then flicker from the generator's own
+// source), so the fast path is seed-deterministic. The per-period
+// clamp of NextPeriod is not applied inside the jump (its trigger
+// probability is astronomically small for any physical noise scale);
+// only the whole-window total is floored to keep time monotone.
+func (o *Oscillator) jump(m int) {
+	dt := float64(m) * o.period0
+	if o.sigmaTh > 0 {
+		dt += o.thScale * o.sigmaTh * math.Sqrt(float64(m)) * o.src.Norm()
+	}
+	if o.fm != nil {
+		dt += o.flScale * o.period0 * o.fm.(flicker.Summer).AdvanceSum(m)
+	}
+	if floor := float64(m) * o.period0 * 1e-3; dt < floor {
+		dt = floor
+	}
+	o.t += dt
+	o.index += uint64(m)
+}
+
+// walkEdges steps n periods exactly and returns the times of the last
+// g ≤ n edges.
+func (o *Oscillator) walkEdges(n, g int) []float64 {
+	if rem := n - g; rem > 0 {
+		scratch := o.guardScratchFor(LeapfrogGuard * 8)
+		for rem > 0 {
+			k := rem
+			if k > len(scratch) {
+				k = len(scratch)
+			}
+			o.NextEdges(scratch[:k])
+			rem -= k
+		}
+	}
+	return o.NextEdges(o.guardFor(g))
+}
+
+// guardFor returns the reusable guard-edge buffer resized to g.
+func (o *Oscillator) guardFor(g int) []float64 {
+	if cap(o.guard) < g {
+		o.guard = make([]float64, g)
+	}
+	return o.guard[:g]
+}
+
+// guardScratchFor returns the reusable fallback stepping buffer.
+func (o *Oscillator) guardScratchFor(n int) []float64 {
+	if cap(o.guardScratch) < n {
+		o.guardScratch = make([]float64, n)
+	}
+	return o.guardScratch[:n]
+}
+
+// LeapfrogToBefore fast-forwards the oscillator toward the absolute
+// time t and returns the number of periods advanced. The jump length is
+// chosen so that the landing stays strictly before t with overwhelming
+// probability (see leapfrogSlackSigma): the expected remaining gap
+// after the jump is the slack margin, which the caller closes by
+// walking edges exactly (NextEdge) until it straddles t — the pattern
+// every waveform-sampling consumer uses. Returns 0 when t is too close
+// for a jump to pay off (or already past); the caller's exact walk
+// then simply does all the work.
+//
+// The caller must have consumed the oscillator's edges up to Now() —
+// i.e. no unconsumed read-ahead — since the jump advances from the
+// oscillator's own cursor.
+func (o *Oscillator) LeapfrogToBefore(t float64) uint64 {
+	gap := t - o.t
+	if gap <= 0 || !o.CanLeapfrog() {
+		return 0
+	}
+	est := gap / o.period0
+	if est >= 1<<53 {
+		// Nonsensical horizon (would overflow exact float integers);
+		// let the caller's edge walk fail naturally.
+		return 0
+	}
+	m := int(est) - o.slackPeriods(est)
+	if m < leapfrogMinJump+LeapfrogGuard {
+		return 0
+	}
+	o.Leapfrog(m)
+	return uint64(m)
+}
+
+// slackPeriods returns the landing margin for a jump of ~m periods: the
+// accumulated time jitter of the span (thermal m·σ², flicker
+// 8·ln2·b_fl·m²/f0⁴ doubled for band-edge headroom, both under the
+// current attack scales) times leapfrogSlackSigma, expressed in
+// periods, plus a small constant for the interpolation straddle.
+func (o *Oscillator) slackPeriods(m float64) int {
+	f0 := o.model.F0
+	v := m * o.sigmaTh * o.sigmaTh * o.thScale * o.thScale
+	if o.model.Bfl > 0 {
+		v += 2 * 8 * math.Ln2 * o.model.Bfl * m * m / (f0 * f0 * f0 * f0) * o.flScale * o.flScale
+	}
+	return int(math.Ceil(leapfrogSlackSigma*math.Sqrt(v)*f0)) + 2
+}

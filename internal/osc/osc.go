@@ -13,6 +13,11 @@
 //
 // A Modulator hook allows deterministic period modulation (frequency
 // injection attacks, supply drift) and noise-scaling attacks.
+//
+// Besides the edge-by-edge path, the oscillator offers a leapfrog
+// fast-forward (Leapfrog, LeapfrogToBefore — see leapfrog.go) that
+// advances a whole window of periods at O(poles) cost, exact in
+// distribution; any installed Modulator forces the edge-level path.
 package osc
 
 import (
@@ -67,6 +72,9 @@ type Oscillator struct {
 	period0 float64
 	thScale float64
 	flScale float64
+	// Leapfrog guard-band buffers (see leapfrog.go).
+	guard        []float64
+	guardScratch []float64
 }
 
 // New constructs an oscillator for the given phase-noise model.

@@ -1,0 +1,57 @@
+// Package profiling arms the -cpuprofile/-memprofile flag pair shared
+// by the repository's long-running commands (cmd/trngd,
+// cmd/experiments), so perf work can profile the serving and campaign
+// paths without patching the binaries.
+package profiling
+
+import (
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins a CPU profile when cpu is non-empty and returns a stop
+// function that ends it and then writes a heap profile when mem is
+// non-empty (in that order, so the heap write is not itself profiled).
+// The stop function is idempotent: callers defer it for the normal
+// exit AND invoke it explicitly before any fatal exit, since os.Exit
+// skips deferred calls — a truncated CPU profile is unusable. Errors
+// while writing the heap profile are logged, not fatal: by then the
+// command is already shutting down.
+func Start(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if mem == "" {
+				return
+			}
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		})
+	}, nil
+}

@@ -102,17 +102,25 @@ func (r *Source) Norm() float64 {
 		r.hasGauss = false
 		return r.gauss
 	}
+	u, v, factor := r.polar()
+	r.gauss = v * factor
+	r.hasGauss = true
+	return u * factor
+}
+
+// polar runs one accepted iteration of the Marsaglia polar method and
+// returns the uniform pair (u, v) inside the unit disc together with
+// the shared scale factor; (u·factor, v·factor) are two independent
+// standard Gaussian variates.
+func (r *Source) polar() (u, v, factor float64) {
 	for {
-		u := 2*r.Float64() - 1
-		v := 2*r.Float64() - 1
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
 		s := u*u + v*v
 		if s >= 1 || s == 0 {
 			continue
 		}
-		factor := math.Sqrt(-2 * math.Log(s) / s)
-		r.gauss = v * factor
-		r.hasGauss = true
-		return u * factor
+		return u, v, math.Sqrt(-2 * math.Log(s) / s)
 	}
 }
 
@@ -132,10 +140,33 @@ func (r *Source) Exp() float64 {
 	}
 }
 
-// FillNorm fills dst with independent standard Gaussian variates.
+// FillNorm fills dst with independent standard Gaussian variates. It is
+// the batched form of Norm used by the block simulation paths
+// (flicker.OUGenerator.Fill, the leapfrog covariance sampling): each
+// accepted polar iteration writes BOTH of its variates directly instead
+// of bouncing the second through the one-element cache, which roughly
+// halves the per-variate bookkeeping. The emitted stream is
+// bit-identical to len(dst) successive Norm calls, including across the
+// cached-variate state at entry and exit.
 func (r *Source) FillNorm(dst []float64) {
-	for i := range dst {
-		dst[i] = r.Norm()
+	i := 0
+	if r.hasGauss && len(dst) > 0 {
+		r.hasGauss = false
+		dst[0] = r.gauss
+		i = 1
+	}
+	for ; i+1 < len(dst); i += 2 {
+		u, v, factor := r.polar()
+		dst[i] = u * factor
+		dst[i+1] = v * factor
+	}
+	if i < len(dst) {
+		// Odd remainder: emit the first variate of a fresh pair and
+		// cache the second, exactly as a trailing Norm call would.
+		u, v, factor := r.polar()
+		dst[i] = u * factor
+		r.gauss = v * factor
+		r.hasGauss = true
 	}
 }
 

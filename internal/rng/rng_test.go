@@ -266,3 +266,57 @@ func TestQuickFloat64Range(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFillNormMatchesNorm pins the batched-draw contract: FillNorm
+// emits exactly the stream that the same number of sequential Norm
+// calls would, for every length parity and for every cached-variate
+// state at entry — the property the flicker fast paths (Fill blocks,
+// leapfrog covariance sampling) rely on to stay bit-identical with the
+// scalar simulation.
+func TestFillNormMatchesNorm(t *testing.T) {
+	for _, warmup := range []int{0, 1, 2, 3} { // 1 and 3 leave a cached variate
+		for _, n := range []int{0, 1, 2, 5, 64, 257} {
+			a := New(99)
+			b := New(99)
+			for i := 0; i < warmup; i++ {
+				av, bv := a.Norm(), b.Norm()
+				if av != bv {
+					t.Fatal("warmup streams diverged")
+				}
+			}
+			got := make([]float64, n)
+			a.FillNorm(got)
+			for i := range got {
+				if want := b.Norm(); got[i] != want {
+					t.Fatalf("warmup=%d n=%d: FillNorm[%d] = %g, Norm = %g", warmup, n, i, got[i], want)
+				}
+			}
+			// The exit state must match too: the next variate from
+			// either source is the same.
+			if av, bv := a.Norm(), b.Norm(); av != bv {
+				t.Fatalf("warmup=%d n=%d: post-fill streams diverged", warmup, n)
+			}
+		}
+	}
+}
+
+// BenchmarkNorm measures the scalar Gaussian draw.
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Norm()
+	}
+	_ = sink
+}
+
+// BenchmarkFillNorm measures batched Gaussian throughput (the draw
+// primitive under the OU fill and leapfrog hot paths).
+func BenchmarkFillNorm(b *testing.B) {
+	r := New(1)
+	buf := make([]float64, 1024)
+	b.SetBytes(int64(len(buf) * 8))
+	for i := 0; i < b.N; i++ {
+		r.FillNorm(buf)
+	}
+}

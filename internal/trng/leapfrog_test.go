@@ -1,0 +1,158 @@
+package trng
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/osc"
+	"repro/internal/phase"
+)
+
+func leapConfig(divider int, seed uint64) Config {
+	return Config{
+		Model:    phase.Model{Bth: 138, Bfl: 2.6e-2, F0: 103e6},
+		Divider:  divider,
+		Mismatch: 2e-3,
+		Seed:     seed,
+		Leapfrog: true,
+	}
+}
+
+// TestLeapfrogStreamInvariantToChunking pins the fast path's
+// determinism contract: the bit stream is a pure function of
+// (Config, Seed) — how a consumer groups its reads (single bits, bit
+// batches, packed-byte reads of any size) must not be observable.
+func TestLeapfrogStreamInvariantToChunking(t *testing.T) {
+	const total = 512 // bits; divider large enough that every bit jumps
+	ref, err := New(leapConfig(20000, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Bits(total)
+
+	batched, err := New(leapConfig(20000, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for _, chunk := range []int{1, 7, 120, 256, total} {
+		if len(got)+chunk > total {
+			chunk = total - len(got)
+		}
+		got = append(got, batched.Bits(chunk)...)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("bit %d differs between chunkings", i)
+		}
+	}
+
+	reader, err := New(leapConfig(20000, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var packed []byte
+	for _, chunk := range []int{3, 11, 50} {
+		buf := make([]byte, chunk)
+		if _, err := reader.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		packed = append(packed, buf...)
+	}
+	for i, b := range packed {
+		var wantByte byte
+		for k := 0; k < 8; k++ {
+			wantByte = wantByte<<1 | want[8*i+k]
+		}
+		if b != wantByte {
+			t.Fatalf("packed byte %d = %08b, want %08b", i, b, wantByte)
+		}
+	}
+}
+
+// TestLeapfrogBalancedBitsAtPaperOperatingPoint exercises the point of
+// the whole fast path: raw bits at the paper's honest operating point
+// (calibrated physics, K = 10⁵ periods of accumulated jitter per bit)
+// are affordable to generate and come out balanced. The edge-level
+// path needs ~10⁹ Gaussian draws for the same check.
+func TestLeapfrogBalancedBitsAtPaperOperatingPoint(t *testing.T) {
+	g, err := New(leapConfig(100_000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	bits := g.Bits(n)
+	ones := 0
+	for _, b := range bits {
+		ones += int(b)
+	}
+	frac := float64(ones) / n
+	// 5σ binomial band around 1/2.
+	if math.Abs(frac-0.5) > 5*0.5/math.Sqrt(n) {
+		t.Fatalf("ones fraction %g at K=1e5 calibrated physics", frac)
+	}
+}
+
+// TestLeapfrogMatchesEdgeStatistics compares the two paths'
+// distributions at a mid-size divider: bias and lag-1 autocorrelation
+// agree within Monte-Carlo error.
+func TestLeapfrogMatchesEdgeStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("edge-path reference stream is long")
+	}
+	const (
+		divider = 1024
+		n       = 10000
+	)
+	stats := func(leap bool, seed uint64) (bias, lag1 float64) {
+		cfg := leapConfig(divider, seed)
+		cfg.Leapfrog = leap
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := g.Bits(n)
+		var ones, agree int
+		for i, b := range bits {
+			ones += int(b)
+			if i > 0 && b == bits[i-1] {
+				agree++
+			}
+		}
+		return float64(ones)/n - 0.5, float64(agree)/float64(n-1) - 0.5
+	}
+	eb, el := stats(false, 3)
+	lb, ll := stats(true, 3)
+	band := 5 * 0.5 / math.Sqrt(n) // 5σ binomial
+	if math.Abs(eb-lb) > 2*band {
+		t.Fatalf("bias: edge %g vs leapfrog %g", eb, lb)
+	}
+	if math.Abs(el-ll) > 2*band {
+		t.Fatalf("lag-1 agreement: edge %g vs leapfrog %g", el, ll)
+	}
+}
+
+// TestLeapfrogModulatorFallsBackToEdgeStream pins the fallback
+// contract end to end: with a Modulator installed on the rings, a
+// leapfrog-configured generator emits EXACTLY the edge-path stream —
+// the attack sees every period, bit for bit.
+func TestLeapfrogModulatorFallsBackToEdgeStream(t *testing.T) {
+	mod := osc.SineInjection(1e4, 1e-3, 1/103e6)
+	mk := func(leap bool) *Generator {
+		cfg := leapConfig(2000, 13)
+		cfg.Leapfrog = leap
+		cfg.OscOptions.Modulator = mod
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk(true), mk(false)
+	ab, bb := a.Bits(400), b.Bits(400)
+	for i := range ab {
+		if ab[i] != bb[i] {
+			t.Fatalf("bit %d: leapfrog-with-modulator %d != edge %d — fallback is not bit-exact", i, ab[i], bb[i])
+		}
+	}
+}

@@ -32,6 +32,18 @@ type Config struct {
 	Mismatch float64
 	// Seed seeds the two oscillators.
 	Seed uint64
+	// Leapfrog selects the O(1)-per-bit fast path: each bit jumps
+	// Osc2 across the whole divider window in closed form
+	// (osc.Leapfrog) and jumps Osc1 to just short of the sampling
+	// instant (osc.LeapfrogToBefore), walking only the few remaining
+	// edges exactly for the DFF phase interpolation. The bit stream is
+	// exact in distribution and deterministic in (Config, Seed) —
+	// invariant to how reads are chunked — but is a different
+	// realization than the edge-level path, which remains the golden
+	// reference. Rings that cannot leapfrog (installed Modulator,
+	// Kasdin flicker backend) transparently fall back to edge stepping
+	// inside internal/osc.
+	Leapfrog bool
 	// OscOptions forwards simulator options (flicker generator
 	// selection, attack modulators) to both rings.
 	OscOptions osc.Options
@@ -41,6 +53,7 @@ type Config struct {
 type Generator struct {
 	pair    *osc.Pair
 	divider int
+	leap    bool
 	// sampled-oscillator waveform tracking: time of the last Osc1
 	// rising edge and the period that started there.
 	lastEdge1   float64
@@ -59,7 +72,7 @@ func New(cfg Config) (*Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &Generator{pair: pair, divider: cfg.Divider}
+	g := &Generator{pair: pair, divider: cfg.Divider, leap: cfg.Leapfrog}
 	g.lastEdge1 = 0
 	g.nextEdge1 = pair.Osc1.NextEdge()
 	return g, nil
@@ -78,12 +91,27 @@ func (g *Generator) BitsEmitted() uint64 { return g.bitsEmitted }
 // NextBit advances Osc2 by Divider periods and samples the Osc1 square
 // waveform at the resulting edge time: the bit is 1 during the first
 // half-period after each Osc1 rising edge (the 2π-periodic square
-// function P of paper eq. 2).
+// function P of paper eq. 2). In leapfrog mode both advances are
+// closed-form jumps plus a short exact walk (see Config.Leapfrog).
 func (g *Generator) NextBit() byte {
-	for i := 0; i < g.divider; i++ {
-		g.pair.Osc2.NextPeriod()
+	if g.leap {
+		g.pair.Osc2.Leapfrog(g.divider)
+	} else {
+		for i := 0; i < g.divider; i++ {
+			g.pair.Osc2.NextPeriod()
+		}
 	}
 	t := g.pair.Osc2.Now()
+	if g.leap && g.nextEdge1 <= t {
+		// Osc1's cursor sits exactly on the already-pulled nextEdge1
+		// (the generator reads no further ahead), so jump it to just
+		// short of the sampling instant; the walk below closes the
+		// remaining slack exactly.
+		if j := g.pair.Osc1.LeapfrogToBefore(t); j > 0 {
+			g.lastEdge1 = g.pair.Osc1.Now()
+			g.nextEdge1 = g.pair.Osc1.NextEdge()
+		}
+	}
 	for g.nextEdge1 <= t {
 		g.lastEdge1 = g.nextEdge1
 		g.nextEdge1 = g.pair.Osc1.NextEdge()

@@ -1,0 +1,122 @@
+// Command ea runs the SP 800-90B non-IID min-entropy assessment
+// (internal/sp90b) on raw-bit data offline: files written by
+// cmd/trngsim, captures saved from cmd/trngd, or anything piped on
+// stdin.
+//
+// The default input format is packed bytes, 8 bits per byte MSB-first —
+// exactly what cmd/trngsim emits and what postproc.Pack produces. With
+// -format ascii the input is the characters '0' and '1' (whitespace
+// ignored), the common interchange format of hardware capture tools.
+//
+// Output is the per-estimator table, or one JSON document with -json
+// (the machine-readable form the CI end-to-end check consumes). With
+// -min H the exit status reports the verdict: 0 when the assessed
+// suite min-entropy is at least H, 1 below — so the command doubles as
+// a corpus gate in scripts:
+//
+//	trngsim -n 4096 -divider 20000 -o corpus.bin
+//	ea -in corpus.bin -min 0.25 || echo "corpus fails assessment"
+//
+// Usage:
+//
+//	ea [-in FILE] [-format packed|ascii] [-bits N] [-json] [-min H]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/postproc"
+	"repro/internal/sp90b"
+)
+
+// decode turns raw input bytes into a 0/1-per-byte bit slice.
+func decode(data []byte, format string) ([]byte, error) {
+	switch format {
+	case "packed", "":
+		return postproc.Unpack(data), nil
+	case "ascii":
+		bits := make([]byte, 0, len(data))
+		for _, c := range data {
+			switch c {
+			case '0':
+				bits = append(bits, 0)
+			case '1':
+				bits = append(bits, 1)
+			case ' ', '\t', '\n', '\r', ',':
+			default:
+				return nil, fmt.Errorf("ea: byte %q is not a bit or separator", c)
+			}
+		}
+		return bits, nil
+	default:
+		return nil, fmt.Errorf("ea: unknown format %q (want packed or ascii)", format)
+	}
+}
+
+// result is the -json document.
+type result struct {
+	// Source names the assessed input.
+	Source string `json:"source"`
+	// Format is the decoded input format.
+	Format string `json:"format"`
+	// Report is the estimator suite verdict.
+	Report sp90b.Report `json:"report"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ea: ")
+	var (
+		in       = flag.String("in", "-", "input file (- for stdin)")
+		format   = flag.String("format", "packed", "input format: packed (8 bits/byte MSB-first) or ascii ('0'/'1' characters)")
+		maxBits  = flag.Int("bits", 0, "assess only the first N bits (0 = all)")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of the table")
+		minAccep = flag.Float64("min", 0, "exit nonzero when the suite min-entropy is below this (0 = report only)")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	name := "stdin"
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+		name = *in
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bits, err := decode(data, *format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *maxBits > 0 && len(bits) > *maxBits {
+		bits = bits[:*maxBits]
+	}
+	rep, err := sp90b.Assess(bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result{Source: name, Format: *format, Report: rep}); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(rep.Table())
+	}
+	if *minAccep > 0 && rep.MinEntropy < *minAccep {
+		log.Fatalf("suite min-entropy %.6f below acceptance threshold %g", rep.MinEntropy, *minAccep)
+	}
+}

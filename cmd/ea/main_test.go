@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/postproc"
+	"repro/internal/rng"
+)
+
+// TestDecodePackedRoundTrip: packed decoding must invert
+// postproc.Pack bit-exactly (MSB-first), since that is what
+// cmd/trngsim writes.
+func TestDecodePackedRoundTrip(t *testing.T) {
+	src := rng.New(3)
+	bits := make([]byte, 16384)
+	for i := range bits {
+		bits[i] = byte(src.Uint64() & 1)
+	}
+	got, err := decode(postproc.Pack(bits), "packed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(bits) {
+		t.Fatalf("decoded %d bits, want %d", len(got), len(bits))
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d: got %d want %d", i, got[i], bits[i])
+		}
+	}
+}
+
+// TestDecodeASCII covers the capture-tool format and its error path.
+func TestDecodeASCII(t *testing.T) {
+	got, err := decode([]byte("10 0,1\n1\t0"), "ascii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 0, 0, 1, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decoded %v, want %v", got, want)
+		}
+	}
+	if _, err := decode([]byte("10x"), "ascii"); err == nil {
+		t.Fatal("junk byte accepted")
+	}
+	if _, err := decode(nil, "bogus"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

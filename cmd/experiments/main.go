@@ -30,7 +30,7 @@ func main() {
 	var (
 		scaleFlag = flag.String("scale", "quick", "effort: quick or full")
 		seed      = flag.Uint64("seed", 1, "campaign seed")
-		only      = flag.String("only", "", "run a single experiment (EXP-F7, EXP-RN, EXP-TH, EXP-EQ11, EXP-IND, EXP-ENT, EXP-PSD, EXP-TIA, EXP-ATT, EXP-AIS)")
+		only      = flag.String("only", "", "run a single experiment (EXP-F7, EXP-RN, EXP-TH, EXP-EQ11, EXP-IND, EXP-ENT, EXP-PSD, EXP-TIA, EXP-ATT, EXP-AIS, EXP-90B)")
 		jobs      = flag.Int("jobs", 0, "campaign worker-pool width (0 = NumCPU, 1 = sequential; tables are identical for every value)")
 		leapfrog  = flag.Bool("leapfrog", false, "run counter campaigns on the O(1)-per-window fast path (statistically equivalent; default is the edge-level reference)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -125,6 +125,10 @@ func main() {
 		}},
 		{"EXP-AIS", func() (string, error) {
 			r, err := experiments.AIS31Run(scale, *seed)
+			return tbl(r.Table(), err)
+		}},
+		{"EXP-90B", func() (string, error) {
+			r, err := experiments.EntropyAssessmentOpts(scale, *seed, opt)
 			return tbl(r.Table(), err)
 		}},
 	}

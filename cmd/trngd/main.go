@@ -11,12 +11,29 @@
 //	                      503 when the request queue is full or the pool
 //	                      cannot produce N bytes before -wait expires.
 //	GET /healthz          JSON per-shard state; 503 when no shard is healthy.
+//	GET /assess           JSON per-shard SP 800-90B assessment reports: the
+//	                      latest black-box min-entropy estimator table of each
+//	                      shard's raw bits (?shard=I for one shard; 404 until
+//	                      a shard's first assessment completes).
 //	GET /metrics          Prometheus-style text metrics.
 //	POST /quarantine?shard=I   (with -admin) force-quarantine a shard — an
 //	                      operator drill for the self-healing path.
 //
 // Backpressure: at most -queue requests are in flight; excess requests
 // are rejected immediately with 503 rather than piling onto the pool.
+//
+// # Online assessment
+//
+// Every shard periodically runs the SP 800-90B non-IID estimator suite
+// (internal/sp90b) on an -assess-bits sample of its raw bits, every
+// -assess-every raw bits. The latest per-shard report is served on
+// /assess and exported as Prometheus gauges; a suite minimum below
+// -assess-min quarantines the shard like a tot or thermal alarm
+// (-assess-min 0 monitors without alarming, -assess=false switches the
+// assessment off). The default threshold 0.3 sits far below the
+// ≈ 0.75–1 bit a healthy calibrated shard assesses at (the compression
+// estimator's designed conservatism is the floor) and far above a
+// degraded source.
 //
 // # Operating point
 //
@@ -51,6 +68,7 @@
 //	trngd [-addr :8080] [-shards N] [-source ero|multiring] [-amp A]
 //	      [-leapfrog] [-divider K] [-post none|xor2|xor4|xor8|vn]
 //	      [-seed S] [-queue Q] [-maxbytes M] [-wait D] [-buf B]
+//	      [-assess] [-assess-bits N] [-assess-every N] [-assess-min H]
 //	      [-admin] [-cpuprofile F] [-memprofile F]
 package main
 
@@ -108,6 +126,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/random", s.handleRandom)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/assess", s.handleAssess)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.admin {
 		mux.HandleFunc("/quarantine", s.handleQuarantine)
@@ -192,6 +211,42 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// assessResponse is the GET /assess payload: one entry per shard,
+// null until that shard's first assessment completes.
+type assessResponse struct {
+	Shards []*entropyd.Assessment `json:"shards"`
+}
+
+// handleAssess is GET /assess[?shard=I]: the latest per-shard
+// SP 800-90B assessment reports.
+func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if q := r.URL.Query().Get("shard"); q != "" {
+		i, err := strconv.Atoi(q)
+		if err != nil || i < 0 || i >= s.pool.NumShards() {
+			http.Error(w, "shard out of range", http.StatusBadRequest)
+			return
+		}
+		a := s.pool.Shard(i).LastAssessment()
+		if a == nil {
+			http.Error(w, "no assessment completed yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(a)
+		return
+	}
+	resp := assessResponse{Shards: make([]*entropyd.Assessment, s.pool.NumShards())}
+	for i := range resp.Shards {
+		resp.Shards[i] = s.pool.Shard(i).LastAssessment()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
 // handleMetrics is GET /metrics (Prometheus text format 0.0.4).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.pool.Stats()
@@ -237,6 +292,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("trngd_shard_startup_failures_total", "Startup test failures.", func(sh entropyd.ShardStatus) uint64 { return sh.StartupFailures })
 	emit("trngd_shard_quarantines_total", "Quarantine events.", func(sh entropyd.ShardStatus) uint64 { return sh.Quarantines })
 	emit("trngd_shard_drained_bytes_total", "Bytes discarded by quarantine drains.", func(sh entropyd.ShardStatus) uint64 { return sh.DrainedBytes })
+	emit("trngd_shard_assess_runs_total", "Completed SP 800-90B raw-bit assessments.", func(sh entropyd.ShardStatus) uint64 { return sh.AssessRuns })
+	emit("trngd_shard_assess_alarms_total", "Low-entropy quarantines raised by the assessment.", func(sh entropyd.ShardStatus) uint64 { return sh.AssessAlarms })
+	fmt.Fprintf(w, "# HELP trngd_shard_assess_min_entropy Latest assessed suite min-entropy (bits per raw bit).\n")
+	for _, sh := range st.Shards {
+		if sh.AssessRuns > 0 {
+			fmt.Fprintf(w, "trngd_shard_assess_min_entropy{shard=\"%d\"} %g\n", sh.Index, sh.AssessMinEntropy)
+		}
+	}
 }
 
 // handleQuarantine is POST /quarantine?shard=I (admin only).
@@ -288,21 +351,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trngd: ")
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		shards     = flag.Int("shards", 4, "independent generator shards")
-		source     = flag.String("source", "ero", "entropy source: ero or multiring")
-		amp        = flag.Float64("amp", 1, "jitter amplification over the paper model (1 = calibrated physics; >1 is an experiment knob)")
-		leapfrog   = flag.Bool("leapfrog", true, "O(1)-per-window fast path (false = edge-level golden reference)")
-		divider    = flag.Int("divider", 0, "eRO sampling divider K (0 = auto-scale 64*(100/amp)^2)")
-		post       = flag.String("post", "none", "post-processing: none, xor2, xor4, xor8 or vn")
-		seed       = flag.Uint64("seed", 1, "pool root seed")
-		queue      = flag.Int("queue", 64, "max in-flight /random requests (backpressure bound)")
-		maxBytes   = flag.Int("maxbytes", 1<<20, "largest /random request")
-		wait       = flag.Duration("wait", 5*time.Second, "max time to wait for the pool per request")
-		buf        = flag.Int("buf", 1<<16, "per-shard ring buffer bytes")
-		admin      = flag.Bool("admin", false, "enable POST /quarantine (operator drills)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file at shutdown")
+		addr        = flag.String("addr", ":8080", "listen address")
+		shards      = flag.Int("shards", 4, "independent generator shards")
+		source      = flag.String("source", "ero", "entropy source: ero or multiring")
+		amp         = flag.Float64("amp", 1, "jitter amplification over the paper model (1 = calibrated physics; >1 is an experiment knob)")
+		leapfrog    = flag.Bool("leapfrog", true, "O(1)-per-window fast path (false = edge-level golden reference)")
+		divider     = flag.Int("divider", 0, "eRO sampling divider K (0 = auto-scale 64*(100/amp)^2)")
+		post        = flag.String("post", "none", "post-processing: none, xor2, xor4, xor8 or vn")
+		seed        = flag.Uint64("seed", 1, "pool root seed")
+		queue       = flag.Int("queue", 64, "max in-flight /random requests (backpressure bound)")
+		maxBytes    = flag.Int("maxbytes", 1<<20, "largest /random request")
+		wait        = flag.Duration("wait", 5*time.Second, "max time to wait for the pool per request")
+		buf         = flag.Int("buf", 1<<16, "per-shard ring buffer bytes")
+		admin       = flag.Bool("admin", false, "enable POST /quarantine (operator drills)")
+		assess      = flag.Bool("assess", true, "periodic SP 800-90B raw-bit assessment per shard")
+		assessBits  = flag.Int("assess-bits", 1<<16, "raw bits per assessment sample")
+		assessEvery = flag.Int("assess-every", 1<<20, "raw-bit cadence between assessments")
+		assessMin   = flag.Float64("assess-min", 0.3, "quarantine below this assessed min-entropy (0 = monitor only)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	)
 	flag.Parse()
 	if *amp <= 0 {
@@ -340,10 +407,16 @@ func main() {
 	}
 
 	cfg := entropyd.Config{
-		Shards:   *shards,
-		Seed:     *seed,
-		Source:   entropyd.SourceConfig{Kind: kind, Model: model.Phase, Divider: k, Leapfrog: *leapfrog},
-		Post:     chain,
+		Shards: *shards,
+		Seed:   *seed,
+		Source: entropyd.SourceConfig{Kind: kind, Model: model.Phase, Divider: k, Leapfrog: *leapfrog},
+		Post:   chain,
+		Health: entropyd.HealthConfig{
+			DisableAssess:    !*assess,
+			AssessBits:       *assessBits,
+			AssessEveryBits:  *assessEvery,
+			AssessMinEntropy: *assessMin,
+		},
 		BufBytes: *buf,
 	}
 	log.Printf("calibrating %d %s shard(s) (amp=%g divider=%d post=%s leapfrog=%v)...", *shards, *source, *amp, k, *post, *leapfrog)
@@ -375,7 +448,7 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutCtx)
 	}()
-	log.Printf("serving on %s (/random /healthz /metrics)", *addr)
+	log.Printf("serving on %s (/random /healthz /assess /metrics)", *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}

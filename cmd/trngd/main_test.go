@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/entropyd"
 	"repro/internal/rng"
+	"repro/internal/sp90b"
 )
 
 // fairSource is a cheap scripted bit source for handler tests: the
@@ -275,6 +276,168 @@ func TestQuarantineDrill(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("shard 1 never cycled: %+v", st)
 		}
+	}
+}
+
+// assessConfig is testConfig with a tight assessment duty cycle, so a
+// few KiB of served bytes complete per-shard assessments.
+func assessConfig(shards int, seed uint64) entropyd.Config {
+	cfg := testConfig(shards, seed)
+	cfg.Health.AssessBits = sp90b.MinBits
+	cfg.Health.AssessEveryBits = sp90b.MinBits
+	return cfg
+}
+
+// TestAssessEndpointAndGauges drives enough traffic to complete
+// assessments on every shard, then checks the /assess JSON (full and
+// per-shard forms) and the Prometheus assessment gauges — with a
+// concurrent hammer on /assess and /random so -race witnesses the
+// report-publication path.
+func TestAssessEndpointAndGauges(t *testing.T) {
+	t.Parallel()
+	_, h := startServed(t, assessConfig(2, 6), 16, false)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Each shard needs sp90b.MinBits raw bits per sample; 16 KiB of
+	// output is 64 Kibit per shard — several assessments each.
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				for _, path := range []string{"/random?bytes=1024", "/assess", "/metrics"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/assess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar assessResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(ar.Shards) != 2 {
+		t.Fatalf("assess reports %d shards, want 2", len(ar.Shards))
+	}
+	for i, a := range ar.Shards {
+		if a == nil {
+			t.Fatalf("shard %d: no assessment after traffic", i)
+		}
+		if a.Shard != i || a.Report.Bits != sp90b.MinBits {
+			t.Fatalf("shard %d: metadata %+v", i, a)
+		}
+		if a.Report.MinEntropy <= 0 || a.Report.MinEntropy > 1 {
+			t.Fatalf("shard %d: min-entropy %g outside (0, 1]", i, a.Report.MinEntropy)
+		}
+		if len(a.Report.Estimates) != 10 {
+			t.Fatalf("shard %d: %d estimates, want 10", i, len(a.Report.Estimates))
+		}
+	}
+
+	// Per-shard form plus its error paths.
+	resp, err = http.Get(ts.URL + "/assess?shard=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one entropyd.Assessment
+	if err := json.NewDecoder(resp.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if one.Shard != 1 {
+		t.Fatalf("per-shard assess returned shard %d", one.Shard)
+	}
+	if resp, err = http.Get(ts.URL + "/assess?shard=99"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("out-of-range shard: status %d", resp.StatusCode)
+		}
+	}
+
+	// Gauges.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`trngd_shard_assess_runs_total{shard="0"}`,
+		`trngd_shard_assess_runs_total{shard="1"}`,
+		"trngd_shard_assess_alarms_total",
+		`trngd_shard_assess_min_entropy{shard="0"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestAssessNotReady: before any assessment completes, /assess serves
+// nulls and the per-shard form 404s (and the min-entropy gauge stays
+// absent rather than exporting a bogus zero). The pool stays in batch
+// mode: serve-mode ring prefill alone pushes enough raw bits through a
+// shard to complete its first sample.
+func TestAssessNotReady(t *testing.T) {
+	t.Parallel()
+	pool, err := entropyd.New(testConfig(1, 7)) // startup consumes 20000 raw bits < AssessBits
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(pool, 4, 1<<16, 10*time.Second, false).handler()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/assess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar assessResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(ar.Shards) != 1 || ar.Shards[0] != nil {
+		t.Fatalf("expected a single null report, got %+v", ar.Shards)
+	}
+	if resp, err = http.Get(ts.URL + "/assess?shard=0"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("per-shard assess before first run: status %d", resp.StatusCode)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "trngd_shard_assess_min_entropy{") {
+		t.Fatal("min-entropy gauge exported before any assessment")
 	}
 }
 

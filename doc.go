@@ -42,7 +42,18 @@
 // thermal monitor) into a sharded, health-gated entropy pool: shards
 // that alarm are quarantined, drained and recalibrated while the pool
 // keeps serving. cmd/trngd exposes the pool over HTTP (/random,
-// /healthz, /metrics) with bounded-queue backpressure.
+// /healthz, /assess, /metrics) with bounded-queue backpressure.
+//
+// Assessment: internal/sp90b implements the SP 800-90B non-IID
+// min-entropy estimator suite (the US certification counterpart of
+// the AIS 31 track the paper targets) over binary raw streams, plus
+// the restart-matrix procedure. experiments.EntropyAssessment runs
+// the black-box suite against simulated streams whose exact
+// conditional entropy internal/entropy knows in closed form — the
+// paper's overestimation story in certification language — while the
+// entropyd shards assess their own raw bits periodically in the
+// health lifecycle (low min-entropy quarantines like any alarm) and
+// cmd/ea assesses captured raw-bit files offline.
 //
 // Entry points:
 //
@@ -50,6 +61,7 @@
 //   - internal/experiments — regenerates every paper artifact
 //   - internal/engine — the deterministic campaign runner
 //   - internal/entropyd — the sharded, health-gated serving pool
+//   - internal/sp90b — the SP 800-90B black-box assessment suite
 //   - cmd/* — command-line tools (cmd/trngd is the entropy daemon)
 //   - examples/* — runnable walkthroughs
 //

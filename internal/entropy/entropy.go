@@ -165,6 +165,10 @@ type Comparison struct {
 	HNaive, HRefined float64
 	// HMinRefined is the refined conditional min-entropy.
 	HMinRefined float64
+	// HMinNaive is the naive conditional min-entropy: the bound an
+	// independence-assuming evaluation would certify against the
+	// SP 800-90B-style min-entropy question.
+	HMinNaive float64
 	// Overestimate is HNaive − HRefined (≥ 0 whenever flicker > 0).
 	Overestimate float64
 }
@@ -209,6 +213,7 @@ func Assess(rel phase.Model, k, nMeas, bins int) (Comparison, error) {
 		HNaive:       mNaive.ConditionalShannon(bins),
 		HRefined:     mRef.ConditionalShannon(bins),
 		HMinRefined:  mRef.ConditionalMinEntropy(bins),
+		HMinNaive:    mNaive.ConditionalMinEntropy(bins),
 	}
 	c.Overestimate = c.HNaive - c.HRefined
 	return c, nil

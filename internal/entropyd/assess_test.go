@@ -1,0 +1,192 @@
+package entropyd
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/sp90b"
+)
+
+// alternatingSource emits the deterministic 0101… stream: perfectly
+// balanced (blind to every bias-style check, passes tot) but carrying
+// zero entropy — the degradation class only the SP 800-90B predictors
+// catch.
+type alternatingSource struct{ i uint64 }
+
+func (a *alternatingSource) NextBit() byte {
+	a.i++
+	return byte(a.i & 1)
+}
+
+// assessHealth returns a health config with a tight assessment duty
+// cycle for tests: no physics-dependent monitor, no startup test (the
+// scripted sources here either trivially pass or are exactly the case
+// the startup test would mask), sample and cadence small enough that a
+// few KiB of output trigger an assessment.
+func assessHealth(threshold float64) HealthConfig {
+	return HealthConfig{
+		DisableStartup:   true,
+		DisableMonitor:   true,
+		AssessBits:       sp90b.MinBits,
+		AssessEveryBits:  sp90b.MinBits,
+		AssessMinEntropy: threshold,
+	}
+}
+
+// TestAssessmentPublishesReports: a healthy pool publishes per-shard
+// assessment reports with sensible bounds and bookkeeping, without
+// alarming.
+func TestAssessmentPublishesReports(t *testing.T) {
+	t.Parallel()
+	p, err := New(Config{Shards: 2, Seed: 5, NewSource: goodScript, Health: assessHealth(0.3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10000-bit samples: each shard needs 20000+ raw bits (sample +
+	// cadence + sample) for two assessments; 16 KiB of pool output is
+	// 64 Kibit per shard — several runs each.
+	buf := make([]byte, 16384)
+	if _, err := p.Fill(buf); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	for i, sh := range st.Shards {
+		if sh.AssessRuns < 2 {
+			t.Fatalf("shard %d: %d assessment runs, want >= 2", i, sh.AssessRuns)
+		}
+		if sh.AssessAlarms != 0 {
+			t.Fatalf("shard %d: %d assessment alarms on a good source", i, sh.AssessAlarms)
+		}
+		// A fair PRNG stream must assess high; the suite floor at this
+		// sample size is the compression estimator's conservatism.
+		if sh.AssessMinEntropy < 0.5 {
+			t.Fatalf("shard %d: assessment min-entropy %.4f < 0.5 on a fair source", i, sh.AssessMinEntropy)
+		}
+		a := p.Shard(i).LastAssessment()
+		if a == nil {
+			t.Fatalf("shard %d: no last assessment", i)
+		}
+		if a.Shard != i || a.Epoch != 0 || a.Report.Bits != sp90b.MinBits {
+			t.Fatalf("shard %d: assessment metadata %+v", i, a)
+		}
+		if a.RawBits < uint64(sp90b.MinBits) || a.RawBits > sh.RawBits {
+			t.Fatalf("shard %d: raw-bit tag %d outside (0, %d]", i, a.RawBits, sh.RawBits)
+		}
+		if a.Report.MinEntropy != sh.AssessMinEntropy {
+			t.Fatalf("shard %d: stats min-entropy %.4f != report %.4f", i, sh.AssessMinEntropy, a.Report.MinEntropy)
+		}
+	}
+}
+
+// TestAssessmentQuarantinesLowEntropy: a balanced-but-deterministic
+// shard sails through tot (no constant window) and bias checks; the
+// periodic assessment must quarantine it with ReasonLowEntropy while
+// the healthy shard keeps the pool serving. Recalibration re-admits
+// the shard, and the persistent degradation is caught again on the
+// next assessment.
+func TestAssessmentQuarantinesLowEntropy(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Shards: 2,
+		Seed:   9,
+		NewSource: func(shard, epoch int, seed uint64) (RawSource, error) {
+			if shard == 0 {
+				return &alternatingSource{}, nil
+			}
+			return goodScript(shard, epoch, seed)
+		},
+		Health: assessHealth(0.3),
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8192)
+	n, err := p.Fill(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("Fill = %d, %v; want full buffer (healthy shard must cover)", n, err)
+	}
+	sh := p.Shard(0)
+	if sh.State() != StateQuarantined || sh.LastReason() != ReasonLowEntropy {
+		t.Fatalf("shard 0: state %v reason %v, want quarantined/low-entropy", sh.State(), sh.LastReason())
+	}
+	if a := sh.LastAssessment(); a == nil || a.Report.MinEntropy > 0.01 {
+		t.Fatalf("shard 0: expected near-zero assessed entropy, got %+v", a)
+	}
+	if p.Shard(1).State() != StateHealthy || p.Healthy() != 1 {
+		t.Fatalf("healthy shard lost: healthy=%d", p.Healthy())
+	}
+	st := p.Stats()
+	if st.Shards[0].AssessAlarms != 1 || st.Shards[0].Quarantines != 1 {
+		t.Fatalf("shard 0 counters: %+v", st.Shards[0])
+	}
+
+	// Heal: the scripted source is rebuilt (same deterministic
+	// pattern), passes re-admission, and the next assessment catches
+	// the persistent degradation again.
+	if healed := p.Recalibrate(context.Background()); healed != 1 {
+		t.Fatalf("Recalibrate healed %d shards, want 1", healed)
+	}
+	if sh.State() != StateHealthy || sh.Epoch() != 1 {
+		t.Fatalf("shard 0 after heal: state %v epoch %d", sh.State(), sh.Epoch())
+	}
+	if _, err := p.Fill(buf); err != nil {
+		t.Fatal(err)
+	}
+	if sh.State() != StateQuarantined || sh.LastReason() != ReasonLowEntropy {
+		t.Fatalf("persistent degradation not re-caught: state %v reason %v", sh.State(), sh.LastReason())
+	}
+	if got := p.Stats().Shards[0].AssessAlarms; got != 2 {
+		t.Fatalf("assessment alarms = %d, want 2", got)
+	}
+}
+
+// TestAssessmentIsPassive: the collector only copies raw bits, so the
+// pool output stream is bit-identical with assessment enabled,
+// disabled, and across worker counts.
+func TestAssessmentIsPassive(t *testing.T) {
+	t.Parallel()
+	fill := func(h HealthConfig, jobs int) []byte {
+		cfg := Config{Shards: 3, Seed: 21, NewSource: goodScript, Health: h, Jobs: jobs}
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 12288)
+		if _, err := p.Fill(buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	on := fill(assessHealth(0), 1)
+	off := assessHealth(0)
+	off.DisableAssess = true
+	if !bytes.Equal(on, fill(off, 1)) {
+		t.Fatal("assessment changed the output stream")
+	}
+	if !bytes.Equal(on, fill(assessHealth(0), 4)) {
+		t.Fatal("assessment broke jobs-width determinism")
+	}
+}
+
+// TestAssessConfigValidation guards the new health knobs.
+func TestAssessConfigValidation(t *testing.T) {
+	t.Parallel()
+	cfg := Config{NewSource: goodScript, Health: assessHealth(0)}
+	cfg.Health.AssessBits = sp90b.MinBits - 1
+	if _, err := New(cfg); err == nil {
+		t.Error("undersized AssessBits accepted")
+	}
+	cfg = Config{NewSource: goodScript, Health: assessHealth(1.5)}
+	if _, err := New(cfg); err == nil {
+		t.Error("out-of-range threshold accepted")
+	}
+	// Disabled assessment skips the validation (legacy configs).
+	cfg = Config{NewSource: goodScript, Health: assessHealth(0)}
+	cfg.Health.AssessBits = 1
+	cfg.Health.DisableAssess = true
+	if _, err := New(cfg); err != nil {
+		t.Errorf("disabled assessment still validated: %v", err)
+	}
+}

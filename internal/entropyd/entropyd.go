@@ -19,7 +19,13 @@
 //     accumulation length N (inside the independence region N < N*)
 //     whose windowed s_N variance is checked against chi-square bounds
 //     calibrated from the model's σ²_N — the generator-specific online
-//     test the paper proposes.
+//     test the paper proposes;
+//   - a periodic SP 800-90B non-IID assessment (internal/sp90b) of the
+//     raw bits: every HealthConfig.AssessEveryBits raw bits the shard
+//     copies an AssessBits sample aside and runs the black-box
+//     estimator suite on it. The latest per-shard Report is published
+//     (LastAssessment, cmd/trngd /assess) and a suite minimum below
+//     AssessMinEntropy quarantines the shard like any other alarm.
 //
 // # Health state machine
 //
@@ -78,6 +84,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/osc"
+	"repro/internal/sp90b"
 )
 
 // fillBlock is the interleave granularity of the pool output: byte
@@ -130,6 +137,28 @@ type HealthConfig struct {
 	// RecalibrateBackoff is the serve-mode delay between failed
 	// recalibration attempts (default 250ms).
 	RecalibrateBackoff time.Duration
+	// AssessBits is the raw-bit sample size of the periodic
+	// SP 800-90B assessment (default 65536; minimum sp90b.MinBits).
+	AssessBits int
+	// AssessEveryBits is the raw-bit cadence between assessments
+	// (default 2^20): after each completed assessment the shard lets
+	// this many raw bits pass before collecting the next sample. The
+	// collector only copies bits the shard generates anyway, so
+	// assessment never perturbs the output stream — only the CPU duty
+	// cycle depends on the cadence.
+	AssessEveryBits int
+	// DisableAssess switches the periodic assessment off.
+	DisableAssess bool
+	// AssessMinEntropy quarantines the shard when an assessment's
+	// suite min-entropy falls below it, like a tot or thermal alarm
+	// (ReasonLowEntropy). 0 (the default) monitors only: reports and
+	// gauges are published, no alarm. The right threshold depends on
+	// the operating point: black-box bounds on the calibrated model at
+	// its honest divider sit around 0.75–1 bit (the compression
+	// estimator's conservatism sets the floor), so cmd/trngd defaults
+	// to 0.3 — far below any healthy assessment, far above a degraded
+	// source.
+	AssessMinEntropy float64
 }
 
 // withDefaults fills zero fields.
@@ -151,6 +180,12 @@ func (h HealthConfig) withDefaults() HealthConfig {
 	}
 	if h.RecalibrateBackoff == 0 {
 		h.RecalibrateBackoff = 250 * time.Millisecond
+	}
+	if h.AssessBits == 0 {
+		h.AssessBits = 1 << 16
+	}
+	if h.AssessEveryBits == 0 {
+		h.AssessEveryBits = 1 << 20
 	}
 	return h
 }
@@ -253,6 +288,15 @@ func New(cfg Config) (*Pool, error) {
 		}
 	}
 	cfg.Health = cfg.Health.withDefaults()
+	if !cfg.Health.DisableAssess {
+		if cfg.Health.AssessBits < sp90b.MinBits {
+			return nil, fmt.Errorf("entropyd: assessment sample %d below sp90b.MinBits (%d)",
+				cfg.Health.AssessBits, sp90b.MinBits)
+		}
+		if cfg.Health.AssessMinEntropy < 0 || cfg.Health.AssessMinEntropy >= 1 {
+			return nil, fmt.Errorf("entropyd: assessment threshold %g out of [0, 1)", cfg.Health.AssessMinEntropy)
+		}
+	}
 	for _, st := range cfg.Post {
 		switch st.Op {
 		case PostXOR:
@@ -575,6 +619,13 @@ type ShardStatus struct {
 	Quarantines     uint64 `json:"quarantines"`
 	DrainedBytes    uint64 `json:"drained_bytes"`
 	Buffered        int    `json:"buffered"`
+	// AssessRuns counts completed SP 800-90B raw-bit assessments;
+	// AssessMinEntropy is the latest suite minimum (meaningful only
+	// when AssessRuns > 0) and AssessAlarms the low-entropy
+	// quarantines it caused.
+	AssessRuns       uint64  `json:"assess_runs"`
+	AssessAlarms     uint64  `json:"assess_alarms"`
+	AssessMinEntropy float64 `json:"assess_min_entropy"`
 }
 
 // Stats is a point-in-time snapshot of the pool. BytesServed counts
@@ -610,6 +661,11 @@ func (p *Pool) Stats() Stats {
 			Quarantines:     s.quarantines.Load(),
 			DrainedBytes:    s.drainedBytes.Load(),
 			Buffered:        s.ring.buffered(),
+			AssessRuns:      s.assessRuns.Load(),
+			AssessAlarms:    s.assessAlarms.Load(),
+		}
+		if a := s.LastAssessment(); a != nil {
+			st.Shards[i].AssessMinEntropy = a.Report.MinEntropy
 		}
 	}
 	return st

@@ -10,6 +10,7 @@ import (
 	"repro/internal/onlinetest"
 	"repro/internal/osc"
 	"repro/internal/postproc"
+	"repro/internal/sp90b"
 )
 
 // State is a shard's position in the health state machine (see the
@@ -65,6 +66,9 @@ const (
 	// ReasonInjected: an operator/test forced the quarantine
 	// (Pool.InjectAlarm).
 	ReasonInjected
+	// ReasonLowEntropy: the periodic SP 800-90B assessment's suite
+	// min-entropy fell below HealthConfig.AssessMinEntropy.
+	ReasonLowEntropy
 )
 
 // String names the reason.
@@ -82,6 +86,8 @@ func (r Reason) String() string {
 		return "thermal-high"
 	case ReasonInjected:
 		return "injected"
+	case ReasonLowEntropy:
+		return "low-entropy"
 	default:
 		return fmt.Sprintf("Reason(%d)", int32(r))
 	}
@@ -127,6 +133,12 @@ type Shard struct {
 	bitpos       int    // consumed prefix of bitbuf
 	raw          []byte // raw chunk scratch
 
+	// Raw-bit assessment collector (owner goroutine): when armed
+	// (assessWait == 0) raw chunks are copied into assessBuf until an
+	// AssessBits sample is complete and assessed.
+	assessBuf  []byte
+	assessWait int // raw bits left before the next collection starts
+
 	// Serve-mode output buffer.
 	ring *ring
 
@@ -143,7 +155,30 @@ type Shard struct {
 	startupFails atomic.Uint64
 	quarantines  atomic.Uint64
 	drainedBytes atomic.Uint64
+	assessRuns   atomic.Uint64
+	assessAlarms atomic.Uint64
+	lastAssess   atomic.Pointer[Assessment]
 }
+
+// Assessment is one completed SP 800-90B raw-bit assessment of a
+// shard, tagged with when it ran.
+type Assessment struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Epoch is the calibration epoch the sample was collected in.
+	Epoch int64 `json:"epoch"`
+	// RawBits is the shard's raw-bit counter when the sample
+	// completed.
+	RawBits uint64 `json:"raw_bits"`
+	// Report is the estimator suite verdict.
+	Report sp90b.Report `json:"report"`
+}
+
+// LastAssessment returns the most recent completed assessment, nil
+// before the first one. Safe from any goroutine; reports survive
+// recalibration (the epoch tag tells readers which calibration they
+// describe).
+func (s *Shard) LastAssessment() *Assessment { return s.lastAssess.Load() }
 
 // Index returns the shard's position in the pool.
 func (s *Shard) Index() int { return s.index }
@@ -177,6 +212,7 @@ func (s *Shard) calibrate() error {
 	s.state.Store(int32(StateStartup))
 	s.injected.Store(false)
 	s.bitbuf, s.bitpos = s.bitbuf[:0], 0
+	s.assessBuf, s.assessWait = s.assessBuf[:0], 0
 	if s.raw == nil {
 		s.raw = make([]byte, rawChunk)
 	}
@@ -305,6 +341,8 @@ func (s *Shard) quarantine(r Reason) {
 		s.monLow.Add(1)
 	case ReasonThermalHigh:
 		s.monHigh.Add(1)
+	case ReasonLowEntropy:
+		s.assessAlarms.Add(1)
 	}
 	s.bitbuf, s.bitpos = s.bitbuf[:0], 0
 	if s.ring != nil {
@@ -342,6 +380,11 @@ func (s *Shard) gateChunk() ([]byte, Reason) {
 		}
 	}
 	s.rawBits.Add(rawChunk)
+	if !h.DisableAssess {
+		if r := s.collectAssessment(raw); r != ReasonNone {
+			return nil, r
+		}
+	}
 	bits := raw
 	for _, st := range s.pool.cfg.Post {
 		switch st.Op {
@@ -352,6 +395,47 @@ func (s *Shard) gateChunk() ([]byte, Reason) {
 		}
 	}
 	return bits, ReasonNone
+}
+
+// collectAssessment advances the periodic SP 800-90B assessment with
+// one raw chunk that already cleared the tot and thermal tests. The
+// collector is passive — it copies bits the shard generates anyway, so
+// enabling or disabling assessment never changes the output stream.
+// When an AssessBits sample completes, the suite runs inline on the
+// owner goroutine (an O(AssessBits·log) pause every AssessEveryBits
+// raw bits), the report is published, and a suite minimum below the
+// configured threshold raises a low-entropy alarm.
+func (s *Shard) collectAssessment(raw []byte) Reason {
+	h := &s.pool.cfg.Health
+	if s.assessWait > 0 {
+		s.assessWait -= len(raw)
+		return ReasonNone
+	}
+	need := h.AssessBits - len(s.assessBuf)
+	if need > len(raw) {
+		s.assessBuf = append(s.assessBuf, raw...)
+		return ReasonNone
+	}
+	s.assessBuf = append(s.assessBuf, raw[:need]...)
+	rep, err := sp90b.Assess(s.assessBuf)
+	s.assessBuf = s.assessBuf[:0]
+	s.assessWait = h.AssessEveryBits
+	if err != nil {
+		// Unreachable: AssessBits >= sp90b.MinBits is validated at
+		// construction. Treat defensively as "no report".
+		return ReasonNone
+	}
+	s.assessRuns.Add(1)
+	s.lastAssess.Store(&Assessment{
+		Shard:   s.index,
+		Epoch:   s.epoch.Load(),
+		RawBits: s.rawBits.Load(),
+		Report:  rep,
+	})
+	if t := h.AssessMinEntropy; t > 0 && rep.MinEntropy < t {
+		return ReasonLowEntropy
+	}
+	return ReasonNone
 }
 
 // produce fills dst with gated output bytes, advancing the shard's

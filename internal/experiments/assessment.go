@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/entropy"
+	"repro/internal/sp90b"
+	"repro/internal/trng"
+)
+
+// AssessmentRow is one divider point of EXP-90B: the SP 800-90B
+// black-box suite run on a simulated raw stream whose exact
+// conditional entropy the model knows in closed form.
+type AssessmentRow struct {
+	// Divider is the sampling divider K of the simulated eRO-TRNG.
+	Divider int
+	// Exact carries the model's closed-form assessment at this
+	// divider: refined (thermal-only) and naive (independence-
+	// assuming) conditional Shannon and min-entropies, from
+	// internal/entropy.
+	Exact entropy.Comparison
+	// Report is the 90B non-IID suite verdict on the simulated
+	// stream.
+	Report sp90b.Report
+}
+
+// SuiteMin is the suite's reported bound at this divider.
+func (r AssessmentRow) SuiteMin() float64 { return r.Report.MinEntropy }
+
+// AssessmentResult is the EXP-90B outcome.
+type AssessmentResult struct {
+	Rows []AssessmentRow
+	// Bits is the per-divider stream length assessed.
+	Bits int
+	// NMeas is the accumulation length the naive model was calibrated
+	// from (the flicker-inflated measurement of EXP-ENT).
+	NMeas int
+}
+
+// entropyAssessmentDividers returns the divider sweep: from the
+// heavily autocorrelated small-K regime (phase barely moves per
+// sample; the stream is long runs) through the flicker crossover up to
+// the near-full-entropy operating region.
+func entropyAssessmentDividers(scale Scale) []int {
+	if scale == Full {
+		return []int{512, 2048, 8192, 32768, 65536, 131072}
+	}
+	return []int{512, 2048, 8192, 65536}
+}
+
+// entropyAssessmentBits returns the per-divider stream length.
+func entropyAssessmentBits(scale Scale) int {
+	if scale == Full {
+		return 1 << 17
+	}
+	return 1 << 16
+}
+
+// EntropyAssessment runs EXP-90B at the default worker-pool width; see
+// EntropyAssessmentOpts.
+func EntropyAssessment(scale Scale, seed uint64) (AssessmentResult, error) {
+	return EntropyAssessmentOpts(scale, seed, Options{})
+}
+
+// EntropyAssessmentOpts sweeps the sampling divider, simulates one raw
+// eRO-TRNG stream per divider (a fresh paper-calibrated generator from
+// a derived seed — one engine task per divider, so the table is
+// bit-identical for every Jobs width), runs the SP 800-90B non-IID
+// suite on it, and sets the result against the exact conditional
+// entropies from internal/entropy.
+//
+// This is the paper's Fig. 7 story retold in certification language:
+// in the small-divider regime the raw stream is balanced but heavily
+// autocorrelated, so the bias-style estimators (MCV, collision,
+// compression) report near-full entropy exactly like a naive
+// independence-assuming stochastic model does, while the Markov and
+// predictor estimators — and with them the suite minimum — track the
+// refined closed-form entropy. Options.Leapfrog is respected for
+// stream generation (the fast path draws an equally valid realization
+// of the same process; the table remains a pure function of
+// (scale, seed, Leapfrog)).
+func EntropyAssessmentOpts(scale Scale, seed uint64, opt Options) (AssessmentResult, error) {
+	m := core.PaperModel()
+	dividers := entropyAssessmentDividers(scale)
+	bits := entropyAssessmentBits(scale)
+	const nMeas = 30000 // same flicker-dominated calibration as EXP-ENT
+	bins := 1024
+	if scale == Full {
+		bins = 4096
+	}
+	rows, err := engine.Map(context.Background(), len(dividers), func(_ context.Context, i int) (AssessmentRow, error) {
+		k := dividers[i]
+		gen, err := trng.New(trng.Config{
+			Model:    m.Phase,
+			Divider:  k,
+			Seed:     engine.DeriveSeed(seed, uint64(i)),
+			Leapfrog: opt.Leapfrog,
+		})
+		if err != nil {
+			return AssessmentRow{}, err
+		}
+		rep, err := sp90b.Assess(gen.Bits(bits))
+		if err != nil {
+			return AssessmentRow{}, err
+		}
+		exact, err := entropy.Assess(m.RelativeModel(), k, nMeas, bins)
+		if err != nil {
+			return AssessmentRow{}, err
+		}
+		return AssessmentRow{Divider: k, Exact: exact, Report: rep}, nil
+	}, engine.Jobs(opt.Jobs))
+	if err != nil {
+		return AssessmentResult{}, err
+	}
+	return AssessmentResult{Rows: rows, Bits: bits, NMeas: nMeas}, nil
+}
+
+// Table renders EXP-90B: the exact model entropies next to every
+// black-box estimator and the suite minimum.
+func (r AssessmentResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXP-90B  SP 800-90B black-box assessment vs exact model entropy (%d bits/divider)\n", r.Bits)
+	fmt.Fprintf(&b, "exact: refined = thermal-only conditional entropy; naive = independence model at nMeas=%d\n", r.NMeas)
+	fmt.Fprintf(&b, "%8s %9s %9s %9s %9s | %9s\n",
+		"K", "H.ref", "Hmin.ref", "Hmin.nve", "suite.min", "verdict")
+	for _, row := range r.Rows {
+		verdict := "sound"
+		if row.SuiteMin() > row.Exact.HRefined+0.02 {
+			verdict = "OVER"
+		}
+		fmt.Fprintf(&b, "%8d %9.4f %9.4f %9.4f %9.4f | %9s\n",
+			row.Divider, row.Exact.HRefined, row.Exact.HMinRefined,
+			row.Exact.HMinNaive, row.SuiteMin(), verdict)
+	}
+	fmt.Fprintf(&b, "per-estimator bounds:\n%8s", "K")
+	if len(r.Rows) > 0 {
+		for _, e := range r.Rows[0].Report.Estimates {
+			fmt.Fprintf(&b, " %9.9s", e.Name)
+		}
+		fmt.Fprintf(&b, "\n")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%8d", row.Divider)
+			for _, e := range row.Report.Estimates {
+				fmt.Fprintf(&b, " %9.4f", e.MinEntropy)
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
+	fmt.Fprintf(&b, "small-K regime: bias-style estimators (mcv, collision, compression) sit near 1 bit\n")
+	fmt.Fprintf(&b, "like a naive independence model; markov/predictors — and the suite min — track H.ref\n")
+	return b.String()
+}

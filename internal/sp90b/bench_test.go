@@ -1,0 +1,32 @@
+package sp90b
+
+import "testing"
+
+// BenchmarkAssessNonIID measures the full ten-estimator suite over a
+// 1 Mibit stream — the assessment cost the serving stack pays every
+// HealthConfig.AssessEveryBits raw bits (scaled: shards assess 64 Kibit
+// samples by default). SetBytes counts INPUT bits/8, so the MB/s
+// column reads as raw-stream bytes assessed per second.
+func BenchmarkAssessNonIID(b *testing.B) {
+	bits := uniformBits(1, 1<<20)
+	b.SetBytes(1 << 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assess(bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssessShardSample is the per-shard online flavor: the
+// default 64 Kibit sample entropyd assesses inline.
+func BenchmarkAssessShardSample(b *testing.B) {
+	bits := uniformBits(2, 1<<16)
+	b.SetBytes(1 << 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assess(bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

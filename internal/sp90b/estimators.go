@@ -1,0 +1,292 @@
+package sp90b
+
+import (
+	"fmt"
+	"math"
+)
+
+// mostCommonValue is the §6.3.1 estimate: the empirical mode frequency
+// with a 99% upper bound. It reads full byte symbols, so the spec's
+// worked example (a ternary sequence) exercises it directly; Assess
+// always feeds it normalized bits.
+func mostCommonValue(s []byte) Estimate {
+	var counts [256]int
+	for _, v := range s {
+		counts[v]++
+	}
+	mode := 0
+	for _, c := range counts {
+		if c > mode {
+			mode = c
+		}
+	}
+	pHat := float64(mode) / float64(len(s))
+	pu := upperBound(pHat, len(s))
+	return Estimate{
+		Name:       NameMCV,
+		MinEntropy: entropyFromP(pu),
+		P:          pu,
+		Detail:     fmt.Sprintf("mode %d/%d, p_u=%.4f", mode, len(s), pu),
+	}
+}
+
+// collisionMean is the §6.3.2 source-family expectation of the mean
+// time to collision for a binary source with max symbol probability p.
+// The spec writes it through F(1/z) = Γ(3,z)·z⁻³·e^z; with
+// Γ(3,z) = e⁻ᶻ(z²+2z+2) that is F(q) = q + 2q² + 2q³, and the whole
+// expression collapses to 2 + 2pq (two samples collide with probability
+// p²+q², else the third closes the collision) — kept in the spec's form
+// here, with the collapse pinned by TestCollisionMeanClosedForm.
+func collisionMean(p float64) float64 {
+	q := 1 - p
+	fq := q + 2*q*q + 2*q*q*q
+	return p/(q*q)*(1+0.5*(1/p-1/q))*fq - p/q*0.5*(1/p-1/q)
+}
+
+// collision is the §6.3.2 collision estimate (binary only): walk the
+// sequence cutting it at each first repeated value, lower-bound the
+// mean collision time, and invert the source family for p.
+func collision(s []byte) Estimate {
+	// A binary collision time is 2 (immediate repeat) or 3 (two
+	// distinct values; the third sample must collide with one of
+	// them), so two counters carry the whole walk.
+	var n2, n3 int
+	for i := 0; i+1 < len(s); {
+		if s[i] == s[i+1] {
+			n2++
+			i += 2
+		} else if i+2 < len(s) {
+			n3++
+			i += 3
+		} else {
+			break
+		}
+	}
+	v := n2 + n3
+	if v < 2 {
+		return Estimate{Name: NameCollision, MinEntropy: 0, P: 1, Detail: "degenerate: no collisions"}
+	}
+	mean := float64(2*n2+3*n3) / float64(v)
+	sum2 := float64(n2)*(2-mean)*(2-mean) + float64(n3)*(3-mean)*(3-mean)
+	sigma := math.Sqrt(sum2 / float64(v-1))
+	xBar := mean - z99*sigma/math.Sqrt(float64(v))
+
+	// Invert the family: the mean is 2.5 at p = 1/2 and decreases
+	// toward 2 as p → 1. A lower-bounded mean at or above 2.5 means
+	// full entropy (no solution, per the spec).
+	var p float64
+	if xBar >= collisionMean(0.5) {
+		p = 0.5
+	} else {
+		lo, hi := 0.5, 1.0
+		for i := 0; i < 64; i++ {
+			mid := (lo + hi) / 2
+			if collisionMean(mid) > xBar {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		p = lo
+	}
+	p = clampP(p)
+	return Estimate{
+		Name:       NameCollision,
+		MinEntropy: entropyFromP(p),
+		P:          p,
+		Detail:     fmt.Sprintf("v=%d, X̄=%.4f, X̄'=%.4f", v, mean, xBar),
+	}
+}
+
+// markovHorizon is the sequence length the §6.3.3 Markov estimate
+// scores: the probability of the most likely 128-bit output sequence.
+const markovHorizon = 128
+
+// markov is the §6.3.3 Markov estimate (binary only): fit the
+// first-order chain from raw frequencies (the final standard uses no
+// confidence interval here) and bound the probability of the most
+// likely 128-bit sequence over the six extremal candidates (constant
+// runs, alternations, and one-transition sequences).
+func markov(s []byte) Estimate {
+	n := len(s)
+	ones := 0
+	for _, v := range s {
+		ones += int(v)
+	}
+	p1 := float64(ones) / float64(n)
+	p0 := 1 - p1
+	// Transition counts: cnt[a][b] = #(a followed by b).
+	var cnt [2][2]float64
+	for i := 1; i < n; i++ {
+		cnt[s[i-1]][s[i]]++
+	}
+	// Conditional probabilities; a context that never occurs carries
+	// probability 0 forward (log −inf), which correctly removes the
+	// candidate sequences that would have to pass through it.
+	cond := func(a, b int) float64 {
+		tot := cnt[a][0] + cnt[a][1]
+		if tot == 0 {
+			return 0
+		}
+		return cnt[a][b] / tot
+	}
+	p00, p01 := cond(0, 0), cond(0, 1)
+	p10, p11 := cond(1, 0), cond(1, 1)
+
+	lg := math.Log2
+	h := markovHorizon
+	// Log-probabilities of the six extremal length-128 sequences
+	// (§6.3.3 step 3): all-zeros, alternating from 0, 0 then ones,
+	// 1 then zeros, alternating from 1, all-ones.
+	candidates := []float64{
+		lg(p0) + float64(h-1)*lg(p00),
+		lg(p0) + float64(h/2)*lg(p01) + float64(h/2-1)*lg(p10),
+		lg(p0) + lg(p01) + float64(h-2)*lg(p11),
+		lg(p1) + lg(p10) + float64(h-2)*lg(p00),
+		lg(p1) + float64(h/2)*lg(p10) + float64(h/2-1)*lg(p01),
+		lg(p1) + float64(h-1)*lg(p11),
+	}
+	best := math.Inf(-1)
+	for _, c := range candidates {
+		if !math.IsNaN(c) && c > best {
+			best = c
+		}
+	}
+	// best is log2 of the max 128-bit sequence probability.
+	hPerBit := -best / float64(h)
+	if hPerBit > 1 {
+		hPerBit = 1
+	}
+	return Estimate{
+		Name:       NameMarkov,
+		MinEntropy: hPerBit,
+		P:          math.Exp2(-hPerBit),
+		Detail:     fmt.Sprintf("P0=%.4f P00=%.4f P11=%.4f", p0, p00, p11),
+	}
+}
+
+// Compression-estimate parameters (§6.3.4): b-bit blocks, d dictionary
+// blocks, and the spec's variance-correction constant for the
+// overlapping statistic.
+const (
+	compBlockBits = 6
+	compDictLen   = 1000
+	compC         = 0.5907
+)
+
+// compression is the §6.3.4 compression estimate (binary only): the
+// Maurer/Coron universal statistic over 6-bit blocks with a 1000-block
+// dictionary, lower-bounded and inverted through the near-uniform
+// source family.
+func compression(s []byte) Estimate {
+	nBlocks := len(s) / compBlockBits
+	v := nBlocks - compDictLen
+	if v < 2 {
+		return Estimate{Name: NameCompression, MinEntropy: 0, P: 1, Detail: "input shorter than dictionary"}
+	}
+	blocks := make([]int, nBlocks)
+	for i := range blocks {
+		w := 0
+		for j := 0; j < compBlockBits; j++ {
+			w = w<<1 | int(s[i*compBlockBits+j])
+		}
+		blocks[i] = w
+	}
+	// last[w] = most recent 1-based position of block value w.
+	var last [1 << compBlockBits]int
+	for i := 0; i < compDictLen; i++ {
+		last[blocks[i]] = i + 1
+	}
+	var sum, sum2 float64
+	for i := compDictLen; i < nBlocks; i++ {
+		pos := i + 1
+		w := blocks[i]
+		d := pos // never seen: distance to the origin, per the spec
+		if last[w] != 0 {
+			d = pos - last[w]
+		}
+		last[w] = pos
+		l := math.Log2(float64(d))
+		sum += l
+		sum2 += l * l
+	}
+	mean := sum / float64(v)
+	// Floating-point cancellation can push the population variance a
+	// hair below zero on degenerate periodic streams (every distance
+	// identical); clamp so the bound stays the mean instead of NaN.
+	variance := sum2/float64(v) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sigma := compC * math.Sqrt(variance)
+	xBar := mean - z99*sigma/math.Sqrt(float64(v))
+
+	// Invert: the expected statistic of the near-uniform family with
+	// max block probability p (the other 2^6−1 blocks share 1−p) is
+	// G(p) + 63·G(q); it is maximal at the uniform p = 2⁻⁶ and
+	// decreases as p grows.
+	const k = 1 << compBlockBits
+	log2s := make([]float64, nBlocks+1)
+	for t := 1; t <= nBlocks; t++ {
+		log2s[t] = math.Log2(float64(t))
+	}
+	family := func(p float64) float64 {
+		q := (1 - p) / (k - 1)
+		return compG(p, nBlocks, v, log2s) + (k-1)*compG(q, nBlocks, v, log2s)
+	}
+	var p float64
+	if xBar >= family(1.0/k) {
+		p = 1.0 / k // no solution: full entropy
+	} else {
+		lo, hi := 1.0/k, 1.0
+		for i := 0; i < 64; i++ {
+			mid := (lo + hi) / 2
+			if family(mid) > xBar {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		p = lo
+	}
+	h := -math.Log2(p) / compBlockBits
+	if h > 1 {
+		h = 1
+	}
+	return Estimate{
+		Name:       NameCompression,
+		MinEntropy: h,
+		P:          math.Exp2(-h),
+		Detail:     fmt.Sprintf("v=%d, X̄=%.4f, X̄'=%.4f", v, mean, xBar),
+	}
+}
+
+// compG evaluates the §6.3.4 family expectation contribution of one
+// symbol with probability z:
+//
+//	G(z) = (1/v)·Σ_{t=d+1}^{L'} Σ_{u=1}^{t} log2(u)·F(z,t,u),
+//	F(z,t,u) = z²(1−z)^{u−1} for u < t,  z(1−z)^{t−1} for u = t,
+//
+// computed in O(L') by carrying the prefix sum
+// A(k) = Σ_{u=1}^{k} log2(u)(1−z)^{u−1} across t. log2s[t] = log2(t)
+// is precomputed by the caller: the bisection evaluates compG ~a
+// hundred times and the table is independent of z.
+func compG(z float64, nBlocks, v int, log2s []float64) float64 {
+	if z <= 0 {
+		return 0
+	}
+	omz := 1 - z
+	var inner float64 // Σ_{t>d} A(t−1)
+	var tail float64  // Σ_{t>d} (1−z)^{t−1}·log2(t)
+	var a float64     // A(t−1), built incrementally
+	pow := 1.0        // (1−z)^{t−1}
+	for t := 1; t <= nBlocks; t++ {
+		if t > compDictLen {
+			inner += a
+			tail += pow * log2s[t]
+		}
+		a += log2s[t] * pow
+		pow *= omz
+	}
+	return (z*z*inner + z*tail) / float64(v)
+}

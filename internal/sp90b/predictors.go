@@ -1,0 +1,316 @@
+package sp90b
+
+import (
+	"fmt"
+	"math"
+)
+
+// predTally accumulates a predictor's performance: prediction count,
+// correct count, and the longest run of correct predictions.
+type predTally struct {
+	n, correct, run, maxRun int
+}
+
+// record scores one prediction.
+func (t *predTally) record(ok bool) {
+	t.n++
+	if ok {
+		t.correct++
+		t.run++
+		if t.run > t.maxRun {
+			t.maxRun = t.run
+		}
+	} else {
+		t.run = 0
+	}
+}
+
+// predictorEstimate turns a tally into the §6.3.7–6.3.10 entropy
+// bound: the max of the 99% upper bound on the global hit rate and the
+// local bound derived from the longest run of correct predictions.
+func predictorEstimate(name string, t predTally) Estimate {
+	if t.n < 2 {
+		return Estimate{Name: name, MinEntropy: 1, P: 0.5, Detail: "input too short to predict"}
+	}
+	var pGlobal float64
+	if t.correct == 0 {
+		pGlobal = 1 - math.Pow(0.01, 1/float64(t.n))
+	} else {
+		pGlobal = upperBound(float64(t.correct)/float64(t.n), t.n)
+	}
+	pLocal := localBound(t.maxRun+1, t.n)
+	p := clampP(math.Max(pGlobal, pLocal))
+	return Estimate{
+		Name:       name,
+		MinEntropy: entropyFromP(p),
+		P:          p,
+		Detail: fmt.Sprintf("C=%d/%d, maxrun=%d, p_g=%.4f, p_l=%.4f",
+			t.correct, t.n, t.maxRun, pGlobal, pLocal),
+	}
+}
+
+// localBound solves the standard's longest-run equation: the per-trial
+// success probability p at which the chance of seeing NO run of length
+// r in n trials is exactly 0.99 (so p is a 99% upper bound given the
+// observed longest run r−1). The no-run probability is
+//
+//	α = (1 − p·x) / ((r + 1 − r·x) · q · x^{n+1}),
+//
+// with q = 1−p and x the root of 1 − x + q·pʳ·x^{r+1} = 0 near 1,
+// evaluated in logs (x^{n+1} overflows for the n of real streams).
+func localBound(r, n int) float64 {
+	logAlpha := func(p float64) float64 {
+		q := 1 - p
+		// Fixed-point iteration for x; converges in a handful of
+		// steps since q·pʳ ≪ 1 for the p range that matters.
+		x := 1.0
+		for i := 0; i < 32; i++ {
+			t := q * math.Pow(p, float64(r)) * math.Pow(x, float64(r+1))
+			nx := 1 + t
+			if nx >= 1+1/float64(r) {
+				// Leaving the root's basin: a run is essentially
+				// certain, α ≈ 0.
+				return math.Inf(-1)
+			}
+			if math.Abs(nx-x) < 1e-15 {
+				x = nx
+				break
+			}
+			x = nx
+		}
+		num := 1 - p*x
+		den := float64(r+1) - float64(r)*x
+		if num <= 0 || den <= 0 || q <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log(num) - math.Log(den*q) - float64(n+1)*math.Log(x)
+	}
+	target := math.Log(0.99)
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		if logAlpha(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// mcwWindows are the §6.3.7 MultiMCW window sizes. All are odd, so a
+// binary mode tie cannot occur; the most-recent-value tie-break is
+// kept for form.
+var mcwWindows = [4]int{63, 255, 1023, 4095}
+
+// multiMCW is the §6.3.7 Multi Most Common in Window predictor: four
+// sliding-window mode subpredictors behind a scoreboard that always
+// speaks with its best performer so far.
+func multiMCW(s []byte) Estimate {
+	n := len(s)
+	first := mcwWindows[0]
+	if n <= first+1 {
+		return Estimate{Name: NameMultiMCW, MinEntropy: 1, P: 0.5, Detail: "input too short to predict"}
+	}
+	var ones, score [4]int
+	for i := 0; i < first; i++ {
+		for j := range mcwWindows {
+			ones[j] += int(s[i])
+		}
+	}
+	winner := 0
+	var tally predTally
+	for i := first; i < n; i++ {
+		var pred [4]int8
+		for j, w := range mcwWindows {
+			if i < w {
+				pred[j] = -1
+				continue
+			}
+			c1 := ones[j]
+			switch c0 := w - c1; {
+			case c1 > c0:
+				pred[j] = 1
+			case c0 > c1:
+				pred[j] = 0
+			default:
+				pred[j] = int8(s[i-1])
+			}
+		}
+		tally.record(pred[winner] == int8(s[i]))
+		for j := range mcwWindows {
+			if pred[j] == int8(s[i]) {
+				score[j]++
+				if score[j] > score[winner] {
+					winner = j
+				}
+			}
+		}
+		for j, w := range mcwWindows {
+			if i >= w {
+				ones[j] -= int(s[i-w])
+			}
+			ones[j] += int(s[i])
+		}
+	}
+	return predictorEstimate(NameMultiMCW, tally)
+}
+
+// lagDepth is the §6.3.8 number of lag subpredictors.
+const lagDepth = 128
+
+// lagPredictor is the §6.3.8 Lag predictor: subpredictor d repeats the
+// sample d steps back, catching periodic structure.
+func lagPredictor(s []byte) Estimate {
+	n := len(s)
+	var score [lagDepth]int
+	winner := 0 // lag winner+1
+	var tally predTally
+	for i := 1; i < n; i++ {
+		if i > winner {
+			tally.record(s[i-winner-1] == s[i])
+		} else {
+			tally.record(false)
+		}
+		dMax := lagDepth
+		if i < dMax {
+			dMax = i
+		}
+		for d := 1; d <= dMax; d++ {
+			if s[i-d] == s[i] {
+				score[d-1]++
+				if score[d-1] > score[winner] {
+					winner = d - 1
+				}
+			}
+		}
+	}
+	return predictorEstimate(NameLag, tally)
+}
+
+// mmcDepth is the §6.3.9 maximum Markov-chain order.
+const mmcDepth = 16
+
+// binCounts is a flat transition-count store for binary contexts of
+// depths 1..maxDepth: level d holds 2^d contexts × 2 successor
+// counters. The context key packs the last d bits with the most recent
+// bit least significant — bijective per depth, which is all a
+// dictionary key needs. Total footprint for depth 16: 1 MiB.
+type binCounts struct {
+	lvl [][]int32
+}
+
+func newBinCounts(maxDepth int) *binCounts {
+	b := &binCounts{lvl: make([][]int32, maxDepth+1)}
+	for d := 1; d <= maxDepth; d++ {
+		b.lvl[d] = make([]int32, 1<<uint(d+1))
+	}
+	return b
+}
+
+// at returns the two successor counters of a depth-d context.
+func (b *binCounts) at(d int, ctx uint32) []int32 {
+	return b.lvl[d][2*ctx : 2*ctx+2]
+}
+
+// multiMMC is the §6.3.9 Multi Markov Model with Counting predictor:
+// Markov chains of order 1..16 behind the scoreboard, each predicting
+// the most seen successor of its current context. (The standard caps
+// each model at 100000 tracked contexts; binary contexts top out at
+// 2^16, so the cap never binds here.)
+func multiMMC(s []byte) Estimate {
+	n := len(s)
+	counts := newBinCounts(mmcDepth)
+	var score [mmcDepth]int
+	winner := 0 // depth winner+1
+	var tally predTally
+	var win uint32 // last mmcDepth bits, most recent least significant
+	predict := func(d, i int) int8 {
+		if i < d {
+			return -1
+		}
+		c := counts.at(d, win&(1<<uint(d)-1))
+		if c[0] == 0 && c[1] == 0 {
+			return -1
+		}
+		if c[1] > c[0] {
+			return 1
+		}
+		return 0
+	}
+	for i := 1; i < n; i++ {
+		win = win<<1 | uint32(s[i-1]) // contexts at step i end at s[i-1]
+		if i >= 2 {
+			tally.record(predict(winner+1, i) == int8(s[i]))
+			for d := 1; d <= mmcDepth && d <= i; d++ {
+				if predict(d, i) == int8(s[i]) {
+					score[d-1]++
+					if score[d-1] > score[winner] {
+						winner = d - 1
+					}
+				}
+			}
+		}
+		for d := 1; d <= mmcDepth && d <= i; d++ {
+			counts.at(d, win&(1<<uint(d)-1))[s[i]]++
+		}
+	}
+	return predictorEstimate(NameMultiMMC, tally)
+}
+
+// LZ78Y parameters (§6.3.10).
+const (
+	lzDepth   = 16
+	lzMaxDict = 65536
+)
+
+// lz78y is the §6.3.10 LZ78Y predictor: a bounded dictionary of
+// contexts up to 16 bits, each predicting its most seen successor; the
+// per-step prediction is the successor with the highest count over all
+// matching context lengths, longest context winning ties.
+func lz78y(s []byte) Estimate {
+	n := len(s)
+	if n < lzDepth+3 {
+		return Estimate{Name: NameLZ78Y, MinEntropy: 1, P: 0.5, Detail: "input too short to predict"}
+	}
+	dict := newBinCounts(lzDepth)
+	entries := 0
+	var tally predTally
+	var win uint32 // last lzDepth+1 bits ending at s[i-1], most recent least significant
+	for i := 1; i < lzDepth+1; i++ {
+		win = win<<1 | uint32(s[i-1])
+	}
+	for i := lzDepth + 1; i < n; i++ {
+		win = win<<1 | uint32(s[i-1])
+		// Update: contexts ending at s[i-2] observe s[i-1].
+		prev := win >> 1
+		for j := lzDepth; j >= 1; j-- {
+			c := dict.at(j, prev&(1<<uint(j)-1))
+			if c[0] != 0 || c[1] != 0 {
+				c[s[i-1]]++
+			} else if entries < lzMaxDict {
+				c[s[i-1]] = 1
+				entries++
+			}
+		}
+		// Predict s[i] from contexts ending at s[i-1].
+		pred := int8(-1)
+		var maxCount int32
+		for j := lzDepth; j >= 1; j-- {
+			c := dict.at(j, win&(1<<uint(j)-1))
+			if c[0] == 0 && c[1] == 0 {
+				continue
+			}
+			y, cy := int8(0), c[0]
+			if c[1] > c[0] {
+				y, cy = 1, c[1]
+			}
+			if cy > maxCount {
+				maxCount = cy
+				pred = y
+			}
+		}
+		tally.record(pred == int8(s[i]))
+	}
+	return predictorEstimate(NameLZ78Y, tally)
+}

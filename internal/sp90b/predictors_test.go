@@ -1,0 +1,235 @@
+package sp90b
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The brute references below restate §6.3.7–6.3.10 literally — maps,
+// per-step window recounts, explicit prediction lists — and the tests
+// require the optimized implementations to produce identical tallies
+// (compared through the full Estimate, whose Detail carries C, N and
+// the longest run).
+
+func bruteMCW(s []byte) Estimate {
+	windows := []int{63, 255, 1023, 4095}
+	score := make([]int, len(windows))
+	winner := 0
+	var tally predTally
+	for i := windows[0]; i < len(s); i++ {
+		preds := make([]int8, len(windows))
+		for j, w := range windows {
+			if i < w {
+				preds[j] = -1
+				continue
+			}
+			c0, c1 := 0, 0
+			for k := i - w; k < i; k++ {
+				if s[k] == 1 {
+					c1++
+				} else {
+					c0++
+				}
+			}
+			switch {
+			case c1 > c0:
+				preds[j] = 1
+			case c0 > c1:
+				preds[j] = 0
+			default:
+				preds[j] = int8(s[i-1])
+			}
+		}
+		tally.record(preds[winner] == int8(s[i]))
+		for j := range windows {
+			if preds[j] == int8(s[i]) {
+				score[j]++
+				if score[j] > score[winner] {
+					winner = j
+				}
+			}
+		}
+	}
+	return predictorEstimate(NameMultiMCW, tally)
+}
+
+func bruteLag(s []byte) Estimate {
+	score := make([]int, lagDepth)
+	winner := 0
+	var tally predTally
+	for i := 1; i < len(s); i++ {
+		preds := make([]int8, lagDepth)
+		for d := 1; d <= lagDepth; d++ {
+			if i >= d {
+				preds[d-1] = int8(s[i-d])
+			} else {
+				preds[d-1] = -1
+			}
+		}
+		tally.record(preds[winner] == int8(s[i]))
+		for d := 1; d <= lagDepth && d <= i; d++ {
+			if s[i-d] == s[i] {
+				score[d-1]++
+				if score[d-1] > score[winner] {
+					winner = d - 1
+				}
+			}
+		}
+	}
+	return predictorEstimate(NameLag, tally)
+}
+
+func bruteMMC(s []byte) Estimate {
+	counts := make([]map[string]*[2]int, mmcDepth+1)
+	for d := 1; d <= mmcDepth; d++ {
+		counts[d] = map[string]*[2]int{}
+	}
+	score := make([]int, mmcDepth)
+	winner := 0
+	var tally predTally
+	predict := func(d, i int) int8 {
+		if i < d {
+			return -1
+		}
+		c, ok := counts[d][string(s[i-d:i])]
+		if !ok {
+			return -1
+		}
+		if c[1] > c[0] {
+			return 1
+		}
+		return 0
+	}
+	for i := 1; i < len(s); i++ {
+		if i >= 2 {
+			tally.record(predict(winner+1, i) == int8(s[i]))
+			for d := 1; d <= mmcDepth && d <= i; d++ {
+				if predict(d, i) == int8(s[i]) {
+					score[d-1]++
+					if score[d-1] > score[winner] {
+						winner = d - 1
+					}
+				}
+			}
+		}
+		for d := 1; d <= mmcDepth && d <= i; d++ {
+			key := string(s[i-d : i])
+			c, ok := counts[d][key]
+			if !ok {
+				c = &[2]int{}
+				counts[d][key] = c
+			}
+			c[s[i]]++
+		}
+	}
+	return predictorEstimate(NameMultiMMC, tally)
+}
+
+func bruteLZ78Y(s []byte) Estimate {
+	dict := map[string]*[2]int{}
+	entries := 0
+	var tally predTally
+	for i := lzDepth + 1; i < len(s); i++ {
+		// Update with the transition into s[i-1].
+		for j := lzDepth; j >= 1; j-- {
+			key := string(s[i-1-j : i-1])
+			if c, ok := dict[key]; ok {
+				c[s[i-1]]++
+			} else if entries < lzMaxDict {
+				dict[key] = &[2]int{}
+				dict[key][s[i-1]] = 1
+				entries++
+			}
+		}
+		// Predict s[i] from the contexts ending at s[i-1].
+		pred := int8(-1)
+		maxCount := 0
+		for j := lzDepth; j >= 1; j-- {
+			c, ok := dict[string(s[i-j:i])]
+			if !ok {
+				continue
+			}
+			y, cy := int8(0), c[0]
+			if c[1] > c[0] {
+				y, cy = 1, c[1]
+			}
+			if cy > maxCount {
+				maxCount = cy
+				pred = y
+			}
+		}
+		tally.record(pred == int8(s[i]))
+	}
+	return predictorEstimate(NameLZ78Y, tally)
+}
+
+// TestPredictorsAgainstBrute runs all four optimized predictors against
+// their literal re-implementations on uniform, biased, correlated and
+// periodic streams.
+func TestPredictorsAgainstBrute(t *testing.T) {
+	streams := map[string][]byte{
+		"uniform":  uniformBits(1, 6000),
+		"biased":   biasedBits(2, 6000, 0.7),
+		"markov":   markovBits(3, 6000, 0.85),
+		"periodic": nil,
+	}
+	periodic := make([]byte, 6000)
+	pattern := []byte{1, 1, 0, 1, 0}
+	for i := range periodic {
+		periodic[i] = pattern[i%len(pattern)]
+	}
+	streams["periodic"] = periodic
+
+	type pair struct {
+		name  string
+		impl  func([]byte) Estimate
+		brute func([]byte) Estimate
+	}
+	pairs := []pair{
+		{NameMultiMCW, multiMCW, bruteMCW},
+		{NameLag, lagPredictor, bruteLag},
+		{NameMultiMMC, multiMMC, bruteMMC},
+		{NameLZ78Y, lz78y, bruteLZ78Y},
+	}
+	for sname, s := range streams {
+		for _, p := range pairs {
+			got, want := p.impl(s), p.brute(s)
+			if got != want {
+				t.Errorf("%s on %s stream:\n got  %+v\n want %+v", p.name, sname, got, want)
+			}
+		}
+	}
+}
+
+// TestLZ78YDictionaryCap drives enough distinct contexts through the
+// dictionary to hit the 65536-entry cap and requires the optimized and
+// brute paths to agree about which entries made it in.
+func TestLZ78YDictionaryCap(t *testing.T) {
+	s := uniformBits(9, 20000)
+	got, want := lz78y(s), bruteLZ78Y(s)
+	if got != want {
+		t.Fatalf("capped dictionary diverged:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestPredictorEstimateZeroCorrect pins the C = 0 branch:
+// P'_global = 1 − 0.01^{1/N}.
+func TestPredictorEstimateZeroCorrect(t *testing.T) {
+	e := predictorEstimate("x", predTally{n: 1000})
+	want := fmt.Sprintf("p_g=%.4f", 0.0046)
+	if e.MinEntropy != 1 {
+		t.Fatalf("zero-correct predictor must clamp to 1 bit, got %.4f (%s)", e.MinEntropy, e.Detail)
+	}
+	if !contains(e.Detail, want) {
+		t.Fatalf("detail %q does not carry the no-hit bound %s", e.Detail, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

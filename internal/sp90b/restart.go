@@ -1,0 +1,159 @@
+package sp90b
+
+import (
+	"fmt"
+	"math"
+)
+
+// RestartReport is the outcome of the §3.1.4 restart procedure on an
+// r×c matrix of samples (row i = the first c bits after restart i).
+type RestartReport struct {
+	// Rows and Cols are the matrix dimensions.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// FR and FC are the maximum per-row and per-column frequencies of
+	// any single value across the matrix.
+	FR int `json:"f_r"`
+	FC int `json:"f_c"`
+	// Cutoff is the binomial critical value both must stay below.
+	Cutoff int `json:"cutoff"`
+	// SanityPass reports the §3.1.4.1 sanity test verdict. A failure
+	// means the initial estimate is invalid for this source: some
+	// restart exposes far more structure than H_initial admits.
+	SanityPass bool `json:"sanity_pass"`
+	// RowAssessment and ColAssessment are the suite runs on the
+	// row-wise and column-wise concatenations (§3.1.4.2/3).
+	RowAssessment Report `json:"row_assessment"`
+	ColAssessment Report `json:"col_assessment"`
+	// MinEntropy is the procedure verdict:
+	// min(H_initial, row, column), 0 when the sanity test failed.
+	MinEntropy float64 `json:"min_entropy"`
+}
+
+// AssessRestart runs the §3.1.4 restart tests: rows holds one row per
+// restart (equal lengths), hInitial is the initial entropy estimate
+// from Assess on the sequential dataset. The standard uses a
+// 1000×1000 matrix; any shape with at least MinBits total samples and
+// ≥ 2 rows/columns is accepted, with the binomial cutoff computed for
+// the actual shape.
+func AssessRestart(rows [][]byte, hInitial float64) (RestartReport, error) {
+	r := len(rows)
+	if r < 2 {
+		return RestartReport{}, fmt.Errorf("sp90b: restart matrix needs >= 2 rows, got %d", r)
+	}
+	c := len(rows[0])
+	if c < 2 {
+		return RestartReport{}, fmt.Errorf("sp90b: restart matrix needs >= 2 columns, got %d", c)
+	}
+	for i, row := range rows {
+		if len(row) != c {
+			return RestartReport{}, fmt.Errorf("sp90b: row %d has %d samples, want %d", i, len(row), c)
+		}
+	}
+	if r*c < MinBits {
+		return RestartReport{}, fmt.Errorf("sp90b: restart matrix %d×%d below %d total samples", r, c, MinBits)
+	}
+	if hInitial <= 0 || hInitial > 1 {
+		return RestartReport{}, fmt.Errorf("sp90b: initial entropy %g out of (0, 1]", hInitial)
+	}
+
+	rep := RestartReport{Rows: r, Cols: c}
+	// Sanity test (§3.1.4.1): the count of the most common value in
+	// any row (any column) must not exceed the upper critical value of
+	// Binomial(n, p) at α = 0.01/(r+c), with p = 2^−H_initial the
+	// highest symbol probability the initial estimate admits.
+	p := math.Exp2(-hInitial)
+	alpha := 0.01 / float64(r+c)
+	for _, row := range rows {
+		if f := maxFreq(row); f > rep.FR {
+			rep.FR = f
+		}
+	}
+	col := make([]byte, r)
+	for j := 0; j < c; j++ {
+		for i := 0; i < r; i++ {
+			col[i] = rows[i][j]
+		}
+		if f := maxFreq(col); f > rep.FC {
+			rep.FC = f
+		}
+	}
+	// The standard's square matrix has one cutoff; for a rectangular
+	// shape the row and column tests have different trial counts, so
+	// take the stricter (smaller-n) cutoff against the matching F.
+	cutR := binomialCritical(c, p, alpha)
+	cutC := binomialCritical(r, p, alpha)
+	rep.Cutoff = cutR
+	if cutC < rep.Cutoff {
+		rep.Cutoff = cutC
+	}
+	rep.SanityPass = rep.FR <= cutR && rep.FC <= cutC
+	if !rep.SanityPass {
+		return rep, nil
+	}
+
+	// Row- and column-wise re-assessment (§3.1.4.2/3): dependencies
+	// across restarts that the sequential dataset cannot show surface
+	// in the column ordering.
+	rowCat := make([]byte, 0, r*c)
+	for _, row := range rows {
+		rowCat = append(rowCat, row...)
+	}
+	colCat := make([]byte, 0, r*c)
+	for j := 0; j < c; j++ {
+		for i := 0; i < r; i++ {
+			colCat = append(colCat, rows[i][j])
+		}
+	}
+	var err error
+	if rep.RowAssessment, err = Assess(rowCat); err != nil {
+		return rep, err
+	}
+	if rep.ColAssessment, err = Assess(colCat); err != nil {
+		return rep, err
+	}
+	rep.MinEntropy = math.Min(hInitial,
+		math.Min(rep.RowAssessment.MinEntropy, rep.ColAssessment.MinEntropy))
+	return rep, nil
+}
+
+// maxFreq returns the count of the most common byte value.
+func maxFreq(s []byte) int {
+	var counts [256]int
+	for _, v := range s {
+		counts[v]++
+	}
+	m := 0
+	for _, v := range counts {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// binomialCritical returns the smallest u with P(X ≥ u) < alpha for
+// X ~ Binomial(n, p): the §3.1.4.1 critical value, computed exactly by
+// summing the upper tail in log space (n is a restart-matrix dimension,
+// so the O(n) sum is nothing).
+func binomialCritical(n int, p float64, alpha float64) int {
+	if p >= 1 {
+		return n + 1 // any count is consistent with a constant source
+	}
+	logP := math.Log(p)
+	logQ := math.Log1p(-p)
+	// Walk k = n down to 0 accumulating the tail; the first k whose
+	// tail reaches alpha means u = k+1.
+	var tail float64
+	lgamma := func(x float64) float64 { v, _ := math.Lgamma(x); return v }
+	logN := lgamma(float64(n + 1))
+	for k := n; k >= 0; k-- {
+		logPmf := logN - lgamma(float64(k+1)) - lgamma(float64(n-k+1)) +
+			float64(k)*logP + float64(n-k)*logQ
+		tail += math.Exp(logPmf)
+		if tail >= alpha {
+			return k + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,125 @@
+package sp90b
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trng"
+)
+
+// simRestartRows builds a §3.1.4 restart matrix from re-seeded
+// simulator runs: row i is the first cols raw bits of a fresh
+// paper-calibrated eRO-TRNG — the simulation analogue of power-cycling
+// the device before each capture. seedOf scripts the reseeding policy
+// (honest restarts derive fresh seeds; a broken source replays one).
+func simRestartRows(t *testing.T, rows, cols, divider int, seedOf func(i int) uint64) [][]byte {
+	t.Helper()
+	m := core.PaperModel()
+	out := make([][]byte, rows)
+	for i := range out {
+		g, err := trng.New(trng.Config{
+			Model:    m.Phase,
+			Divider:  divider,
+			Seed:     seedOf(i),
+			Leapfrog: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = g.Bits(cols)
+	}
+	return out
+}
+
+// TestRestartMatrixHonestSource: independent restarts of the
+// calibrated generator at its near-full-entropy divider must pass the
+// sanity test, and the row/column re-assessments must return a
+// non-degenerate bound no better than the initial estimate.
+func TestRestartMatrixHonestSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart matrix simulation; skipped in -short")
+	}
+	t.Parallel()
+	const hInitial = 0.95
+	rows := simRestartRows(t, 64, 200, 65536, func(i int) uint64 { return 1000 + uint64(i) })
+	rep, err := AssessRestart(rows, hInitial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SanityPass {
+		t.Fatalf("sanity test failed on honest restarts: FR=%d FC=%d cutoff=%d", rep.FR, rep.FC, rep.Cutoff)
+	}
+	if rep.MinEntropy <= 0.3 || rep.MinEntropy > hInitial {
+		t.Fatalf("restart min-entropy %.4f outside (0.3, %.2f]", rep.MinEntropy, hInitial)
+	}
+	if rep.RowAssessment.Bits != 64*200 || rep.ColAssessment.Bits != 64*200 {
+		t.Fatalf("row/col assessments cover %d/%d bits, want %d",
+			rep.RowAssessment.Bits, rep.ColAssessment.Bits, 64*200)
+	}
+}
+
+// TestRestartMatrixSeedReplay: a source that replays the same state on
+// every restart (the classic broken-TRNG failure the restart test
+// exists for) makes every column constant; the sanity test must fail
+// and the verdict must be zero entropy.
+func TestRestartMatrixSeedReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart matrix simulation; skipped in -short")
+	}
+	t.Parallel()
+	rows := simRestartRows(t, 64, 200, 65536, func(int) uint64 { return 77 })
+	rep, err := AssessRestart(rows, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SanityPass {
+		t.Fatalf("sanity test passed on seed-replaying restarts (FC=%d, cutoff=%d)", rep.FC, rep.Cutoff)
+	}
+	if rep.FC != 64 {
+		t.Fatalf("replayed restarts should give a constant column: FC=%d, want 64", rep.FC)
+	}
+	if rep.MinEntropy != 0 {
+		t.Fatalf("failed sanity must yield zero entropy, got %.4f", rep.MinEntropy)
+	}
+}
+
+// TestAssessRestartValidation covers the shape and parameter guards.
+func TestAssessRestartValidation(t *testing.T) {
+	good := make([][]byte, 100)
+	for i := range good {
+		good[i] = make([]byte, 100)
+	}
+	if _, err := AssessRestart(good[:1], 0.9); err == nil {
+		t.Error("single row accepted")
+	}
+	ragged := [][]byte{make([]byte, 100), make([]byte, 99)}
+	if _, err := AssessRestart(ragged, 0.9); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := AssessRestart(good, 0); err == nil {
+		t.Error("zero initial entropy accepted")
+	}
+	if _, err := AssessRestart(good, 1.5); err == nil {
+		t.Error("out-of-range initial entropy accepted")
+	}
+}
+
+// TestBinomialCritical pins the critical-value machinery: exact tail
+// behaviour at the edges and agreement with the normal approximation
+// in the standard's regime.
+func TestBinomialCritical(t *testing.T) {
+	// Binomial(1000, 0.5) at α = 0.01/2000: the normal approximation
+	// puts the critical value near 500 + 4.42·15.81 ≈ 570.
+	u := binomialCritical(1000, 0.5, 0.01/2000)
+	if u < 555 || u > 585 {
+		t.Fatalf("critical value %d outside [555, 585]", u)
+	}
+	// Monotone in p.
+	if u2 := binomialCritical(1000, 0.6, 0.01/2000); u2 <= u {
+		t.Fatalf("critical value not increasing in p: %d then %d", u, u2)
+	}
+	// A certain event needs no cutoff below n+1.
+	if got := binomialCritical(100, 1.0, 1e-6); got != 101 {
+		t.Fatalf("p=1 critical value %d, want 101", got)
+	}
+}

@@ -1,0 +1,288 @@
+package sp90b
+
+import (
+	"fmt"
+	"math"
+)
+
+// tupleCutoff is the §6.3.5 occurrence threshold: the t-tuple estimate
+// uses tuple lengths whose most frequent tuple appears at least this
+// often, and the LRS estimate takes over above.
+const tupleCutoff = 35
+
+// maxTupleLen caps the tuple-length scan. Real raw streams have
+// longest repeated substrings of O(log L) (tens of bits, hundreds in
+// the heavily autocorrelated small-divider regime); the cap only binds
+// on degenerate near-constant inputs, where it keeps the assessment
+// near-linear instead of the standard's implicit O(L²) scan.
+const maxTupleLen = 4096
+
+// suffixArray builds the suffix array of s by prefix doubling with
+// counting sorts: O(n log n) time, 3 int32 scratch arrays. Symbols are
+// arbitrary bytes (Assess feeds 0/1).
+func suffixArray(s []byte) []int32 {
+	n := len(s)
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	newRank := make([]int32, n)
+	tmp := make([]int32, n)
+	cnt := make([]int32, n+1)
+
+	// Round 0: sort by first symbol.
+	var cnt0 [257]int32
+	for _, c := range s {
+		cnt0[int(c)+1]++
+	}
+	for i := 0; i < 256; i++ {
+		cnt0[i+1] += cnt0[i]
+	}
+	for i := 0; i < n; i++ {
+		c := s[i]
+		sa[cnt0[c]] = int32(i)
+		cnt0[c]++
+	}
+	r := int32(0)
+	rank[sa[0]] = 0
+	for i := 1; i < n; i++ {
+		if s[sa[i]] != s[sa[i-1]] {
+			r++
+		}
+		rank[sa[i]] = r
+	}
+
+	for k := 1; int(r) != n-1; k *= 2 {
+		// Order by the second key (rank[i+k], out-of-range first):
+		// the tail suffixes have empty second halves, then the rest
+		// inherit the current sa order shifted by k.
+		p := 0
+		for i := n - k; i < n; i++ {
+			tmp[p] = int32(i)
+			p++
+		}
+		for _, i := range sa {
+			if int(i) >= k {
+				tmp[p] = i - int32(k)
+				p++
+			}
+		}
+		// Stable counting sort by the first key.
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cnt[rank[i]+1]++
+		}
+		for i := 0; i < n; i++ {
+			cnt[i+1] += cnt[i]
+		}
+		for _, i := range tmp {
+			sa[cnt[rank[i]]] = i
+			cnt[rank[i]]++
+		}
+		// Re-rank.
+		second := func(i int32) int32 {
+			if int(i)+k < n {
+				return rank[int(i)+k]
+			}
+			return -1
+		}
+		r = 0
+		newRank[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			a, b := sa[i-1], sa[i]
+			if rank[a] != rank[b] || second(a) != second(b) {
+				r++
+			}
+			newRank[b] = r
+		}
+		rank, newRank = newRank, rank
+	}
+	return sa
+}
+
+// lcpArray computes Kasai's LCP array: lcp[i] is the longest common
+// prefix of suffixes sa[i-1] and sa[i] (lcp[0] = 0).
+func lcpArray(s []byte, sa []int32) []int32 {
+	n := len(s)
+	rank := make([]int32, n)
+	for i, p := range sa {
+		rank[p] = int32(i)
+	}
+	lcp := make([]int32, n)
+	h := 0
+	for i := 0; i < n; i++ {
+		if rank[i] == 0 {
+			h = 0
+			continue
+		}
+		j := int(sa[rank[i]-1])
+		for i+h < n && j+h < n && s[i+h] == s[j+h] {
+			h++
+		}
+		lcp[rank[i]] = int32(h)
+		if h > 0 {
+			h--
+		}
+	}
+	return lcp
+}
+
+// tupleStats digests the LCP array into the two quantities the
+// estimates need, for every length W up to cap in one O(n) pass:
+//
+//   - pairsAtLeast[W]: the number of position pairs whose suffixes
+//     share a prefix of length ≥ W — exactly Σ_j C(c_j, 2) over the
+//     distinct W-tuples with counts c_j;
+//   - maxCount[W]: the count of the most frequent W-tuple.
+//
+// Both come from the classic subarray-minimum decomposition: a
+// monotonic stack assigns every LCP entry the maximal window where it
+// is the minimum, contributing left·right pairs at threshold exactly
+// lcp and a candidate run of left+right−1 adjacent suffix pairs;
+// suffix-summing (suffix-maxing) over thresholds finishes the job.
+type tupleStats struct {
+	maxLCP       int     // length of the longest repeated substring
+	pairsAtLeast []int64 // indexed 1..cap; [0] unused
+	maxCount     []int64 // indexed 1..cap; [0] unused
+}
+
+func newTupleStats(lcp []int32, cap int) tupleStats {
+	// m is the adjacent-suffix LCP sequence, values clamped to cap
+	// (clamping changes minima only above cap, which we never read).
+	m := lcp[1:]
+	maxLCP := 0
+	for _, v := range lcp {
+		if int(v) > maxLCP {
+			maxLCP = int(v)
+		}
+	}
+	top := maxLCP
+	if top > cap {
+		top = cap
+	}
+	pairDiff := make([]int64, top+2) // pairs with min exactly t
+	runMax := make([]int64, top+2)   // longest window with min exactly t
+
+	// Monotonic stack of indices with strictly increasing clamped
+	// values; left extent = strictly-less boundary, right extent =
+	// less-or-equal boundary, so every subarray is counted once.
+	type item struct {
+		val  int32
+		left int64 // number of windows extending left, including self
+	}
+	var stack []item
+	clamp := func(v int32) int32 {
+		if int(v) > cap {
+			return int32(cap)
+		}
+		return v
+	}
+	flush := func(it item, right int64) {
+		if it.val <= 0 {
+			return
+		}
+		pairDiff[it.val] += it.left * right
+		if w := it.left + right - 1; w > runMax[it.val] {
+			runMax[it.val] = w
+		}
+	}
+	for j := 0; j < len(m); j++ {
+		v := clamp(m[j])
+		left := int64(1)
+		for len(stack) > 0 && stack[len(stack)-1].val >= v {
+			it := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			// it.val ≥ v: its window ends here; right extent is the
+			// distance accumulated since it was pushed.
+			flush(it, left)
+			left += it.left
+		}
+		stack = append(stack, item{val: v, left: left})
+	}
+	right := int64(1)
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		flush(it, right)
+		right += it.left
+	}
+
+	st := tupleStats{
+		maxLCP:       maxLCP,
+		pairsAtLeast: make([]int64, top+2),
+		maxCount:     make([]int64, top+2),
+	}
+	var pairs int64
+	var run int64
+	for t := top; t >= 1; t-- {
+		pairs += pairDiff[t]
+		if runMax[t] > run {
+			run = runMax[t]
+		}
+		st.pairsAtLeast[t] = pairs
+		// run adjacent pairs at threshold t = run+1 suffixes sharing a
+		// t-prefix = run+1 occurrences of that t-tuple.
+		st.maxCount[t] = run + 1
+	}
+	return st
+}
+
+// tupleEstimates computes the §6.3.5 t-tuple and §6.3.6 LRS estimates
+// from one shared suffix-array pass. The cutoff is a parameter so the
+// standard's small worked examples (which substitute a cutoff of 3 for
+// 35) can drive the same code.
+func tupleEstimates(s []byte, cutoff, maxLen int) (Estimate, Estimate) {
+	n := len(s)
+	sa := suffixArray(s)
+	st := newTupleStats(lcpArray(s, sa), maxLen)
+	top := st.maxLCP
+	if top > maxLen {
+		top = maxLen
+	}
+
+	// t-tuple: largest t with Q[t] ≥ cutoff, p̂ = max over i ≤ t of
+	// (Q[i]/(L−i+1))^{1/i}.
+	t := 0
+	var pHat float64
+	for i := 1; i <= top; i++ {
+		q := st.maxCount[i]
+		if q < int64(cutoff) {
+			break
+		}
+		t = i
+		if p := math.Pow(float64(q)/float64(n-i+1), 1/float64(i)); p > pHat {
+			pHat = p
+		}
+	}
+	var ttuple Estimate
+	if t == 0 {
+		ttuple = Estimate{Name: NameTTuple, MinEntropy: 1, P: 0.5,
+			Detail: fmt.Sprintf("no tuple reaches %d occurrences", cutoff)}
+	} else {
+		pu := clampP(upperBound(pHat, n))
+		ttuple = Estimate{Name: NameTTuple, MinEntropy: entropyFromP(pu), P: pu,
+			Detail: fmt.Sprintf("t=%d, p̂=%.4f", t, pHat)}
+	}
+
+	// LRS: tuple lengths from u = t+1 up to the longest repeat, scored
+	// by collision probability P_W = Σ_j C(c_j,2)/C(L−W+1,2).
+	u := t + 1
+	var lrs Estimate
+	if u > top {
+		lrs = Estimate{Name: NameLRS, MinEntropy: 1, P: 0.5,
+			Detail: fmt.Sprintf("no repeated substring of length ≥ %d", u)}
+	} else {
+		var pHatLRS float64
+		for w := u; w <= top; w++ {
+			total := float64(n-w+1) * float64(n-w) / 2
+			pw := float64(st.pairsAtLeast[w]) / total
+			if p := math.Pow(pw, 1/float64(w)); p > pHatLRS {
+				pHatLRS = p
+			}
+		}
+		pu := clampP(upperBound(pHatLRS, n))
+		lrs = Estimate{Name: NameLRS, MinEntropy: entropyFromP(pu), P: pu,
+			Detail: fmt.Sprintf("u=%d, v=%d, p̂=%.4f", u, st.maxLCP, pHatLRS)}
+	}
+	return ttuple, lrs
+}

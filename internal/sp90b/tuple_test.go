@@ -1,0 +1,139 @@
+package sp90b
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// bruteSuffixArray sorts actual suffixes.
+func bruteSuffixArray(s []byte) []int32 {
+	sa := make([]int32, len(s))
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(a, b int) bool {
+		return bytes.Compare(s[sa[a]:], s[sa[b]:]) < 0
+	})
+	return sa
+}
+
+// bruteLCP compares adjacent suffixes directly.
+func bruteLCP(s []byte, sa []int32) []int32 {
+	lcp := make([]int32, len(s))
+	for i := 1; i < len(sa); i++ {
+		a, b := s[sa[i-1]:], s[sa[i]:]
+		n := 0
+		for n < len(a) && n < len(b) && a[n] == b[n] {
+			n++
+		}
+		lcp[i] = int32(n)
+	}
+	return lcp
+}
+
+// bruteTupleCounts returns (max count, Σ C(c,2)) over all W-tuples.
+func bruteTupleCounts(s []byte, w int) (int64, int64) {
+	counts := map[string]int64{}
+	for i := 0; i+w <= len(s); i++ {
+		counts[string(s[i:i+w])]++
+	}
+	var max, pairs int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		pairs += c * (c - 1) / 2
+	}
+	return max, pairs
+}
+
+// randomSymbols returns n symbols over an alphabet of size k.
+func randomSymbols(seed uint64, n, k int) []byte {
+	src := rng.New(seed)
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(src.Intn(k))
+	}
+	return s
+}
+
+// TestSuffixArrayAgainstBrute validates the prefix-doubling suffix
+// array and Kasai LCP on random binary, ternary and degenerate inputs.
+func TestSuffixArrayAgainstBrute(t *testing.T) {
+	cases := [][]byte{
+		randomSymbols(1, 257, 2),
+		randomSymbols(2, 300, 3),
+		randomSymbols(3, 64, 2),
+		bytes.Repeat([]byte{0}, 100),
+		append(bytes.Repeat([]byte{0}, 50), bytes.Repeat([]byte{1}, 50)...),
+		{0},
+		{1, 0},
+	}
+	for ci, s := range cases {
+		sa := suffixArray(s)
+		want := bruteSuffixArray(s)
+		for i := range sa {
+			if sa[i] != want[i] {
+				t.Fatalf("case %d: sa[%d] = %d, want %d", ci, i, sa[i], want[i])
+			}
+		}
+		lcp := lcpArray(s, sa)
+		wantLCP := bruteLCP(s, sa)
+		for i := range lcp {
+			if lcp[i] != wantLCP[i] {
+				t.Fatalf("case %d: lcp[%d] = %d, want %d", ci, i, lcp[i], wantLCP[i])
+			}
+		}
+	}
+}
+
+// TestTupleStatsAgainstBrute validates the monotonic-stack pair and
+// run accounting against direct tuple counting for every length.
+func TestTupleStatsAgainstBrute(t *testing.T) {
+	cases := [][]byte{
+		randomSymbols(4, 200, 2),
+		randomSymbols(5, 300, 3),
+		append(bytes.Repeat([]byte{0, 1}, 60), bytes.Repeat([]byte{1}, 30)...),
+		bytes.Repeat([]byte{0}, 80),
+	}
+	for ci, s := range cases {
+		sa := suffixArray(s)
+		st := newTupleStats(lcpArray(s, sa), maxTupleLen)
+		top := st.maxLCP
+		if top > maxTupleLen {
+			top = maxTupleLen
+		}
+		for w := 1; w <= top; w++ {
+			max, pairs := bruteTupleCounts(s, w)
+			if st.maxCount[w] != max {
+				t.Fatalf("case %d: maxCount[%d] = %d, want %d", ci, w, st.maxCount[w], max)
+			}
+			if st.pairsAtLeast[w] != pairs {
+				t.Fatalf("case %d: pairsAtLeast[%d] = %d, want %d", ci, w, st.pairsAtLeast[w], pairs)
+			}
+		}
+		// One past the longest repeat every tuple is unique.
+		if top < maxTupleLen {
+			max, _ := bruteTupleCounts(s, top+1)
+			if max > 1 {
+				t.Fatalf("case %d: longest repeat %d but a (v+1)-tuple repeats", ci, top)
+			}
+		}
+	}
+}
+
+// TestTupleStatsCapClamp: with a cap below the longest repeat the
+// in-cap statistics must be unchanged.
+func TestTupleStatsCapClamp(t *testing.T) {
+	s := bytes.Repeat([]byte{0, 0, 1}, 100)
+	full := newTupleStats(lcpArray(s, suffixArray(s)), maxTupleLen)
+	capped := newTupleStats(lcpArray(s, suffixArray(s)), 5)
+	for w := 1; w <= 5; w++ {
+		if full.pairsAtLeast[w] != capped.pairsAtLeast[w] || full.maxCount[w] != capped.maxCount[w] {
+			t.Fatalf("cap changed in-cap stats at W=%d", w)
+		}
+	}
+}

@@ -7,10 +7,19 @@
 //
 // Endpoints:
 //
-//	GET /random?bytes=N   N gated random bytes (application/octet-stream).
+//	GET /random?bytes=N   N random bytes (application/octet-stream).
 //	                      503 when the request queue is full or the pool
 //	                      cannot produce N bytes before -wait expires.
-//	GET /healthz          JSON per-shard state; 503 when no shard is healthy.
+//	                      With ?pr=1 (DRBG mode only) the serving DRBG
+//	                      lanes reseed from freshly conditioned raw
+//	                      entropy immediately before each output block —
+//	                      SP 800-90A prediction resistance, at physics
+//	                      cost.
+//	GET /healthz          JSON per-shard state, including each shard's
+//	                      latest assessed min-entropy, the assessment's
+//	                      age and epoch (the reseed-gating inputs), and
+//	                      the DRBG lane states in DRBG mode; 503 when no
+//	                      shard is healthy.
 //	GET /assess           JSON per-shard SP 800-90B assessment reports: the
 //	                      latest black-box min-entropy estimator table of each
 //	                      shard's raw bits (?shard=I for one shard; 404 until
@@ -21,6 +30,30 @@
 //
 // Backpressure: at most -queue requests are in flight; excess requests
 // are rejected immediately with 503 rather than piling onto the pool.
+//
+// # Serving modes: raw vs drbg
+//
+// -mode drbg (the default) serves the SP 800-90C construction: raw
+// oscillator bits never leave the daemon. Instead each shard's
+// assessed raw stream is tapped into a vetted conditioning function
+// (SP 800-90B §3.1.5.1.2, -cond hmac|cbcmac) that distills
+// full-entropy seed material — entropy accounted from the shard's own
+// latest SP 800-90B assessment — and one SP 800-90A DRBG lane per
+// shard (-drbg ctr|hmac) expands it at AES/SHA throughput. Output rate
+// is bounded by crypto, not physics (MB/s–GB/s instead of a few
+// hundred B/s per shard at calibrated physics); the physics budget
+// goes to continuous health surveillance and reseeds. Lanes reseed
+// every -reseed-interval output blocks and fail CLOSED: when a reseed
+// cannot obtain seed material from any healthy, current-epoch-assessed
+// shard within -seed-wait, the lane stops (503 once no lane is live)
+// rather than stretch a stale seed. /random is unavailable (503) until
+// the first per-shard assessment completes (~tens of seconds at
+// calibrated defaults): seed accounting needs an assessment.
+//
+// -mode raw serves the gated raw stream exactly as before (PR 2–4
+// behaviour); ?pr=1 is rejected. The modes are exclusive by design:
+// the seed tap mirrors the raw stream, so serving both from one pool
+// would correlate DRBG seeds with published output.
 //
 // # Online assessment
 //
@@ -65,9 +98,12 @@
 //
 // Usage:
 //
-//	trngd [-addr :8080] [-shards N] [-source ero|multiring] [-amp A]
-//	      [-leapfrog] [-divider K] [-post none|xor2|xor4|xor8|vn]
-//	      [-seed S] [-queue Q] [-maxbytes M] [-wait D] [-buf B]
+//	trngd [-addr :8080] [-mode drbg|raw] [-shards N]
+//	      [-source ero|multiring] [-amp A] [-leapfrog] [-divider K]
+//	      [-post none|xor2|xor4|xor8|vn] [-seed S] [-queue Q]
+//	      [-maxbytes M] [-wait D] [-buf B]
+//	      [-drbg ctr|hmac] [-cond hmac|cbcmac] [-reseed-interval N]
+//	      [-drbg-block B] [-seed-wait D] [-seedtap B]
 //	      [-assess] [-assess-bits N] [-assess-every N] [-assess-min H]
 //	      [-admin] [-cpuprofile F] [-memprofile F]
 package main
@@ -88,15 +124,18 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/conditioner"
 	"repro/internal/core"
 	"repro/internal/entropyd"
 	"repro/internal/profiling"
 )
 
 // server wraps the pool with HTTP concerns: the bounded in-flight
-// queue, request accounting and the endpoint handlers.
+// queue, request accounting and the endpoint handlers. drbg is non-nil
+// in DRBG mode and selects the expansion-layer serving path.
 type server struct {
 	pool     *entropyd.Pool
+	drbg     *entropyd.DRBGPool
 	sem      chan struct{} // bounded request queue
 	maxBytes int
 	wait     time.Duration
@@ -109,16 +148,26 @@ type server struct {
 	served   atomic.Uint64 // bytes delivered
 }
 
-// newServer assembles the handler set (split out for httptest).
-func newServer(pool *entropyd.Pool, queue, maxBytes int, wait time.Duration, admin bool) *server {
+// newServer assembles the handler set (split out for httptest); dp is
+// nil in raw mode.
+func newServer(pool *entropyd.Pool, dp *entropyd.DRBGPool, queue, maxBytes int, wait time.Duration, admin bool) *server {
 	return &server{
 		pool:     pool,
+		drbg:     dp,
 		sem:      make(chan struct{}, queue),
 		maxBytes: maxBytes,
 		wait:     wait,
 		admin:    admin,
 		start:    time.Now(),
 	}
+}
+
+// mode names the serving mode.
+func (s *server) mode() string {
+	if s.drbg != nil {
+		return "drbg"
+	}
+	return "raw"
 }
 
 // handler builds the route table.
@@ -154,6 +203,19 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bytes exceeds limit %d", s.maxBytes), http.StatusBadRequest)
 		return
 	}
+	pr := false
+	if q := r.URL.Query().Get("pr"); q != "" {
+		v, err := strconv.ParseBool(q)
+		if err != nil {
+			http.Error(w, "pr must be a boolean", http.StatusBadRequest)
+			return
+		}
+		if v && s.drbg == nil {
+			http.Error(w, "prediction resistance requires -mode drbg", http.StatusBadRequest)
+			return
+		}
+		pr = v
+	}
 	// Bounded queue: reject instead of queueing unboundedly.
 	select {
 	case s.sem <- struct{}{}:
@@ -163,14 +225,28 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "request queue full", http.StatusServiceUnavailable)
 		return
 	}
-	// ReadBuffered waits out the deadline internally; a short return
-	// means the healthy shards could not produce n bytes in time (or
-	// none are healthy). The partial bytes are dropped.
 	buf := make([]byte, n)
-	got, err := s.pool.ReadBuffered(buf, s.wait)
-	if err != nil && !errors.Is(err, entropyd.ErrStarved) && !errors.Is(err, entropyd.ErrNotServing) {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	var got int
+	var err error
+	if s.drbg != nil {
+		// DRBG mode: expansion-layer output. A short count means no
+		// lane could (re)seed in time — every shard quarantined,
+		// unassessed, or the tap starved. Fail closed with 503.
+		got, err = s.drbg.Generate(buf, pr, s.wait)
+		if err != nil && !errors.Is(err, entropyd.ErrSeedStarved) {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	} else {
+		// Raw mode: ReadBuffered waits out the deadline internally; a
+		// short return means the healthy shards could not produce n
+		// bytes in time (or none are healthy). The partial bytes are
+		// dropped.
+		got, err = s.pool.ReadBuffered(buf, s.wait)
+		if err != nil && !errors.Is(err, entropyd.ErrStarved) && !errors.Is(err, entropyd.ErrNotServing) {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 	}
 	if got < n {
 		// Starved or shutting down: either way the pool could not
@@ -185,17 +261,26 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf)
 }
 
-// healthzShard is the per-shard healthz payload.
+// healthzResponse is the /healthz payload. Each ShardStatus carries
+// the shard's latest assessed min-entropy, assessment age and epoch —
+// the inputs that gate DRBG reseeds — next to its health state; DRBG
+// is present in DRBG mode with the expansion-layer lane states.
 type healthzResponse struct {
 	Status  string                 `json:"status"`
+	Mode    string                 `json:"mode"`
 	Healthy int                    `json:"healthy"`
 	Shards  []entropyd.ShardStatus `json:"shards"`
+	DRBG    *entropyd.DRBGStats    `json:"drbg,omitempty"`
 }
 
 // handleHealthz is GET /healthz.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.pool.Stats()
-	resp := healthzResponse{Healthy: st.Healthy, Shards: st.Shards}
+	resp := healthzResponse{Mode: s.mode(), Healthy: st.Healthy, Shards: st.Shards}
+	if s.drbg != nil {
+		d := s.drbg.Stats()
+		resp.DRBG = &d
+	}
 	code := http.StatusOK
 	switch {
 	case st.Healthy == len(st.Shards):
@@ -300,6 +385,32 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "trngd_shard_assess_min_entropy{shard=\"%d\"} %g\n", sh.Index, sh.AssessMinEntropy)
 		}
 	}
+	fmt.Fprintf(w, "# HELP trngd_shard_assess_age_seconds Wall-clock age of the latest assessment.\n")
+	for _, sh := range st.Shards {
+		if sh.AssessRuns > 0 {
+			fmt.Fprintf(w, "trngd_shard_assess_age_seconds{shard=\"%d\"} %g\n", sh.Index, sh.AssessAgeSeconds)
+		}
+	}
+	if s.drbg == nil {
+		return
+	}
+	d := s.drbg.Stats()
+	fmt.Fprintf(w, "# HELP trngd_drbg_generates_total DRBG output blocks generated (%d bytes each).\n", d.BlockBytes)
+	fmt.Fprintf(w, "trngd_drbg_generates_total %d\n", d.Generates)
+	fmt.Fprintf(w, "# HELP trngd_drbg_reseeds_total Successful DRBG seeding events (instantiations included).\n")
+	fmt.Fprintf(w, "trngd_drbg_reseeds_total %d\n", d.Reseeds)
+	fmt.Fprintf(w, "# HELP trngd_drbg_reseed_failures_total Failed DRBG seeding events (lane failed closed for the turn).\n")
+	fmt.Fprintf(w, "trngd_drbg_reseed_failures_total %d\n", d.ReseedFailures)
+	fmt.Fprintf(w, "# HELP trngd_drbg_seed_draws_total Full-entropy conditioner blocks drawn from shard taps.\n")
+	fmt.Fprintf(w, "trngd_drbg_seed_draws_total %d\n", d.SeedDraws)
+	fmt.Fprintf(w, "# HELP trngd_drbg_seed_starves_total Seed draws that timed out with no eligible shard.\n")
+	fmt.Fprintf(w, "trngd_drbg_seed_starves_total %d\n", d.SeedStarves)
+	fmt.Fprintf(w, "# HELP trngd_drbg_lane_reseed_counter Generate calls since the lane's last seed (SP 800-90A reseed_counter).\n")
+	for _, l := range d.Lanes {
+		if l.Instantiated {
+			fmt.Fprintf(w, "trngd_drbg_lane_reseed_counter{lane=\"%d\"} %d\n", l.Shard, l.ReseedCounter)
+		}
+	}
 }
 
 // handleQuarantine is POST /quarantine?shard=I (admin only).
@@ -352,6 +463,7 @@ func main() {
 	log.SetPrefix("trngd: ")
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		mode        = flag.String("mode", "drbg", "serving mode: drbg (SP 800-90C expansion) or raw (gated raw stream)")
 		shards      = flag.Int("shards", 4, "independent generator shards")
 		source      = flag.String("source", "ero", "entropy source: ero or multiring")
 		amp         = flag.Float64("amp", 1, "jitter amplification over the paper model (1 = calibrated physics; >1 is an experiment knob)")
@@ -363,6 +475,12 @@ func main() {
 		maxBytes    = flag.Int("maxbytes", 1<<20, "largest /random request")
 		wait        = flag.Duration("wait", 5*time.Second, "max time to wait for the pool per request")
 		buf         = flag.Int("buf", 1<<16, "per-shard ring buffer bytes")
+		drbgKind    = flag.String("drbg", "ctr", "DRBG mechanism: ctr (CTR_DRBG-AES-256) or hmac (HMAC_DRBG-SHA-256)")
+		cond        = flag.String("cond", "hmac", "vetted conditioning: hmac (HMAC-SHA-256) or cbcmac (CBC-MAC/AES-256)")
+		reseedIv    = flag.Uint64("reseed-interval", 1024, "DRBG output blocks per seed (fail closed past it)")
+		drbgBlock   = flag.Int("drbg-block", 4096, "DRBG output block bytes (request-chunking granularity)")
+		seedWait    = flag.Duration("seed-wait", 2*time.Second, "max wait per DRBG seed draw before failing closed")
+		seedTap     = flag.Int("seedtap", 1<<13, "per-shard raw seed tap bytes (drbg mode)")
 		admin       = flag.Bool("admin", false, "enable POST /quarantine (operator drills)")
 		assess      = flag.Bool("assess", true, "periodic SP 800-90B raw-bit assessment per shard")
 		assessBits  = flag.Int("assess-bits", 1<<16, "raw bits per assessment sample")
@@ -405,6 +523,9 @@ func main() {
 		stopProf()
 		log.Fatalf("unknown source %q", *source)
 	}
+	if *mode != "raw" && *mode != "drbg" {
+		fatal(fmt.Errorf("unknown mode %q (raw or drbg)", *mode))
+	}
 
 	cfg := entropyd.Config{
 		Shards: *shards,
@@ -419,7 +540,37 @@ func main() {
 		},
 		BufBytes: *buf,
 	}
-	log.Printf("calibrating %d %s shard(s) (amp=%g divider=%d post=%s leapfrog=%v)...", *shards, *source, *amp, k, *post, *leapfrog)
+	var drbgCfg entropyd.DRBGConfig
+	if *mode == "drbg" {
+		cfg.SeedTapBytes = *seedTap
+		var condFn conditioner.Func
+		switch *cond {
+		case "hmac":
+			condFn = conditioner.NewHMACSHA256(nil)
+		case "cbcmac":
+			var err error
+			if condFn, err = conditioner.NewCBCMACAES256(nil); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("unknown conditioner %q (hmac or cbcmac)", *cond))
+		}
+		drbgCfg = entropyd.DRBGConfig{
+			ReseedInterval: *reseedIv,
+			BlockBytes:     *drbgBlock,
+			SeedWait:       *seedWait,
+			Seed:           entropyd.SeedConfig{Cond: condFn},
+		}
+		switch *drbgKind {
+		case "ctr":
+			drbgCfg.Kind = entropyd.DRBGCTR
+		case "hmac":
+			drbgCfg.Kind = entropyd.DRBGHMAC
+		default:
+			fatal(fmt.Errorf("unknown DRBG %q (ctr or hmac)", *drbgKind))
+		}
+	}
+	log.Printf("calibrating %d %s shard(s) (mode=%s amp=%g divider=%d post=%s leapfrog=%v)...", *shards, *source, *mode, *amp, k, *post, *leapfrog)
 	t0 := time.Now()
 	pool, err := entropyd.New(cfg)
 	if err != nil {
@@ -431,6 +582,15 @@ func main() {
 		log.Printf("  shard %d: %s (reason %s)", sh.Index, sh.State, sh.Reason)
 	}
 
+	var dp *entropyd.DRBGPool
+	if *mode == "drbg" {
+		if dp, err = pool.DRBGPool(drbgCfg); err != nil {
+			fatal(err)
+		}
+		log.Printf("drbg mode: %s lanes over %s conditioning, %d-byte blocks, reseed every %d blocks (output gated on the first per-shard assessment)",
+			drbgCfg.Kind, *cond, *drbgBlock, *reseedIv)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := pool.Serve(ctx); err != nil {
@@ -440,7 +600,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(pool, *queue, *maxBytes, *wait, *admin).handler(),
+		Handler: newServer(pool, dp, *queue, *maxBytes, *wait, *admin).handler(),
 	}
 	go func() {
 		<-ctx.Done()

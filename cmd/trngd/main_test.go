@@ -49,7 +49,7 @@ func startServed(t *testing.T, cfg entropyd.Config, queue int, admin bool) (*ent
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { pool.Stop(); cancel() })
-	return pool, newServer(pool, queue, 1<<16, 10*time.Second, admin).handler()
+	return pool, newServer(pool, nil, queue, 1<<16, 10*time.Second, admin).handler()
 }
 
 func TestRandomEndpoint(t *testing.T) {
@@ -406,7 +406,7 @@ func TestAssessNotReady(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := newServer(pool, 4, 1<<16, 10*time.Second, false).handler()
+	h := newServer(pool, nil, 4, 1<<16, 10*time.Second, false).handler()
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -438,6 +438,176 @@ func TestAssessNotReady(t *testing.T) {
 	resp.Body.Close()
 	if strings.Contains(string(body), "trngd_shard_assess_min_entropy{") {
 		t.Fatal("min-entropy gauge exported before any assessment")
+	}
+}
+
+// startServedDRBG builds a serving pool in DRBG mode plus its handler.
+func startServedDRBG(t *testing.T, cfg entropyd.Config, drbgCfg entropyd.DRBGConfig) (*entropyd.Pool, *entropyd.DRBGPool, http.Handler) {
+	t.Helper()
+	cfg.SeedTapBytes = 1 << 13
+	pool, err := entropyd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := pool.DRBGPool(drbgCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := pool.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Stop(); cancel() })
+	return pool, dp, newServer(pool, dp, 16, 1<<16, 10*time.Second, false).handler()
+}
+
+// TestDRBGMode drives the expansion-layer serving path end to end over
+// HTTP: /random serves DRBG bytes once assessments complete, ?pr=1
+// forces per-block reseeds, /healthz reports mode and the per-shard
+// reseed-gating inputs (assessed min-entropy + assessment age), and
+// /metrics exports the trngd_drbg_* counters advancing.
+func TestDRBGMode(t *testing.T) {
+	t.Parallel()
+	_, dp, h := startServedDRBG(t, assessConfig(2, 8), entropyd.DRBGConfig{BlockBytes: 1024, ReseedInterval: 4})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Output is gated on the first per-shard assessment; the serving
+	// producers complete it on their own (surveillance duty).
+	deadline := time.Now().Add(30 * time.Second)
+	var body []byte
+	for {
+		resp, err := http.Get(ts.URL + "/random?bytes=8192")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("unexpected status %d before assessment", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/random never came up in drbg mode")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(body) != 8192 {
+		t.Fatalf("got %d bytes", len(body))
+	}
+	if bytes.Equal(body, make([]byte, 8192)) {
+		t.Fatal("all-zero DRBG output")
+	}
+
+	// Prediction resistance.
+	st0 := dp.Stats()
+	resp, err := http.Get(ts.URL + "/random?bytes=2048&pr=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(prBody) != 2048 {
+		t.Fatalf("pr request: status %d, %d bytes", resp.StatusCode, len(prBody))
+	}
+	st1 := dp.Stats()
+	if st1.Reseeds-st0.Reseeds < 2 {
+		t.Fatalf("pr reseeds advanced %d, want >= 2 (one per block)", st1.Reseeds-st0.Reseeds)
+	}
+	if resp, err := http.Get(ts.URL + "/random?bytes=16&pr=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("pr=bogus: status %d", resp.StatusCode)
+		}
+	}
+
+	// /healthz: mode, drbg block, and the reseed-gating inputs.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Mode != "drbg" || hz.DRBG == nil {
+		t.Fatalf("healthz mode/drbg: %+v", hz)
+	}
+	if hz.DRBG.Generates == 0 || hz.DRBG.Reseeds == 0 {
+		t.Fatalf("healthz drbg counters flat: %+v", hz.DRBG)
+	}
+	for i, sh := range hz.Shards {
+		if sh.AssessMinEntropy <= 0 || sh.AssessMinEntropy > 1 {
+			t.Fatalf("shard %d: healthz min-entropy %g", i, sh.AssessMinEntropy)
+		}
+		if sh.AssessAgeSeconds < 0 || sh.AssessAgeSeconds > 300 {
+			t.Fatalf("shard %d: healthz assessment age %g", i, sh.AssessAgeSeconds)
+		}
+	}
+
+	// /metrics: the drbg counter family.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(mb)
+	for _, want := range []string{
+		"trngd_drbg_generates_total",
+		"trngd_drbg_reseeds_total",
+		"trngd_drbg_reseed_failures_total",
+		"trngd_drbg_seed_draws_total",
+		`trngd_drbg_lane_reseed_counter{lane="0"}`,
+		"trngd_shard_assess_age_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestRawModeRejectsPR: prediction resistance is a DRBG-mode contract.
+func TestRawModeRejectsPR(t *testing.T) {
+	t.Parallel()
+	_, h := startServed(t, testConfig(1, 9), 4, false)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/random?bytes=16&pr=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("raw-mode pr: status %d, want 400", resp.StatusCode)
+	}
+	// An explicit pr=0 is NOT a prediction-resistance request and must
+	// be served.
+	resp, err = http.Get(ts.URL + "/random?bytes=16&pr=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw-mode pr=0: status %d, want 200", resp.StatusCode)
+	}
+	// And /healthz reports raw mode with no drbg block.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Mode != "raw" || hz.DRBG != nil {
+		t.Fatalf("raw healthz: %+v", hz)
 	}
 }
 

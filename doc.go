@@ -55,13 +55,30 @@
 // health lifecycle (low min-entropy quarantines like any alarm) and
 // cmd/ea assesses captured raw-bit files offline.
 //
+// Expansion: internal/conditioner (SP 800-90B §3.1.5 vetted
+// conditioning — HMAC-SHA-256, CBC-MAC/AES-256 — with the
+// output-entropy credit formula) and internal/drbg (SP 800-90A
+// HMAC_DRBG and CTR_DRBG-AES-256, pinned against NIST CAVP vectors)
+// complete the SP 800-90C construction over the pool: entropyd's
+// SeedSource distills assessed raw bits into full-entropy seed
+// material — each shard's own latest assessment is the accounting
+// input — and its DRBGPool runs one DRBG lane per shard, reseeding
+// under the same health gates and failing closed on quarantine or
+// starvation. Served output rate is then bounded by AES/SHA
+// throughput instead of oscillator physics; cmd/trngd serves this by
+// default (-mode drbg, with /random?pr=1 prediction resistance) and
+// the raw gated stream with -mode raw.
+//
 // Entry points:
 //
 //   - internal/core.Model — the multilevel model façade
 //   - internal/experiments — regenerates every paper artifact
 //   - internal/engine — the deterministic campaign runner
 //   - internal/entropyd — the sharded, health-gated serving pool
+//     (SeedSource + DRBGPool are its expansion layer)
 //   - internal/sp90b — the SP 800-90B black-box assessment suite
+//   - internal/conditioner, internal/drbg — vetted conditioning and
+//     the SP 800-90A DRBG mechanisms
 //   - cmd/* — command-line tools (cmd/trngd is the entropy daemon)
 //   - examples/* — runnable walkthroughs
 //

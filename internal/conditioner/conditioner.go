@@ -1,0 +1,211 @@
+// Package conditioner implements the vetted conditioning components of
+// SP 800-90B §3.1.5.1.2 and the output-entropy accounting that goes
+// with them — the compression half of the SP 800-90C construction
+//
+//	entropy source → vetted conditioning → DRBG
+//
+// that turns an assessed physical source into full-entropy seed
+// material for a deterministic random bit generator (internal/drbg).
+//
+// A conditioning Func compresses n_in input bits carrying h_in bits of
+// assessed min-entropy (in this repository: raw oscillator bits times
+// the shard's latest SP 800-90B suite minimum, internal/sp90b) into
+// n_out output bits. Because the functions here are on the standard's
+// vetted list, the entropy of the output is credited by the closed
+// formula Output_Entropy(n_in, n_out, nw, h_in) of §3.1.5.1.2 — no
+// further black-box testing of the conditioned output is required —
+// capped at 0.999·n_out. Feeding the formula h_in ≥ n_out + 64 yields
+// output within 2⁻⁶⁴ of full entropy, the margin SP 800-90C requires
+// of full-entropy sources; RequiredInputBits computes the matching
+// input draw.
+package conditioner
+
+import (
+	"crypto/aes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"math"
+)
+
+// Func is one vetted conditioning component: a fixed compression
+// function from arbitrary-length input to OutputBits() bits whose
+// output entropy is credited by OutputEntropy. Implementations are
+// stateless and safe for concurrent use.
+type Func interface {
+	// Name identifies the component ("hmac-sha256", "cbcmac-aes256").
+	Name() string
+	// OutputBits is n_out, the output width in bits.
+	OutputBits() int
+	// NarrowestBits is nw, the narrowest internal width of the
+	// function (§3.1.5.1.2: the narrowest state the input is forced
+	// through; output width for HMAC, block width for CBC-MAC).
+	NarrowestBits() int
+	// Condition compresses in to OutputBits()/8 bytes. The input may
+	// be any length ≥ 1 byte; the entropy bookkeeping is the caller's
+	// job (the function itself is deterministic and public).
+	Condition(in []byte) []byte
+}
+
+// hmacSHA256 is HMAC with SHA-256 — on the vetted list for any
+// approved hash function. nw = n_out = 256.
+type hmacSHA256 struct{ key []byte }
+
+// defaultHMACKey is the fixed, public conditioning key. §3.1.5.1.2
+// places no secrecy requirement on the key — the credit formula holds
+// for any fixed key — it only has to be declared. The value is the
+// ASCII label below, padded by its SHA-256; using a named constant
+// keeps conditioned streams reproducible across processes.
+var defaultHMACKey = func() []byte {
+	label := []byte("repro/conditioner/hmac-sha256/v1")
+	sum := sha256.Sum256(label)
+	return sum[:]
+}()
+
+// NewHMACSHA256 builds the HMAC-SHA-256 conditioning component. A nil
+// key selects the package's fixed default key; the key is a public
+// parameter, not a secret (see §3.1.5.1.2).
+func NewHMACSHA256(key []byte) Func {
+	if key == nil {
+		key = defaultHMACKey
+	}
+	return &hmacSHA256{key: append([]byte(nil), key...)}
+}
+
+func (h *hmacSHA256) Name() string       { return "hmac-sha256" }
+func (h *hmacSHA256) OutputBits() int    { return 256 }
+func (h *hmacSHA256) NarrowestBits() int { return 256 }
+func (h *hmacSHA256) Condition(in []byte) []byte {
+	m := hmac.New(sha256.New, h.key)
+	m.Write(in)
+	return m.Sum(nil)
+}
+
+// cbcMACAES256 is CBC-MAC over AES-256 — the standard's block-cipher
+// conditioning alternative. nw = n_out = 128 (the block width). The
+// input is zero-padded to a whole number of 16-byte blocks; padding is
+// harmless for entropy accounting because the credit formula never
+// assumes injectivity, only that the function is fixed.
+type cbcMACAES256 struct{ key []byte }
+
+// defaultAESKey is the fixed, public CBC-MAC key (same reasoning as
+// defaultHMACKey).
+var defaultAESKey = func() []byte {
+	sum := sha256.Sum256([]byte("repro/conditioner/cbcmac-aes256/v1"))
+	return sum[:]
+}()
+
+// NewCBCMACAES256 builds the CBC-MAC/AES-256 conditioning component.
+// A nil key selects the fixed default; otherwise the key must be 32
+// bytes.
+func NewCBCMACAES256(key []byte) (Func, error) {
+	if key == nil {
+		key = defaultAESKey
+	}
+	if len(key) != 32 {
+		return nil, fmt.Errorf("conditioner: CBC-MAC key must be 32 bytes, got %d", len(key))
+	}
+	if _, err := aes.NewCipher(key); err != nil {
+		return nil, err
+	}
+	return &cbcMACAES256{key: append([]byte(nil), key...)}, nil
+}
+
+func (c *cbcMACAES256) Name() string       { return "cbcmac-aes256" }
+func (c *cbcMACAES256) OutputBits() int    { return 128 }
+func (c *cbcMACAES256) NarrowestBits() int { return 128 }
+func (c *cbcMACAES256) Condition(in []byte) []byte {
+	b, err := aes.NewCipher(c.key)
+	if err != nil {
+		// Unreachable: the key length is validated at construction.
+		panic(err)
+	}
+	var mac [16]byte
+	for off := 0; off < len(in); off += 16 {
+		var blk [16]byte
+		copy(blk[:], in[off:])
+		for i := range mac {
+			mac[i] ^= blk[i]
+		}
+		b.Encrypt(mac[:], mac[:])
+	}
+	if len(in) == 0 {
+		b.Encrypt(mac[:], mac[:])
+	}
+	return mac[:]
+}
+
+// OutputEntropy is the §3.1.5.1.2 credit formula: the min-entropy (in
+// bits) of the n_out-bit output of a vetted conditioning function fed
+// n_in input bits carrying h_in bits of min-entropy, where nw is the
+// function's narrowest internal width. Everything is computed in log2
+// space so the 2^n_in terms never overflow:
+//
+//	P_high = 2^(−h_in)
+//	P_low  = (1 − P_high) / (2^n_in − 1)
+//	n      = min(n_out, nw)
+//	ψ      = 2^(n_in−n)·P_low + P_high
+//	U      = 2^(n_in−n) + sqrt(2·n·2^(n_in−n)·ln 2)
+//	ω      = U·P_low
+//	Output_Entropy = −log2(max(ψ, ω))
+//
+// The result is at most n (the narrowest width bounds the credit) and
+// approaches it as h_in grows past n. It panics on invalid parameters
+// (n_in, n_out, nw < 1 or h_in outside (0, n_in]): callers feed it
+// validated configuration, not data.
+func OutputEntropy(nIn, nOut, nw int, hIn float64) float64 {
+	if nIn < 1 || nOut < 1 || nw < 1 {
+		panic(fmt.Sprintf("conditioner: invalid widths n_in=%d n_out=%d nw=%d", nIn, nOut, nw))
+	}
+	if !(hIn > 0) || hIn > float64(nIn) {
+		panic(fmt.Sprintf("conditioner: input entropy %g outside (0, %d]", hIn, nIn))
+	}
+	n := nOut
+	if nw < n {
+		n = nw
+	}
+	lgPhigh := -hIn
+	// log2(1 − 2^−h_in); Log1p keeps precision when h_in is large and
+	// 2^−h_in underflows to 0 (the term then vanishes exactly).
+	lg1mPhigh := math.Log1p(-math.Exp2(-hIn)) / math.Ln2
+	// log2(2^n_in − 1) = n_in + log2(1 − 2^−n_in).
+	lgDen := float64(nIn) + math.Log1p(-math.Exp2(-float64(nIn)))/math.Ln2
+	lgPlow := lg1mPhigh - lgDen
+	d := float64(nIn - n)
+	lgPsi := lgAdd(lgPlow+d, lgPhigh)
+	lgU := lgAdd(d, 0.5*(math.Log2(2*float64(n)*math.Ln2)+d))
+	lgOmega := lgU + lgPlow
+	return -math.Max(lgPsi, lgOmega)
+}
+
+// lgAdd returns log2(2^a + 2^b) without leaving log space.
+func lgAdd(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	return a + math.Log1p(math.Exp2(b-a))/math.Ln2
+}
+
+// VettedEntropy is the entropy credited to the output of a vetted
+// conditioning function: min(Output_Entropy, 0.999·n_out), the cap
+// §3.1.5.1.2 places even on vetted components.
+func VettedEntropy(nIn, nOut, nw int, hIn float64) float64 {
+	return math.Min(OutputEntropy(nIn, nOut, nw, hIn), 0.999*float64(nOut))
+}
+
+// RequiredInputBits returns the smallest n_in such that n_in·h ≥
+// n_out + headroom: the input draw that makes the conditioned output
+// full-entropy to within 2^−headroom (SP 800-90C uses headroom 64).
+// h is the assessed min-entropy per input bit in (0, 1].
+func RequiredInputBits(nOut, headroom int, h float64) (int, error) {
+	if nOut < 1 || headroom < 0 {
+		return 0, fmt.Errorf("conditioner: invalid n_out=%d headroom=%d", nOut, headroom)
+	}
+	if !(h > 0) || h > 1 {
+		return 0, fmt.Errorf("conditioner: per-bit entropy %g outside (0, 1]", h)
+	}
+	return int(math.Ceil(float64(nOut+headroom) / h)), nil
+}

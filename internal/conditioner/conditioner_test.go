@@ -1,0 +1,226 @@
+package conditioner
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"math/big"
+	"testing"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// TestHMACSHA256KAT pins the HMAC component against RFC 4231 test case
+// 1 (explicit key — a genuine external known answer) and against fixed
+// vectors for the package's default key (computed with an independent
+// implementation).
+func TestHMACSHA256KAT(t *testing.T) {
+	// RFC 4231 §4.2: key = 20×0x0b, data = "Hi There".
+	rfcKey := bytes.Repeat([]byte{0x0b}, 20)
+	got := NewHMACSHA256(rfcKey).Condition([]byte("Hi There"))
+	want := unhex(t, "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+	if !bytes.Equal(got, want) {
+		t.Errorf("RFC 4231 case 1: got %x want %x", got, want)
+	}
+
+	// Default-key vectors (key = SHA-256 of the package label).
+	f := NewHMACSHA256(nil)
+	if f.OutputBits() != 256 || f.NarrowestBits() != 256 {
+		t.Fatalf("hmac widths: n_out=%d nw=%d", f.OutputBits(), f.NarrowestBits())
+	}
+	got = f.Condition([]byte("abc"))
+	want = unhex(t, "09618bfffea00c6180c3ade05e75f64a22c747e154f1d528f748ced3671217f7")
+	if !bytes.Equal(got, want) {
+		t.Errorf("default key, 'abc': got %x want %x", got, want)
+	}
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	got = f.Condition(msg)
+	want = unhex(t, "df9d42718bb2187e937dfebf5c3bfa7bfaab711b1499c33e867a6e71093abc6f")
+	if !bytes.Equal(got, want) {
+		t.Errorf("default key, 0..63: got %x want %x", got, want)
+	}
+}
+
+// TestCBCMACAES256KAT pins the CBC-MAC component. A single 16-byte
+// block XORed into a zero IV is exactly one AES encryption, so the
+// FIPS 197 appendix C.3 known answer applies verbatim; the default-key
+// vectors (multi-block and zero-padded partial block) were computed
+// with an independent implementation.
+func TestCBCMACAES256KAT(t *testing.T) {
+	// FIPS 197 C.3: AES-256 of 00112233..eeff under key 000102..1f.
+	k, err := NewCBCMACAES256(unhex(t, "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.Condition(unhex(t, "00112233445566778899aabbccddeeff"))
+	want := unhex(t, "8ea2b7ca516745bfeafc49904b496089")
+	if !bytes.Equal(got, want) {
+		t.Errorf("FIPS 197 C.3: got %x want %x", got, want)
+	}
+
+	f, err := NewCBCMACAES256(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.OutputBits() != 128 || f.NarrowestBits() != 128 {
+		t.Fatalf("cbcmac widths: n_out=%d nw=%d", f.OutputBits(), f.NarrowestBits())
+	}
+	msg := make([]byte, 32)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	got = f.Condition(msg)
+	want = unhex(t, "155fa98519e046efdb82ef665cc58cb3")
+	if !bytes.Equal(got, want) {
+		t.Errorf("default key, two blocks: got %x want %x", got, want)
+	}
+	// Partial block: "seed" is zero-padded to 16 bytes.
+	got = f.Condition([]byte("seed"))
+	want = unhex(t, "e85f2685048366f9549b27d593d0cb40")
+	if !bytes.Equal(got, want) {
+		t.Errorf("default key, padded block: got %x want %x", got, want)
+	}
+
+	if _, err := NewCBCMACAES256(make([]byte, 16)); err == nil {
+		t.Error("16-byte key accepted; CBC-MAC/AES-256 requires 32")
+	}
+}
+
+// bigOutputEntropy re-computes the §3.1.5.1.2 formula with math/big at
+// 400 bits of precision — the brute-force reference the log-space
+// implementation is checked against.
+func bigOutputEntropy(nIn, nOut, nw int, hIn float64) float64 {
+	prec := uint(400)
+	one := big.NewFloat(1).SetPrec(prec)
+	exp2 := func(x float64) *big.Float {
+		// 2^x for possibly non-integer x: split into integer and
+		// fractional parts; the fractional factor fits a float64.
+		i, frac := math.Modf(x)
+		r := new(big.Float).SetPrec(prec).SetMantExp(one, int(i))
+		return r.Mul(r, big.NewFloat(math.Exp2(frac)).SetPrec(prec))
+	}
+	n := nOut
+	if nw < n {
+		n = nw
+	}
+	pHigh := exp2(-hIn)
+	den := new(big.Float).SetPrec(prec).SetMantExp(one, nIn)
+	den.Sub(den, one)
+	pLow := new(big.Float).SetPrec(prec).Sub(one, pHigh)
+	pLow.Quo(pLow, den)
+	pow := new(big.Float).SetPrec(prec).SetMantExp(one, nIn-n)
+	psi := new(big.Float).SetPrec(prec).Mul(pow, pLow)
+	psi.Add(psi, pHigh)
+	rootArg := new(big.Float).SetPrec(prec).Mul(pow, big.NewFloat(2*float64(n)*math.Ln2))
+	u := new(big.Float).SetPrec(prec).Add(pow, new(big.Float).Sqrt(rootArg))
+	omega := new(big.Float).SetPrec(prec).Mul(u, pLow)
+	m := psi
+	if omega.Cmp(psi) > 0 {
+		m = omega
+	}
+	// −log2(m) = −(exponent + log2(mantissa in [0.5, 1))).
+	mant := new(big.Float)
+	e := m.MantExp(mant)
+	mf, _ := mant.Float64()
+	return -(float64(e) + math.Log2(mf))
+}
+
+// TestOutputEntropyMatchesExact checks the log-space implementation
+// against the math/big reference across the parameter ranges the seed
+// path uses (and well past them).
+func TestOutputEntropyMatchesExact(t *testing.T) {
+	cases := []struct {
+		nIn, nOut, nw int
+		hIn           float64
+	}{
+		{512, 256, 256, 320},      // HMAC at the 90C full-entropy draw
+		{3200, 256, 256, 320},     // low per-bit entropy, long draw
+		{512, 128, 128, 192},      // CBC-MAC full-entropy draw
+		{1024, 256, 256, 80},      // under-provisioned input
+		{1024, 256, 256, 1024},    // full-entropy input
+		{256, 256, 256, 128},      // n_in = n_out
+		{2048, 256, 128, 300},     // nw narrower than n_out
+		{64, 256, 256, 32},        // n_in below n_out
+		{100000, 256, 256, 321.7}, // very long draw, fractional h
+		{512, 256, 256, 0.5},      // nearly no input entropy
+	}
+	for _, c := range cases {
+		got := OutputEntropy(c.nIn, c.nOut, c.nw, c.hIn)
+		want := bigOutputEntropy(c.nIn, c.nOut, c.nw, c.hIn)
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("OutputEntropy(%d,%d,%d,%g) = %.12g, exact %.12g",
+				c.nIn, c.nOut, c.nw, c.hIn, got, want)
+		}
+	}
+}
+
+// TestOutputEntropyProperties checks the structural guarantees the
+// seed accounting relies on: the credit never exceeds min(n_out, nw),
+// grows monotonically with input entropy, and reaches ≈ full output
+// entropy once h_in ≥ n_out + 64 (the SP 800-90C margin).
+func TestOutputEntropyProperties(t *testing.T) {
+	for _, nw := range []int{128, 256} {
+		nOut := nw
+		prev := 0.0
+		for _, hIn := range []float64{1, 16, 64, 128, 192, 256, 320, 400} {
+			nIn := 4096
+			h := OutputEntropy(nIn, nOut, nw, hIn)
+			if h > float64(nOut) {
+				t.Errorf("nw=%d h_in=%g: credit %g exceeds n_out %d", nw, hIn, h, nOut)
+			}
+			if h < prev {
+				t.Errorf("nw=%d: credit not monotone at h_in=%g (%g < %g)", nw, hIn, h, prev)
+			}
+			prev = h
+		}
+		full := OutputEntropy(4096, nOut, nw, float64(nOut+64))
+		if full < float64(nOut)-1e-9 {
+			// ψ = 2^−n(1+2^−64·…): within 2^−64 of full entropy, far
+			// inside a 1e-9 absolute tolerance.
+			t.Errorf("nw=%d: h_in=n_out+64 credits only %.12g of %d bits", nw, full, nOut)
+		}
+		if v := VettedEntropy(4096, nOut, nw, float64(nOut+64)); v != 0.999*float64(nOut) {
+			t.Errorf("nw=%d: vetted cap not applied: %g", nw, v)
+		}
+	}
+}
+
+// TestRequiredInputBits checks the 90C-margin draw computation.
+func TestRequiredInputBits(t *testing.T) {
+	n, err := RequiredInputBits(256, 64, 1)
+	if err != nil || n != 320 {
+		t.Errorf("h=1: got %d, %v; want 320", n, err)
+	}
+	n, err = RequiredInputBits(256, 64, 0.31)
+	if err != nil || n != 1033 {
+		// ceil(320/0.31) = ceil(1032.25...) = 1033.
+		t.Errorf("h=0.31: got %d, %v; want 1033", n, err)
+	}
+	if _, err := RequiredInputBits(256, 64, 0); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, err := RequiredInputBits(256, 64, 1.5); err == nil {
+		t.Error("h>1 accepted")
+	}
+	// The accounting loop closes: drawing RequiredInputBits at per-bit
+	// entropy h must credit ≥ 0.999·n_out through the vetted formula.
+	for _, h := range []float64{0.05, 0.31, 0.75, 1} {
+		nIn, err := RequiredInputBits(256, 64, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := VettedEntropy(nIn, 256, 256, h*float64(nIn)); v < 0.999*256 {
+			t.Errorf("h=%g: draw of %d bits credits only %g", h, nIn, v)
+		}
+	}
+}

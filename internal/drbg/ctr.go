@@ -1,0 +1,194 @@
+package drbg
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+)
+
+const (
+	ctrKeyLen  = 32                   // AES-256 key bytes
+	blockLen   = aes.BlockSize        // 16
+	ctrSeedLen = ctrKeyLen + blockLen // 48: seedlen for AES-256
+)
+
+// CTR is CTR_DRBG over AES-256 without a derivation function
+// (§10.2.1, df omitted): state (Key, V) of seedlen = 384 bits. Because
+// the derivation function is omitted, every entropy input MUST be full
+// entropy and exactly seedlen bytes (§10.2.1.3.1) — the contract the
+// vetted conditioner (internal/conditioner) upholds.
+type CTR struct {
+	key      []byte
+	v        []byte
+	block    cipher.Block // AES-256 under key; rebuilt after each update
+	counter  uint64
+	interval uint64
+	dead     bool
+}
+
+// CTRConfig parameterizes the instance.
+type CTRConfig struct {
+	// ReseedInterval is the maximum Generate calls per seed (default
+	// and ceiling MaxReseedInterval = 2^48).
+	ReseedInterval uint64
+}
+
+// NewCTR instantiates CTR_DRBG-AES-256 without df (§10.2.1.3.1):
+// entropy must be exactly seedlen = 48 bytes of full-entropy material;
+// personalization is optional and at most seedlen bytes (zero-padded,
+// XORed into the seed). No nonce is used (the full-entropy seed covers
+// it, per the no-df instantiation).
+func NewCTR(entropy, personalization []byte, cfg CTRConfig) (*CTR, error) {
+	if len(entropy) != ctrSeedLen {
+		return nil, fmt.Errorf("drbg: ctr (no df) entropy input must be exactly %d bytes, got %d", ctrSeedLen, len(entropy))
+	}
+	if len(personalization) > ctrSeedLen {
+		return nil, fmt.Errorf("drbg: ctr personalization %d bytes exceeds seedlen %d", len(personalization), ctrSeedLen)
+	}
+	interval := cfg.ReseedInterval
+	if interval == 0 {
+		interval = MaxReseedInterval
+	}
+	if interval > MaxReseedInterval {
+		return nil, fmt.Errorf("drbg: reseed interval %d exceeds 2^48", interval)
+	}
+	d := &CTR{
+		key:      make([]byte, ctrKeyLen),
+		v:        make([]byte, blockLen),
+		interval: interval,
+	}
+	var err error
+	if d.block, err = aes.NewCipher(d.key); err != nil {
+		return nil, err
+	}
+	seed := make([]byte, ctrSeedLen)
+	copy(seed, personalization)
+	for i, b := range entropy {
+		seed[i] ^= b
+	}
+	d.update(seed)
+	d.counter = 1
+	return d, nil
+}
+
+// Name implements DRBG.
+func (d *CTR) Name() string { return "ctr-drbg-aes256" }
+
+// SeedLen implements DRBG: seedlen = key + block = 48 bytes.
+func (d *CTR) SeedLen() int { return ctrSeedLen }
+
+// ReseedLen implements DRBG: without df, reseed needs a full seedlen.
+func (d *CTR) ReseedLen() int { return ctrSeedLen }
+
+// ReseedCounter implements DRBG.
+func (d *CTR) ReseedCounter() uint64 { return d.counter }
+
+// incV increments V as a 128-bit big-endian counter (§10.2.1.2).
+func (d *CTR) incV() {
+	for i := blockLen - 1; i >= 0; i-- {
+		d.v[i]++
+		if d.v[i] != 0 {
+			return
+		}
+	}
+}
+
+// update is CTR_DRBG_Update (§10.2.1.2): provided must be seedlen
+// bytes.
+func (d *CTR) update(provided []byte) {
+	var temp [ctrSeedLen]byte
+	for n := 0; n < ctrSeedLen; n += blockLen {
+		d.incV()
+		d.block.Encrypt(temp[n:n+blockLen], d.v)
+	}
+	for i := range temp {
+		temp[i] ^= provided[i]
+	}
+	copy(d.key, temp[:ctrKeyLen])
+	copy(d.v, temp[ctrKeyLen:])
+	var err error
+	if d.block, err = aes.NewCipher(d.key); err != nil {
+		// Unreachable: the key length is fixed.
+		panic(err)
+	}
+}
+
+// padSeed zero-pads additional input to seedlen.
+func padSeed(p []byte) ([]byte, error) {
+	if len(p) > ctrSeedLen {
+		return nil, fmt.Errorf("drbg: ctr additional input %d bytes exceeds seedlen %d", len(p), ctrSeedLen)
+	}
+	out := make([]byte, ctrSeedLen)
+	copy(out, p)
+	return out, nil
+}
+
+// Reseed implements DRBG (§10.2.1.4.1, no df): entropy must be exactly
+// seedlen bytes of full-entropy material.
+func (d *CTR) Reseed(entropy, additional []byte) error {
+	if d.dead {
+		return ErrUninstantiated
+	}
+	if len(entropy) != ctrSeedLen {
+		return fmt.Errorf("drbg: ctr reseed entropy must be exactly %d bytes, got %d", ctrSeedLen, len(entropy))
+	}
+	seed, err := padSeed(additional)
+	if err != nil {
+		return err
+	}
+	for i, b := range entropy {
+		seed[i] ^= b
+	}
+	d.update(seed)
+	d.counter = 1
+	return nil
+}
+
+// Generate implements DRBG (§10.2.1.5.1).
+func (d *CTR) Generate(out, additional []byte) error {
+	if d.dead {
+		return ErrUninstantiated
+	}
+	if len(out) > MaxRequestBytes {
+		return ErrRequestTooLarge
+	}
+	if d.counter > d.interval {
+		return ErrReseedRequired
+	}
+	var add []byte
+	if len(additional) > 0 {
+		var err error
+		if add, err = padSeed(additional); err != nil {
+			return err
+		}
+		d.update(add)
+	} else {
+		add = make([]byte, ctrSeedLen)
+	}
+	var tmp [blockLen]byte
+	for n := 0; n < len(out); n += blockLen {
+		d.incV()
+		if len(out)-n >= blockLen {
+			d.block.Encrypt(out[n:n+blockLen], d.v)
+		} else {
+			d.block.Encrypt(tmp[:], d.v)
+			copy(out[n:], tmp[:])
+		}
+	}
+	d.update(add)
+	d.counter++
+	return nil
+}
+
+// Uninstantiate implements DRBG: zeroize and retire (§9.4).
+func (d *CTR) Uninstantiate() {
+	for i := range d.key {
+		d.key[i] = 0
+	}
+	for i := range d.v {
+		d.v[i] = 0
+	}
+	d.block = nil
+	d.counter = 0
+	d.dead = true
+}

@@ -1,0 +1,97 @@
+// Package drbg implements the two deterministic random bit generator
+// mechanisms of NIST SP 800-90A Rev. 1 used by the serving layer:
+// HMAC_DRBG over SHA-256 (§10.1.2) and CTR_DRBG over AES-256 without a
+// derivation function (§10.2.1). Both provide the full 256-bit
+// security strength and the standard instantiate / reseed / generate /
+// uninstantiate life cycle with reseed-counter semantics.
+//
+// This is the expansion half of the SP 800-90C construction: the
+// entropy source (internal/trng, internal/multiring behind
+// internal/entropyd) is slow physics; its raw bits are compressed to
+// full-entropy seed material by a vetted conditioning function
+// (internal/conditioner) and expanded here at AES/SHA throughput.
+// Because CTR_DRBG omits the derivation function, its entropy input
+// MUST be full entropy (exactly SeedLen bytes) — which is precisely
+// what the conditioner provides; HMAC_DRBG tolerates arbitrary input
+// distributions but is fed the same full-entropy material.
+//
+// # Determinism and request boundaries
+//
+// A DRBG's output depends on the request boundaries, not only on the
+// total byte count: every Generate call finishes with a state update
+// (§10.1.2.5 step 6, §10.2.1.5.1 step 6), so Generate(64) differs from
+// Generate(32)+Generate(32). Callers who need a chunking-invariant
+// stream (entropyd.DRBGPool) must generate in fixed-size blocks and
+// slice requests out of them.
+//
+// # Reseed semantics
+//
+// reseed_counter counts Generate calls since the last (re)seed,
+// starting at 1. When it would exceed the configured ReseedInterval,
+// Generate fails with ErrReseedRequired and produces NO output: the
+// mechanism fails closed rather than stretching a stale seed. The
+// standard's ceiling on the interval is 2^48 for both mechanisms
+// (Table 2, Table 3).
+//
+// The implementations are correct against the NIST CAVP known-answer
+// vectors (see cavp_test.go) and zeroize their working state on
+// Uninstantiate (§9.4).
+package drbg
+
+import "errors"
+
+// MaxRequestBytes is the per-Generate ceiling: 2^19 bits (§10, Table 2
+// and Table 3, max_number_of_bits_per_request).
+const MaxRequestBytes = (1 << 19) / 8
+
+// MaxReseedInterval is the standard's ceiling on Generate calls
+// between reseeds (2^48, Tables 2 and 3).
+const MaxReseedInterval = uint64(1) << 48
+
+// SecurityStrength is the security strength in bits of both
+// mechanisms as instantiated here (SHA-256 / AES-256).
+const SecurityStrength = 256
+
+var (
+	// ErrReseedRequired is returned by Generate when the reseed
+	// counter has exceeded the reseed interval. No output is produced;
+	// the caller must Reseed with fresh entropy input first.
+	ErrReseedRequired = errors.New("drbg: reseed required")
+	// ErrUninstantiated is returned by operations on an instance after
+	// Uninstantiate.
+	ErrUninstantiated = errors.New("drbg: instance is uninstantiated")
+	// ErrRequestTooLarge is returned by Generate for requests beyond
+	// MaxRequestBytes.
+	ErrRequestTooLarge = errors.New("drbg: request exceeds 2^19 bits")
+)
+
+// DRBG is the common mechanism interface (§9): one instantiated
+// generator with its internal state. Implementations are NOT safe for
+// concurrent use; callers serialize access (entropyd.DRBGPool owns one
+// instance per lane).
+type DRBG interface {
+	// Name identifies the mechanism ("hmac-drbg-sha256",
+	// "ctr-drbg-aes256").
+	Name() string
+	// SeedLen is the entropy-input length in bytes the mechanism
+	// requires: the minimum for Instantiate (HMAC_DRBG: security
+	// strength plus the nonce it is folded with) and the exact length
+	// for Reseed of CTR_DRBG (no derivation function).
+	SeedLen() int
+	// ReseedLen is the entropy-input length in bytes Reseed requires.
+	ReseedLen() int
+	// Reseed mixes fresh entropy input (ReseedLen bytes; CTR_DRBG
+	// requires exactly that, HMAC_DRBG at least it) and optional
+	// additional input into the state and resets the reseed counter.
+	Reseed(entropy, additional []byte) error
+	// Generate fills out with pseudorandom bytes (§9.3). It fails
+	// closed with ErrReseedRequired once the reseed interval is
+	// exhausted, having produced nothing.
+	Generate(out, additional []byte) error
+	// ReseedCounter returns the number of Generate calls since the
+	// last (re)seed, plus one (the standard's reseed_counter).
+	ReseedCounter() uint64
+	// Uninstantiate zeroizes the internal state (§9.4); all later
+	// calls fail with ErrUninstantiated.
+	Uninstantiate()
+}

@@ -1,0 +1,219 @@
+package drbg
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+)
+
+// testSeed derives deterministic pseudo-entropy for semantics tests
+// (the KATs pin correctness; these pin the life-cycle contract).
+func testSeed(label string, n int) []byte {
+	out := make([]byte, 0, n+sha256.Size)
+	for i := 0; len(out) < n; i++ {
+		s := sha256.Sum256([]byte(label + string(rune('a'+i))))
+		out = append(out, s[:]...)
+	}
+	return out[:n]
+}
+
+func newTestDRBG(t *testing.T, mech string, cfg uint64) DRBG {
+	t.Helper()
+	switch mech {
+	case "hmac":
+		d, err := NewHMAC(testSeed("e", 32), testSeed("n", 16), nil, HMACConfig{ReseedInterval: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	case "ctr":
+		d, err := NewCTR(testSeed("e", 48), nil, CTRConfig{ReseedInterval: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	t.Fatalf("unknown mech %q", mech)
+	return nil
+}
+
+// TestReseedIntervalFailsClosed: generate succeeds exactly
+// ReseedInterval times per seed, then fails with ErrReseedRequired and
+// produces no output until a reseed resets the counter.
+func TestReseedIntervalFailsClosed(t *testing.T) {
+	for _, mech := range []string{"hmac", "ctr"} {
+		t.Run(mech, func(t *testing.T) {
+			const interval = 3
+			d := newTestDRBG(t, mech, interval)
+			out := make([]byte, 32)
+			for i := 0; i < interval; i++ {
+				if err := d.Generate(out, nil); err != nil {
+					t.Fatalf("generate %d within interval: %v", i, err)
+				}
+			}
+			canary := append([]byte(nil), out...)
+			if err := d.Generate(out, nil); err != ErrReseedRequired {
+				t.Fatalf("generate past interval: err = %v, want ErrReseedRequired", err)
+			}
+			if !bytes.Equal(out, canary) {
+				t.Error("failed generate wrote output — must fail closed")
+			}
+			if c := d.ReseedCounter(); c != interval+1 {
+				t.Errorf("reseed counter = %d, want %d", c, interval+1)
+			}
+			if err := d.Reseed(testSeed("r", d.ReseedLen()), nil); err != nil {
+				t.Fatalf("reseed: %v", err)
+			}
+			if c := d.ReseedCounter(); c != 1 {
+				t.Errorf("counter after reseed = %d, want 1", c)
+			}
+			if err := d.Generate(out, nil); err != nil {
+				t.Fatalf("generate after reseed: %v", err)
+			}
+			if bytes.Equal(out, canary) {
+				t.Error("output unchanged across reseed")
+			}
+		})
+	}
+}
+
+// TestRequestBoundariesMatter documents the §10 state-update-per-call
+// semantics the DRBGPool's fixed-block layer exists to paper over:
+// one Generate(2n) differs from two Generate(n) beyond the first n
+// bytes.
+func TestRequestBoundariesMatter(t *testing.T) {
+	for _, mech := range []string{"hmac", "ctr"} {
+		t.Run(mech, func(t *testing.T) {
+			a := newTestDRBG(t, mech, 0)
+			b := newTestDRBG(t, mech, 0)
+			one := make([]byte, 64)
+			if err := a.Generate(one, nil); err != nil {
+				t.Fatal(err)
+			}
+			two := make([]byte, 64)
+			if err := b.Generate(two[:32], nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Generate(two[32:], nil); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(one[:32], two[:32]) {
+				t.Error("first 32 bytes differ — same seed must agree before the first update")
+			}
+			if bytes.Equal(one[32:], two[32:]) {
+				t.Error("chunked output equals unchunked — update-per-call semantics lost")
+			}
+		})
+	}
+}
+
+// TestDeterminism: identical seed material yields identical streams.
+func TestDeterminism(t *testing.T) {
+	for _, mech := range []string{"hmac", "ctr"} {
+		t.Run(mech, func(t *testing.T) {
+			a := newTestDRBG(t, mech, 0)
+			b := newTestDRBG(t, mech, 0)
+			x, y := make([]byte, 777), make([]byte, 777)
+			for i := 0; i < 3; i++ {
+				if err := a.Generate(x, nil); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Generate(y, nil); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(x, y) {
+					t.Fatalf("round %d: streams diverge", i)
+				}
+			}
+		})
+	}
+}
+
+// TestUninstantiate: the state is zeroized and every operation fails.
+func TestUninstantiate(t *testing.T) {
+	t.Run("hmac", func(t *testing.T) {
+		d := newTestDRBG(t, "hmac", 0).(*HMAC)
+		d.Uninstantiate()
+		for _, b := range append(append([]byte(nil), d.key...), d.v...) {
+			if b != 0 {
+				t.Fatal("state not zeroized")
+			}
+		}
+		if err := d.Generate(make([]byte, 16), nil); err != ErrUninstantiated {
+			t.Errorf("generate after uninstantiate: %v", err)
+		}
+		if err := d.Reseed(testSeed("r", 32), nil); err != ErrUninstantiated {
+			t.Errorf("reseed after uninstantiate: %v", err)
+		}
+	})
+	t.Run("ctr", func(t *testing.T) {
+		d := newTestDRBG(t, "ctr", 0).(*CTR)
+		d.Uninstantiate()
+		for _, b := range append(append([]byte(nil), d.key...), d.v...) {
+			if b != 0 {
+				t.Fatal("state not zeroized")
+			}
+		}
+		if err := d.Generate(make([]byte, 16), nil); err != ErrUninstantiated {
+			t.Errorf("generate after uninstantiate: %v", err)
+		}
+	})
+}
+
+// TestRequestAndParameterLimits: the §10 per-request cap, interval
+// ceiling, and entropy-length requirements are enforced.
+func TestRequestAndParameterLimits(t *testing.T) {
+	d := newTestDRBG(t, "hmac", 0)
+	if err := d.Generate(make([]byte, MaxRequestBytes+1), nil); err != ErrRequestTooLarge {
+		t.Errorf("oversized request: %v", err)
+	}
+	if err := d.Generate(make([]byte, MaxRequestBytes), nil); err != nil {
+		t.Errorf("max-size request: %v", err)
+	}
+	if _, err := NewHMAC(testSeed("e", 31), testSeed("n", 16), nil, HMACConfig{}); err == nil {
+		t.Error("short hmac entropy accepted")
+	}
+	if _, err := NewHMAC(testSeed("e", 32), testSeed("n", 15), nil, HMACConfig{}); err == nil {
+		t.Error("short hmac nonce accepted")
+	}
+	if _, err := NewHMAC(testSeed("e", 32), testSeed("n", 16), nil, HMACConfig{ReseedInterval: MaxReseedInterval + 1}); err == nil {
+		t.Error("interval beyond 2^48 accepted")
+	}
+	if _, err := NewCTR(testSeed("e", 47), nil, CTRConfig{}); err == nil {
+		t.Error("short ctr entropy accepted")
+	}
+	if _, err := NewCTR(testSeed("e", 49), nil, CTRConfig{}); err == nil {
+		t.Error("long ctr entropy accepted (no df requires exactly seedlen)")
+	}
+	if _, err := NewCTR(testSeed("e", 48), testSeed("p", 49), CTRConfig{}); err == nil {
+		t.Error("oversized ctr personalization accepted")
+	}
+	c := newTestDRBG(t, "ctr", 0)
+	if err := c.Reseed(testSeed("r", 32), nil); err == nil {
+		t.Error("short ctr reseed entropy accepted")
+	}
+}
+
+// TestPersonalizationSeparates: distinct personalization strings yield
+// distinct streams from identical entropy (the per-lane domain
+// separation the DRBGPool relies on).
+func TestPersonalizationSeparates(t *testing.T) {
+	a, err := NewHMAC(testSeed("e", 32), testSeed("n", 16), []byte("lane-0"), HMACConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHMAC(testSeed("e", 32), testSeed("n", 16), []byte("lane-1"), HMACConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := make([]byte, 64), make([]byte, 64)
+	if err := a.Generate(x, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Generate(y, nil); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(x, y) {
+		t.Error("personalization did not separate streams")
+	}
+}

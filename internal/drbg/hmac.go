@@ -1,0 +1,148 @@
+package drbg
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+)
+
+// outlen is the SHA-256 output length in bytes.
+const outlen = sha256.Size
+
+// HMAC is HMAC_DRBG over SHA-256 (§10.1.2): state (Key, V) of one hash
+// output each, updated through the HMAC_DRBG_Update construction.
+type HMAC struct {
+	key      []byte
+	v        []byte
+	counter  uint64 // reseed_counter
+	interval uint64
+	dead     bool
+}
+
+// HMACConfig parameterizes the instance.
+type HMACConfig struct {
+	// ReseedInterval is the maximum Generate calls per seed (default
+	// and ceiling MaxReseedInterval = 2^48).
+	ReseedInterval uint64
+}
+
+// NewHMAC instantiates HMAC_DRBG (§10.1.2.3): entropy must carry at
+// least the security strength (32 bytes), nonce at least half of it
+// (16 bytes); personalization is optional (≤ 2^35 bits, practically
+// unbounded here). The full-entropy seed path draws entropy and nonce
+// together from the conditioner.
+func NewHMAC(entropy, nonce, personalization []byte, cfg HMACConfig) (*HMAC, error) {
+	if len(entropy) < SecurityStrength/8 {
+		return nil, fmt.Errorf("drbg: hmac entropy input %d bytes, need >= %d", len(entropy), SecurityStrength/8)
+	}
+	if len(nonce) < SecurityStrength/16 {
+		return nil, fmt.Errorf("drbg: hmac nonce %d bytes, need >= %d", len(nonce), SecurityStrength/16)
+	}
+	interval := cfg.ReseedInterval
+	if interval == 0 {
+		interval = MaxReseedInterval
+	}
+	if interval > MaxReseedInterval {
+		return nil, fmt.Errorf("drbg: reseed interval %d exceeds 2^48", interval)
+	}
+	d := &HMAC{
+		key:      make([]byte, outlen),
+		v:        make([]byte, outlen),
+		interval: interval,
+	}
+	for i := range d.v {
+		d.v[i] = 0x01
+	}
+	seed := make([]byte, 0, len(entropy)+len(nonce)+len(personalization))
+	seed = append(seed, entropy...)
+	seed = append(seed, nonce...)
+	seed = append(seed, personalization...)
+	d.update(seed)
+	d.counter = 1
+	return d, nil
+}
+
+// Name implements DRBG.
+func (d *HMAC) Name() string { return "hmac-drbg-sha256" }
+
+// SeedLen implements DRBG: entropy (32) plus nonce (16) for
+// instantiation.
+func (d *HMAC) SeedLen() int { return SecurityStrength/8 + SecurityStrength/16 }
+
+// ReseedLen implements DRBG: reseed needs the security strength.
+func (d *HMAC) ReseedLen() int { return SecurityStrength / 8 }
+
+// ReseedCounter implements DRBG.
+func (d *HMAC) ReseedCounter() uint64 { return d.counter }
+
+// update is HMAC_DRBG_Update (§10.1.2.2).
+func (d *HMAC) update(provided []byte) {
+	mac := func(key []byte, parts ...[]byte) []byte {
+		m := hmac.New(sha256.New, key)
+		for _, p := range parts {
+			m.Write(p)
+		}
+		return m.Sum(nil)
+	}
+	d.key = mac(d.key, d.v, []byte{0x00}, provided)
+	d.v = mac(d.key, d.v)
+	if len(provided) == 0 {
+		return
+	}
+	d.key = mac(d.key, d.v, []byte{0x01}, provided)
+	d.v = mac(d.key, d.v)
+}
+
+// Reseed implements DRBG (§10.1.2.4).
+func (d *HMAC) Reseed(entropy, additional []byte) error {
+	if d.dead {
+		return ErrUninstantiated
+	}
+	if len(entropy) < d.ReseedLen() {
+		return fmt.Errorf("drbg: hmac reseed entropy %d bytes, need >= %d", len(entropy), d.ReseedLen())
+	}
+	seed := make([]byte, 0, len(entropy)+len(additional))
+	seed = append(seed, entropy...)
+	seed = append(seed, additional...)
+	d.update(seed)
+	d.counter = 1
+	return nil
+}
+
+// Generate implements DRBG (§10.1.2.5).
+func (d *HMAC) Generate(out, additional []byte) error {
+	if d.dead {
+		return ErrUninstantiated
+	}
+	if len(out) > MaxRequestBytes {
+		return ErrRequestTooLarge
+	}
+	if d.counter > d.interval {
+		return ErrReseedRequired
+	}
+	if len(additional) > 0 {
+		d.update(additional)
+	}
+	h := hmac.New(sha256.New, d.key)
+	for n := 0; n < len(out); n += outlen {
+		h.Reset()
+		h.Write(d.v)
+		d.v = h.Sum(d.v[:0])
+		copy(out[n:], d.v)
+	}
+	d.update(additional)
+	d.counter++
+	return nil
+}
+
+// Uninstantiate implements DRBG: zeroize and retire (§9.4).
+func (d *HMAC) Uninstantiate() {
+	for i := range d.key {
+		d.key[i] = 0
+	}
+	for i := range d.v {
+		d.v[i] = 0
+	}
+	d.counter = 0
+	d.dead = true
+}

@@ -38,6 +38,51 @@ func BenchmarkPoolThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPoolDRBGThroughput measures the expansion layer end to end:
+// DRBGPool.Generate over a seeded pool, in bytes/sec, for both
+// mechanisms. Scripted sources stand in for the physics so the number
+// isolates the serving path (conditioned seeding amortizes to ~0 at
+// the default reseed interval); together with BenchmarkPoolThroughput
+// (the raw calibrated path) it is the ISSUE-5 trajectory pair: output
+// rate bounded by AES/SHA throughput instead of oscillator physics.
+func BenchmarkPoolDRBGThroughput(b *testing.B) {
+	for _, kind := range []DRBGKind{DRBGCTR, DRBGHMAC} {
+		b.Run(kind.String(), func(b *testing.B) {
+			p, err := New(Config{
+				Shards:       4,
+				Seed:         3,
+				NewSource:    goodScript,
+				Health:       assessHealth(0),
+				SeedTapBytes: 1 << 15,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Prime: every shard assessed, every tap charged.
+			if _, err := p.Fill(make([]byte, 4*4096)); err != nil {
+				b.Fatal(err)
+			}
+			dp, err := p.DRBGPool(DRBGConfig{
+				Kind: kind,
+				// One seed per lane for the whole run: the benchmark
+				// measures expansion, not physics.
+				ReseedInterval: 1 << 40,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 1<<16)
+			b.SetBytes(int64(len(buf)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if n, err := dp.Generate(buf, false, 0); err != nil || n != len(buf) {
+					b.Fatalf("Generate = (%d, %v)", n, err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkShardProduce isolates one shard's gated generation (no
 // pool fan-out): the per-lane cost floor.
 func BenchmarkShardProduce(b *testing.B) {

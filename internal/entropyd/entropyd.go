@@ -231,6 +231,19 @@ type Config struct {
 	// BufBytes is the per-shard serve-mode ring capacity (default
 	// 64 KiB, rounded up to a power of two, minimum one fill block).
 	BufBytes int
+	// SeedTapBytes, when > 0, gives every shard a raw seed tap of this
+	// capacity (rounded up to a power of two): a passive mirror of the
+	// healthy-epoch raw bits, packed MSB-first, that SeedSource drains
+	// through a vetted conditioner into DRBG seed material. The tap
+	// never changes the output stream, but its contents are raw-stream
+	// material: a deployment must serve EITHER the raw stream OR
+	// DRBG output, never both from one pool (cmd/trngd's -mode switch
+	// enforces this). In serve mode a tapped pool also keeps producing
+	// (and discarding) raw bits while its output ring is full, so the
+	// embedded tests, assessments and the tap stay live without a raw
+	// consumer. Requires assessment (DisableAssess must be false):
+	// the assessed min-entropy is the seed accounting input.
+	SeedTapBytes int
 
 	// NewSource, when non-nil, replaces the Source-derived generator
 	// factory. It receives the shard index, the calibration epoch and
@@ -314,6 +327,14 @@ func New(cfg Config) (*Pool, error) {
 	if cfg.BufBytes < fillBlock {
 		return nil, fmt.Errorf("entropyd: ring capacity %d below one fill block (%d)", cfg.BufBytes, fillBlock)
 	}
+	if cfg.SeedTapBytes > 0 {
+		if cfg.Health.DisableAssess {
+			return nil, fmt.Errorf("entropyd: the seed tap needs the SP 800-90B assessment (it is the entropy accounting input); enable assessment or disable the tap")
+		}
+		if cfg.SeedTapBytes < rawChunk/8 {
+			return nil, fmt.Errorf("entropyd: seed tap capacity %d below one packed raw chunk (%d)", cfg.SeedTapBytes, rawChunk/8)
+		}
+	}
 
 	p := &Pool{cfg: cfg, rrLeft: fillBlock}
 	p.shards = make([]*Shard, cfg.Shards)
@@ -323,6 +344,9 @@ func New(cfg Config) (*Pool, error) {
 			pool:  p,
 			seed:  engine.DeriveSeed(cfg.Seed, uint64(i)),
 			ring:  newRing(cfg.BufBytes),
+		}
+		if cfg.SeedTapBytes > 0 {
+			p.shards[i].tap = newRing(cfg.SeedTapBytes)
 		}
 	}
 	err := engine.Run(context.Background(), cfg.Shards, func(_ context.Context, i int) error {
@@ -622,10 +646,22 @@ type ShardStatus struct {
 	// AssessRuns counts completed SP 800-90B raw-bit assessments;
 	// AssessMinEntropy is the latest suite minimum (meaningful only
 	// when AssessRuns > 0) and AssessAlarms the low-entropy
-	// quarantines it caused.
+	// quarantines it caused. AssessAgeSeconds is the wall-clock age of
+	// the latest report (-1 before the first one) and AssessEpoch the
+	// calibration epoch it describes — together with State these are
+	// the reseed-gating inputs: a shard seeds DRBGs only while
+	// healthy with a current-epoch assessment.
 	AssessRuns       uint64  `json:"assess_runs"`
 	AssessAlarms     uint64  `json:"assess_alarms"`
 	AssessMinEntropy float64 `json:"assess_min_entropy"`
+	AssessAgeSeconds float64 `json:"assess_age_seconds"`
+	AssessEpoch      int64   `json:"assess_epoch"`
+	// Seed-tap bookkeeping (zero when the tap is disabled): raw bytes
+	// mirrored into the tap, dropped on a full tap, and consumed by
+	// seed draws.
+	TapBytes      uint64 `json:"tap_bytes"`
+	TapDropped    uint64 `json:"tap_dropped"`
+	SeedBytesUsed uint64 `json:"seed_bytes_used"`
 }
 
 // Stats is a point-in-time snapshot of the pool. BytesServed counts
@@ -648,24 +684,30 @@ func (p *Pool) Stats() Stats {
 			st.Healthy++
 		}
 		st.Shards[i] = ShardStatus{
-			Index:           i,
-			State:           state.String(),
-			Reason:          s.LastReason().String(),
-			Epoch:           s.Epoch(),
-			BytesOut:        s.bytesOut.Load(),
-			RawBits:         s.rawBits.Load(),
-			TotAlarms:       s.totAlarms.Load(),
-			MonitorLow:      s.monLow.Load(),
-			MonitorHigh:     s.monHigh.Load(),
-			StartupFailures: s.startupFails.Load(),
-			Quarantines:     s.quarantines.Load(),
-			DrainedBytes:    s.drainedBytes.Load(),
-			Buffered:        s.ring.buffered(),
-			AssessRuns:      s.assessRuns.Load(),
-			AssessAlarms:    s.assessAlarms.Load(),
+			Index:            i,
+			State:            state.String(),
+			Reason:           s.LastReason().String(),
+			Epoch:            s.Epoch(),
+			BytesOut:         s.bytesOut.Load(),
+			RawBits:          s.rawBits.Load(),
+			TotAlarms:        s.totAlarms.Load(),
+			MonitorLow:       s.monLow.Load(),
+			MonitorHigh:      s.monHigh.Load(),
+			StartupFailures:  s.startupFails.Load(),
+			Quarantines:      s.quarantines.Load(),
+			DrainedBytes:     s.drainedBytes.Load(),
+			Buffered:         s.ring.buffered(),
+			AssessRuns:       s.assessRuns.Load(),
+			AssessAlarms:     s.assessAlarms.Load(),
+			AssessAgeSeconds: -1,
+			TapBytes:         s.tapBytes.Load(),
+			TapDropped:       s.tapDropped.Load(),
+			SeedBytesUsed:    s.seedBytes.Load(),
 		}
 		if a := s.LastAssessment(); a != nil {
 			st.Shards[i].AssessMinEntropy = a.Report.MinEntropy
+			st.Shards[i].AssessAgeSeconds = time.Since(a.At).Seconds()
+			st.Shards[i].AssessEpoch = a.Epoch
 		}
 	}
 	return st

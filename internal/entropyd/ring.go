@@ -78,20 +78,30 @@ func (r *ring) drain() int {
 	return buffered
 }
 
+// applyDrain fast-forwards the head past a pending drain watermark and
+// returns the new head. Consumer-side. Popping does this implicitly;
+// consumers that gate pops on buffered() (the seed tap) call it first,
+// because buffered bytes below the watermark are doomed AND keep
+// occupying producer-visible space until the head moves past them.
+func (r *ring) applyDrain() uint64 {
+	h := r.head.Load()
+	if d := r.drainUpTo.Load(); d > h {
+		if t := r.tail.Load(); d > t {
+			d = t
+		}
+		r.head.Store(d)
+		return d
+	}
+	return h
+}
+
 // pop moves up to len(p) bytes into p and returns the count. Consumer-
 // side; the pool serializes consumers. A pending drain watermark is
 // applied first, so post-quarantine pops never see pre-quarantine
 // bytes.
 func (r *ring) pop(p []byte) int {
-	h := r.head.Load()
+	h := r.applyDrain()
 	t := r.tail.Load()
-	if d := r.drainUpTo.Load(); d > h {
-		if d > t {
-			d = t
-		}
-		h = d
-		r.head.Store(h)
-	}
 	n := int(t - h)
 	if n == 0 {
 		return 0

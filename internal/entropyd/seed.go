@@ -1,0 +1,200 @@
+package entropyd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/conditioner"
+)
+
+// ErrSeedStarved is returned by SeedSource.Seed (and surfaces through
+// DRBGPool.Generate) when no shard can currently supply seed material:
+// every shard is quarantined, unassessed in its current epoch, or its
+// tap has not yet accumulated a full draw. It is the fail-closed
+// signal of the expansion layer — reseed failure is an error, never a
+// silent reuse of stale seed material.
+var ErrSeedStarved = errors.New("entropyd: no healthy assessed shard can supply seed material")
+
+// seedPoll is the SeedSource's wait granularity while a draw is short
+// of raw bits (serve-mode producers refill taps continuously; this
+// only paces the re-check).
+const seedPoll = time.Millisecond
+
+// SeedConfig parameterizes a SeedSource.
+type SeedConfig struct {
+	// Cond is the vetted conditioning component (default
+	// conditioner.NewHMACSHA256(nil)).
+	Cond conditioner.Func
+	// HeadroomBits is the extra input min-entropy collected beyond the
+	// conditioner's output width, making each output block full-
+	// entropy to within 2^-HeadroomBits (default 64, the SP 800-90C
+	// margin).
+	HeadroomBits int
+	// MinEntropy is an optional floor on the assessed per-bit
+	// min-entropy a shard must carry to be seed-eligible (default 0:
+	// any positive assessment qualifies; pools run with an alarm
+	// threshold quarantine low shards anyway).
+	MinEntropy float64
+}
+
+// SeedSource drains raw bits from the pool's per-shard seed taps
+// through a vetted conditioning function into full-entropy seed
+// material, with SP 800-90B §3.1.5.1.2 entropy bookkeeping: each
+// output block of Cond.OutputBits() bits consumes
+// RequiredInputBits(n_out, headroom, h) raw bits from ONE shard, where
+// h is that shard's latest same-epoch assessed suite min-entropy. The
+// vetted credit formula is re-checked on every draw; a block is only
+// emitted when it credits at least 0.999·n_out bits.
+//
+// Safe for concurrent use (draws are serialized).
+type SeedSource struct {
+	pool     *Pool
+	cond     conditioner.Func
+	headroom int
+	minH     float64
+
+	mu sync.Mutex
+
+	draws   atomic.Uint64
+	starves atomic.Uint64
+}
+
+// SeedSourceStats is a point-in-time snapshot of a SeedSource.
+type SeedSourceStats struct {
+	// Conditioner is the conditioning component name.
+	Conditioner string `json:"conditioner"`
+	// Draws counts emitted full-entropy blocks; Starves counts draws
+	// that timed out with ErrSeedStarved.
+	Draws   uint64 `json:"draws"`
+	Starves uint64 `json:"starves"`
+}
+
+// SeedSource builds a seed source over the pool's taps. The pool must
+// have been configured with SeedTapBytes > 0 (and therefore with the
+// assessment enabled).
+func (p *Pool) SeedSource(cfg SeedConfig) (*SeedSource, error) {
+	if p.cfg.SeedTapBytes == 0 {
+		return nil, errors.New("entropyd: pool has no seed tap (Config.SeedTapBytes)")
+	}
+	if cfg.Cond == nil {
+		cfg.Cond = conditioner.NewHMACSHA256(nil)
+	}
+	if cfg.HeadroomBits == 0 {
+		cfg.HeadroomBits = 64
+	}
+	if cfg.HeadroomBits < 0 {
+		return nil, fmt.Errorf("entropyd: negative seed headroom %d", cfg.HeadroomBits)
+	}
+	if cfg.MinEntropy < 0 || cfg.MinEntropy >= 1 {
+		return nil, fmt.Errorf("entropyd: seed entropy floor %g out of [0, 1)", cfg.MinEntropy)
+	}
+	if cfg.Cond.OutputBits()%8 != 0 || cfg.Cond.OutputBits() < 64 {
+		return nil, fmt.Errorf("entropyd: conditioner output %d bits unusable", cfg.Cond.OutputBits())
+	}
+	return &SeedSource{
+		pool:     p,
+		cond:     cfg.Cond,
+		headroom: cfg.HeadroomBits,
+		minH:     cfg.MinEntropy,
+	}, nil
+}
+
+// Stats snapshots the source counters.
+func (s *SeedSource) Stats() SeedSourceStats {
+	return SeedSourceStats{
+		Conditioner: s.cond.Name(),
+		Draws:       s.draws.Load(),
+		Starves:     s.starves.Load(),
+	}
+}
+
+// Seed fills dst with full-entropy seed material, drawing conditioner
+// blocks from eligible shards. prefer names the shard tried first on
+// every block (lane affinity; -1 for none) — other shards are fallback
+// in index order, so a quarantined lane shard degrades to pool-level
+// seeding instead of failing while the pool is healthy. Waits up to
+// wait for raw bits to accumulate; fails closed with ErrSeedStarved
+// (dst is zeroed) when the deadline passes without an eligible shard
+// completing a draw.
+func (s *SeedSource) Seed(dst []byte, prefer int, wait time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	deadline := time.Now().Add(wait)
+	for off := 0; off < len(dst); {
+		block, err := s.drawBlock(prefer, deadline)
+		if err != nil {
+			for i := range dst {
+				dst[i] = 0
+			}
+			return err
+		}
+		off += copy(dst[off:], block)
+	}
+	return nil
+}
+
+// drawBlock produces one conditioned output block from the first
+// eligible shard, preferring the given shard index.
+func (s *SeedSource) drawBlock(prefer int, deadline time.Time) ([]byte, error) {
+	nOut := s.cond.OutputBits()
+	shards := s.pool.shards
+	start := 0
+	if prefer >= 0 && prefer < len(shards) {
+		start = prefer
+	}
+	for {
+		for k := 0; k < len(shards); k++ {
+			sh := shards[(start+k)%len(shards)]
+			// Clear any pending quarantine drain first, even on
+			// ineligible shards: doomed bytes below the watermark
+			// occupy tap space the producer cannot reuse until the
+			// consumer side moves past them.
+			sh.tap.applyDrain()
+			h, ok := sh.seedEntropy(s.minH)
+			if !ok {
+				continue
+			}
+			nIn, err := conditioner.RequiredInputBits(nOut, s.headroom, h)
+			if err != nil {
+				continue
+			}
+			nBytes := (nIn + 7) / 8
+			if nBytes > sh.tap.capacity() {
+				// This shard's assessed entropy is so low that a full
+				// draw never fits its tap; it cannot seed.
+				continue
+			}
+			if sh.tap.buffered() < nBytes {
+				continue
+			}
+			buf := make([]byte, nBytes)
+			if got := sh.tap.pop(buf); got < nBytes {
+				// A quarantine drain raced the draw; the popped
+				// prefix is suspect — discard it and move on.
+				continue
+			}
+			if sh.State() != StateHealthy {
+				// Quarantined between the eligibility check and the
+				// pop: treat the bytes as drained.
+				continue
+			}
+			// Re-check the vetted credit with the actual draw size
+			// (defensive: RequiredInputBits already guarantees it).
+			nBits := 8 * nBytes
+			if conditioner.VettedEntropy(nBits, nOut, s.cond.NarrowestBits(), h*float64(nBits)) < 0.999*float64(nOut) {
+				continue
+			}
+			sh.seedBytes.Add(uint64(nBytes))
+			s.draws.Add(1)
+			return s.cond.Condition(buf), nil
+		}
+		if !time.Now().Before(deadline) {
+			s.starves.Add(1)
+			return nil, ErrSeedStarved
+		}
+		time.Sleep(seedPoll)
+	}
+}

@@ -90,6 +90,18 @@ func (p *Pool) runShard(ctx context.Context, s *Shard) {
 			}
 			free := s.ring.free()
 			if free == 0 {
+				if s.tap != nil {
+					// Surveillance duty (DRBG mode): nothing drains
+					// the raw stream, but the embedded tests, the
+					// periodic assessment and the seed tap all live
+					// off fresh raw bits — the hardware analogue of a
+					// free-running source under continuous health
+					// monitoring. Produce a block and discard the
+					// gated bytes (the output ring is full; a tapped
+					// pool serves DRBG output, not the raw stream).
+					s.produce(chunk)
+					continue
+				}
 				if !sleepCtx(ctx, idlePoll) {
 					return
 				}

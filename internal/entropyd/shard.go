@@ -3,6 +3,7 @@ package entropyd
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ais31"
 	"repro/internal/engine"
@@ -142,6 +143,15 @@ type Shard struct {
 	// Serve-mode output buffer.
 	ring *ring
 
+	// Raw seed tap (Config.SeedTapBytes > 0): a second SPSC ring the
+	// owner goroutine mirrors packed raw chunks into while Healthy,
+	// drained by SeedSource draws on the consumer side. Like the
+	// assessment collector it is passive — it copies bits the shard
+	// generates anyway, so enabling it never changes the output
+	// stream. tapScratch is the pack buffer.
+	tap        *ring
+	tapScratch []byte
+
 	// Published state (atomics; readable from any goroutine).
 	state        atomic.Int32
 	reason       atomic.Int32
@@ -158,6 +168,9 @@ type Shard struct {
 	assessRuns   atomic.Uint64
 	assessAlarms atomic.Uint64
 	lastAssess   atomic.Pointer[Assessment]
+	tapBytes     atomic.Uint64
+	tapDropped   atomic.Uint64
+	seedBytes    atomic.Uint64
 }
 
 // Assessment is one completed SP 800-90B raw-bit assessment of a
@@ -170,6 +183,9 @@ type Assessment struct {
 	// RawBits is the shard's raw-bit counter when the sample
 	// completed.
 	RawBits uint64 `json:"raw_bits"`
+	// At is the wall-clock completion time (status/metrics only; no
+	// deterministic path reads it).
+	At time.Time `json:"at"`
 	// Report is the estimator suite verdict.
 	Report sp90b.Report `json:"report"`
 }
@@ -348,6 +364,11 @@ func (s *Shard) quarantine(r Reason) {
 	if s.ring != nil {
 		s.drainedBytes.Add(uint64(s.ring.drain()))
 	}
+	if s.tap != nil {
+		// Tapped raw bits of the failed epoch are as suspect as the
+		// gated output: discard them so no seed draw ever sees them.
+		s.tap.drain()
+	}
 }
 
 // gateChunk pulls one rawChunk of source bits through the embedded
@@ -383,6 +404,19 @@ func (s *Shard) gateChunk() ([]byte, Reason) {
 	if !h.DisableAssess {
 		if r := s.collectAssessment(raw); r != ReasonNone {
 			return nil, r
+		}
+	}
+	if s.tap != nil && s.State() == StateHealthy {
+		// Mirror the chunk into the seed tap, packed MSB-first. Only
+		// healthy-epoch bits are tapped (startup-test bits are not),
+		// and a full tap drops the chunk rather than stalling
+		// production: raw bits are not scarce, bounded memory is.
+		packed := s.packChunk(raw)
+		if s.tap.free() >= len(packed) {
+			s.tap.push(packed)
+			s.tapBytes.Add(uint64(len(packed)))
+		} else {
+			s.tapDropped.Add(uint64(len(packed)))
 		}
 	}
 	bits := raw
@@ -430,6 +464,7 @@ func (s *Shard) collectAssessment(raw []byte) Reason {
 		Shard:   s.index,
 		Epoch:   s.epoch.Load(),
 		RawBits: s.rawBits.Load(),
+		At:      time.Now(),
 		Report:  rep,
 	})
 	if t := h.AssessMinEntropy; t > 0 && rep.MinEntropy < t {
@@ -488,4 +523,48 @@ func (s *Shard) produce(dst []byte) int {
 		s.bitpos = 0
 		s.bitbuf = append(s.bitbuf, gated...)
 	}
+}
+
+// packChunk packs a raw-bit chunk MSB-first into the shard's tap
+// scratch buffer (same layout as postproc.Pack, allocation-free).
+func (s *Shard) packChunk(bits []byte) []byte {
+	n := (len(bits) + 7) / 8
+	if cap(s.tapScratch) < n {
+		s.tapScratch = make([]byte, n)
+	}
+	out := s.tapScratch[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	for i, b := range bits {
+		if b&1 == 1 {
+			out[i/8] |= 0x80 >> (i % 8)
+		}
+	}
+	return out
+}
+
+// seedEntropy reports whether the shard may currently contribute seed
+// material, and at what assessed per-bit min-entropy. Eligibility is
+// strict: the shard must be Healthy AND carry a completed SP 800-90B
+// assessment of the CURRENT calibration epoch (a report from before
+// the last recalibration describes a different source build and does
+// not count) whose suite minimum is positive and at least minH. The
+// credit is capped at 1 bit/bit.
+func (s *Shard) seedEntropy(minH float64) (float64, bool) {
+	if s.State() != StateHealthy {
+		return 0, false
+	}
+	a := s.LastAssessment()
+	if a == nil || a.Epoch != s.Epoch() {
+		return 0, false
+	}
+	h := a.Report.MinEntropy
+	if h <= 0 || h < minH {
+		return 0, false
+	}
+	if h > 1 {
+		h = 1
+	}
+	return h, true
 }

@@ -1,0 +1,75 @@
+package postproc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPackUnpack fuzzes the byte→bit→byte round trip: Unpack always
+// yields 8 bits per byte, and Pack inverts it exactly for every input.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{0x80, 0x01})
+	f.Add([]byte{0xAA, 0x55, 0xDE, 0xAD, 0xBE, 0xEF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bits := Unpack(data)
+		if len(bits) != 8*len(data) {
+			t.Fatalf("Unpack(%d bytes) = %d bits, want %d", len(data), len(bits), 8*len(data))
+		}
+		for i, b := range bits {
+			if b > 1 {
+				t.Fatalf("bit %d = %d, want 0 or 1", i, b)
+			}
+			// MSB-first pin: bit i is byte i/8 under mask 0x80>>(i%8).
+			want := byte(0)
+			if data[i/8]&(0x80>>(i%8)) != 0 {
+				want = 1
+			}
+			if b != want {
+				t.Fatalf("bit %d = %d, want %d (MSB-first ordering)", i, b, want)
+			}
+		}
+		if got := Pack(bits); !bytes.Equal(got, data) {
+			t.Fatalf("Pack(Unpack(%x)) = %x", data, got)
+		}
+	})
+}
+
+// FuzzUnpackPack fuzzes the bit→byte→bit round trip, including
+// partial-byte tails and non-binary bit bytes (Pack reads only the low
+// bit): the packed form decodes to the original bits masked to their
+// low bit, with zero padding after the tail.
+func FuzzUnpackPack(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1}, uint8(3))
+	f.Add([]byte{1, 0, 1, 1, 0, 1, 0, 0, 1}, uint8(0))
+	f.Add([]byte{0xFE, 0x03, 1, 1}, uint8(7)) // non-binary bit bytes
+	f.Fuzz(func(t *testing.T, bits []byte, trim uint8) {
+		// Exercise every tail length, not only multiples of 8.
+		if int(trim) < len(bits) {
+			bits = bits[:len(bits)-int(trim)]
+		}
+		packed := Pack(bits)
+		if want := (len(bits) + 7) / 8; len(packed) != want {
+			t.Fatalf("Pack(%d bits) = %d bytes, want %d", len(bits), len(packed), want)
+		}
+		back := Unpack(packed)
+		if len(back) < len(bits) {
+			t.Fatalf("round trip lost bits: %d -> %d", len(bits), len(back))
+		}
+		for i, b := range bits {
+			if back[i] != b&1 {
+				t.Fatalf("bit %d: %d -> %d", i, b&1, back[i])
+			}
+		}
+		// Partial-byte edge: the zero padding Pack appends must decode
+		// to zeros.
+		for i := len(bits); i < len(back); i++ {
+			if back[i] != 0 {
+				t.Fatalf("padding bit %d = %d, want 0", i, back[i])
+			}
+		}
+	})
+}

@@ -51,8 +51,14 @@ func Parity(bits []byte) byte {
 	return p & 1
 }
 
-// Pack packs bits MSB-first into bytes; the final partial byte (if any)
-// is zero-padded on the right.
+// Pack packs bits MSB-first into bytes: stream bit i lands in output
+// byte i/8 under mask 0x80 >> (i%8), so the FIRST bit of the stream is
+// the MOST significant bit of the first byte. The final partial byte
+// (if any) is zero-padded on the right (toward the LSB). Only the low
+// bit of each input byte is read. Pack and Unpack are exact inverses
+// on whole-byte streams; for a stream whose length is not a multiple
+// of 8, Unpack(Pack(bits))[:len(bits)] == bits&1 and the padding bits
+// decode to zeros.
 func Pack(bits []byte) []byte {
 	out := make([]byte, (len(bits)+7)/8)
 	for i, b := range bits {
@@ -63,7 +69,10 @@ func Pack(bits []byte) []byte {
 	return out
 }
 
-// Unpack expands bytes into bits MSB-first.
+// Unpack expands bytes into bits MSB-first — the exact inverse of
+// Pack: output bit i is byte i/8 under mask 0x80 >> (i%8), most
+// significant bit first. Every input byte yields exactly 8 output bits
+// (values 0 or 1); Pack(Unpack(data)) == data for any data.
 func Unpack(data []byte) []byte {
 	out := make([]byte, len(data)*8)
 	for i := range out {

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeRandom is an httptest stand-in for trngd's /random: serves the
+// requested byte count, with optional per-request latency and
+// scripted 503s.
+type fakeRandom struct {
+	delay    time.Duration
+	every503 uint64 // every Nth request 503s (0 = never)
+	hits     atomic.Uint64
+}
+
+func (f *fakeRandom) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("bytes"))
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.every503 > 0 && f.hits.Add(1)%f.every503 == 0 {
+		http.Error(w, "pool unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write(make([]byte, n))
+}
+
+func TestRunClosed(t *testing.T) {
+	t.Parallel()
+	ts := httptest.NewServer(&fakeRandom{})
+	defer ts.Close()
+	client := newClient(8, 5*time.Second)
+
+	const want = 2048
+	cnt, h, elapsed := runClosed(client, randomURL(ts.URL, want, false), want, 4, 300*time.Millisecond)
+	r := buildResult("t", "closed", 4, 0, want, cnt, h, elapsed)
+	if r.Requests == 0 || r.OK != r.Requests || r.Errors != 0 || r.HTTP503 != 0 {
+		t.Fatalf("closed run: %+v", r)
+	}
+	if r.Latency.Count != r.Requests {
+		t.Fatalf("latency count %d != requests %d", r.Latency.Count, r.Requests)
+	}
+	if r.BytesPerSec <= 0 || r.OKPerSec <= 0 {
+		t.Fatalf("no goodput: %+v", r)
+	}
+	if got := uint64(float64(r.OK) * want); cnt.bytesOK.Load() != got {
+		t.Fatalf("bytesOK %d, want %d", cnt.bytesOK.Load(), got)
+	}
+}
+
+func TestRunClosedCounts503(t *testing.T) {
+	t.Parallel()
+	ts := httptest.NewServer(&fakeRandom{every503: 2}) // every other request fails
+	defer ts.Close()
+	client := newClient(2, 5*time.Second)
+
+	cnt, h, elapsed := runClosed(client, randomURL(ts.URL, 64, false), 64, 2, 200*time.Millisecond)
+	r := buildResult("t", "closed", 2, 0, 64, cnt, h, elapsed)
+	if r.HTTP503 == 0 || r.OK == 0 {
+		t.Fatalf("503 scripting not observed: %+v", r)
+	}
+	if r.OK+r.HTTP503 != r.Requests {
+		t.Fatalf("tally mismatch: %+v", r)
+	}
+	if rate := r.unavailRate(); rate < 0.3 || rate > 0.7 {
+		t.Fatalf("unavailability %.2f, want ~0.5", rate)
+	}
+}
+
+// TestRunOpenPacing: a fast server at a modest rate completes every
+// arrival without shedding, and the arrival count tracks rate×duration.
+func TestRunOpenPacing(t *testing.T) {
+	t.Parallel()
+	ts := httptest.NewServer(&fakeRandom{})
+	defer ts.Close()
+	client := newClient(64, 5*time.Second)
+
+	const rate, dur = 200.0, 500 * time.Millisecond
+	cnt, h, elapsed := runOpen(client, randomURL(ts.URL, 64, false), 64, rate, 64, dur)
+	r := buildResult("t", "open", 0, rate, 64, cnt, h, elapsed)
+	if r.Shed != 0 || r.Errors != 0 {
+		t.Fatalf("open run shed/errored: %+v", r)
+	}
+	arrivals := float64(r.Requests)
+	want := rate * dur.Seconds()
+	if arrivals < want*0.5 || arrivals > want*1.5 {
+		t.Fatalf("arrivals %v, want ≈ %v", arrivals, want)
+	}
+	if r.Latency.Count != r.Requests {
+		t.Fatalf("latency count %d != requests %d", r.Latency.Count, r.Requests)
+	}
+}
+
+// TestRunOpenSheds: a slow server with a tight in-flight cap forces
+// the open loop to shed arrivals instead of queueing them.
+func TestRunOpenSheds(t *testing.T) {
+	t.Parallel()
+	ts := httptest.NewServer(&fakeRandom{delay: 100 * time.Millisecond})
+	defer ts.Close()
+	client := newClient(1, 5*time.Second)
+
+	cnt, h, elapsed := runOpen(client, randomURL(ts.URL, 64, false), 64, 100, 1, 400*time.Millisecond)
+	r := buildResult("t", "open", 0, 100, 64, cnt, h, elapsed)
+	if r.Shed == 0 {
+		t.Fatalf("overloaded open loop never shed: %+v", r)
+	}
+	if r.unavailRate() <= satUnavail {
+		t.Fatalf("unavailability %.3f should flag saturation", r.unavailRate())
+	}
+}
+
+// knee detection on synthetic sweeps.
+func TestFindKnee(t *testing.T) {
+	t.Parallel()
+	mk := func(name string, goodput float64, req, bad uint64) Result {
+		return Result{Name: name, BytesPerSec: goodput, Requests: req, HTTP503: bad}
+	}
+	// Scaling 1→2→4, flat 4→8: knee at c=4, saturated.
+	sweep := []Result{
+		mk("c=1", 100e6, 1000, 0),
+		mk("c=2", 190e6, 2000, 0),
+		mk("c=4", 360e6, 4000, 0),
+		mk("c=8", 370e6, 8000, 0),
+	}
+	s := findKnee(sweep)
+	if s == nil || s.KneeName != "c=4" || !s.Saturated {
+		t.Fatalf("knee verdict: %+v", s)
+	}
+	// Still scaling at the last step: not saturated.
+	s = findKnee(sweep[:3])
+	if s == nil || s.KneeName != "c=4" || s.Saturated {
+		t.Fatalf("scaling verdict: %+v", s)
+	}
+	// A failing step saturates regardless of goodput shape.
+	failing := []Result{
+		mk("c=1", 100e6, 1000, 0),
+		mk("c=2", 200e6, 2000, 100),
+	}
+	s = findKnee(failing)
+	if s == nil || !s.Saturated {
+		t.Fatalf("failing-step verdict: %+v", s)
+	}
+	// Single step: no knee to find.
+	if s := findKnee(sweep[:1]); s != nil {
+		t.Fatalf("single-step sweep produced a verdict: %+v", s)
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	t.Parallel()
+	if got, err := parseInts("1, 2,4"); err != nil || fmt.Sprint(got) != "[1 2 4]" {
+		t.Fatalf("parseInts: %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("parseInts accepted garbage")
+	}
+	if _, err := parseInts("0"); err == nil {
+		t.Fatal("parseInts accepted zero")
+	}
+	if got, err := parseFloats("100,2.5"); err != nil || fmt.Sprint(got) != "[100 2.5]" {
+		t.Fatalf("parseFloats: %v, %v", got, err)
+	}
+	if _, err := parseFloats("-1"); err == nil {
+		t.Fatal("parseFloats accepted negative")
+	}
+	if got, err := parseInts(""); err != nil || got != nil {
+		t.Fatalf("empty list: %v, %v", got, err)
+	}
+}
+
+func TestRandomURL(t *testing.T) {
+	t.Parallel()
+	if got := randomURL("http://x", 4096, false); got != "http://x/random?bytes=4096" {
+		t.Fatal(got)
+	}
+	if got := randomURL("http://x", 64, true); got != "http://x/random?bytes=64&pr=1" {
+		t.Fatal(got)
+	}
+}
+
+// TestWaitReady: readiness polls through 503s until the target serves.
+func TestWaitReady(t *testing.T) {
+	t.Parallel()
+	var hits atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write(make([]byte, 16))
+	}))
+	defer ts.Close()
+	client := newClient(1, time.Second)
+	if err := waitReady(client, ts.URL, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitReady(client, "http://127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Fatal("unreachable target reported ready")
+	}
+}

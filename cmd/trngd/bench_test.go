@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/entropyd"
+)
+
+// nullWriter is a reusable http.ResponseWriter that discards the body:
+// the handler benchmark measures the handler's own allocations, not a
+// recorder's buffering. The header map is created once and reused —
+// the handler overwrite-assigns the same keys every request, exactly
+// as net/http reuses a connection's header map.
+type nullWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *nullWriter) Header() http.Header { return w.h }
+func (w *nullWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return len(p), nil
+}
+func (w *nullWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+
+// benchHandlerServer builds a serving server value (not a full HTTP
+// stack) for handler benchmarks, in raw or drbg mode. The background
+// assessment duty cycle is quiesced (raw: off; drbg: one quick
+// assessment, then a practically-infinite cadence) so the measured
+// allocations are the request path's, not the estimator suite's.
+func benchHandlerServer(b *testing.B, mode string) *server {
+	b.Helper()
+	cfg := testConfig(2, 77)
+	cfg.Health.DisableAssess = true
+	if mode == "drbg" {
+		cfg = assessConfig(2, 77)
+		cfg.Health.AssessEveryBits = 1 << 40
+		cfg.SeedTapBytes = 1 << 13
+	}
+	pool, err := entropyd.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dp *entropyd.DRBGPool
+	if mode == "drbg" {
+		// A long reseed interval keeps seed draws (physics) out of the
+		// steady-state measurement, like the entropyd benchmarks.
+		if dp, err = pool.DRBGPool(entropyd.DRBGConfig{ReseedInterval: 1 << 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := pool.Serve(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { pool.Stop(); cancel() })
+	return newServer(pool, dp, 16, 1<<20, 10*time.Second, false)
+}
+
+// BenchmarkHandleRandom measures the /random hot path end to end
+// through the handler — query parsing, queue admission, pooled buffer,
+// generate, header assignment, write — and proves the steady-state
+// request allocates nothing (B/op ≈ 0): the pooled respBuf replaces
+// the per-request make([]byte, n), the Content-Length render is
+// cached, and the Content-Type slice is shared. 4096 bytes is one
+// DRBG block, so the drbg mode number is the daemon's default
+// serving unit.
+func BenchmarkHandleRandom(b *testing.B) {
+	for _, mode := range []string{"raw", "drbg"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			s := benchHandlerServer(b, mode)
+			req := httptest.NewRequest(http.MethodGet, "/random?bytes=4096", nil)
+			w := &nullWriter{h: make(http.Header, 4)}
+			// Warm until the mode serves (drbg gates output on the first
+			// per-shard assessment) and the header caches are hot.
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				w.code = 0
+				s.handleRandom(w, req)
+				if w.code == http.StatusOK {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatalf("mode %s never served (status %d)", mode, w.code)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			b.SetBytes(4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.code = 0
+				s.handleRandom(w, req)
+				if w.code != http.StatusOK {
+					b.Fatalf("status %d", w.code)
+				}
+			}
+		})
+	}
+}

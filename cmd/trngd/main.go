@@ -117,9 +117,12 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -127,6 +130,7 @@ import (
 	"repro/internal/conditioner"
 	"repro/internal/core"
 	"repro/internal/entropyd"
+	"repro/internal/loadstat"
 	"repro/internal/profiling"
 )
 
@@ -141,6 +145,7 @@ type server struct {
 	wait     time.Duration
 	admin    bool
 	start    time.Time
+	lat      *loadstat.Histogram // /random service latency
 
 	requests atomic.Uint64
 	rejected atomic.Uint64 // queue-full rejections
@@ -159,7 +164,69 @@ func newServer(pool *entropyd.Pool, dp *entropyd.DRBGPool, queue, maxBytes int, 
 		wait:     wait,
 		admin:    admin,
 		start:    time.Now(),
+		lat:      loadstat.New(),
 	}
+}
+
+// chunkBytes is the pooled response-buffer size: larger requests
+// stream in chunkBytes slices instead of holding an n-byte buffer per
+// request for the whole service time.
+const chunkBytes = 64 << 10
+
+// respBuf is a pooled response buffer plus a per-size header cache.
+// Together they make the steady-state request path allocation-free:
+// the buffer replaces the per-request make([]byte, n), and repeated
+// requests for the same n reuse the rendered Content-Length value.
+type respBuf struct {
+	buf   [chunkBytes]byte
+	lastN int
+	cl    []string
+}
+
+var respBufs = sync.Pool{New: func() any { return new(respBuf) }}
+
+// contentLength returns a cached Content-Length header value for n.
+func (rb *respBuf) contentLength(n int) []string {
+	if rb.cl == nil || rb.lastN != n {
+		rb.cl = []string{strconv.Itoa(n)}
+		rb.lastN = n
+	}
+	return rb.cl
+}
+
+// ctOctet is the shared Content-Type header value, assigned directly
+// into the header map (http.Header.Set would allocate a fresh
+// one-element slice per request).
+var ctOctet = []string{"application/octet-stream"}
+
+// queryParam extracts key's value from a raw query string without
+// allocating (r.URL.Query() builds a url.Values map per call). Escaped
+// values fall back to url.QueryUnescape; /random's parameters are
+// plain integers and booleans, so a well-formed client never leaves
+// the fast path.
+func queryParam(raw, key string) (string, bool) {
+	for len(raw) > 0 {
+		var kv string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			kv, raw = raw[:i], raw[i+1:]
+		} else {
+			kv, raw = raw, ""
+		}
+		k, v := kv, ""
+		if i := strings.IndexByte(kv, '='); i >= 0 {
+			k, v = kv[:i], kv[i+1:]
+		}
+		if k != key {
+			continue
+		}
+		if strings.IndexByte(v, '%') >= 0 || strings.IndexByte(v, '+') >= 0 {
+			if u, err := url.QueryUnescape(v); err == nil {
+				return u, true
+			}
+		}
+		return v, true
+	}
+	return "", false
 }
 
 // mode names the serving mode.
@@ -183,15 +250,45 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// handleRandom is GET /random?bytes=N.
+// generate fills dst from the serving path of the active mode. A nil
+// error with a short count is starvation (unavailability); a non-nil
+// error is an internal fault.
+func (s *server) generate(dst []byte, pr bool) (int, error) {
+	if s.drbg != nil {
+		// DRBG mode: expansion-layer output. A short count means no
+		// lane could (re)seed in time — every shard quarantined,
+		// unassessed, or the tap starved. Fail closed.
+		got, err := s.drbg.Generate(dst, pr, s.wait)
+		if err != nil && !errors.Is(err, entropyd.ErrSeedStarved) {
+			return got, err
+		}
+		return got, nil
+	}
+	// Raw mode: ReadBuffered waits out the deadline internally; a
+	// short return means the healthy shards could not produce the
+	// bytes in time (or none are healthy). The partial bytes are
+	// dropped.
+	got, err := s.pool.ReadBuffered(dst, s.wait)
+	if err != nil && !errors.Is(err, entropyd.ErrStarved) && !errors.Is(err, entropyd.ErrNotServing) {
+		return got, err
+	}
+	return got, nil
+}
+
+// handleRandom is GET /random?bytes=N: the zero-allocation hot path.
+// Responses are produced into pooled chunkBytes buffers and streamed,
+// so a 1 MiB request never holds a 1 MiB allocation and steady-state
+// requests allocate nothing at all.
 func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	t0 := time.Now()
+	defer func() { s.lat.Record(time.Since(t0)) }()
 	s.requests.Add(1)
 	n := 32
-	if q := r.URL.Query().Get("bytes"); q != "" {
+	if q, ok := queryParam(r.URL.RawQuery, "bytes"); ok && q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
 			http.Error(w, "bytes must be a positive integer", http.StatusBadRequest)
@@ -204,7 +301,7 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pr := false
-	if q := r.URL.Query().Get("pr"); q != "" {
+	if q, ok := queryParam(r.URL.RawQuery, "pr"); ok && q != "" {
 		v, err := strconv.ParseBool(q)
 		if err != nil {
 			http.Error(w, "pr must be a boolean", http.StatusBadRequest)
@@ -225,40 +322,46 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "request queue full", http.StatusServiceUnavailable)
 		return
 	}
-	buf := make([]byte, n)
-	var got int
-	var err error
-	if s.drbg != nil {
-		// DRBG mode: expansion-layer output. A short count means no
-		// lane could (re)seed in time — every shard quarantined,
-		// unassessed, or the tap starved. Fail closed with 503.
-		got, err = s.drbg.Generate(buf, pr, s.wait)
-		if err != nil && !errors.Is(err, entropyd.ErrSeedStarved) {
+	rb := respBufs.Get().(*respBuf)
+	defer respBufs.Put(rb)
+	for written := 0; written < n; {
+		c := n - written
+		if c > chunkBytes {
+			c = chunkBytes
+		}
+		chunk := rb.buf[:c]
+		got, err := s.generate(chunk, pr)
+		if err != nil && written == 0 {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-	} else {
-		// Raw mode: ReadBuffered waits out the deadline internally; a
-		// short return means the healthy shards could not produce n
-		// bytes in time (or none are healthy). The partial bytes are
-		// dropped.
-		got, err = s.pool.ReadBuffered(buf, s.wait)
-		if err != nil && !errors.Is(err, entropyd.ErrStarved) && !errors.Is(err, entropyd.ErrNotServing) {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		if err == nil && got < c {
+			// Starved or shutting down: the pool could not produce the
+			// bytes in time — unavailability, not an error.
+			s.starved.Add(1)
+		}
+		if err != nil || got < c {
+			if written == 0 {
+				http.Error(w, "pool unavailable", http.StatusServiceUnavailable)
+				return
+			}
+			// Mid-stream failure: the 200 and Content-Length are
+			// already on the wire. Abort the connection so the client
+			// sees a truncated body — never padded or stale bytes.
+			panic(http.ErrAbortHandler)
+		}
+		if written == 0 {
+			h := w.Header()
+			h["Content-Type"] = ctOctet
+			h["Content-Length"] = rb.contentLength(n)
+		}
+		if _, werr := w.Write(chunk); werr != nil {
+			// Client went away; nothing useful left to do.
 			return
 		}
-	}
-	if got < n {
-		// Starved or shutting down: either way the pool could not
-		// produce n bytes in time — unavailability, not an error.
-		s.starved.Add(1)
-		http.Error(w, "pool unavailable", http.StatusServiceUnavailable)
-		return
+		written += c
 	}
 	s.served.Add(uint64(n))
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(n))
-	w.Write(buf)
 }
 
 // healthzResponse is the /healthz payload. Each ShardStatus carries
@@ -348,8 +451,25 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "trngd_requests_starved_total %d\n", s.starved.Load())
 	fmt.Fprintf(w, "# HELP trngd_bytes_served_total Random bytes delivered.\n")
 	fmt.Fprintf(w, "trngd_bytes_served_total %d\n", served)
+	fmt.Fprintf(w, "# HELP trngd_random_bytes_total Random bytes delivered by /random (alias of trngd_bytes_served_total).\n")
+	fmt.Fprintf(w, "# TYPE trngd_random_bytes_total counter\n")
+	fmt.Fprintf(w, "trngd_random_bytes_total %d\n", served)
 	fmt.Fprintf(w, "# HELP trngd_throughput_bytes_per_second Mean delivery rate since start.\n")
 	fmt.Fprintf(w, "trngd_throughput_bytes_per_second %g\n", float64(served)/math.Max(up, 1e-9))
+	// /random service latency, downsampled from the loadstat histogram
+	// to Prometheus cumulative le-buckets. The same histogram type backs
+	// cmd/loadgen, so the in-process view and an external load run are
+	// directly comparable.
+	lat := s.lat.Snapshot()
+	mode := s.mode()
+	fmt.Fprintf(w, "# HELP trngd_request_duration_seconds /random service latency.\n")
+	fmt.Fprintf(w, "# TYPE trngd_request_duration_seconds histogram\n")
+	for _, b := range latencyBounds {
+		fmt.Fprintf(w, "trngd_request_duration_seconds_bucket{mode=%q,le=%q} %d\n", mode, b.label, lat.CountBelow(b.d))
+	}
+	fmt.Fprintf(w, "trngd_request_duration_seconds_bucket{mode=%q,le=\"+Inf\"} %d\n", mode, lat.Count())
+	fmt.Fprintf(w, "trngd_request_duration_seconds_sum{mode=%q} %g\n", mode, lat.Sum().Seconds())
+	fmt.Fprintf(w, "trngd_request_duration_seconds_count{mode=%q} %d\n", mode, lat.Count())
 	fmt.Fprintf(w, "# HELP trngd_shards_healthy Healthy shard count.\n")
 	fmt.Fprintf(w, "trngd_shards_healthy %d\n", st.Healthy)
 	fmt.Fprintf(w, "# HELP trngd_shard_state Shard state (0 startup, 1 healthy, 2 quarantined).\n")
@@ -411,6 +531,26 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "trngd_drbg_lane_reseed_counter{lane=\"%d\"} %d\n", l.Shard, l.ReseedCounter)
 		}
 	}
+}
+
+// latencyBounds are the Prometheus le-bucket upper bounds for the
+// request-duration histogram: a log-spaced ladder from fast in-memory
+// serves to the -wait deadline region.
+var latencyBounds = []struct {
+	label string
+	d     time.Duration
+}{
+	{"0.0001", 100 * time.Microsecond},
+	{"0.0005", 500 * time.Microsecond},
+	{"0.001", time.Millisecond},
+	{"0.005", 5 * time.Millisecond},
+	{"0.01", 10 * time.Millisecond},
+	{"0.05", 50 * time.Millisecond},
+	{"0.1", 100 * time.Millisecond},
+	{"0.5", 500 * time.Millisecond},
+	{"1", time.Second},
+	{"5", 5 * time.Second},
+	{"10", 10 * time.Second},
 }
 
 // handleQuarantine is POST /quarantine?shard=I (admin only).
@@ -601,6 +741,16 @@ func main() {
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: newServer(pool, dp, *queue, *maxBytes, *wait, *admin).handler(),
+		// Slow-loris hardening: a client must present its headers and
+		// drain its response promptly or lose the connection — queue
+		// slots are for the pool's work, not for idle sockets. The
+		// write budget covers the -wait pool deadline plus generous
+		// wire time for a -maxbytes response.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      *wait + 60*time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    16 << 10,
 	}
 	go func() {
 		<-ctx.Done()

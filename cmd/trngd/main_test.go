@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -132,10 +133,18 @@ func TestHealthzAndMetrics(t *testing.T) {
 	for _, want := range []string{
 		"trngd_requests_total",
 		"trngd_bytes_served_total",
+		"trngd_random_bytes_total 64",
 		"trngd_throughput_bytes_per_second",
 		"trngd_shards_healthy 2",
 		`trngd_shard_state{shard="1"} 1`,
 		"trngd_shard_quarantines_total",
+		// The request-latency histogram: the one /random request above
+		// must appear in the cumulative buckets, the +Inf bucket and the
+		// count, all labelled with the serving mode.
+		`trngd_request_duration_seconds_bucket{mode="raw",le="0.0001"}`,
+		`trngd_request_duration_seconds_bucket{mode="raw",le="+Inf"} 1`,
+		`trngd_request_duration_seconds_sum{mode="raw"}`,
+		`trngd_request_duration_seconds_count{mode="raw"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q in:\n%s", want, text)
@@ -181,6 +190,54 @@ func TestServedStreamMatchesFill(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Fatalf("served stream diverges from Fill stream at jobs=%d", jobs)
 		}
+	}
+}
+
+// TestChunkedLargeResponse: a response larger than the pooled 64 KiB
+// chunk buffer streams in pieces; the reassembled body must still be
+// the exact Fill stream (chunk stitching preserves byte order across
+// buffer reuse) and carry the full Content-Length up front.
+func TestChunkedLargeResponse(t *testing.T) {
+	t.Parallel()
+	pool, err := entropyd.New(testConfig(2, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := pool.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Stop(); cancel() })
+	h := newServer(pool, nil, 4, 1<<20, 30*time.Second, false).handler()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	const n = 3*chunkBytes + 12345 // 4 chunks, last one partial
+	resp, err := http.Get(fmt.Sprintf("%s/random?bytes=%d", ts.URL, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || resp.ContentLength != n {
+		t.Fatalf("status %d, content-length %d, want 200/%d", resp.StatusCode, resp.ContentLength, n)
+	}
+	if len(body) != n {
+		t.Fatalf("body %d bytes, want %d", len(body), n)
+	}
+	twin, err := entropyd.New(testConfig(2, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, n)
+	if _, err := twin.Fill(want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("chunked body diverges from the Fill stream")
 	}
 }
 

@@ -67,7 +67,24 @@
 // starvation. Served output rate is then bounded by AES/SHA
 // throughput instead of oscillator physics; cmd/trngd serves this by
 // default (-mode drbg, with /random?pr=1 prediction resistance) and
-// the raw gated stream with -mode raw.
+// the raw gated stream with -mode raw. The DRBG lanes produce blocks
+// through a demand-driven per-lane pipeline (bounded block queues, a
+// cursor-ordered consumer stitching the round-robin schedule), so
+// aggregate throughput scales with cores while the served stream stays
+// bit-identical to sequential rotation.
+//
+// Load and measurement: internal/loadstat is the latency layer — a
+// lock-free log-bucketed HDR-style histogram cheap enough for the
+// daemon's per-request hot path. cmd/trngd records every /random
+// service time into it and exports the Prometheus
+// trngd_request_duration_seconds histogram; cmd/loadgen drives
+// closed-loop (fixed concurrency) or open-loop (fixed arrival rate,
+// shed-not-queue) load against a running daemon, reports
+// p50/p99/p999 from the same histogram type, sweeps concurrency,
+// rate and request size, and locates the goodput knee — the
+// saturation point. The daemon's request path itself is
+// allocation-free at steady state (pooled chunked response buffers,
+// cached headers).
 //
 // Entry points:
 //
@@ -79,7 +96,10 @@
 //   - internal/sp90b — the SP 800-90B black-box assessment suite
 //   - internal/conditioner, internal/drbg — vetted conditioning and
 //     the SP 800-90A DRBG mechanisms
-//   - cmd/* — command-line tools (cmd/trngd is the entropy daemon)
+//   - internal/loadstat — the serving-latency histogram (daemon
+//     /metrics and cmd/loadgen share it)
+//   - cmd/* — command-line tools (cmd/trngd is the entropy daemon,
+//     cmd/loadgen its load harness)
 //   - examples/* — runnable walkthroughs
 //
 // See README.md for the architecture overview and layer map.

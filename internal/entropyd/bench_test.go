@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 )
 
 // BenchmarkPoolThroughput measures the pool's batch hot path in
@@ -38,48 +39,149 @@ func BenchmarkPoolThroughput(b *testing.B) {
 	}
 }
 
+// benchDRBGPool builds a seeded, primed 4-lane expansion layer for the
+// throughput benchmarks (scripted sources stand in for the physics so
+// the number isolates the serving path; one seed per lane for the whole
+// run — the benchmark measures expansion, not physics).
+func benchDRBGPool(b *testing.B, kind DRBGKind) *DRBGPool {
+	b.Helper()
+	p, err := New(Config{
+		Shards:       4,
+		Seed:         3,
+		NewSource:    goodScript,
+		Health:       assessHealth(0),
+		SeedTapBytes: 1 << 15,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prime: every shard assessed, every tap charged.
+	if _, err := p.Fill(make([]byte, 4*4096)); err != nil {
+		b.Fatal(err)
+	}
+	dp, err := p.DRBGPool(DRBGConfig{Kind: kind, ReseedInterval: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Instantiate every lane outside the timed region.
+	if n, err := dp.Generate(make([]byte, 4*4096), false, time.Second); err != nil || n != 4*4096 {
+		b.Fatalf("warmup = (%d, %v)", n, err)
+	}
+	return dp
+}
+
 // BenchmarkPoolDRBGThroughput measures the expansion layer end to end:
 // DRBGPool.Generate over a seeded pool, in bytes/sec, for both
-// mechanisms. Scripted sources stand in for the physics so the number
-// isolates the serving path (conditioned seeding amortizes to ~0 at
-// the default reseed interval); together with BenchmarkPoolThroughput
-// (the raw calibrated path) it is the ISSUE-5 trajectory pair: output
-// rate bounded by AES/SHA throughput instead of oscillator physics.
+// mechanisms, at GOMAXPROCS=1 and =NumCPU with b.RunParallel driving
+// one caller per proc. Together with BenchmarkPoolThroughput (the raw
+// calibrated path) it is the ISSUE-5 trajectory pair — output rate
+// bounded by AES/SHA throughput instead of oscillator physics — and
+// the gomaxprocs split is the ISSUE-6 multi-core flip: requests span
+// 16 blocks, so the per-lane worker pipeline carries the production
+// while the callers take turns stitching.
 func BenchmarkPoolDRBGThroughput(b *testing.B) {
+	maxProcs := runtime.NumCPU()
 	for _, kind := range []DRBGKind{DRBGCTR, DRBGHMAC} {
-		b.Run(kind.String(), func(b *testing.B) {
-			p, err := New(Config{
-				Shards:       4,
-				Seed:         3,
-				NewSource:    goodScript,
-				Health:       assessHealth(0),
-				SeedTapBytes: 1 << 15,
+		for i, procs := range []int{1, maxProcs} {
+			// Stable sub-benchmark names across hosts: "max" is
+			// NumCPU, whatever it is (it can equal 1 in a container).
+			label := fmt.Sprintf("%s/gomaxprocs=1", kind)
+			if i == 1 {
+				label = fmt.Sprintf("%s/gomaxprocs=max", kind)
+			}
+			procs := procs
+			b.Run(label, func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+				dp := benchDRBGPool(b, kind)
+				b.SetBytes(1 << 16)
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					buf := make([]byte, 1<<16)
+					for pb.Next() {
+						if n, err := dp.Generate(buf, false, time.Second); err != nil || n != len(buf) {
+							b.Fatalf("Generate = (%d, %v)", n, err)
+						}
+					}
+				})
 			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			// Prime: every shard assessed, every tap charged.
-			if _, err := p.Fill(make([]byte, 4*4096)); err != nil {
-				b.Fatal(err)
-			}
-			dp, err := p.DRBGPool(DRBGConfig{
-				Kind: kind,
-				// One seed per lane for the whole run: the benchmark
-				// measures expansion, not physics.
-				ReseedInterval: 1 << 40,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			buf := make([]byte, 1<<16)
-			b.SetBytes(int64(len(buf)))
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if n, err := dp.Generate(buf, false, 0); err != nil || n != len(buf) {
-					b.Fatalf("Generate = (%d, %v)", n, err)
-				}
-			}
-		})
+		}
+	}
+}
+
+// nullDRBG is a DRBG whose Generate is a pure memory copy: swapped
+// into the lanes, it exposes the pipeline's stitch-and-copy ceiling —
+// the aggregate rate the rotation consumer can sustain when block
+// production costs nothing. On a single-CPU host (where GOMAXPROCS
+// sub-benchmarks cannot show parallel speedup) the scaling headroom is
+// this ceiling divided by one real lane's generation rate: lanes
+// produce in parallel on bigger hosts until the consumer ceiling, not
+// the crypto, binds.
+type nullDRBG struct{ pattern [4096]byte }
+
+func (n *nullDRBG) Name() string                            { return "null" }
+func (n *nullDRBG) SeedLen() int                            { return 48 }
+func (n *nullDRBG) ReseedLen() int                          { return 48 }
+func (n *nullDRBG) Reseed(entropy, additional []byte) error { return nil }
+func (n *nullDRBG) Generate(out, additional []byte) error {
+	for off := 0; off < len(out); {
+		off += copy(out[off:], n.pattern[:])
+	}
+	return nil
+}
+func (n *nullDRBG) ReseedCounter() uint64 { return 1 }
+func (n *nullDRBG) Uninstantiate()        {}
+
+// BenchmarkPoolDRBGConsumerCeiling measures the pipeline with free
+// block production (null lanes): the serialized consumer's ceiling.
+func BenchmarkPoolDRBGConsumerCeiling(b *testing.B) {
+	dp := benchDRBGPool(b, DRBGCTR)
+	for _, l := range dp.lanes {
+		l.d = &nullDRBG{}
+	}
+	buf := make([]byte, 1<<16)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n, err := dp.Generate(buf, false, time.Second); err != nil || n != len(buf) {
+			b.Fatalf("Generate = (%d, %v)", n, err)
+		}
+	}
+}
+
+// BenchmarkDRBGSingleLane is one real lane with no pipeline (a
+// single-shard pool never dispatches workers): the per-lane production
+// rate that divides the consumer ceiling into the scaling headroom.
+func BenchmarkDRBGSingleLane(b *testing.B) {
+	p, err := New(Config{
+		Shards:       1,
+		Seed:         3,
+		NewSource:    goodScript,
+		Health:       assessHealth(0),
+		SeedTapBytes: 1 << 15,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Fill(make([]byte, 4096)); err != nil {
+		b.Fatal(err)
+	}
+	dp, err := p.DRBGPool(DRBGConfig{Kind: DRBGCTR, ReseedInterval: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 1<<16)
+	if n, err := dp.Generate(buf, false, time.Second); err != nil || n != len(buf) {
+		b.Fatalf("warmup = (%d, %v)", n, err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n, err := dp.Generate(buf, false, time.Second); err != nil || n != len(buf) {
+			b.Fatalf("Generate = (%d, %v)", n, err)
+		}
 	}
 }
 

@@ -1,0 +1,289 @@
+// Package loadstat provides the latency-measurement primitives of the
+// serving layer: a lock-free, log-bucketed duration histogram in the
+// HDR style, cheap enough to sit on the daemon's per-request hot path
+// (one atomic add per observation) and precise enough for tail
+// quantiles (p99, p999) across nine decades of latency.
+//
+// The same histogram backs both sides of an SLO measurement: cmd/trngd
+// records in-process request durations and exports them as a
+// Prometheus histogram on /metrics, and cmd/loadgen records
+// client-observed latencies and reports p50/p99/p999 — so an external
+// load run and the daemon's own view are directly comparable.
+//
+// # Bucket scheme
+//
+// Durations are recorded in nanoseconds. Values below 16 ns get exact
+// unit buckets; above that, each power-of-two octave is divided into
+// 16 geometric sub-buckets, giving a worst-case relative quantization
+// error of 1/16 ≈ 6% — ample for latency percentiles — in a fixed
+// 1024-bucket table (8 KiB of counters, no allocation after New).
+package loadstat
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// subBuckets is the linear resolution within one power-of-two octave.
+const subBuckets = 16
+
+// numBuckets covers every int64 nanosecond value exactly: the largest
+// 63-bit value has MSB position 63 and lands at (63-5)*16 + 31 = 959.
+const numBuckets = 960
+
+// Histogram is a lock-free log-bucketed duration histogram. The zero
+// value is NOT ready to use; call New. All methods are safe for
+// concurrent use; Record is wait-free (three atomic adds plus two
+// bounded CAS loops for the extrema).
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // total nanoseconds
+	min     atomic.Int64 // smallest recorded value (math.MaxInt64 when empty)
+	max     atomic.Int64
+}
+
+// New builds an empty histogram.
+func New() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+// Values in [0, 16) get unit buckets; a value with MSB position m >= 5
+// lands in octave block (m-5) at sub-bucket v>>(m-5) — contiguous with
+// the unit range (m = 5 is the identity shift).
+func bucketIndex(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - 5
+	idx := shift*subBuckets + int(v>>uint(shift))
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the smallest value mapping to bucket idx (the
+// inverse of bucketIndex on bucket lower edges).
+func bucketLow(idx int) int64 {
+	if idx < 2*subBuckets {
+		return int64(idx)
+	}
+	shift := idx/subBuckets - 1
+	if shift > 58 {
+		// One past the last reachable bucket (asked for by CountBelow's
+		// width computation at the table edge).
+		return math.MaxInt64
+	}
+	return int64(idx%subBuckets+subBuckets) << uint(shift)
+}
+
+// bucketMid returns the representative (midpoint) value of bucket idx,
+// used when reporting quantiles.
+func bucketMid(idx int) int64 {
+	lo := bucketLow(idx)
+	if idx+1 >= numBuckets {
+		return lo
+	}
+	hi := bucketLow(idx + 1)
+	return lo + (hi-lo)/2
+}
+
+// Record adds one observation. Negative durations are clamped to zero
+// (they can only come from a non-monotonic clock source; dropping them
+// would skew the count against the caller's own bookkeeping).
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Snapshot is a point-in-time copy of a histogram, safe to query while
+// the live histogram keeps recording. Under concurrent recording the
+// copied buckets may be mutually inconsistent by a few in-flight
+// observations; each counter is individually consistent.
+type Snapshot struct {
+	buckets [numBuckets]uint64
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Snapshot copies the current state.
+func (h *Histogram) Snapshot() *Snapshot {
+	s := &Snapshot{
+		count: h.count.Load(),
+		sum:   h.sum.Load(),
+		min:   h.min.Load(),
+		max:   h.max.Load(),
+	}
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Count returns the number of observations in the snapshot.
+func (s *Snapshot) Count() uint64 { return s.count }
+
+// Sum returns the total duration of the snapshot.
+func (s *Snapshot) Sum() time.Duration { return time.Duration(s.sum) }
+
+// Mean returns the average observation (0 when empty).
+func (s *Snapshot) Mean() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.sum / int64(s.count))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Snapshot) Min() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.min)
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Snapshot) Max() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) as the representative
+// value of the bucket holding the rank-⌈q·count⌉ observation, clamped
+// to the recorded extrema so p0/p100 are exact and no quantile is
+// reported outside the observed range. Returns 0 on an empty
+// snapshot.
+func (s *Snapshot) Quantile(q float64) time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(s.min)
+	}
+	if q >= 1 {
+		return time.Duration(s.max)
+	}
+	rank := uint64(math.Ceil(q * float64(s.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range s.buckets {
+		seen += s.buckets[i]
+		if seen >= rank {
+			v := bucketMid(i)
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(s.max)
+}
+
+// CountBelow returns the number of observations <= d, the cumulative
+// count a Prometheus histogram bucket (le=d) reports. The bucket
+// straddling d contributes a linear fraction of its width — exact at
+// bucket edges, within one sub-bucket's population otherwise.
+func (s *Snapshot) CountBelow(d time.Duration) uint64 {
+	v := int64(d)
+	if v < 0 {
+		return 0
+	}
+	idx := bucketIndex(v)
+	var n uint64
+	for i := 0; i < idx; i++ {
+		n += s.buckets[i]
+	}
+	lo, width := bucketLow(idx), bucketLow(idx+1)-bucketLow(idx)
+	if width <= 0 {
+		return n + s.buckets[idx]
+	}
+	frac := float64(v-lo+1) / float64(width)
+	if frac > 1 {
+		frac = 1
+	}
+	return n + uint64(frac*float64(s.buckets[idx]))
+}
+
+// Merge adds another snapshot's observations into s (for combining
+// per-worker histograms into one report).
+func (s *Snapshot) Merge(o *Snapshot) {
+	for i := range s.buckets {
+		s.buckets[i] += o.buckets[i]
+	}
+	s.count += o.count
+	s.sum += o.sum
+	if o.count > 0 {
+		if o.min < s.min {
+			s.min = o.min
+		}
+		if o.max > s.max {
+			s.max = o.max
+		}
+	}
+}
+
+// Summary is the fixed quantile report of a snapshot, shaped for JSON
+// output (durations in seconds, the unit Prometheus and SLO documents
+// use).
+type Summary struct {
+	Count   uint64  `json:"count"`
+	MeanSec float64 `json:"mean_seconds"`
+	MinSec  float64 `json:"min_seconds"`
+	P50Sec  float64 `json:"p50_seconds"`
+	P90Sec  float64 `json:"p90_seconds"`
+	P99Sec  float64 `json:"p99_seconds"`
+	P999Sec float64 `json:"p999_seconds"`
+	MaxSec  float64 `json:"max_seconds"`
+}
+
+// Summarize computes the standard quantile report.
+func (s *Snapshot) Summarize() Summary {
+	return Summary{
+		Count:   s.count,
+		MeanSec: s.Mean().Seconds(),
+		MinSec:  s.Min().Seconds(),
+		P50Sec:  s.Quantile(0.50).Seconds(),
+		P90Sec:  s.Quantile(0.90).Seconds(),
+		P99Sec:  s.Quantile(0.99).Seconds(),
+		P999Sec: s.Quantile(0.999).Seconds(),
+		MaxSec:  s.Max().Seconds(),
+	}
+}

@@ -1,0 +1,201 @@
+package loadstat
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip: every bucket's lower edge maps back to that
+// bucket, edges are strictly increasing, and bucketIndex is monotone —
+// the structural invariants the quantile walk rests on.
+func TestBucketRoundTrip(t *testing.T) {
+	t.Parallel()
+	for idx := 0; idx < numBuckets-1; idx++ {
+		lo := bucketLow(idx)
+		if got := bucketIndex(lo); got != idx {
+			t.Fatalf("bucketIndex(bucketLow(%d)=%d) = %d", idx, lo, got)
+		}
+		if hi := bucketLow(idx + 1); hi <= lo {
+			t.Fatalf("bucket %d edges not increasing: low %d, next %d", idx, lo, hi)
+		}
+	}
+	prev := 0
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 63, 1000, 1e6, 1e9, 1e12, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+	if bucketIndex(math.MaxInt64) != numBuckets-1 {
+		t.Fatalf("MaxInt64 bucket %d, want %d", bucketIndex(math.MaxInt64), numBuckets-1)
+	}
+}
+
+// TestQuantizationError: representative values stay within the
+// designed 1/16 relative error of the recorded value.
+func TestQuantizationError(t *testing.T) {
+	t.Parallel()
+	for _, v := range []int64{17, 100, 999, 12345, 7_654_321, 3_000_000_000} {
+		mid := bucketMid(bucketIndex(v))
+		if rel := math.Abs(float64(mid-v)) / float64(v); rel > 1.0/16 {
+			t.Fatalf("value %d: representative %d off by %.3f (> 1/16)", v, mid, rel)
+		}
+	}
+}
+
+// TestQuantilesOnKnownDistribution: a uniform ramp of durations yields
+// quantiles within bucket resolution of the exact order statistics.
+func TestQuantilesOnKnownDistribution(t *testing.T) {
+	t.Parallel()
+	h := New()
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count() != n {
+		t.Fatalf("count %d", s.Count())
+	}
+	for _, tc := range []struct {
+		q     float64
+		exact time.Duration
+	}{
+		{0.50, 5000 * time.Microsecond},
+		{0.90, 9000 * time.Microsecond},
+		{0.99, 9900 * time.Microsecond},
+		{0.999, 9990 * time.Microsecond},
+	} {
+		got := s.Quantile(tc.q)
+		rel := math.Abs(float64(got-tc.exact)) / float64(tc.exact)
+		if rel > 0.10 {
+			t.Errorf("q%.3f = %v, exact %v (rel err %.3f)", tc.q, got, tc.exact, rel)
+		}
+	}
+	if s.Min() != time.Microsecond || s.Max() != n*time.Microsecond {
+		t.Errorf("extrema [%v, %v]", s.Min(), s.Max())
+	}
+	if mean := s.Mean(); mean < 4900*time.Microsecond || mean > 5100*time.Microsecond {
+		t.Errorf("mean %v", mean)
+	}
+	// p0 and p100 clamp to the exact extrema.
+	if s.Quantile(0) != s.Min() || s.Quantile(1) != s.Max() {
+		t.Errorf("p0/p100 = %v/%v, want %v/%v", s.Quantile(0), s.Quantile(1), s.Min(), s.Max())
+	}
+}
+
+// TestCountBelow: cumulative counts at bucket edges are exact, and the
+// Prometheus-style le-bounds are monotone.
+func TestCountBelow(t *testing.T) {
+	t.Parallel()
+	h := New()
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if got := s.CountBelow(2 * time.Second); got != 1000 {
+		t.Errorf("CountBelow(2s) = %d, want 1000", got)
+	}
+	if got := s.CountBelow(0); got != 1 {
+		t.Errorf("CountBelow(0) = %d, want 1", got)
+	}
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, time.Second, 10 * time.Second}
+	prev := uint64(0)
+	for _, b := range bounds {
+		got := s.CountBelow(b)
+		if got < prev {
+			t.Errorf("CountBelow not monotone at %v: %d < %d", b, got, prev)
+		}
+		// Uniform 0..999ms: expect roughly b/1ms observations below b.
+		want := float64(b / time.Millisecond)
+		if want > 1000 {
+			want = 1000
+		}
+		if want >= 8 && math.Abs(float64(got)-want)/want > 0.15 {
+			t.Errorf("CountBelow(%v) = %d, want ≈ %.0f", b, got, want)
+		}
+		prev = got
+	}
+}
+
+// TestEmptyAndNegative: the empty snapshot degrades to zeros and
+// negative durations clamp instead of corrupting the table.
+func TestEmptyAndNegative(t *testing.T) {
+	t.Parallel()
+	h := New()
+	s := h.Snapshot()
+	if s.Count() != 0 || s.Quantile(0.99) != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Errorf("empty snapshot: %+v", s.Summarize())
+	}
+	h.Record(-5 * time.Second)
+	s = h.Snapshot()
+	if s.Count() != 1 || s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("negative record: count %d extrema [%v, %v]", s.Count(), s.Min(), s.Max())
+	}
+}
+
+// TestMergeEqualsCombined: merging per-worker snapshots equals one
+// histogram fed everything.
+func TestMergeEqualsCombined(t *testing.T) {
+	t.Parallel()
+	all := New()
+	parts := []*Histogram{New(), New()}
+	for i := 1; i <= 2000; i++ {
+		d := time.Duration(i*i) * time.Nanosecond
+		all.Record(d)
+		parts[i%2].Record(d)
+	}
+	merged := parts[0].Snapshot()
+	merged.Merge(parts[1].Snapshot())
+	want := all.Snapshot()
+	if merged.Count() != want.Count() || merged.Sum() != want.Sum() ||
+		merged.Min() != want.Min() || merged.Max() != want.Max() {
+		t.Fatalf("merged %+v != combined %+v", merged.Summarize(), want.Summarize())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if merged.Quantile(q) != want.Quantile(q) {
+			t.Errorf("q%g: merged %v != combined %v", q, merged.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+// TestConcurrentRecord: racing recorders lose nothing (the -race
+// witness for the lock-free hot path).
+func TestConcurrentRecord(t *testing.T) {
+	t.Parallel()
+	h := New()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*per+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count() != workers*per {
+		t.Fatalf("count %d, want %d", s.Count(), workers*per)
+	}
+	var inBuckets uint64
+	for i := range s.buckets {
+		inBuckets += s.buckets[i]
+	}
+	if inBuckets != workers*per {
+		t.Fatalf("bucket total %d, want %d", inBuckets, workers*per)
+	}
+}
+
+// BenchmarkRecord is the hot-path cost the daemon pays per request.
+func BenchmarkRecord(b *testing.B) {
+	h := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+}

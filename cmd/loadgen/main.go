@@ -43,13 +43,21 @@
 // ride the same perf-trajectory artifacts as the Go benchmarks; -out
 // writes it to a file for committing next to BENCH_*.json.
 //
+// -events correlates the run with the server's own flight recorder:
+// loadgen snapshots the target's /events cursor before the first step
+// and pages the journal afterwards, reporting how many request-shed
+// and starvation-abort events the server logged during the run next
+// to the client-observed 503 counts. The two views should agree; a
+// large gap means the journal overwrote events mid-run (raise the
+// daemon's -events capacity) or another client shared the window.
+//
 // Usage:
 //
 //	loadgen [-url http://127.0.0.1:8080] [-model closed|open]
 //	        [-c N | -rate R] [-max-inflight M] [-bytes N] [-pr]
 //	        [-duration D] [-timeout D] [-ready-wait D]
 //	        [-sweep-c 1,2,4,8] [-sweep-rate 100,200,400]
-//	        [-sweep-bytes 4096,65536] [-json] [-out FILE]
+//	        [-sweep-bytes 4096,65536] [-events] [-json] [-out FILE]
 //
 // Example — is the daemon good for 200 req/s of 4 KiB blocks?
 //
@@ -277,11 +285,89 @@ func findKnee(results []Result) *Saturation {
 
 // Doc is the -json document.
 type Doc struct {
-	Target     string      `json:"target"`
-	Model      string      `json:"model"`
-	GoVersion  string      `json:"go_version"`
-	Results    []Result    `json:"results"`
-	Saturation *Saturation `json:"saturation,omitempty"`
+	Target     string       `json:"target"`
+	Model      string       `json:"model"`
+	GoVersion  string       `json:"go_version"`
+	Results    []Result     `json:"results"`
+	Saturation *Saturation  `json:"saturation,omitempty"`
+	Events     *EventReport `json:"events,omitempty"`
+}
+
+// EventReport is the server-side view of the run from the target's
+// /events journal (-events): the cursor window and the daemon events
+// counted inside it.
+type EventReport struct {
+	SinceSeq         uint64 `json:"since_seq"`
+	LastSeq          uint64 `json:"last_seq"`
+	Shed             uint64 `json:"shed"`
+	StarvationAborts uint64 `json:"starvation_aborts"`
+}
+
+// eventsPage mirrors trngd's GET /events response shape; only the
+// fields loadgen consumes are decoded.
+type eventsPage struct {
+	LastSeq uint64 `json:"last_seq"`
+	Events  []struct {
+		Seq  uint64 `json:"seq"`
+		Type string `json:"type"`
+	} `json:"events"`
+}
+
+// eventsCursor snapshots the target journal's current last_seq.
+// ok=false (without error) means the target serves no journal — the
+// daemon runs with -events 0 or predates the endpoint.
+func eventsCursor(client *http.Client, base string) (uint64, bool, error) {
+	resp, err := client.Get(base + "/events?limit=1")
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return 0, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, fmt.Errorf("/events: status %d", resp.StatusCode)
+	}
+	var page eventsPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return 0, false, err
+	}
+	return page.LastSeq, true, nil
+}
+
+// countEvents pages the journal forward from since and tallies the
+// request-shed and starvation-abort daemon events in the window.
+func countEvents(client *http.Client, base string, since uint64) (*EventReport, error) {
+	rep := &EventReport{SinceSeq: since, LastSeq: since}
+	cursor := since
+	for {
+		resp, err := client.Get(fmt.Sprintf("%s/events?since=%d", base, cursor))
+		if err != nil {
+			return nil, err
+		}
+		var page eventsPage
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		rep.LastSeq = page.LastSeq
+		for _, e := range page.Events {
+			switch e.Type {
+			case "request-shed":
+				rep.Shed++
+			case "starvation-abort":
+				rep.StarvationAborts++
+			}
+			if e.Seq > cursor {
+				cursor = e.Seq
+			}
+		}
+		if len(page.Events) == 0 || cursor >= page.LastSeq {
+			return rep, nil
+		}
+	}
 }
 
 // parseInts parses a comma-separated integer list ("1,2,4").
@@ -392,6 +478,7 @@ func main() {
 		sweepC      = flag.String("sweep-c", "", "comma-separated closed-loop concurrency sweep (overrides -c)")
 		sweepRate   = flag.String("sweep-rate", "", "comma-separated open-loop rate sweep (overrides -rate)")
 		sweepBytes  = flag.String("sweep-bytes", "", "comma-separated request-size sweep (overrides -bytes)")
+		events      = flag.Bool("events", false, "snapshot the target's /events journal around the run and report shed/starvation counts")
 		jsonOut     = flag.Bool("json", false, "emit the machine-readable JSON document")
 		outFile     = flag.String("out", "", "write the JSON document to this file (implies -json shape)")
 	)
@@ -433,6 +520,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var cursor uint64
+	journaled := false
+	if *events {
+		var err error
+		if cursor, journaled, err = eventsCursor(client, *target); err != nil {
+			log.Fatalf("-events: %v", err)
+		}
+		if !journaled {
+			log.Print("-events: target serves no /events journal; skipping event report")
+		}
+	}
+
 	var results []Result
 	for _, size := range sizes {
 		url := randomURL(*target, size, *pr)
@@ -455,6 +554,15 @@ func main() {
 			}
 		}
 	}
+	var evReport *EventReport
+	if journaled {
+		var err error
+		if evReport, err = countEvents(client, *target, cursor); err != nil {
+			log.Fatalf("-events: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "server events: %d shed, %d starvation aborts (journal seq %d → %d)\n",
+			evReport.Shed, evReport.StarvationAborts, evReport.SinceSeq, evReport.LastSeq)
+	}
 	sat := findKnee(results)
 	if sat != nil {
 		verdict := "not saturated"
@@ -472,6 +580,7 @@ func main() {
 			GoVersion:  runtime.Version(),
 			Results:    results,
 			Saturation: sat,
+			Events:     evReport,
 		}
 		enc, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

@@ -1,0 +1,46 @@
+// Command promlint checks Prometheus text-format (0.0.4) exposition
+// against the spec rules in internal/obs.LintProm: metric and label
+// name syntax, HELP/TYPE placement and well-formedness, duplicate
+// series, and histogram family consistency (cumulative le buckets,
+// mandatory +Inf, bucket/sum/count agreement).
+//
+// It reads from stdin (or -in FILE), prints one line per violation,
+// and exits 1 when any are found — shaped for CI:
+//
+//	curl -s http://127.0.0.1:8080/metrics | promlint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	in := flag.String("in", "", "read this file instead of stdin")
+	flag.Parse()
+	var (
+		data []byte
+		err  error
+	)
+	if *in != "" {
+		data, err = os.ReadFile(*in)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(2)
+	}
+	errs := obs.LintProm(string(data))
+	for _, e := range errs {
+		fmt.Println(e)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d violation(s)\n", len(errs))
+		os.Exit(1)
+	}
+}

@@ -64,7 +64,7 @@ func benchHandlerServer(b *testing.B, mode string) *server {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { pool.Stop(); cancel() })
-	return newServer(pool, dp, 16, 1<<20, 10*time.Second, false)
+	return newServer(pool, dp, serverConfig{queue: 16, maxBytes: 1 << 20, wait: 10 * time.Second})
 }
 
 // BenchmarkHandleRandom measures the /random hot path end to end

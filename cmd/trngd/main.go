@@ -25,8 +25,50 @@
 //	                      shard's raw bits (?shard=I for one shard; 404 until
 //	                      a shard's first assessment completes).
 //	GET /metrics          Prometheus-style text metrics.
+//	GET /events           JSON event journal (the flight recorder): the
+//	                      most recent -events typed events — shard
+//	                      lifecycle, alarms with the triggering
+//	                      statistic, quarantines, DRBG lane events, seed
+//	                      draws, request sheds. ?since=SEQ pages forward
+//	                      (cursor contract below); ?shard=I, ?lane=I and
+//	                      ?type=T filter; ?limit=N caps the page.
 //	POST /quarantine?shard=I   (with -admin) force-quarantine a shard — an
-//	                      operator drill for the self-healing path.
+//	                      operator drill for the self-healing path. The
+//	                      injected marker event pairs with the resulting
+//	                      quarantine into a measured detection latency
+//	                      (trngd_shard_detection_latency_seconds).
+//
+// # Observability
+//
+// The daemon carries a fixed-capacity ring-buffer event journal
+// (internal/obs) fed by every layer: the health state machine, the
+// DRBG lanes, the seed source and the request path. Emission is
+// passive — the served byte stream is bit-identical with the journal
+// on or off — and the hot path pays one atomic append per event.
+//
+// The /events cursor contract for scrapers: every event carries a
+// monotonic sequence number (seq); each response carries last_seq.
+// Start with ?since=0 (or GET once and remember last_seq), then poll
+// ?since=<last_seq> — each page returns only events with seq > since,
+// oldest first, and a new last_seq even when no event matched. The
+// journal keeps the most recent -events entries: a gap between your
+// cursor and the first returned seq means the ring overwrote that many
+// events before you polled (scrape faster or raise -events).
+//
+// Detection latency — ROADMAP item 2's headline metric — is derived in
+// the journal: an injection-marker event (the /quarantine drill, or
+// internal/attack drills via attack.Mark) starts a clock per shard;
+// the shard's next quarantine event stops it, and the elapsed time is
+// recorded per alarm class in trngd_shard_detection_latency_seconds.
+//
+// Request-phase tracing splits trngd_request_duration_seconds into
+// queue-wait / lane-generate / response-write phase histograms
+// (trngd_request_phase_duration_seconds{phase=...}).
+//
+// Logs are structured JSON on stderr (log/slog) using the journal's
+// event vocabulary; -log-level debug surfaces the high-rate events
+// (seed draws, reseeds). -pprof mounts the /debug/pprof profiling
+// endpoints on the serving mux.
 //
 // Backpressure: at most -queue requests are in flight; excess requests
 // are rejected immediately with 503 rather than piling onto the pool.
@@ -105,7 +147,8 @@
 //	      [-drbg ctr|hmac] [-cond hmac|cbcmac] [-reseed-interval N]
 //	      [-drbg-block B] [-seed-wait D] [-seedtap B]
 //	      [-assess] [-assess-bits N] [-assess-every N] [-assess-min H]
-//	      [-admin] [-cpuprofile F] [-memprofile F]
+//	      [-admin] [-events N] [-log-level L] [-pprof]
+//	      [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -114,12 +157,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -131,21 +178,42 @@ import (
 	"repro/internal/core"
 	"repro/internal/entropyd"
 	"repro/internal/loadstat"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
+
+// serverConfig carries the HTTP-layer knobs into newServer. The zero
+// value of the optional fields (journal, sink, pprof) disables them.
+type serverConfig struct {
+	queue    int
+	maxBytes int
+	wait     time.Duration
+	admin    bool
+	pprof    bool         // mount /debug/pprof on the serving mux
+	journal  *obs.Journal // /events + detection-latency source; nil disables
+	sink     obs.Sink     // daemon-event emission (shed, starvation abort)
+}
 
 // server wraps the pool with HTTP concerns: the bounded in-flight
 // queue, request accounting and the endpoint handlers. drbg is non-nil
 // in DRBG mode and selects the expansion-layer serving path.
 type server struct {
-	pool     *entropyd.Pool
-	drbg     *entropyd.DRBGPool
-	sem      chan struct{} // bounded request queue
-	maxBytes int
-	wait     time.Duration
-	admin    bool
-	start    time.Time
-	lat      *loadstat.Histogram // /random service latency
+	pool  *entropyd.Pool
+	drbg  *entropyd.DRBGPool
+	sem   chan struct{} // bounded request queue
+	cfg   serverConfig
+	start time.Time
+	lat   *loadstat.Histogram // /random service latency
+	// Request-phase histograms: the service latency split into where
+	// the time went — waiting for a queue slot, generating bytes, and
+	// writing the response to the client.
+	latQueue *loadstat.Histogram
+	latGen   *loadstat.Histogram
+	latWrite *loadstat.Histogram
+	// Build identity, resolved once (debug.ReadBuildInfo walks the
+	// whole module graph).
+	goVersion string
+	revision  string
 
 	requests atomic.Uint64
 	rejected atomic.Uint64 // queue-full rejections
@@ -155,16 +223,43 @@ type server struct {
 
 // newServer assembles the handler set (split out for httptest); dp is
 // nil in raw mode.
-func newServer(pool *entropyd.Pool, dp *entropyd.DRBGPool, queue, maxBytes int, wait time.Duration, admin bool) *server {
-	return &server{
+func newServer(pool *entropyd.Pool, dp *entropyd.DRBGPool, cfg serverConfig) *server {
+	s := &server{
 		pool:     pool,
 		drbg:     dp,
-		sem:      make(chan struct{}, queue),
-		maxBytes: maxBytes,
-		wait:     wait,
-		admin:    admin,
+		sem:      make(chan struct{}, cfg.queue),
+		cfg:      cfg,
 		start:    time.Now(),
 		lat:      loadstat.New(),
+		latQueue: loadstat.New(),
+		latGen:   loadstat.New(),
+		latWrite: loadstat.New(),
+	}
+	s.goVersion, s.revision = buildIdentity()
+	return s
+}
+
+// buildIdentity reads the binary's go version and VCS revision for the
+// trngd_build_info gauge.
+func buildIdentity() (goVersion, revision string) {
+	goVersion, revision = runtime.Version(), "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				revision = kv.Value
+			}
+		}
+	}
+	return goVersion, revision
+}
+
+// emit forwards a daemon event to the configured sink (nil-safe).
+func (s *server) emit(e obs.Event) {
+	if s.cfg.sink != nil {
+		s.cfg.sink.Emit(e)
 	}
 }
 
@@ -244,8 +339,16 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/assess", s.handleAssess)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	if s.admin {
+	mux.HandleFunc("/events", s.handleEvents)
+	if s.cfg.admin {
 		mux.HandleFunc("/quarantine", s.handleQuarantine)
+	}
+	if s.cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }
@@ -258,7 +361,7 @@ func (s *server) generate(dst []byte, pr bool) (int, error) {
 		// DRBG mode: expansion-layer output. A short count means no
 		// lane could (re)seed in time — every shard quarantined,
 		// unassessed, or the tap starved. Fail closed.
-		got, err := s.drbg.Generate(dst, pr, s.wait)
+		got, err := s.drbg.Generate(dst, pr, s.cfg.wait)
 		if err != nil && !errors.Is(err, entropyd.ErrSeedStarved) {
 			return got, err
 		}
@@ -268,7 +371,7 @@ func (s *server) generate(dst []byte, pr bool) (int, error) {
 	// short return means the healthy shards could not produce the
 	// bytes in time (or none are healthy). The partial bytes are
 	// dropped.
-	got, err := s.pool.ReadBuffered(dst, s.wait)
+	got, err := s.pool.ReadBuffered(dst, s.cfg.wait)
 	if err != nil && !errors.Is(err, entropyd.ErrStarved) && !errors.Is(err, entropyd.ErrNotServing) {
 		return got, err
 	}
@@ -285,7 +388,20 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	defer func() { s.lat.Record(time.Since(t0)) }()
+	// Phase accumulators for the request-phase histograms. Recorded in
+	// one defer (still allocation-free: the deferred closure is
+	// open-coded) and only for requests that entered the queue, so the
+	// three phases always have equal counts.
+	var queueDur, genDur, writeDur time.Duration
+	entered := false
+	defer func() {
+		s.lat.Record(time.Since(t0))
+		if entered {
+			s.latQueue.Record(queueDur)
+			s.latGen.Record(genDur)
+			s.latWrite.Record(writeDur)
+		}
+	}()
 	s.requests.Add(1)
 	n := 32
 	if q, ok := queryParam(r.URL.RawQuery, "bytes"); ok && q != "" {
@@ -296,8 +412,8 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	if n > s.maxBytes {
-		http.Error(w, fmt.Sprintf("bytes exceeds limit %d", s.maxBytes), http.StatusBadRequest)
+	if n > s.cfg.maxBytes {
+		http.Error(w, fmt.Sprintf("bytes exceeds limit %d", s.cfg.maxBytes), http.StatusBadRequest)
 		return
 	}
 	pr := false
@@ -319,9 +435,13 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		s.rejected.Add(1)
+		s.emit(obs.Event{Type: obs.TypeRequestShed, Shard: obs.Any, Lane: obs.Any,
+			Value: float64(n), Reason: "queue full"})
 		http.Error(w, "request queue full", http.StatusServiceUnavailable)
 		return
 	}
+	queueDur = time.Since(t0)
+	entered = true
 	rb := respBufs.Get().(*respBuf)
 	defer respBufs.Put(rb)
 	for written := 0; written < n; {
@@ -330,7 +450,9 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 			c = chunkBytes
 		}
 		chunk := rb.buf[:c]
+		g0 := time.Now()
 		got, err := s.generate(chunk, pr)
+		genDur += time.Since(g0)
 		if err != nil && written == 0 {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -339,6 +461,8 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 			// Starved or shutting down: the pool could not produce the
 			// bytes in time — unavailability, not an error.
 			s.starved.Add(1)
+			s.emit(obs.Event{Type: obs.TypeStarveAbort, Shard: obs.Any, Lane: obs.Any,
+				Value: float64(written), Reason: "pool unavailable"})
 		}
 		if err != nil || got < c {
 			if written == 0 {
@@ -355,7 +479,10 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 			h["Content-Type"] = ctOctet
 			h["Content-Length"] = rb.contentLength(n)
 		}
-		if _, werr := w.Write(chunk); werr != nil {
+		w0 := time.Now()
+		_, werr := w.Write(chunk)
+		writeDur += time.Since(w0)
+		if werr != nil {
 			// Client went away; nothing useful left to do.
 			return
 		}
@@ -435,44 +562,113 @@ func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// handleMetrics is GET /metrics (Prometheus text format 0.0.4).
+// handleMetrics is GET /metrics (Prometheus text format 0.0.4). Every
+// family carries HELP and TYPE; internal/obs.LintProm holds the output
+// to the format spec in tests and CI.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.pool.Stats()
 	up := time.Since(s.start).Seconds()
 	served := s.served.Load()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP trngd_uptime_seconds Daemon uptime.\n")
+	family := func(name, typ, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	}
+	// hist renders a loadstat snapshot as one labeled series of a
+	// Prometheus histogram family. labels is the rendered label list
+	// without braces ("" for none); le is appended.
+	hist := func(name, labels string, snap *loadstat.Snapshot) {
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		for _, b := range latencyBounds {
+			fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, b.label, snap.CountBelow(b.d))
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, snap.Count())
+		if labels != "" {
+			fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, snap.Sum().Seconds())
+			fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, snap.Count())
+		} else {
+			fmt.Fprintf(w, "%s_sum %g\n", name, snap.Sum().Seconds())
+			fmt.Fprintf(w, "%s_count %d\n", name, snap.Count())
+		}
+	}
+	family("trngd_build_info", "gauge", "Build identity (constant 1; the facts are in the labels).")
+	fmt.Fprintf(w, "trngd_build_info{go_version=%q,revision=%q} 1\n", s.goVersion, s.revision)
+	family("trngd_uptime_seconds", "gauge", "Daemon uptime.")
 	fmt.Fprintf(w, "trngd_uptime_seconds %g\n", up)
-	fmt.Fprintf(w, "# HELP trngd_requests_total /random requests received.\n")
+	family("trngd_requests_total", "counter", "/random requests received.")
 	fmt.Fprintf(w, "trngd_requests_total %d\n", s.requests.Load())
-	fmt.Fprintf(w, "# HELP trngd_requests_rejected_total Requests rejected by the bounded queue.\n")
+	family("trngd_requests_rejected_total", "counter", "Requests rejected by the bounded queue.")
 	fmt.Fprintf(w, "trngd_requests_rejected_total %d\n", s.rejected.Load())
-	fmt.Fprintf(w, "# HELP trngd_requests_starved_total Requests failed on pool starvation.\n")
+	family("trngd_requests_starved_total", "counter", "Requests failed on pool starvation.")
 	fmt.Fprintf(w, "trngd_requests_starved_total %d\n", s.starved.Load())
-	fmt.Fprintf(w, "# HELP trngd_bytes_served_total Random bytes delivered.\n")
+	family("trngd_bytes_served_total", "counter", "Random bytes delivered.")
 	fmt.Fprintf(w, "trngd_bytes_served_total %d\n", served)
-	fmt.Fprintf(w, "# HELP trngd_random_bytes_total Random bytes delivered by /random (alias of trngd_bytes_served_total).\n")
-	fmt.Fprintf(w, "# TYPE trngd_random_bytes_total counter\n")
+	family("trngd_random_bytes_total", "counter", "Random bytes delivered by /random (alias of trngd_bytes_served_total).")
 	fmt.Fprintf(w, "trngd_random_bytes_total %d\n", served)
-	fmt.Fprintf(w, "# HELP trngd_throughput_bytes_per_second Mean delivery rate since start.\n")
+	family("trngd_throughput_bytes_per_second", "gauge", "Mean delivery rate since start.")
 	fmt.Fprintf(w, "trngd_throughput_bytes_per_second %g\n", float64(served)/math.Max(up, 1e-9))
+	// Runtime health of the daemon process itself.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	family("trngd_goroutines", "gauge", "Live goroutines.")
+	fmt.Fprintf(w, "trngd_goroutines %d\n", runtime.NumGoroutine())
+	family("trngd_gc_pause_seconds_total", "counter", "Cumulative stop-the-world GC pause time.")
+	fmt.Fprintf(w, "trngd_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+	family("trngd_gc_runs_total", "counter", "Completed GC cycles.")
+	fmt.Fprintf(w, "trngd_gc_runs_total %d\n", ms.NumGC)
+	family("trngd_heap_alloc_bytes", "gauge", "Live heap bytes.")
+	fmt.Fprintf(w, "trngd_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	family("trngd_heap_sys_bytes", "gauge", "Heap bytes obtained from the OS.")
+	fmt.Fprintf(w, "trngd_heap_sys_bytes %d\n", ms.HeapSys)
 	// /random service latency, downsampled from the loadstat histogram
 	// to Prometheus cumulative le-buckets. The same histogram type backs
 	// cmd/loadgen, so the in-process view and an external load run are
 	// directly comparable.
-	lat := s.lat.Snapshot()
 	mode := s.mode()
-	fmt.Fprintf(w, "# HELP trngd_request_duration_seconds /random service latency.\n")
-	fmt.Fprintf(w, "# TYPE trngd_request_duration_seconds histogram\n")
-	for _, b := range latencyBounds {
-		fmt.Fprintf(w, "trngd_request_duration_seconds_bucket{mode=%q,le=%q} %d\n", mode, b.label, lat.CountBelow(b.d))
+	family("trngd_request_duration_seconds", "histogram", "/random service latency.")
+	hist("trngd_request_duration_seconds", fmt.Sprintf("mode=%q", mode), s.lat.Snapshot())
+	// The same latency split into phases: queue-wait (acquiring a queue
+	// slot), lane-generate (pool/DRBG byte production) and
+	// response-write (flushing to the client). Only requests that
+	// entered the queue are phased, so the three series share a count.
+	family("trngd_request_phase_duration_seconds", "histogram", "/random service latency by request phase.")
+	for _, ph := range []struct {
+		name string
+		h    *loadstat.Histogram
+	}{
+		{"queue-wait", s.latQueue},
+		{"lane-generate", s.latGen},
+		{"response-write", s.latWrite},
+	} {
+		hist("trngd_request_phase_duration_seconds",
+			fmt.Sprintf("mode=%q,phase=%q", mode, ph.name), ph.h.Snapshot())
 	}
-	fmt.Fprintf(w, "trngd_request_duration_seconds_bucket{mode=%q,le=\"+Inf\"} %d\n", mode, lat.Count())
-	fmt.Fprintf(w, "trngd_request_duration_seconds_sum{mode=%q} %g\n", mode, lat.Sum().Seconds())
-	fmt.Fprintf(w, "trngd_request_duration_seconds_count{mode=%q} %d\n", mode, lat.Count())
-	fmt.Fprintf(w, "# HELP trngd_shards_healthy Healthy shard count.\n")
+	// Flight-recorder journal and the detection latencies it derives
+	// from injection-marker → quarantine event pairs.
+	if j := s.cfg.journal; j != nil {
+		family("trngd_journal_events_total", "counter", "Events recorded by the flight-recorder journal.")
+		fmt.Fprintf(w, "trngd_journal_events_total %d\n", j.LastSeq())
+		family("trngd_journal_capacity_events", "gauge", "Journal ring capacity (older events are overwritten).")
+		fmt.Fprintf(w, "trngd_journal_capacity_events %d\n", j.Capacity())
+		if lats := j.DetectionLatencies(); len(lats) > 0 {
+			classes := make([]string, 0, len(lats))
+			for c := range lats {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			family("trngd_shard_detection_latency_seconds", "histogram",
+				"Injection-marker to quarantine latency per alarm class.")
+			for _, c := range classes {
+				hist("trngd_shard_detection_latency_seconds", fmt.Sprintf("class=%q", c), lats[c])
+			}
+		}
+	}
+	family("trngd_shards_healthy", "gauge", "Healthy shard count.")
 	fmt.Fprintf(w, "trngd_shards_healthy %d\n", st.Healthy)
-	fmt.Fprintf(w, "# HELP trngd_shard_state Shard state (0 startup, 1 healthy, 2 quarantined).\n")
+	family("trngd_shard_state", "gauge", "Shard state (0 startup, 1 healthy, 2 quarantined).")
 	for _, sh := range st.Shards {
 		state := 0
 		switch sh.State {
@@ -484,7 +680,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "trngd_shard_state{shard=\"%d\"} %d\n", sh.Index, state)
 	}
 	emit := func(name, help string, value func(entropyd.ShardStatus) uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		family(name, "counter", help)
 		for _, sh := range st.Shards {
 			fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, sh.Index, value(sh))
 		}
@@ -499,13 +695,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("trngd_shard_drained_bytes_total", "Bytes discarded by quarantine drains.", func(sh entropyd.ShardStatus) uint64 { return sh.DrainedBytes })
 	emit("trngd_shard_assess_runs_total", "Completed SP 800-90B raw-bit assessments.", func(sh entropyd.ShardStatus) uint64 { return sh.AssessRuns })
 	emit("trngd_shard_assess_alarms_total", "Low-entropy quarantines raised by the assessment.", func(sh entropyd.ShardStatus) uint64 { return sh.AssessAlarms })
-	fmt.Fprintf(w, "# HELP trngd_shard_assess_min_entropy Latest assessed suite min-entropy (bits per raw bit).\n")
+	family("trngd_shard_assess_min_entropy", "gauge", "Latest assessed suite min-entropy (bits per raw bit).")
 	for _, sh := range st.Shards {
 		if sh.AssessRuns > 0 {
 			fmt.Fprintf(w, "trngd_shard_assess_min_entropy{shard=\"%d\"} %g\n", sh.Index, sh.AssessMinEntropy)
 		}
 	}
-	fmt.Fprintf(w, "# HELP trngd_shard_assess_age_seconds Wall-clock age of the latest assessment.\n")
+	family("trngd_shard_assess_age_seconds", "gauge", "Wall-clock age of the latest assessment.")
 	for _, sh := range st.Shards {
 		if sh.AssessRuns > 0 {
 			fmt.Fprintf(w, "trngd_shard_assess_age_seconds{shard=\"%d\"} %g\n", sh.Index, sh.AssessAgeSeconds)
@@ -515,17 +711,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d := s.drbg.Stats()
-	fmt.Fprintf(w, "# HELP trngd_drbg_generates_total DRBG output blocks generated (%d bytes each).\n", d.BlockBytes)
+	family("trngd_drbg_generates_total", "counter", fmt.Sprintf("DRBG output blocks generated (%d bytes each).", d.BlockBytes))
 	fmt.Fprintf(w, "trngd_drbg_generates_total %d\n", d.Generates)
-	fmt.Fprintf(w, "# HELP trngd_drbg_reseeds_total Successful DRBG seeding events (instantiations included).\n")
+	family("trngd_drbg_reseeds_total", "counter", "Successful DRBG seeding events (instantiations included).")
 	fmt.Fprintf(w, "trngd_drbg_reseeds_total %d\n", d.Reseeds)
-	fmt.Fprintf(w, "# HELP trngd_drbg_reseed_failures_total Failed DRBG seeding events (lane failed closed for the turn).\n")
+	family("trngd_drbg_reseed_failures_total", "counter", "Failed DRBG seeding events (lane failed closed for the turn).")
 	fmt.Fprintf(w, "trngd_drbg_reseed_failures_total %d\n", d.ReseedFailures)
-	fmt.Fprintf(w, "# HELP trngd_drbg_seed_draws_total Full-entropy conditioner blocks drawn from shard taps.\n")
+	family("trngd_drbg_seed_draws_total", "counter", "Full-entropy conditioner blocks drawn from shard taps.")
 	fmt.Fprintf(w, "trngd_drbg_seed_draws_total %d\n", d.SeedDraws)
-	fmt.Fprintf(w, "# HELP trngd_drbg_seed_starves_total Seed draws that timed out with no eligible shard.\n")
+	family("trngd_drbg_seed_starves_total", "counter", "Seed draws that timed out with no eligible shard.")
 	fmt.Fprintf(w, "trngd_drbg_seed_starves_total %d\n", d.SeedStarves)
-	fmt.Fprintf(w, "# HELP trngd_drbg_lane_reseed_counter Generate calls since the lane's last seed (SP 800-90A reseed_counter).\n")
+	family("trngd_drbg_lane_reseed_counter", "gauge", "Generate calls since the lane's last seed (SP 800-90A reseed_counter).")
 	for _, l := range d.Lanes {
 		if l.Instantiated {
 			fmt.Fprintf(w, "trngd_drbg_lane_reseed_counter{lane=\"%d\"} %d\n", l.Shard, l.ReseedCounter)
@@ -551,6 +747,71 @@ var latencyBounds = []struct {
 	{"1", time.Second},
 	{"5", 5 * time.Second},
 	{"10", 10 * time.Second},
+}
+
+// eventsResponse is the GET /events payload. LastSeq is the reader's
+// next ?since= cursor — returned even when no event matched, so an
+// idle poller still advances past the events it has seen.
+type eventsResponse struct {
+	LastSeq uint64      `json:"last_seq"`
+	Events  []obs.Event `json:"events"`
+}
+
+// handleEvents is GET /events[?since=SEQ&shard=I&lane=I&type=T&limit=N]:
+// the flight-recorder journal, oldest matching event first. 404 when
+// the journal is disabled (-events 0).
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cfg.journal == nil {
+		http.Error(w, "event journal disabled (-events 0)", http.StatusNotFound)
+		return
+	}
+	q := obs.NewQuery()
+	values := r.URL.Query()
+	if v := values.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "since must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		q.Since = n
+	}
+	if v := values.Get("shard"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "shard must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		q.Shard = n
+	}
+	if v := values.Get("lane"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "lane must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		q.Lane = n
+	}
+	if v := values.Get("type"); v != "" {
+		q.Type = obs.Type(v)
+	}
+	if v := values.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		q.Max = n
+	}
+	evs, last := s.cfg.journal.Events(q)
+	if evs == nil {
+		evs = []obs.Event{} // an empty page is "events": [], not null
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(eventsResponse{LastSeq: last, Events: evs})
 }
 
 // handleQuarantine is POST /quarantine?shard=I (admin only).
@@ -599,8 +860,6 @@ func postChain(name string) ([]entropyd.PostStage, error) {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("trngd: ")
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		mode        = flag.String("mode", "drbg", "serving mode: drbg (SP 800-90C expansion) or raw (gated raw stream)")
@@ -622,6 +881,9 @@ func main() {
 		seedWait    = flag.Duration("seed-wait", 2*time.Second, "max wait per DRBG seed draw before failing closed")
 		seedTap     = flag.Int("seedtap", 1<<13, "per-shard raw seed tap bytes (drbg mode)")
 		admin       = flag.Bool("admin", false, "enable POST /quarantine (operator drills)")
+		events      = flag.Int("events", obs.DefaultCapacity, "event journal capacity (0 disables the journal and /events)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof on the serving mux")
 		assess      = flag.Bool("assess", true, "periodic SP 800-90B raw-bit assessment per shard")
 		assessBits  = flag.Int("assess-bits", 1<<16, "raw bits per assessment sample")
 		assessEvery = flag.Int("assess-every", 1<<20, "raw-bit cadence between assessments")
@@ -630,19 +892,31 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	)
 	flag.Parse()
-	if *amp <= 0 {
-		log.Fatal("-amp must be > 0")
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "trngd: unknown -log-level %q (debug, info, warn or error)\n", *logLevel)
+		os.Exit(2)
 	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("profiling setup failed", "err", err)
+		os.Exit(1)
 	}
 	// os.Exit skips defers, so every fatal exit below must flush the
 	// profiles explicitly.
 	defer stopProf()
-	fatal := func(v ...any) {
+	fatal := func(msg string, args ...any) {
 		stopProf()
-		log.Fatal(v...)
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+	if *amp <= 0 {
+		fatal("-amp must be > 0", "amp", *amp)
+	}
+	if *events < 0 {
+		fatal("-events must be >= 0", "events", *events)
 	}
 	model := core.PaperModel().ScaleJitter(*amp)
 	k := *divider
@@ -651,7 +925,7 @@ func main() {
 	}
 	chain, err := postChain(*post)
 	if err != nil {
-		fatal(err)
+		fatal("bad -post", "err", err)
 	}
 	var kind entropyd.SourceKind
 	switch *source {
@@ -660,12 +934,23 @@ func main() {
 	case "multiring":
 		kind = entropyd.SourceMultiRing
 	default:
-		stopProf()
-		log.Fatalf("unknown source %q", *source)
+		fatal("unknown -source (ero or multiring)", "source", *source)
 	}
 	if *mode != "raw" && *mode != "drbg" {
-		fatal(fmt.Errorf("unknown mode %q (raw or drbg)", *mode))
+		fatal("unknown -mode (raw or drbg)", "mode", *mode)
 	}
+
+	// The observability sink: the ring-buffer journal (serving /events
+	// and the detection-latency metric) plus structured logs sharing the
+	// same event vocabulary. Emission is passive — the pool's output is
+	// bit-identical with or without it.
+	var journal *obs.Journal
+	sinks := []obs.Sink{obs.NewLogSink(logger)}
+	if *events > 0 {
+		journal = obs.NewJournal(*events)
+		sinks = append(sinks, journal)
+	}
+	sink := obs.Multi(sinks...)
 
 	cfg := entropyd.Config{
 		Shards: *shards,
@@ -679,6 +964,7 @@ func main() {
 			AssessMinEntropy: *assessMin,
 		},
 		BufBytes: *buf,
+		Sink:     sink,
 	}
 	var drbgCfg entropyd.DRBGConfig
 	if *mode == "drbg" {
@@ -690,10 +976,10 @@ func main() {
 		case "cbcmac":
 			var err error
 			if condFn, err = conditioner.NewCBCMACAES256(nil); err != nil {
-				fatal(err)
+				fatal("conditioner setup failed", "err", err)
 			}
 		default:
-			fatal(fmt.Errorf("unknown conditioner %q (hmac or cbcmac)", *cond))
+			fatal("unknown -cond (hmac or cbcmac)", "cond", *cond)
 		}
 		drbgCfg = entropyd.DRBGConfig{
 			ReseedInterval: *reseedIv,
@@ -707,40 +993,60 @@ func main() {
 		case "hmac":
 			drbgCfg.Kind = entropyd.DRBGHMAC
 		default:
-			fatal(fmt.Errorf("unknown DRBG %q (ctr or hmac)", *drbgKind))
+			fatal("unknown -drbg (ctr or hmac)", "drbg", *drbgKind)
 		}
 	}
-	log.Printf("calibrating %d %s shard(s) (mode=%s amp=%g divider=%d post=%s leapfrog=%v)...", *shards, *source, *mode, *amp, k, *post, *leapfrog)
+	logger.Info("calibrating shards",
+		"shards", *shards, "source", *source, "mode", *mode,
+		"amp", *amp, "divider", k, "post", *post, "leapfrog", *leapfrog)
 	t0 := time.Now()
 	pool, err := entropyd.New(cfg)
 	if err != nil {
-		fatal(err)
+		fatal("pool startup failed", "err", err)
 	}
 	st := pool.Stats()
-	log.Printf("startup tests done in %v: %d/%d shards healthy", time.Since(t0).Round(time.Millisecond), st.Healthy, len(st.Shards))
+	logger.Info("startup tests done",
+		"elapsed", time.Since(t0).Round(time.Millisecond).String(),
+		"healthy", st.Healthy, "shards", len(st.Shards))
+	// Only non-healthy shards are worth a line here: a healthy shard's
+	// "reason" is the empty none value, and logging it for every shard
+	// buried the real failures.
 	for _, sh := range st.Shards {
-		log.Printf("  shard %d: %s (reason %s)", sh.Index, sh.State, sh.Reason)
+		if sh.State != "healthy" {
+			logger.Warn("shard not healthy after startup",
+				"shard", sh.Index, "state", sh.State, "reason", sh.Reason)
+		}
 	}
 
 	var dp *entropyd.DRBGPool
 	if *mode == "drbg" {
 		if dp, err = pool.DRBGPool(drbgCfg); err != nil {
-			fatal(err)
+			fatal("drbg setup failed", "err", err)
 		}
-		log.Printf("drbg mode: %s lanes over %s conditioning, %d-byte blocks, reseed every %d blocks (output gated on the first per-shard assessment)",
-			drbgCfg.Kind, *cond, *drbgBlock, *reseedIv)
+		logger.Info("drbg mode",
+			"kind", drbgCfg.Kind.String(), "cond", *cond,
+			"block_bytes", *drbgBlock, "reseed_interval", *reseedIv)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := pool.Serve(ctx); err != nil {
-		fatal(err)
+		fatal("pool serve failed", "err", err)
 	}
 	defer pool.Stop()
 
+	sc := serverConfig{
+		queue:    *queue,
+		maxBytes: *maxBytes,
+		wait:     *wait,
+		admin:    *admin,
+		pprof:    *pprofOn,
+		journal:  journal,
+		sink:     sink,
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(pool, dp, *queue, *maxBytes, *wait, *admin).handler(),
+		Handler: newServer(pool, dp, sc).handler(),
 		// Slow-loris hardening: a client must present its headers and
 		// drain its response promptly or lose the connection — queue
 		// slots are for the pool's work, not for idle sockets. The
@@ -758,8 +1064,10 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutCtx)
 	}()
-	log.Printf("serving on %s (/random /healthz /assess /metrics)", *addr)
+	logger.Info("serving", "addr", *addr,
+		"endpoints", "/random /healthz /assess /metrics /events",
+		"admin", *admin, "pprof", *pprofOn, "journal_capacity", *events)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fatal(err)
+		fatal("http server failed", "err", err)
 	}
 }

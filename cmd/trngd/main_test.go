@@ -38,8 +38,9 @@ func testConfig(shards int, seed uint64) entropyd.Config {
 	}
 }
 
-// startServed builds a serving pool plus its handler.
-func startServed(t *testing.T, cfg entropyd.Config, queue int, admin bool) (*entropyd.Pool, http.Handler) {
+// startServedWith builds a serving pool plus a handler with the given
+// server configuration.
+func startServedWith(t *testing.T, cfg entropyd.Config, sc serverConfig) (*entropyd.Pool, http.Handler) {
 	t.Helper()
 	pool, err := entropyd.New(cfg)
 	if err != nil {
@@ -50,7 +51,13 @@ func startServed(t *testing.T, cfg entropyd.Config, queue int, admin bool) (*ent
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { pool.Stop(); cancel() })
-	return pool, newServer(pool, nil, queue, 1<<16, 10*time.Second, admin).handler()
+	return pool, newServer(pool, nil, sc).handler()
+}
+
+// startServed builds a serving pool plus its handler.
+func startServed(t *testing.T, cfg entropyd.Config, queue int, admin bool) (*entropyd.Pool, http.Handler) {
+	t.Helper()
+	return startServedWith(t, cfg, serverConfig{queue: queue, maxBytes: 1 << 16, wait: 10 * time.Second, admin: admin})
 }
 
 func TestRandomEndpoint(t *testing.T) {
@@ -208,7 +215,7 @@ func TestChunkedLargeResponse(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { pool.Stop(); cancel() })
-	h := newServer(pool, nil, 4, 1<<20, 30*time.Second, false).handler()
+	h := newServer(pool, nil, serverConfig{queue: 4, maxBytes: 1 << 20, wait: 30 * time.Second}).handler()
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -463,7 +470,7 @@ func TestAssessNotReady(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := newServer(pool, nil, 4, 1<<16, 10*time.Second, false).handler()
+	h := newServer(pool, nil, serverConfig{queue: 4, maxBytes: 1 << 16, wait: 10 * time.Second}).handler()
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -515,7 +522,7 @@ func startServedDRBG(t *testing.T, cfg entropyd.Config, drbgCfg entropyd.DRBGCon
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { pool.Stop(); cancel() })
-	return pool, dp, newServer(pool, dp, 16, 1<<16, 10*time.Second, false).handler()
+	return pool, dp, newServer(pool, dp, serverConfig{queue: 16, maxBytes: 1 << 16, wait: 10 * time.Second}).handler()
 }
 
 // TestDRBGMode drives the expansion-layer serving path end to end over

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/osc"
 )
 
@@ -129,6 +130,20 @@ func (a FlickerBoost) Arm(o *osc.Oscillator) {
 // Describe summarizes the attack.
 func (a FlickerBoost) Describe() string {
 	return fmt.Sprintf("flicker boost: ×%.2f onset=%.3gs", a.Factor, a.Onset)
+}
+
+// Mark records the moment an attack drill is armed against a shard by
+// emitting an injection-marker event (nil-safe: a nil sink records
+// nothing). The observability journal pairs the marker with the
+// shard's next quarantine event, turning the drill into a measured
+// detection latency — call it at arming time, immediately after
+// Scenario.Arm.
+func Mark(sink obs.Sink, shard int, s Scenario) {
+	e := obs.Event{Type: obs.TypeInjectionMarker, Shard: shard, Lane: obs.Any}
+	if s != nil {
+		e.Detail = s.Describe()
+	}
+	obs.Emit(sink, e)
 }
 
 // LockingDepth estimates the injection depth at which an injected tone

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/drbg"
+	"repro/internal/obs"
 )
 
 // DRBGKind selects the SP 800-90A mechanism behind a DRBGPool lane.
@@ -233,6 +234,8 @@ func (d *DRBGPool) instantiate(l *drbgLane, wait time.Duration) error {
 	}
 	l.d = inst
 	l.live.Store(true)
+	d.pool.emit(obs.Event{Type: obs.TypeDRBGInstantiate, Shard: l.shard, Lane: l.shard,
+		Detail: d.cfg.Kind.String()})
 	return nil
 }
 
@@ -247,6 +250,8 @@ func (d *DRBGPool) fillInto(l *drbgLane, dst []byte, pr bool, wait time.Duration
 		if err := d.instantiate(l, wait); err != nil {
 			l.failures.Add(1)
 			d.reseedFails.Add(1)
+			d.pool.emit(obs.Event{Type: obs.TypeDRBGReseedFail, Shard: l.shard, Lane: l.shard,
+				Reason: err.Error()})
 			return err
 		}
 		d.reseeds.Add(1)
@@ -256,6 +261,8 @@ func (d *DRBGPool) fillInto(l *drbgLane, dst []byte, pr bool, wait time.Duration
 		if err := d.src.Seed(seed, l.shard, wait); err != nil {
 			l.failures.Add(1)
 			d.reseedFails.Add(1)
+			d.pool.emit(obs.Event{Type: obs.TypeDRBGReseedFail, Shard: l.shard, Lane: l.shard,
+				Reason: err.Error()})
 			return err
 		}
 		err := l.d.Reseed(seed, nil)
@@ -263,10 +270,13 @@ func (d *DRBGPool) fillInto(l *drbgLane, dst []byte, pr bool, wait time.Duration
 		if err != nil {
 			l.failures.Add(1)
 			d.reseedFails.Add(1)
+			d.pool.emit(obs.Event{Type: obs.TypeDRBGReseedFail, Shard: l.shard, Lane: l.shard,
+				Reason: err.Error()})
 			return err
 		}
 		d.reseeds.Add(1)
 		l.reseeds.Add(1)
+		d.pool.emit(obs.Event{Type: obs.TypeDRBGReseed, Shard: l.shard, Lane: l.shard})
 	}
 	if err := l.d.Generate(dst, nil); err != nil {
 		// ErrReseedRequired cannot normally reach here (the interval
@@ -411,6 +421,8 @@ func (d *DRBGPool) drainQuarantinedLocked(l *drbgLane) {
 		l.queue = l.queue[:0]
 		l.queuedN.Store(0)
 		l.drainedN.Add(uint64(n))
+		d.pool.emit(obs.Event{Type: obs.TypeDRBGDrain, Shard: l.shard, Lane: l.shard,
+			Value: float64(n), Reason: d.pool.shards[l.shard].LastReason().String()})
 		l.cond.Broadcast()
 	}
 }
@@ -521,6 +533,8 @@ func (d *DRBGPool) Generate(dst []byte, pr bool, wait time.Duration) (int, error
 				lastErr = err
 				d.rr = (d.rr + 1) % len(d.lanes)
 				if fails++; fails >= len(d.lanes) {
+					d.pool.emit(obs.Event{Type: obs.TypeDRBGFailClosed, Shard: obs.Any, Lane: obs.Any,
+						Value: float64(n), Reason: lastErr.Error()})
 					return n, lastErr
 				}
 				continue

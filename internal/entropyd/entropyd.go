@@ -83,6 +83,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/osc"
 	"repro/internal/sp90b"
 )
@@ -245,6 +246,14 @@ type Config struct {
 	// the assessed min-entropy is the seed accounting input.
 	SeedTapBytes int
 
+	// Sink, when non-nil, receives the pool's observability events
+	// (shard lifecycle, alarms with the triggering statistic,
+	// quarantines, DRBG lane events, seed draws — see internal/obs).
+	// Emission is passive: sinks observe state transitions that happen
+	// anyway, so the output stream is bit-identical with the sink on or
+	// off; a nil sink costs one predictable branch per event site.
+	Sink obs.Sink
+
 	// NewSource, when non-nil, replaces the Source-derived generator
 	// factory. It receives the shard index, the calibration epoch and
 	// the derived seed. Tests and attack experiments use it to script
@@ -361,6 +370,14 @@ func New(cfg Config) (*Pool, error) {
 	return p, nil
 }
 
+// emit forwards an observability event to the configured sink. The
+// nil check is the entire cost when observability is off.
+func (p *Pool) emit(e obs.Event) {
+	if p.cfg.Sink != nil {
+		p.cfg.Sink.Emit(e)
+	}
+}
+
 // newSource dispatches to the configured source factory.
 func (p *Pool) newSource(shard, epoch int, seed uint64) (RawSource, error) {
 	if p.cfg.NewSource != nil {
@@ -407,6 +424,10 @@ func (p *Pool) InjectAlarm(i int) error {
 		return fmt.Errorf("entropyd: shard %d is %v, not healthy", i, st)
 	}
 	p.shards[i].injected.Store(true)
+	// The marker is the detection-latency clock start: the journal
+	// pairs it with the shard's next quarantine event.
+	p.emit(obs.Event{Type: obs.TypeInjectionMarker, Shard: i, Lane: obs.Any,
+		Epoch: p.shards[i].Epoch(), Detail: "InjectAlarm"})
 	return nil
 }
 

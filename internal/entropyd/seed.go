@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/conditioner"
+	"repro/internal/obs"
 )
 
 // ErrSeedStarved is returned by SeedSource.Seed (and surfaces through
@@ -184,11 +185,14 @@ func (s *SeedSource) drawBlock(prefer int, deadline time.Time) ([]byte, error) {
 			// Re-check the vetted credit with the actual draw size
 			// (defensive: RequiredInputBits already guarantees it).
 			nBits := 8 * nBytes
-			if conditioner.VettedEntropy(nBits, nOut, s.cond.NarrowestBits(), h*float64(nBits)) < 0.999*float64(nOut) {
+			credit := conditioner.VettedEntropy(nBits, nOut, s.cond.NarrowestBits(), h*float64(nBits))
+			if credit < 0.999*float64(nOut) {
 				continue
 			}
 			sh.seedBytes.Add(uint64(nBytes))
 			s.draws.Add(1)
+			s.pool.emit(obs.Event{Type: obs.TypeSeedDraw, Shard: sh.index, Lane: obs.Any,
+				Epoch: sh.Epoch(), Value: credit})
 			return s.cond.Condition(buf), nil
 		}
 		if !time.Now().Before(deadline) {

@@ -2,12 +2,14 @@ package entropyd
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ais31"
 	"repro/internal/engine"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/onlinetest"
 	"repro/internal/osc"
 	"repro/internal/postproc"
@@ -139,6 +141,13 @@ type Shard struct {
 	// AssessBits sample is complete and assessed.
 	assessBuf  []byte
 	assessWait int // raw bits left before the next collection starts
+
+	// alarmStat is the statistic that triggered the pending alarm
+	// (owner goroutine; set at the test site that raised the reason,
+	// consumed by the quarantine event): the tot run length, the
+	// thermal monitor's windowed s_N variance, or the assessed suite
+	// min-entropy.
+	alarmStat float64
 
 	// Serve-mode output buffer.
 	ring *ring
@@ -311,12 +320,20 @@ func (s *Shard) calibrate() error {
 			dry = 0
 			bits = append(bits, gated...)
 		}
-		_, pass, err := ais31.StartupTest(bits)
+		verdicts, pass, err := ais31.StartupTest(bits)
 		if err != nil {
 			return err
 		}
 		if !pass {
 			s.startupFails.Add(1)
+			var failed []string
+			for _, v := range verdicts {
+				if !v.Pass {
+					failed = append(failed, v.Name)
+				}
+			}
+			s.pool.emit(obs.Event{Type: obs.TypeStartupFail, Shard: s.index, Lane: obs.Any,
+				Epoch: s.epoch.Load(), Value: float64(len(failed)), Detail: strings.Join(failed, ",")})
 			s.quarantine(ReasonStartup)
 			return nil
 		}
@@ -324,6 +341,8 @@ func (s *Shard) calibrate() error {
 
 	s.reason.Store(int32(ReasonNone))
 	s.state.Store(int32(StateHealthy))
+	s.pool.emit(obs.Event{Type: obs.TypeStartupPass, Shard: s.index, Lane: obs.Any,
+		Epoch: s.epoch.Load()})
 	return nil
 }
 
@@ -331,7 +350,8 @@ func (s *Shard) calibrate() error {
 // simulation analogue of power-cycling and re-admitting a quarantined
 // source. Returns true when the shard came back Healthy.
 func (s *Shard) recalibrate() bool {
-	s.epoch.Add(1)
+	epoch := s.epoch.Add(1)
+	s.pool.emit(obs.Event{Type: obs.TypeRecalibrate, Shard: s.index, Lane: obs.Any, Epoch: epoch})
 	if err := s.calibrate(); err != nil {
 		// Construction errors cannot normally happen after epoch 0
 		// (same configuration); treat defensively as a failed
@@ -340,7 +360,11 @@ func (s *Shard) recalibrate() bool {
 		s.quarantine(ReasonStartup)
 		return false
 	}
-	return s.State() == StateHealthy
+	if s.State() == StateHealthy {
+		s.pool.emit(obs.Event{Type: obs.TypeHeal, Shard: s.index, Lane: obs.Any, Epoch: epoch})
+		return true
+	}
+	return false
 }
 
 // quarantine moves the shard out of service: records the reason,
@@ -350,6 +374,8 @@ func (s *Shard) quarantine(r Reason) {
 	s.reason.Store(int32(r))
 	s.state.Store(int32(StateQuarantined))
 	s.quarantines.Add(1)
+	stat := s.alarmStat
+	s.alarmStat = 0
 	switch r {
 	case ReasonTot:
 		s.totAlarms.Add(1)
@@ -360,10 +386,21 @@ func (s *Shard) quarantine(r Reason) {
 	case ReasonLowEntropy:
 		s.assessAlarms.Add(1)
 	}
-	s.bitbuf, s.bitpos = s.bitbuf[:0], 0
-	if s.ring != nil {
-		s.drainedBytes.Add(uint64(s.ring.drain()))
+	switch r {
+	case ReasonTot, ReasonThermalLow, ReasonThermalHigh, ReasonLowEntropy:
+		// Embedded-test alarms get their own event carrying the
+		// triggering statistic, ahead of the quarantine they cause.
+		s.pool.emit(obs.Event{Type: obs.TypeAlarm, Shard: s.index, Lane: obs.Any,
+			Epoch: s.epoch.Load(), Reason: r.String(), Value: stat})
 	}
+	s.bitbuf, s.bitpos = s.bitbuf[:0], 0
+	drained := 0
+	if s.ring != nil {
+		drained = s.ring.drain()
+		s.drainedBytes.Add(uint64(drained))
+	}
+	s.pool.emit(obs.Event{Type: obs.TypeQuarantine, Shard: s.index, Lane: obs.Any,
+		Epoch: s.epoch.Load(), Reason: r.String(), Value: float64(drained)})
 	if s.tap != nil {
 		// Tapped raw bits of the failed epoch are as suspect as the
 		// gated output: discard them so no seed draw ever sees them.
@@ -382,6 +419,7 @@ func (s *Shard) gateChunk() ([]byte, Reason) {
 		b := s.src.NextBit() & 1
 		raw[i] = b
 		if s.tot != nil && s.tot.Push(b) {
+			s.alarmStat = float64(h.TotWindow) // the run length that fired
 			return nil, ReasonTot
 		}
 		if s.mon != nil {
@@ -393,8 +431,10 @@ func (s *Shard) gateChunk() ([]byte, Reason) {
 				s.monPrevQ = q
 				switch s.mon.Push(sn) {
 				case onlinetest.AlarmLow:
+					s.alarmStat = s.mon.LastVariance()
 					return nil, ReasonThermalLow
 				case onlinetest.AlarmHigh:
+					s.alarmStat = s.mon.LastVariance()
 					return nil, ReasonThermalHigh
 				}
 			}
@@ -468,6 +508,7 @@ func (s *Shard) collectAssessment(raw []byte) Reason {
 		Report:  rep,
 	})
 	if t := h.AssessMinEntropy; t > 0 && rep.MinEntropy < t {
+		s.alarmStat = rep.MinEntropy
 		return ReasonLowEntropy
 	}
 	return ReasonNone

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogSink forwards journal events to a slog.Logger as structured
+// records with the journal's event vocabulary: one record per event,
+// message = the event type, attributes = the non-empty event fields.
+// High-rate steady-state events (seed draws, reseeds, request sheds)
+// log at Debug so an Info-level logger stays quiet under load; alarms,
+// quarantines and fail-closed transitions log at Warn.
+type LogSink struct {
+	l *slog.Logger
+}
+
+// NewLogSink wraps l (slog.Default() when nil).
+func NewLogSink(l *slog.Logger) *LogSink {
+	if l == nil {
+		l = slog.Default()
+	}
+	return &LogSink{l: l}
+}
+
+// Level maps an event type to the slog level LogSink records it at.
+func Level(t Type) slog.Level {
+	switch t {
+	case TypeAlarm, TypeQuarantine, TypeStartupFail, TypeDRBGReseedFail,
+		TypeDRBGFailClosed, TypeStarveAbort:
+		return slog.LevelWarn
+	case TypeSeedDraw, TypeDRBGReseed, TypeRequestShed:
+		return slog.LevelDebug
+	}
+	return slog.LevelInfo
+}
+
+// Emit implements Sink.
+func (s *LogSink) Emit(e Event) {
+	lvl := Level(e.Type)
+	if !s.l.Enabled(context.Background(), lvl) {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 7)
+	if e.Seq != 0 {
+		// The journal assigns sequence numbers internally, so an event
+		// fanned out to a LogSink next to a Journal arrives unstamped;
+		// a zero seq is absence, not position.
+		attrs = append(attrs, slog.Uint64("seq", e.Seq))
+	}
+	if e.Shard >= 0 {
+		attrs = append(attrs, slog.Int("shard", e.Shard))
+	}
+	if e.Lane >= 0 {
+		attrs = append(attrs, slog.Int("lane", e.Lane))
+	}
+	if e.Epoch != 0 {
+		attrs = append(attrs, slog.Int64("epoch", e.Epoch))
+	}
+	if e.Reason != "" {
+		attrs = append(attrs, slog.String("reason", e.Reason))
+	}
+	if e.Value != 0 {
+		attrs = append(attrs, slog.Float64("value", e.Value))
+	}
+	if e.Detail != "" {
+		attrs = append(attrs, slog.String("detail", e.Detail))
+	}
+	s.l.LogAttrs(context.Background(), lvl, string(e.Type), attrs...)
+}

@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintProm checks a Prometheus text-format (version 0.0.4) exposition
+// against the format contract a scraper relies on:
+//
+//   - metric and label names match the Prometheus grammar;
+//   - sample values parse as Go floats (+Inf/-Inf/NaN allowed);
+//   - # TYPE / # HELP comments are well-formed, name a known metric
+//     type, and precede every sample of the metric they describe;
+//   - at most one TYPE and one HELP line per metric name;
+//   - no duplicate series (same name + same label set);
+//   - histogram metrics (TYPE histogram) expose _bucket series with a
+//     parseable, monotonically non-decreasing "le" label including the
+//     mandatory +Inf bucket, plus _count and _sum series, with
+//     cumulative bucket counts and count == the +Inf bucket.
+//
+// It returns one error per violation (nil-length slice when the text
+// is clean), so a test can print every problem at once. It is reused
+// by cmd/promlint against a live /metrics scrape in CI.
+func LintProm(text string) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	typeOf := map[string]string{} // metric name -> declared type
+	helpSeen := map[string]bool{}
+	typeLine := map[string]int{}
+	sampleSeen := map[string]bool{} // base metric name has samples already
+	series := map[string]int{}      // name{sorted labels} -> first line
+	type histSeries struct {
+		buckets map[float64]float64 // le -> count, per label-set key (le removed)
+		order   []float64
+		count   float64
+		hasCnt  bool
+		sum     bool
+		line    int
+	}
+	hists := map[string]*histSeries{} // histogram name + label-set key
+
+	lines := strings.Split(text, "\n")
+	for i, raw := range lines {
+		ln := i + 1
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			if !strings.HasPrefix(rest, " ") {
+				fail(ln, "comment missing space after #: %q", line)
+				continue
+			}
+			fields := strings.SplitN(strings.TrimPrefix(rest, " "), " ", 3)
+			switch fields[0] {
+			case "TYPE":
+				if len(fields) < 3 {
+					fail(ln, "malformed TYPE line: %q", line)
+					continue
+				}
+				name, mt := fields[1], strings.TrimSpace(fields[2])
+				if !validMetricName(name) {
+					fail(ln, "TYPE names invalid metric %q", name)
+				}
+				switch mt {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail(ln, "unknown metric type %q for %q", mt, name)
+				}
+				if prev, dup := typeLine[name]; dup {
+					fail(ln, "duplicate TYPE for %q (first at line %d)", name, prev)
+				}
+				if sampleSeen[name] {
+					fail(ln, "TYPE for %q appears after its samples", name)
+				}
+				typeOf[name] = mt
+				typeLine[name] = ln
+			case "HELP":
+				if len(fields) < 2 {
+					fail(ln, "malformed HELP line: %q", line)
+					continue
+				}
+				name := fields[1]
+				if !validMetricName(name) {
+					fail(ln, "HELP names invalid metric %q", name)
+				}
+				if helpSeen[name] {
+					fail(ln, "duplicate HELP for %q", name)
+				}
+				if sampleSeen[name] {
+					fail(ln, "HELP for %q appears after its samples", name)
+				}
+				helpSeen[name] = true
+			}
+			// Other comments are free-form and legal.
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			fail(ln, "%v", err)
+			continue
+		}
+		base := baseName(name, typeOf)
+		sampleSeen[base] = true
+		if base != name {
+			sampleSeen[name] = true
+		}
+
+		key := seriesKey(name, labels)
+		if prev, dup := series[key]; dup {
+			fail(ln, "duplicate series %s (first at line %d)", key, prev)
+		}
+		series[key] = ln
+
+		if typeOf[base] == "histogram" {
+			hk := base + "\x00" + seriesKey("", withoutLabel(labels, "le"))
+			h := hists[hk]
+			if h == nil {
+				h = &histSeries{buckets: map[float64]float64{}, line: ln}
+				hists[hk] = h
+			}
+			switch {
+			case name == base+"_bucket":
+				leStr, ok := labelValue(labels, "le")
+				if !ok {
+					fail(ln, "histogram bucket %s missing le label", name)
+					break
+				}
+				le, perr := strconv.ParseFloat(leStr, 64)
+				if perr != nil {
+					fail(ln, "histogram %s le=%q does not parse: %v", base, leStr, perr)
+					break
+				}
+				h.buckets[le] = value
+				h.order = append(h.order, le)
+			case name == base+"_count":
+				h.count = value
+				h.hasCnt = true
+			case name == base+"_sum":
+				h.sum = true
+			case name == base:
+				fail(ln, "histogram %s exposes a bare sample; expected _bucket/_sum/_count", base)
+			}
+		}
+	}
+
+	for hk, h := range hists {
+		base := strings.SplitN(hk, "\x00", 2)[0]
+		if len(h.order) == 0 {
+			fail(h.line, "histogram %s has no _bucket series", base)
+			continue
+		}
+		sort.Float64s(h.order)
+		if !math.IsInf(h.order[len(h.order)-1], +1) {
+			fail(h.line, "histogram %s missing le=\"+Inf\" bucket", base)
+		}
+		prev := math.Inf(-1)
+		prevCount := -1.0
+		for _, le := range h.order {
+			if le == prev {
+				fail(h.line, "histogram %s repeats le=%v", base, le)
+			}
+			if c := h.buckets[le]; c < prevCount {
+				fail(h.line, "histogram %s bucket counts not cumulative at le=%v (%v < %v)", base, le, c, prevCount)
+			} else {
+				prevCount = c
+			}
+			prev = le
+		}
+		if !h.hasCnt {
+			fail(h.line, "histogram %s missing _count series", base)
+		} else if inf := h.buckets[math.Inf(+1)]; h.count != inf {
+			fail(h.line, "histogram %s _count %v != +Inf bucket %v", base, h.count, inf)
+		}
+		if !h.sum {
+			fail(h.line, "histogram %s missing _sum series", base)
+		}
+	}
+	return errs
+}
+
+// baseName strips the histogram/summary component suffix when the
+// remaining name has a TYPE declaration claiming it.
+func baseName(name string, typeOf map[string]string) string {
+	for _, suf := range []string{"_bucket", "_count", "_sum"} {
+		if b, ok := strings.CutSuffix(name, suf); ok {
+			if t := typeOf[b]; t == "histogram" || t == "summary" {
+				return b
+			}
+		}
+	}
+	return name
+}
+
+type promLabel struct{ name, value string }
+
+func labelValue(labels []promLabel, name string) (string, bool) {
+	for _, l := range labels {
+		if l.name == name {
+			return l.value, true
+		}
+	}
+	return "", false
+}
+
+func withoutLabel(labels []promLabel, name string) []promLabel {
+	out := make([]promLabel, 0, len(labels))
+	for _, l := range labels {
+		if l.name != name {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func seriesKey(name string, labels []promLabel) string {
+	ls := make([]string, len(labels))
+	for i, l := range labels {
+		ls[i] = l.name + "=" + strconv.Quote(l.value)
+	}
+	sort.Strings(ls)
+	return name + "{" + strings.Join(ls, ",") + "}"
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample parses one exposition sample line:
+// name[{label="value",...}] value [timestamp]
+func parseSample(line string) (name string, labels []promLabel, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("sample missing value: %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("unterminated label set: %q", line)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !validLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("label %s value not quoted: %q", lname, line)
+			}
+			// Scan the quoted value honoring \" \\ \n escapes.
+			j := 1
+			var val strings.Builder
+			for {
+				if j >= len(rest) {
+					return "", nil, 0, fmt.Errorf("unterminated label value: %q", line)
+				}
+				c := rest[j]
+				if c == '\\' {
+					if j+1 >= len(rest) {
+						return "", nil, 0, fmt.Errorf("dangling escape in label value: %q", line)
+					}
+					switch rest[j+1] {
+					case '"', '\\':
+						val.WriteByte(rest[j+1])
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("invalid escape \\%c in label value: %q", rest[j+1], line)
+					}
+					j += 2
+					continue
+				}
+				if c == '"' {
+					j++
+					break
+				}
+				val.WriteByte(c)
+				j++
+			}
+			labels = append(labels, promLabel{lname, val.String()})
+			rest = rest[j:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("value %q does not parse: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("timestamp %q does not parse: %v", fields[1], terr)
+		}
+	}
+	return name, labels, value, nil
+}

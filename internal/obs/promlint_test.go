@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintErrs(t *testing.T, text string) []error {
+	t.Helper()
+	return LintProm(text)
+}
+
+func wantClean(t *testing.T, text string) {
+	t.Helper()
+	if errs := LintProm(text); len(errs) != 0 {
+		t.Fatalf("expected clean, got %v", errs)
+	}
+}
+
+func wantDirty(t *testing.T, text, substr string) {
+	t.Helper()
+	errs := LintProm(text)
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return
+		}
+	}
+	t.Fatalf("expected an error containing %q, got %v", substr, errs)
+}
+
+func TestLintClean(t *testing.T) {
+	wantClean(t, `# HELP trngd_requests_total Requests received.
+# TYPE trngd_requests_total counter
+trngd_requests_total 42
+# TYPE trngd_up gauge
+trngd_up 1
+# TYPE trngd_shard_state gauge
+trngd_shard_state{shard="0",state="healthy"} 1
+trngd_shard_state{shard="1",state="quarantined"} 1
+`)
+	// Untyped samples, escapes in label values, timestamps.
+	wantClean(t, `plain_sample 3.14
+escaped{l="a\"b\\c\nd"} 1
+stamped_sample 7 1700000000
+inf_sample{kind="pos"} +Inf
+nan_sample NaN
+`)
+}
+
+func TestLintCleanHistogram(t *testing.T) {
+	wantClean(t, `# TYPE trngd_request_duration_seconds histogram
+trngd_request_duration_seconds_bucket{le="0.001"} 4
+trngd_request_duration_seconds_bucket{le="0.01"} 9
+trngd_request_duration_seconds_bucket{le="+Inf"} 10
+trngd_request_duration_seconds_sum 0.5
+trngd_request_duration_seconds_count 10
+`)
+	// Labeled histogram: each label set is its own bucket family.
+	wantClean(t, `# TYPE phase_seconds histogram
+phase_seconds_bucket{phase="queue",le="0.1"} 1
+phase_seconds_bucket{phase="queue",le="+Inf"} 2
+phase_seconds_sum{phase="queue"} 0.3
+phase_seconds_count{phase="queue"} 2
+phase_seconds_bucket{phase="write",le="0.1"} 5
+phase_seconds_bucket{phase="write",le="+Inf"} 5
+phase_seconds_sum{phase="write"} 0.1
+phase_seconds_count{phase="write"} 5
+`)
+}
+
+func TestLintViolations(t *testing.T) {
+	wantDirty(t, "9bad_name 1\n", "invalid metric name")
+	wantDirty(t, "ok{9bad=\"x\"} 1\n", "invalid label name")
+	wantDirty(t, "ok{__reserved=\"x\"} 1\n", "invalid label name")
+	wantDirty(t, "ok nope\n", "does not parse")
+	wantDirty(t, "ok{l=\"unterminated} 1\n", "unterminated")
+	wantDirty(t, "ok{l=bare} 1\n", "not quoted")
+	wantDirty(t, "dup 1\ndup 2\n", "duplicate series")
+	wantDirty(t, "dup{a=\"x\",b=\"y\"} 1\ndup{b=\"y\",a=\"x\"} 2\n", "duplicate series")
+	wantDirty(t, "# TYPE m counter\n# TYPE m counter\nm 1\n", "duplicate TYPE")
+	wantDirty(t, "# HELP m h\n# HELP m h\nm 1\n", "duplicate HELP")
+	wantDirty(t, "m 1\n# TYPE m counter\n", "after its samples")
+	wantDirty(t, "# TYPE m widget\nm 1\n", "unknown metric type")
+	wantDirty(t, "#TYPE m counter\nm 1\n", "missing space")
+}
+
+func TestLintHistogramViolations(t *testing.T) {
+	wantDirty(t, `# TYPE h histogram
+h_bucket{le="0.1"} 1
+h_sum 1
+h_count 1
+`, `missing le="+Inf"`)
+	wantDirty(t, `# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 3
+`, "not cumulative")
+	wantDirty(t, `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 4
+`, "_count 4 != +Inf bucket 3")
+	wantDirty(t, `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_count 3
+`, "missing _sum")
+	wantDirty(t, `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_sum 1
+`, "missing _count")
+	wantDirty(t, `# TYPE h histogram
+h_bucket{le="oops"} 3
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 3
+`, "does not parse")
+	wantDirty(t, `# TYPE h histogram
+h 3
+`, "bare sample")
+}
+
+func TestLintMultipleErrors(t *testing.T) {
+	errs := lintErrs(t, "9bad 1\ndup 1\ndup 2\n")
+	if len(errs) < 2 {
+		t.Fatalf("expected at least 2 errors, got %v", errs)
+	}
+	// Every error carries its line number.
+	for _, e := range errs {
+		if !strings.HasPrefix(e.Error(), "line ") {
+			t.Errorf("error missing line prefix: %v", e)
+		}
+	}
+}

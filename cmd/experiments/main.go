@@ -5,16 +5,24 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-seed S] [-only EXP-ID] [-jobs N]
-//	            [-leapfrog] [-cpuprofile F] [-memprofile F]
+//	            [-json] [-attack-only a,b] [-leapfrog]
+//	            [-cpuprofile F] [-memprofile F]
 //
 // -leapfrog runs the counter campaigns (EXP-F7 and everything derived
 // from it) on the O(1)-per-window fast path: statistically equivalent
 // tables (same fits within tolerance) at a fraction of the large-N
 // cost. -cpuprofile / -memprofile write pprof profiles of the campaign
 // path so perf work does not need to patch the binary.
+//
+// The adversarial campaign (EXP-MTX, also addressable as
+// `-only attack-matrix`) runs the attack catalog against a live
+// health-gated pool and prints the detection-coverage matrix; -json
+// emits the machine-readable result instead, and -attack-only
+// restricts the campaign to a comma-separated scenario subset.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +38,9 @@ func main() {
 	var (
 		scaleFlag = flag.String("scale", "quick", "effort: quick or full")
 		seed      = flag.Uint64("seed", 1, "campaign seed")
-		only      = flag.String("only", "", "run a single experiment (EXP-F7, EXP-RN, EXP-TH, EXP-EQ11, EXP-IND, EXP-ENT, EXP-PSD, EXP-TIA, EXP-ATT, EXP-AIS, EXP-90B)")
+		only      = flag.String("only", "", "run a single experiment (EXP-F7, EXP-RN, EXP-TH, EXP-EQ11, EXP-IND, EXP-ENT, EXP-PSD, EXP-TIA, EXP-ATT, EXP-AIS, EXP-90B, EXP-MTX/attack-matrix)")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of a table (EXP-MTX only)")
+		attacks   = flag.String("attack-only", "", "comma-separated scenario subset for EXP-MTX (default: the full catalog)")
 		jobs      = flag.Int("jobs", 0, "campaign worker-pool width (0 = NumCPU, 1 = sequential; tables are identical for every value)")
 		leapfrog  = flag.Bool("leapfrog", false, "run counter campaigns on the O(1)-per-window fast path (statistically equivalent; default is the edge-level reference)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -131,11 +141,27 @@ func main() {
 			r, err := experiments.EntropyAssessmentOpts(scale, *seed, opt)
 			return tbl(r.Table(), err)
 		}},
+		{"EXP-MTX", func() (string, error) {
+			var subset []string
+			if *attacks != "" {
+				subset = strings.Split(*attacks, ",")
+			}
+			r, err := experiments.AttackMatrixOpts(scale, *seed, opt, subset...)
+			if err != nil {
+				return "", err
+			}
+			if *jsonOut {
+				b, err := json.MarshalIndent(r, "", "  ")
+				return string(b), err
+			}
+			return r.Table(), nil
+		}},
 	}
 
 	ran := 0
 	for _, r := range runners {
-		if *only != "" && !strings.EqualFold(*only, r.id) {
+		if *only != "" && !strings.EqualFold(*only, r.id) &&
+			!(r.id == "EXP-MTX" && strings.EqualFold(*only, "attack-matrix")) {
 			continue
 		}
 		out, err := r.run()

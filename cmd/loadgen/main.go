@@ -87,28 +87,33 @@ import (
 // atomics: closed-loop workers and open-loop request goroutines bump
 // them concurrently.
 type counters struct {
-	requests atomic.Uint64 // requests issued (arrivals that got a slot)
-	ok       atomic.Uint64 // complete 200 responses of the full size
-	http503  atomic.Uint64 // 503 responses (queue-full or starved server)
-	otherErr atomic.Uint64 // other non-200s, transport errors, short bodies
-	shed     atomic.Uint64 // open-loop arrivals dropped at max-inflight
-	bytesOK  atomic.Uint64 // body bytes of complete 200 responses
+	requests  atomic.Uint64 // requests issued (arrivals that got a slot)
+	ok        atomic.Uint64 // complete 200 responses of the full size
+	http503   atomic.Uint64 // 503 responses (queue-full or starved server)
+	otherErr  atomic.Uint64 // other non-200s and transport errors
+	truncated atomic.Uint64 // 200 responses whose body came up short
+	shed      atomic.Uint64 // open-loop arrivals dropped at max-inflight
+	bytesOK   atomic.Uint64 // body bytes of complete 200 responses
 }
 
 // Result is one measurement step, shaped for the JSON document. The
 // goodput field is named bytes_per_sec to line up with the
 // cmd/benchjson trajectory results it sits next to.
 type Result struct {
-	Name        string           `json:"name"`
-	Model       string           `json:"model"`
-	Concurrency int              `json:"concurrency,omitempty"`
-	RatePerSec  float64          `json:"rate_per_sec,omitempty"`
-	Bytes       int              `json:"bytes"`
-	ElapsedSec  float64          `json:"elapsed_seconds"`
-	Requests    uint64           `json:"requests"`
-	OK          uint64           `json:"ok"`
-	HTTP503     uint64           `json:"http_503"`
-	Errors      uint64           `json:"errors"`
+	Name        string  `json:"name"`
+	Model       string  `json:"model"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	Bytes       int     `json:"bytes"`
+	ElapsedSec  float64 `json:"elapsed_seconds"`
+	Requests    uint64  `json:"requests"`
+	OK          uint64  `json:"ok"`
+	HTTP503     uint64  `json:"http_503"`
+	Errors      uint64  `json:"errors"`
+	// Truncated counts 200 responses that died mid-body — the one
+	// outcome a graceful shutdown must never produce (a drained request
+	// is either served in full or never accepted).
+	Truncated   uint64           `json:"truncated"`
 	Shed        uint64           `json:"shed"`
 	BytesPerSec float64          `json:"bytes_per_sec"`
 	OKPerSec    float64          `json:"ok_per_sec"`
@@ -123,7 +128,7 @@ func (r Result) unavailRate() float64 {
 	if offered == 0 {
 		return 0
 	}
-	return float64(r.HTTP503+r.Errors+r.Shed) / float64(offered)
+	return float64(r.HTTP503+r.Errors+r.Truncated+r.Shed) / float64(offered)
 }
 
 // doRequest issues one GET, reads the whole body, and classifies the
@@ -143,8 +148,10 @@ func doRequest(client *http.Client, url string, want int, cnt *counters, h *load
 	switch {
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		cnt.http503.Add(1)
-	case resp.StatusCode != http.StatusOK || rerr != nil || n != int64(want):
+	case resp.StatusCode != http.StatusOK:
 		cnt.otherErr.Add(1)
+	case rerr != nil || n != int64(want):
+		cnt.truncated.Add(1)
 	default:
 		cnt.ok.Add(1)
 		cnt.bytesOK.Add(uint64(n))
@@ -219,6 +226,7 @@ func buildResult(name, model string, c int, rate float64, want int, cnt *counter
 		OK:          cnt.ok.Load(),
 		HTTP503:     cnt.http503.Load(),
 		Errors:      cnt.otherErr.Load(),
+		Truncated:   cnt.truncated.Load(),
 		Shed:        cnt.shed.Load(),
 		BytesPerSec: float64(cnt.bytesOK.Load()) / sec,
 		OKPerSec:    float64(cnt.ok.Load()) / sec,

@@ -873,12 +873,13 @@ func main() {
 		queue       = flag.Int("queue", 64, "max in-flight /random requests (backpressure bound)")
 		maxBytes    = flag.Int("maxbytes", 1<<20, "largest /random request")
 		wait        = flag.Duration("wait", 5*time.Second, "max time to wait for the pool per request")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget: max time to drain in-flight requests on SIGTERM/SIGINT")
 		buf         = flag.Int("buf", 1<<16, "per-shard ring buffer bytes")
 		drbgKind    = flag.String("drbg", "ctr", "DRBG mechanism: ctr (CTR_DRBG-AES-256) or hmac (HMAC_DRBG-SHA-256)")
 		cond        = flag.String("cond", "hmac", "vetted conditioning: hmac (HMAC-SHA-256) or cbcmac (CBC-MAC/AES-256)")
 		reseedIv    = flag.Uint64("reseed-interval", 1024, "DRBG output blocks per seed (fail closed past it)")
 		drbgBlock   = flag.Int("drbg-block", 4096, "DRBG output block bytes (request-chunking granularity)")
-		seedWait    = flag.Duration("seed-wait", 2*time.Second, "max wait per DRBG seed draw before failing closed")
+		seedWait    = flag.Duration("seed-wait", 2*time.Second, "max wait per DRBG seed draw before failing closed (starved draws retry on a jittered exponential backoff)")
 		seedTap     = flag.Int("seedtap", 1<<13, "per-shard raw seed tap bytes (drbg mode)")
 		admin       = flag.Bool("admin", false, "enable POST /quarantine (operator drills)")
 		events      = flag.Int("events", obs.DefaultCapacity, "event journal capacity (0 disables the journal and /events)")
@@ -1044,9 +1045,10 @@ func main() {
 		journal:  journal,
 		sink:     sink,
 	}
+	app := newServer(pool, dp, sc)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(pool, dp, sc).handler(),
+		Handler: app.handler(),
 		// Slow-loris hardening: a client must present its headers and
 		// drain its response promptly or lose the connection — queue
 		// slots are for the pool's work, not for idle sockets. The
@@ -1058,16 +1060,43 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 		MaxHeaderBytes:    16 << 10,
 	}
-	go func() {
-		<-ctx.Done()
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(shutCtx)
-	}()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("serving", "addr", *addr,
 		"endpoints", "/random /healthz /assess /metrics /events",
 		"admin", *admin, "pprof", *pprofOn, "journal_capacity", *events)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fatal("http server failed", "err", err)
+
+	// Graceful shutdown: on SIGTERM/SIGINT stop accepting, drain every
+	// in-flight request within the -drain budget (nothing mid-stream is
+	// truncated by us — the bounded queue keeps that set small), record
+	// the shutdown in the journal, stop the pool, and exit 0. A second
+	// signal during the drain kills the process the default way.
+	select {
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			fatal("http server failed", "err", err)
+		}
+	case <-ctx.Done():
+		stop()
+		obs.Emit(sink, obs.Event{Type: obs.TypeShutdown, Shard: -1, Lane: -1,
+			Detail: "signal", Value: drain.Seconds()})
+		logger.Info("shutdown: draining in-flight requests", "drain", drain.String())
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(shutCtx)
+		cancel()
+		if err != nil {
+			logger.Warn("drain budget exceeded; remaining connections aborted", "err", err)
+		}
+		if err := <-errCh; err != nil && err != http.ErrServerClosed {
+			logger.Warn("http server failed during shutdown", "err", err)
+		}
+		// The pool stops only after the handlers drained: a request that
+		// entered before the signal is served from live production, not
+		// starved by our own teardown.
+		pool.Stop()
+		logger.Info("shutdown complete",
+			"requests", app.requests.Load(),
+			"rejected", app.rejected.Load(),
+			"bytes_served", app.served.Load())
 	}
 }

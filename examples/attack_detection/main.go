@@ -27,7 +27,7 @@ func main() {
 	// tone near 1 MHz entrains both rings and squeezes 90 % of the
 	// thermal jitter.
 	const onset = 2e-3
-	atk := attack.Injection{FInj: 1e6, Depth: 0.002, Onset: onset, JitterSuppression: 0.9}
+	atk := attack.Injection{FInj: 1e6, Depth: 0.002, Sched: attack.At(onset), JitterSuppression: 0.9}
 	atk.Arm(pair.Osc1)
 	atk.Arm(pair.Osc2)
 	fmt.Printf("armed: %s\n", atk.Describe())

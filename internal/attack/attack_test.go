@@ -14,6 +14,54 @@ func thermalModel() phase.Model {
 	return phase.Model{Bth: 5.36e-6 * f0 / 2, Bfl: 0, F0: f0}
 }
 
+func TestScheduleEnvelope(t *testing.T) {
+	s := Schedule{Onset: 10, Ramp: 4}
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {9.99, 0}, {10, 0}, {12, 0.5}, {14, 1}, {1e9, 1},
+	}
+	for _, c := range cases {
+		if got := s.Strength(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Strength(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	// Zero value: immediate permanent step.
+	z := Schedule{}
+	if z.Strength(0) != 1 || z.Strength(100) != 1 {
+		t.Fatal("zero schedule is not an immediate step")
+	}
+	if At(5).Strength(4.9) != 0 || At(5).Strength(5.1) != 1 {
+		t.Fatal("At(5) misplaced the step")
+	}
+}
+
+func TestScheduleRevert(t *testing.T) {
+	s := Schedule{Onset: 10, Ramp: 2, Hold: 6, Revert: true}
+	cases := []struct{ t, want float64 }{
+		{9, 0}, {11, 0.5}, {12, 1}, {15, 1}, {18, 1}, {19, 0.5}, {20, 0}, {100, 0},
+	}
+	for _, c := range cases {
+		if got := s.Strength(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Strength(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	// Step revert: on at Onset, off after Hold.
+	step := Schedule{Onset: 1, Hold: 3, Revert: true}
+	if step.Strength(2) != 1 || step.Strength(4.5) != 0 {
+		t.Fatal("step revert schedule wrong")
+	}
+}
+
+func TestScheduleScaled(t *testing.T) {
+	s := Schedule{Onset: 16, Ramp: 8, Hold: 4, Revert: true}
+	h := s.Scaled(0.25)
+	if h.Onset != 4 || h.Ramp != 2 || h.Hold != 1 || !h.Revert {
+		t.Fatalf("Scaled(0.25) = %+v", h)
+	}
+	if s.Strength(20) != h.Strength(5) {
+		t.Fatal("scaled schedule is not a time-compressed replay")
+	}
+}
+
 func TestInjectionRespectsOnset(t *testing.T) {
 	m := thermalModel()
 	m.Bth = 0 // noiseless for exact comparison
@@ -22,7 +70,7 @@ func TestInjectionRespectsOnset(t *testing.T) {
 		t.Fatal(err)
 	}
 	onset := 1000.0 / m.F0 // after ~1000 periods
-	Injection{FInj: 1e6, Depth: 0.01, Onset: onset}.Arm(o)
+	Injection{FInj: 1e6, Depth: 0.01, Sched: At(onset)}.Arm(o)
 	t0 := 1 / m.F0
 	// Before the onset: exactly nominal periods.
 	for i := 0; i < 900; i++ {
@@ -52,7 +100,7 @@ func TestInjectionSuppressionScalesThermal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	Injection{FInj: 50e6, Depth: 0, Onset: 0, JitterSuppression: 0.9}.Arm(o)
+	Injection{FInj: 50e6, Depth: 0, JitterSuppression: 0.9}.Arm(o)
 	j := o.Jitter(200000)
 	v := stats.Variance(j)
 	want := 0.01 * m.Bth / (m.F0 * m.F0 * m.F0) // (1−0.9)² = 0.01
@@ -68,13 +116,54 @@ func TestThermalSuppressionAttack(t *testing.T) {
 		t.Fatal(err)
 	}
 	onset := 50000.0 / m.F0
-	ThermalSuppression{Factor: 1, Onset: onset}.Arm(o)
+	ThermalSuppression{Factor: 1, Sched: At(onset)}.Arm(o)
 	before := stats.Variance(o.Jitter(40000))
 	// Skip past the onset.
 	o.Jitter(20000)
 	after := stats.Variance(o.Jitter(40000))
 	if after > before/100 {
 		t.Fatalf("suppression ineffective: before %g after %g", before, after)
+	}
+}
+
+func TestThermalSuppressionRevertRestores(t *testing.T) {
+	m := thermalModel()
+	o, err := osc.New(m, osc.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := 1 / m.F0
+	// On at 10k periods, off again at 50k: a transient excursion.
+	ThermalSuppression{Factor: 1, Sched: Schedule{
+		Onset: 10000 * period, Hold: 40000 * period, Revert: true,
+	}}.Arm(o)
+	before := stats.Variance(o.Jitter(9000))
+	o.Jitter(2000) // cross the onset
+	during := stats.Variance(o.Jitter(35000))
+	o.Jitter(6000) // cross the revert
+	after := stats.Variance(o.Jitter(40000))
+	if during > before/100 {
+		t.Fatalf("suppression ineffective during hold: %g vs %g", during, before)
+	}
+	if after < before/4 {
+		t.Fatalf("revert did not restore the jitter: %g vs %g", after, before)
+	}
+}
+
+func TestSlowThermalRampReachesFloor(t *testing.T) {
+	m := thermalModel()
+	o, err := osc.New(m, osc.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := 1 / m.F0
+	sc := SlowThermalRamp(0.45, 1000*period, 50000*period)
+	sc.Arm(o)
+	o.Jitter(60000) // past onset + ramp
+	v := stats.Variance(o.Jitter(60000))
+	want := 0.45 * 0.45 * m.Bth / (m.F0 * m.F0 * m.F0)
+	if math.Abs(v-want) > 0.15*want {
+		t.Fatalf("floor variance %g, want %g", v, want)
 	}
 }
 
@@ -85,7 +174,7 @@ func TestFlickerBoost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	FlickerBoost{Factor: 10, Onset: 0}.Arm(o)
+	FlickerBoost{Factor: 10}.Arm(o)
 	// Accumulated variance at large N must reflect the boosted
 	// flicker: compare against an unboosted twin.
 	o2, err := osc.New(m, osc.Options{Seed: 4})
@@ -115,11 +204,95 @@ func accVar(j []float64, n int) float64 {
 	return stats.Variance(s)
 }
 
+func TestNoiseKillFlatlines(t *testing.T) {
+	m := thermalModel()
+	m.Bfl = m.Bth / 5354 * m.F0
+	o, err := osc.New(m, osc.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onset := 5000.0 / m.F0
+	NoiseKill{Sched: At(onset)}.Arm(o)
+	o.Jitter(6000) // cross the onset
+	t0 := 1 / m.F0
+	for i := 0; i < 1000; i++ {
+		if p := o.NextPeriod(); math.Abs(p-t0) > 1e-18 {
+			t.Fatalf("period %d still noisy after kill: %g", i, p)
+		}
+	}
+}
+
+func TestSupplyRippleCouplesIdentically(t *testing.T) {
+	m := thermalModel()
+	m.Bth = 0 // noiseless: the ripple is the only modulation
+	sc := SupplyRipple{FRipple: 1e6, Depth: 0.01}
+	o1, err := osc.New(m, osc.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := osc.New(m, osc.Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Arm(o1)
+	sc.Arm(o2)
+	// Same rail, same deterministic modulation: noiseless twins track
+	// each other exactly.
+	for i := 0; i < 5000; i++ {
+		p1, p2 := o1.NextPeriod(), o2.NextPeriod()
+		if math.Abs(p1-p2) > 1e-20 {
+			t.Fatalf("coupled rings diverged at period %d: %g vs %g", i, p1, p2)
+		}
+	}
+}
+
+func TestSupplyRippleEntrains(t *testing.T) {
+	m := thermalModel()
+	o, err := osc.New(m, osc.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SupplyRipple{FRipple: 1e6, Depth: 0, Entrain: 0.8}.Arm(o)
+	v := stats.Variance(o.Jitter(200000))
+	want := 0.04 * m.Bth / (m.F0 * m.F0 * m.F0) // (1−0.8)² = 0.04
+	if math.Abs(v-want) > 0.1*want {
+		t.Fatalf("entrained variance %g, want %g", v, want)
+	}
+}
+
+// constSource feeds SamplerBias a fixed bit.
+type constSource struct{ b byte }
+
+func (c constSource) NextBit() byte { return c.b }
+
+func TestSamplerBias(t *testing.T) {
+	src := &SamplerBias{Src: constSource{0}, P: 0.55, OnsetBits: 1000, Seed: 42}
+	for i := 0; i < 1000; i++ {
+		if src.NextBit() != 0 {
+			t.Fatalf("bit %d forced before onset", i)
+		}
+	}
+	ones := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ones += int(src.NextBit())
+	}
+	// Over a zero stream the forced-one rate is P itself.
+	got := float64(ones) / n
+	if math.Abs(got-0.55) > 0.02 {
+		t.Fatalf("forced-one rate %g, want ~0.55", got)
+	}
+}
+
 func TestDescribe(t *testing.T) {
-	scenarios := []Scenario{
+	scenarios := []Describer{
 		Injection{FInj: 1e6, Depth: 0.01},
 		ThermalSuppression{Factor: 0.5},
 		FlickerBoost{Factor: 3},
+		NoiseKill{},
+		SupplyRipple{FRipple: 1e6, Depth: 0.01, Entrain: 0.5},
+		&SamplerBias{P: 0.5},
+		Locking(100e6, 101e6, 15e-12, 0.95, At(0)),
 	}
 	for _, s := range scenarios {
 		if s.Describe() == "" {
@@ -140,6 +313,11 @@ func TestLockingDepth(t *testing.T) {
 	d = LockingDepth(f0, f0, sigma)
 	if math.Abs(d-4*sigma*f0) > 1e-12 {
 		t.Fatalf("on-frequency depth = %g", d)
+	}
+	// The Locking constructor wires the depth through.
+	l := Locking(f0, 1.05*f0, sigma, 0.95, At(1))
+	if math.Abs(l.Depth-0.1) > 1e-9 || l.JitterSuppression != 0.95 || l.Sched.Onset != 1 {
+		t.Fatalf("Locking = %+v", l)
 	}
 }
 

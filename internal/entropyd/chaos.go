@@ -1,0 +1,199 @@
+package entropyd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Chaos drills: scripted fault-injection campaigns that exercise the
+// daemon's failure paths end-to-end — quarantine/recalibrate flapping,
+// reseed storms against the SeedSource, and consumer pressure against
+// the buffered rings — and report what actually happened, so the
+// attack-matrix campaign (and operators running drills against a
+// staging pool) can assert recovery instead of assuming it. Every
+// drill leaves the pool in batch mode with all drilled shards healed
+// unless its report says otherwise.
+
+// FlapReport is the outcome of a Flap drill.
+type FlapReport struct {
+	Shard  int `json:"shard"`
+	Cycles int `json:"cycles"`
+	// Healed counts cycles whose recalibration re-admitted the shard;
+	// RecalRounds counts Recalibrate calls spent doing it (a healthy
+	// source heals in one, so RecalRounds > Cycles means startup
+	// retries happened).
+	Healed      int `json:"healed"`
+	RecalRounds int `json:"recal_rounds"`
+	// Quarantines is the shard's lifetime quarantine count after the
+	// drill (the flap shows up here, plus any earlier history).
+	Quarantines uint64 `json:"quarantines"`
+}
+
+// Flap drives one shard through injected-alarm → quarantine →
+// recalibrate → healthy cycles against a pool in batch mode. Each
+// cycle injects an alarm, produces until the alarm trips (alarms fire
+// at the shard's next production step), then recalibrates until the
+// shard is re-admitted (bounded at 4 rounds per cycle). Other shards
+// keep producing throughout — the drill is exactly the "shard keeps
+// dropping in and out of rotation" failure mode.
+func Flap(ctx context.Context, p *Pool, shard, cycles int) (FlapReport, error) {
+	rep := FlapReport{Shard: shard, Cycles: cycles}
+	if shard < 0 || shard >= len(p.shards) {
+		return rep, fmt.Errorf("entropyd: flap shard %d out of range [0, %d)", shard, len(p.shards))
+	}
+	s := p.shards[shard]
+	// Big enough that one fill's rotation reaches every shard, so the
+	// injected alarm trips on the first or second pass.
+	buf := make([]byte, 2*fillBlock*len(p.shards))
+	for c := 0; c < cycles; c++ {
+		if err := p.InjectAlarm(shard); err != nil {
+			return rep, err
+		}
+		// One production pass per shard is enough to trip the alarm;
+		// tolerate ErrStarved (single-shard pools starve the remainder
+		// of the fill once the drilled shard drops out).
+		for i := 0; i < 8 && s.State() == StateHealthy; i++ {
+			if _, err := p.Fill(buf); err != nil && !errors.Is(err, ErrStarved) {
+				return rep, err
+			}
+		}
+		if s.State() != StateQuarantined {
+			return rep, fmt.Errorf("entropyd: flap cycle %d: injected alarm did not quarantine shard %d", c, shard)
+		}
+		for i := 0; i < 4 && s.State() != StateHealthy; i++ {
+			p.Recalibrate(ctx)
+			rep.RecalRounds++
+		}
+		if s.State() == StateHealthy {
+			rep.Healed++
+		}
+	}
+	rep.Quarantines = s.quarantines.Load()
+	return rep, nil
+}
+
+// ReseedStormReport is the outcome of a ReseedStorm drill.
+type ReseedStormReport struct {
+	// Generates counts prediction-resistance Generate calls that
+	// succeeded before the seed taps ran dry; Starved reports whether
+	// the storm reached the fail-closed point (ErrSeedStarved).
+	Generates int  `json:"generates"`
+	Starved   bool `json:"starved"`
+	// RetryRounds is the seed-source backoff rounds spent during the
+	// storm (the bounded-backoff retry path under starvation).
+	RetryRounds uint64 `json:"retry_rounds"`
+	// Recovered reports that a full-wait Generate succeeded after the
+	// taps were refilled: fail-closed is a state, not a terminal one.
+	Recovered bool `json:"recovered"`
+}
+
+// ReseedStorm hammers the expansion layer with prediction-resistance
+// requests until the seed taps run dry and the DRBG fails closed, then
+// refills the taps through batch production and proves the layer
+// recovers. Every pr=true block costs a fresh tap draw, and the taps
+// refill only as gated bits flow, so a tight pr loop always outruns
+// them; maxGenerates bounds the storm (0: 4× the aggregate tap
+// capacity in minimum-size seed draws, which over-covers any real
+// per-reseed draw). The pool must be in batch mode.
+func ReseedStorm(d *DRBGPool, maxGenerates int, starveWait time.Duration) (ReseedStormReport, error) {
+	rep := ReseedStormReport{}
+	p := d.pool
+	if p.cfg.SeedTapBytes == 0 {
+		return rep, errors.New("entropyd: reseed storm needs a seed tap")
+	}
+	if maxGenerates == 0 {
+		maxGenerates = 4 * len(p.shards) * (p.cfg.SeedTapBytes/(rawChunk/8) + 1)
+	}
+	if starveWait == 0 {
+		starveWait = 20 * time.Millisecond
+	}
+	retry0 := d.src.Stats().RetryRounds
+	buf := make([]byte, d.cfg.BlockBytes)
+	for i := 0; i < maxGenerates; i++ {
+		if _, err := d.Generate(buf, true, starveWait); err != nil {
+			if !errors.Is(err, ErrSeedStarved) {
+				return rep, err
+			}
+			rep.Starved = true
+			break
+		}
+		rep.Generates++
+	}
+	rep.RetryRounds = d.src.Stats().RetryRounds - retry0
+	// Refill the taps (tap mirroring rides the gated production path)
+	// and prove the fail-closed state clears.
+	refill := make([]byte, 2*p.cfg.SeedTapBytes*len(p.shards))
+	if _, err := p.Fill(refill); err != nil {
+		return rep, err
+	}
+	if _, err := d.Generate(buf, true, time.Second); err == nil {
+		rep.Recovered = true
+	}
+	return rep, nil
+}
+
+// QueuePressureReport is the outcome of a QueuePressure drill.
+type QueuePressureReport struct {
+	Readers int `json:"readers"`
+	Reads   int `json:"reads"`
+	// Ok counts reads served in full, Short reads served partially
+	// within their deadline, Starved reads that got nothing.
+	Ok      int `json:"ok"`
+	Short   int `json:"short"`
+	Starved int `json:"starved"`
+	// Recovered reports that a generous-deadline read succeeded after
+	// the burst drained.
+	Recovered bool `json:"recovered"`
+}
+
+// QueuePressure saturates a pool's buffered serving path: it switches
+// the pool into serve mode, fires readers×reads concurrent ReadBuffered
+// calls of readBytes each under a deliberately tight deadline (so some
+// starve — that is the point), then proves a patient reader still gets
+// served, and returns the pool to batch mode. The drill is the
+// consumer-side mirror of the daemon's bounded request queue: demand
+// beyond production capacity must shed cleanly and service must resume
+// the moment pressure lifts.
+func QueuePressure(ctx context.Context, p *Pool, readers, reads, readBytes int, wait time.Duration) (QueuePressureReport, error) {
+	rep := QueuePressureReport{Readers: readers, Reads: reads}
+	if readers <= 0 || reads <= 0 || readBytes <= 0 {
+		return rep, errors.New("entropyd: queue pressure needs positive readers, reads and size")
+	}
+	if err := p.Serve(ctx); err != nil {
+		return rep, err
+	}
+	defer p.Stop()
+	type tally struct{ ok, short, starved int }
+	res := make(chan tally, readers)
+	for r := 0; r < readers; r++ {
+		go func() {
+			var t tally
+			dst := make([]byte, readBytes)
+			for i := 0; i < reads; i++ {
+				n, err := p.ReadBuffered(dst, wait)
+				switch {
+				case err != nil:
+					t.starved++
+				case n < readBytes:
+					t.short++
+				default:
+					t.ok++
+				}
+			}
+			res <- t
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		t := <-res
+		rep.Ok += t.ok
+		rep.Short += t.short
+		rep.Starved += t.starved
+	}
+	dst := make([]byte, readBytes)
+	if n, err := p.ReadBuffered(dst, 5*time.Second); err == nil && n == readBytes {
+		rep.Recovered = true
+	}
+	return rep, nil
+}

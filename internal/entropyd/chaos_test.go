@@ -1,0 +1,135 @@
+package entropyd
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestFlapDrill(t *testing.T) {
+	t.Parallel()
+	p, err := New(Config{Shards: 2, Seed: 31, NewSource: goodScript,
+		Health: assessHealth(0.3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Flap(context.Background(), p, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healed != 3 {
+		t.Fatalf("flap healed %d/3 cycles: %+v", rep.Healed, rep)
+	}
+	if rep.Quarantines < 3 {
+		t.Fatalf("flap left quarantine count %d, want >= 3", rep.Quarantines)
+	}
+	if p.Healthy() != 2 {
+		t.Fatalf("%d/2 shards healthy after flap drill", p.Healthy())
+	}
+	// The drilled shard must still produce: alarms landed on the shard
+	// we asked for and healing restored the rotation.
+	if _, err := p.Fill(make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlapRejectsBadShard(t *testing.T) {
+	t.Parallel()
+	p, err := New(Config{Shards: 1, Seed: 32, NewSource: goodScript,
+		Health: assessHealth(0.3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Flap(context.Background(), p, 5, 1); err == nil {
+		t.Fatal("flap accepted an out-of-range shard")
+	}
+}
+
+func TestReseedStormFailsClosedAndRecovers(t *testing.T) {
+	t.Parallel()
+	p, err := New(Config{Shards: 2, Seed: 33, NewSource: goodScript,
+		Health: assessHealth(0.3), SeedTapBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.DRBGPool(DRBGConfig{BlockBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the taps so the storm has something to drain.
+	if _, err := p.Fill(make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReseedStorm(d, 0, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Starved {
+		t.Fatalf("storm never starved the seed source: %+v", rep)
+	}
+	if rep.Generates == 0 {
+		t.Fatalf("storm starved before any pr generate succeeded: %+v", rep)
+	}
+	if rep.RetryRounds == 0 {
+		t.Fatalf("starved storm recorded no backoff retry rounds: %+v", rep)
+	}
+	if !rep.Recovered {
+		t.Fatalf("expansion layer did not recover after tap refill: %+v", rep)
+	}
+}
+
+func TestQueuePressureShedsAndRecovers(t *testing.T) {
+	t.Parallel()
+	p, err := New(Config{Shards: 2, Seed: 34, NewSource: goodScript,
+		Health: assessHealth(0.3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := QueuePressure(context.Background(), p, 4, 8, 65536, 500*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok+rep.Short+rep.Starved != 4*8 {
+		t.Fatalf("tally mismatch: %+v", rep)
+	}
+	if rep.Ok+rep.Short == 0 {
+		t.Fatalf("pressure burst was never served at all: %+v", rep)
+	}
+	if !rep.Recovered {
+		t.Fatalf("patient read failed after the burst: %+v", rep)
+	}
+	// The drill must hand the pool back in batch mode.
+	if _, err := p.Fill(make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedBackoffBoundsRetries(t *testing.T) {
+	t.Parallel()
+	p, err := New(Config{Shards: 1, Seed: 35, NewSource: goodScript,
+		Health: assessHealth(0.3), SeedTapBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.SeedSource(SeedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Fill has run: the tap is empty, so the draw starves after the
+	// wait. A fixed 1 ms poll would spin ~40 rounds in 40 ms; the
+	// exponential backoff (1→2→4→8→16→32 ms, jittered into [d/2, d))
+	// must land well under that while still retrying at least twice.
+	if err := s.Seed(make([]byte, 32), -1, 40*time.Millisecond); err != ErrSeedStarved {
+		t.Fatalf("Seed on an empty tap: %v, want ErrSeedStarved", err)
+	}
+	st := s.Stats()
+	if st.RetryRounds < 2 || st.RetryRounds > 15 {
+		t.Fatalf("backoff retry rounds = %d, want in [2, 15]", st.RetryRounds)
+	}
+	if got := s.RetryRounds(-1); got != st.RetryRounds {
+		t.Fatalf("RetryRounds(-1) = %d, want %d (all draws had no preference)", got, st.RetryRounds)
+	}
+	if got := s.RetryRounds(0); got != 0 {
+		t.Fatalf("RetryRounds(0) = %d, want 0", got)
+	}
+}

@@ -566,6 +566,10 @@ type DRBGLaneStatus struct {
 	// shard quarantines.
 	QueuedBlocks  uint64 `json:"queued_blocks"`
 	DrainedBlocks uint64 `json:"drained_blocks"`
+	// SeedRetryRounds counts seed-source backoff rounds on draws
+	// preferring this lane's shard: how often the heal path had to
+	// wait out an empty tap before reseeding.
+	SeedRetryRounds uint64 `json:"seed_retry_rounds"`
 }
 
 // DRBGStats is a point-in-time snapshot of the expansion layer.
@@ -573,16 +577,17 @@ type DRBGLaneStatus struct {
 // included — and ReseedFailures every failed one (fail-closed: a
 // failed lane produced no output for that turn).
 type DRBGStats struct {
-	Kind           string           `json:"kind"`
-	Conditioner    string           `json:"conditioner"`
-	ReseedInterval uint64           `json:"reseed_interval"`
-	BlockBytes     int              `json:"block_bytes"`
-	Generates      uint64           `json:"generates"`
-	Reseeds        uint64           `json:"reseeds"`
-	ReseedFailures uint64           `json:"reseed_failures"`
-	SeedDraws      uint64           `json:"seed_draws"`
-	SeedStarves    uint64           `json:"seed_starves"`
-	Lanes          []DRBGLaneStatus `json:"lanes"`
+	Kind            string           `json:"kind"`
+	Conditioner     string           `json:"conditioner"`
+	ReseedInterval  uint64           `json:"reseed_interval"`
+	BlockBytes      int              `json:"block_bytes"`
+	Generates       uint64           `json:"generates"`
+	Reseeds         uint64           `json:"reseeds"`
+	ReseedFailures  uint64           `json:"reseed_failures"`
+	SeedDraws       uint64           `json:"seed_draws"`
+	SeedStarves     uint64           `json:"seed_starves"`
+	SeedRetryRounds uint64           `json:"seed_retry_rounds"`
+	Lanes           []DRBGLaneStatus `json:"lanes"`
 }
 
 // Stats snapshots the pool counters. It reads only atomics — never
@@ -592,27 +597,29 @@ type DRBGStats struct {
 func (d *DRBGPool) Stats() DRBGStats {
 	ss := d.src.Stats()
 	st := DRBGStats{
-		Kind:           d.cfg.Kind.String(),
-		Conditioner:    ss.Conditioner,
-		ReseedInterval: d.cfg.ReseedInterval,
-		BlockBytes:     d.cfg.BlockBytes,
-		Generates:      d.generates.Load(),
-		Reseeds:        d.reseeds.Load(),
-		ReseedFailures: d.reseedFails.Load(),
-		SeedDraws:      ss.Draws,
-		SeedStarves:    ss.Starves,
-		Lanes:          make([]DRBGLaneStatus, len(d.lanes)),
+		Kind:            d.cfg.Kind.String(),
+		Conditioner:     ss.Conditioner,
+		ReseedInterval:  d.cfg.ReseedInterval,
+		BlockBytes:      d.cfg.BlockBytes,
+		Generates:       d.generates.Load(),
+		Reseeds:         d.reseeds.Load(),
+		ReseedFailures:  d.reseedFails.Load(),
+		SeedDraws:       ss.Draws,
+		SeedStarves:     ss.Starves,
+		SeedRetryRounds: ss.RetryRounds,
+		Lanes:           make([]DRBGLaneStatus, len(d.lanes)),
 	}
 	for i, l := range d.lanes {
 		st.Lanes[i] = DRBGLaneStatus{
-			Shard:          l.shard,
-			Instantiated:   l.live.Load(),
-			ReseedCounter:  l.counter.Load(),
-			Generates:      l.generates.Load(),
-			Reseeds:        l.reseeds.Load(),
-			ReseedFailures: l.failures.Load(),
-			QueuedBlocks:   l.queuedN.Load(),
-			DrainedBlocks:  l.drainedN.Load(),
+			Shard:           l.shard,
+			Instantiated:    l.live.Load(),
+			ReseedCounter:   l.counter.Load(),
+			Generates:       l.generates.Load(),
+			Reseeds:         l.reseeds.Load(),
+			ReseedFailures:  l.failures.Load(),
+			QueuedBlocks:    l.queuedN.Load(),
+			DrainedBlocks:   l.drainedN.Load(),
+			SeedRetryRounds: d.src.RetryRounds(l.shard),
 		}
 	}
 	return st

@@ -182,8 +182,8 @@ func TestThermalMonitorQuarantine(t *testing.T) {
 	// Flicker is untouched — a large-N test would still look lively;
 	// only the small-N thermal monitor catches it (the paper's point).
 	pair := p.Shard(0).MonitorPair()
-	attack.ThermalSuppression{Factor: 0.9, Onset: 0}.Arm(pair.Osc1)
-	attack.ThermalSuppression{Factor: 0.9, Onset: 0}.Arm(pair.Osc2)
+	attack.ThermalSuppression{Factor: 0.9}.Arm(pair.Osc1)
+	attack.ThermalSuppression{Factor: 0.9}.Arm(pair.Osc2)
 
 	buf := make([]byte, 8192)
 	if n, err := p.Fill(buf); err != nil || n != len(buf) {
@@ -221,8 +221,8 @@ func TestThermalMonitorPersistentAttack(t *testing.T) {
 			return nil, err
 		}
 		if shard == 0 {
-			attack.ThermalSuppression{Factor: 0.9, Onset: 0}.Arm(pair.Osc1)
-			attack.ThermalSuppression{Factor: 0.9, Onset: 0}.Arm(pair.Osc2)
+			attack.ThermalSuppression{Factor: 0.9}.Arm(pair.Osc1)
+			attack.ThermalSuppression{Factor: 0.9}.Arm(pair.Osc2)
 		}
 		return pair, nil
 	}
@@ -258,8 +258,8 @@ func TestThermalMonitorHighSide(t *testing.T) {
 			return nil, err
 		}
 		if shard == 0 {
-			attack.FlickerBoost{Factor: 30, Onset: 0}.Arm(pair.Osc1)
-			attack.FlickerBoost{Factor: 30, Onset: 0}.Arm(pair.Osc2)
+			attack.FlickerBoost{Factor: 30}.Arm(pair.Osc1)
+			attack.FlickerBoost{Factor: 30}.Arm(pair.Osc2)
 		}
 		return pair, nil
 	}

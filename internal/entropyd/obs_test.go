@@ -226,7 +226,7 @@ func TestDetectionLatencyThermal(t *testing.T) {
 		t.Fatal(err)
 	}
 	pair := p.Shard(0).MonitorPair()
-	sc := attack.ThermalSuppression{Factor: 0.9, Onset: 0}
+	sc := attack.ThermalSuppression{Factor: 0.9}
 	sc.Arm(pair.Osc1)
 	sc.Arm(pair.Osc2)
 	attack.Mark(j, 0, sc)

@@ -19,10 +19,16 @@ import (
 // silent reuse of stale seed material.
 var ErrSeedStarved = errors.New("entropyd: no healthy assessed shard can supply seed material")
 
-// seedPoll is the SeedSource's wait granularity while a draw is short
-// of raw bits (serve-mode producers refill taps continuously; this
-// only paces the re-check).
-const seedPoll = time.Millisecond
+// seedPoll is the SeedSource's initial re-check delay while a draw is
+// short of raw bits (serve-mode producers refill taps continuously).
+// Consecutive empty scans back off exponentially with jitter up to
+// seedPollMax, so a long starvation (every shard quarantined) costs a
+// handful of wakeups instead of a busy 1 ms poll, while the first
+// retry still reacts within a millisecond of a tap refill.
+const (
+	seedPoll    = time.Millisecond
+	seedPollMax = 64 * time.Millisecond
+)
 
 // SeedConfig parameterizes a SeedSource.
 type SeedConfig struct {
@@ -57,10 +63,16 @@ type SeedSource struct {
 	headroom int
 	minH     float64
 
-	mu sync.Mutex
+	mu  sync.Mutex
+	rng uint64 // backoff-jitter state (guarded by mu, like the draws)
 
-	draws   atomic.Uint64
-	starves atomic.Uint64
+	draws       atomic.Uint64
+	starves     atomic.Uint64
+	retryRounds atomic.Uint64
+	// retryByPrefer counts backoff rounds per preferred shard (index
+	// shard+1; index 0 is the no-preference slot), so each DRBG lane's
+	// status can report how often its heal path had to wait.
+	retryByPrefer []atomic.Uint64
 }
 
 // SeedSourceStats is a point-in-time snapshot of a SeedSource.
@@ -71,6 +83,9 @@ type SeedSourceStats struct {
 	// that timed out with ErrSeedStarved.
 	Draws   uint64 `json:"draws"`
 	Starves uint64 `json:"starves"`
+	// RetryRounds counts backoff rounds: scans that found no eligible
+	// shard and slept before retrying.
+	RetryRounds uint64 `json:"retry_rounds"`
 }
 
 // SeedSource builds a seed source over the pool's taps. The pool must
@@ -96,10 +111,12 @@ func (p *Pool) SeedSource(cfg SeedConfig) (*SeedSource, error) {
 		return nil, fmt.Errorf("entropyd: conditioner output %d bits unusable", cfg.Cond.OutputBits())
 	}
 	return &SeedSource{
-		pool:     p,
-		cond:     cfg.Cond,
-		headroom: cfg.HeadroomBits,
-		minH:     cfg.MinEntropy,
+		pool:          p,
+		cond:          cfg.Cond,
+		headroom:      cfg.HeadroomBits,
+		minH:          cfg.MinEntropy,
+		rng:           p.cfg.Seed ^ 0x9e3779b97f4a7c15 | 1,
+		retryByPrefer: make([]atomic.Uint64, len(p.shards)+1),
 	}, nil
 }
 
@@ -109,7 +126,17 @@ func (s *SeedSource) Stats() SeedSourceStats {
 		Conditioner: s.cond.Name(),
 		Draws:       s.draws.Load(),
 		Starves:     s.starves.Load(),
+		RetryRounds: s.retryRounds.Load(),
 	}
+}
+
+// RetryRounds returns the backoff rounds spent on draws preferring the
+// given shard (-1: draws with no preference).
+func (s *SeedSource) RetryRounds(prefer int) uint64 {
+	if prefer < 0 || prefer >= len(s.retryByPrefer)-1 {
+		return s.retryByPrefer[0].Load()
+	}
+	return s.retryByPrefer[prefer+1].Load()
 }
 
 // Seed fills dst with full-entropy seed material, drawing conditioner
@@ -143,9 +170,12 @@ func (s *SeedSource) drawBlock(prefer int, deadline time.Time) ([]byte, error) {
 	nOut := s.cond.OutputBits()
 	shards := s.pool.shards
 	start := 0
+	retrySlot := 0
 	if prefer >= 0 && prefer < len(shards) {
 		start = prefer
+		retrySlot = prefer + 1
 	}
+	delay := seedPoll
 	for {
 		for k := 0; k < len(shards); k++ {
 			sh := shards[(start+k)%len(shards)]
@@ -199,6 +229,23 @@ func (s *SeedSource) drawBlock(prefer int, deadline time.Time) ([]byte, error) {
 			s.starves.Add(1)
 			return nil, ErrSeedStarved
 		}
-		time.Sleep(seedPoll)
+		// Bounded exponential backoff with jitter: sleep a uniform
+		// draw from [delay/2, delay), clamped to the deadline, then
+		// double delay up to seedPollMax. Jitter decorrelates lanes
+		// that starved together so their retries don't thunder in
+		// lockstep once a tap refills.
+		s.retryRounds.Add(1)
+		s.retryByPrefer[retrySlot].Add(1)
+		s.rng ^= s.rng << 13
+		s.rng ^= s.rng >> 7
+		s.rng ^= s.rng << 17
+		sleep := delay/2 + time.Duration(s.rng%uint64(delay/2))
+		if until := time.Until(deadline); sleep > until {
+			sleep = until
+		}
+		time.Sleep(sleep)
+		if delay *= 2; delay > seedPollMax {
+			delay = seedPollMax
+		}
 	}
 }

@@ -218,6 +218,12 @@ func (s *Shard) LastReason() Reason { return Reason(s.reason.Load()) }
 // recalibration attempt).
 func (s *Shard) Epoch() int64 { return s.epoch.Load() }
 
+// RawBits returns the raw bits gated through the health chain over the
+// shard's lifetime (all epochs, whether or not they reached the ring).
+// Attack experiments use it to place scenario onsets and measure
+// detection latency on the raw-bit clock.
+func (s *Shard) RawBits() uint64 { return s.rawBits.Load() }
+
 // MonitorPair exposes the oscillator pair behind the shard's thermal
 // monitor, nil when the monitor is disabled. It exists for attack
 // experiments (arming modulators before the pool starts producing);

@@ -65,12 +65,12 @@ func OnlineTestOpts(scale Scale, seed uint64, opt Options) (OnlineResult, error)
 	}{
 		{"clean (no attack)", func(o1, o2 *osc.Oscillator) {}},
 		{"thermal suppression 95%", func(o1, o2 *osc.Oscillator) {
-			attack.ThermalSuppression{Factor: 0.95, Onset: 0}.Arm(o1)
-			attack.ThermalSuppression{Factor: 0.95, Onset: 0}.Arm(o2)
+			attack.ThermalSuppression{Factor: 0.95}.Arm(o1)
+			attack.ThermalSuppression{Factor: 0.95}.Arm(o2)
 		}},
 		{"injection (lock, 90% suppression)", func(o1, o2 *osc.Oscillator) {
-			attack.Injection{FInj: 1e6, Depth: 0.002, Onset: 0, JitterSuppression: 0.9}.Arm(o1)
-			attack.Injection{FInj: 1e6, Depth: 0.002, Onset: 0, JitterSuppression: 0.9}.Arm(o2)
+			attack.Injection{FInj: 1e6, Depth: 0.002, JitterSuppression: 0.9}.Arm(o1)
+			attack.Injection{FInj: 1e6, Depth: 0.002, JitterSuppression: 0.9}.Arm(o2)
 		}},
 	}
 

@@ -23,7 +23,8 @@
 //   - seed source: seed-draw (Value = vetted output-entropy credit in
 //     bits, Shard/Epoch = the tap that supplied the raw material);
 //   - daemon: request-shed (bounded queue full), starvation-abort
-//     (a request failed or was truncated on pool starvation);
+//     (a request failed or was truncated on pool starvation), shutdown
+//     (graceful stop began: the daemon stops accepting and drains);
 //   - drills: injection-marker, emitted by attack drills and the
 //     operator /quarantine endpoint at the moment a degradation is
 //     injected. The journal pairs each shard's most recent marker with
@@ -105,6 +106,11 @@ const (
 	// TypeStarveAbort: a request failed or was truncated mid-stream on
 	// pool starvation.
 	TypeStarveAbort Type = "starvation-abort"
+	// TypeShutdown: the daemon began a graceful shutdown (Detail =
+	// the trigger; Value = the drain deadline in seconds). In-flight
+	// requests drain before the process exits, so this is normally the
+	// journal's final event.
+	TypeShutdown Type = "shutdown"
 	// TypeInjectionMarker: a drill injected a degradation into a shard
 	// (operator /quarantine endpoint, attack experiments). Paired with
 	// the shard's next quarantine event for detection latency.

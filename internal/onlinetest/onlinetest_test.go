@@ -151,8 +151,8 @@ func TestRunDetectsThermalSuppression(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Attack switches on immediately (onset 0) on both rings.
-	attack.ThermalSuppression{Factor: 0.95, Onset: 0}.Arm(pair.Osc1)
-	attack.ThermalSuppression{Factor: 0.95, Onset: 0}.Arm(pair.Osc2)
+	attack.ThermalSuppression{Factor: 0.95}.Arm(pair.Osc1)
+	attack.ThermalSuppression{Factor: 0.95}.Arm(pair.Osc2)
 	const n = 64
 	rel := pair.RelativeModel()
 	c, err := measure.NewCounterConfig(pair, n, measure.Config{Subdivide: 64})

@@ -17,9 +17,26 @@
 //	trngsim -n 4096 -divider 20000 -o corpus.bin
 //	ea -in corpus.bin -min 0.25 || echo "corpus fails assessment"
 //
+// # Streaming trajectory mode
+//
+// -stream replays the input through the sliding-window streaming
+// tracker (internal/sp90b/stream) instead of one whole-corpus run: a
+// -window W bit window slides over the input, and once full, one
+// trajectory line is emitted per pane stride (W/-panes bits) — the
+// positions where the streaming estimates are exactly the batch suite
+// over the trailing window. A capture that assesses fine as a whole
+// but sags mid-file (a warm-up transient, a thermal event, an injected
+// attack ramp) shows up as a dip in the trajectory that the single
+// whole-file number averages away. With -json the output is NDJSON,
+// one document per trajectory point; -min gates on the trajectory
+// MINIMUM, not the final window:
+//
+//	ea -stream -window 16384 -in capture.bin -min 0.25
+//
 // Usage:
 //
 //	ea [-in FILE] [-format packed|ascii] [-bits N] [-json] [-min H]
+//	   [-stream] [-window W] [-panes P]
 package main
 
 import (
@@ -28,10 +45,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 
 	"repro/internal/postproc"
 	"repro/internal/sp90b"
+	"repro/internal/sp90b/stream"
 )
 
 // decode turns raw input bytes into a 0/1-per-byte bit slice.
@@ -68,6 +87,64 @@ type result struct {
 	Report sp90b.Report `json:"report"`
 }
 
+// streamPoint is one -stream -json NDJSON line: the streaming suite
+// report over the trailing window ending at bit Offset.
+type streamPoint struct {
+	Offset int          `json:"offset"`
+	Report sp90b.Report `json:"report"`
+}
+
+// runStream plays the bits through the sliding-window tracker and
+// writes one trajectory line per pane stride (the batch-equivalence
+// positions). A -min threshold gates on the trajectory minimum.
+func runStream(w io.Writer, bits []byte, name string, window, panes int, jsonOut bool, min float64) error {
+	tr, err := stream.New(stream.Config{Window: window, Panes: panes})
+	if err != nil {
+		return err
+	}
+	if len(bits) < window {
+		return fmt.Errorf("input has %d bits, below the %d-bit window", len(bits), window)
+	}
+	stride := tr.Stride()
+	enc := json.NewEncoder(w)
+	if !jsonOut {
+		fmt.Fprintf(w, "# %s: sliding %d-bit window, one line per %d-bit stride\n", name, window, stride)
+		fmt.Fprintf(w, "%10s  %8s %8s %8s %8s %8s %8s  %8s\n", "offset",
+			sp90b.NameMCV, sp90b.NameMarkov, sp90b.NameMultiMCW,
+			sp90b.NameLag, sp90b.NameMultiMMC, sp90b.NameLZ78Y, "suite")
+	}
+	worst, worstOff := math.Inf(1), 0
+	for i, b := range bits {
+		tr.Push(b)
+		pos := i + 1
+		if pos < window || (pos-window)%stride != 0 {
+			continue
+		}
+		rep, ok := tr.Report()
+		if !ok {
+			return fmt.Errorf("tracker not ready at offset %d", pos) // unreachable: window is full
+		}
+		if rep.MinEntropy < worst {
+			worst, worstOff = rep.MinEntropy, pos
+		}
+		if jsonOut {
+			if err := enc.Encode(streamPoint{Offset: pos, Report: rep}); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%10d ", pos)
+		for _, e := range rep.Estimates {
+			fmt.Fprintf(w, " %8.6f", e.MinEntropy)
+		}
+		fmt.Fprintf(w, "  %8.6f\n", rep.MinEntropy)
+	}
+	if min > 0 && worst < min {
+		return fmt.Errorf("trajectory min-entropy %.6f at offset %d below acceptance threshold %g", worst, worstOff, min)
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ea: ")
@@ -75,8 +152,11 @@ func main() {
 		in       = flag.String("in", "-", "input file (- for stdin)")
 		format   = flag.String("format", "packed", "input format: packed (8 bits/byte MSB-first) or ascii ('0'/'1' characters)")
 		maxBits  = flag.Int("bits", 0, "assess only the first N bits (0 = all)")
-		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of the table")
-		minAccep = flag.Float64("min", 0, "exit nonzero when the suite min-entropy is below this (0 = report only)")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of the table (NDJSON with -stream)")
+		minAccep = flag.Float64("min", 0, "exit nonzero when the suite min-entropy is below this (0 = report only; with -stream, gates on the trajectory minimum)")
+		streamOn = flag.Bool("stream", false, "streaming trajectory mode: slide a -window bit window over the input, one line per stride")
+		window   = flag.Int("window", 16384, "sliding-window bits for -stream (min 10000)")
+		panes    = flag.Int("panes", 4, "staggered predictor panes for -stream (must divide -window)")
 	)
 	flag.Parse()
 
@@ -101,6 +181,12 @@ func main() {
 	}
 	if *maxBits > 0 && len(bits) > *maxBits {
 		bits = bits[:*maxBits]
+	}
+	if *streamOn {
+		if err := runStream(os.Stdout, bits, name, *window, *panes, *jsonOut, *minAccep); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	rep, err := sp90b.Assess(bits)
 	if err != nil {

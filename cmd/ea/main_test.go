@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"repro/internal/postproc"
 	"repro/internal/rng"
+	"repro/internal/sp90b"
 )
 
 // TestDecodePackedRoundTrip: packed decoding must invert
@@ -50,5 +55,94 @@ func TestDecodeASCII(t *testing.T) {
 	}
 	if _, err := decode(nil, "bogus"); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestStreamTrajectory drives the -stream mode end to end: the NDJSON
+// trajectory has one point per pane stride, the first point reproduces
+// the batch suite over the first window exactly, and -min gates on the
+// trajectory minimum (which a fair-then-stuck input violates even
+// though the early windows are fine).
+func TestStreamTrajectory(t *testing.T) {
+	const window, panes = sp90b.MinBits, 4
+	stride := window / panes
+	src := rng.New(7)
+	bits := make([]byte, 3*window)
+	for i := range bits {
+		bits[i] = byte(src.Uint64() & 1)
+	}
+
+	var out bytes.Buffer
+	if err := runStream(&out, bits, "test", window, panes, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	var points []streamPoint
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var p streamPoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		points = append(points, p)
+	}
+	wantPoints := (len(bits)-window)/stride + 1
+	if len(points) != wantPoints {
+		t.Fatalf("%d trajectory points, want %d", len(points), wantPoints)
+	}
+	for i, p := range points {
+		if want := window + i*stride; p.Offset != want {
+			t.Fatalf("point %d at offset %d, want %d", i, p.Offset, want)
+		}
+		if len(p.Report.Estimates) != 6 {
+			t.Fatalf("point %d has %d estimates, want 6", i, len(p.Report.Estimates))
+		}
+	}
+	// The first point is the batch suite's streaming subset over the
+	// first window (full equivalence is pinned in sp90b/stream; this
+	// checks the command's wiring).
+	batch, err := sp90b.Assess(bits[:window])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range points[0].Report.Estimates {
+		want, ok := batch.Estimate(e.Name)
+		if !ok || want.MinEntropy != e.MinEntropy {
+			t.Fatalf("first point %s = %.6f, batch says %.6f", e.Name, e.MinEntropy, want.MinEntropy)
+		}
+	}
+
+	// Text mode: a header plus the same number of rows.
+	out.Reset()
+	if err := runStream(&out, bits, "test", window, panes, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != wantPoints+2 {
+		t.Fatalf("%d text lines, want %d (2 header + %d rows)", len(lines), wantPoints+2, wantPoints)
+	}
+	if !strings.HasPrefix(lines[0], "# test:") {
+		t.Fatalf("missing header, got %q", lines[0])
+	}
+
+	// A fair stream that gets stuck mid-file: the whole-corpus verdict
+	// stays comfortable, the trajectory minimum does not.
+	stuck := make([]byte, len(bits))
+	copy(stuck, bits)
+	for i := 2 * window; i < len(stuck); i++ {
+		stuck[i] = 1
+	}
+	whole, err := sp90b.Assess(stuck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runStream(&bytes.Buffer{}, stuck, "test", window, panes, true, 0.25); err == nil {
+		t.Fatalf("stuck tail passed the trajectory gate (whole-corpus min %.4f)", whole.MinEntropy)
+	} else if !strings.Contains(err.Error(), "trajectory min-entropy") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+
+	// Inputs shorter than the window are rejected up front.
+	if err := runStream(&bytes.Buffer{}, bits[:window-1], "test", window, panes, true, 0); err == nil {
+		t.Fatal("short input accepted")
 	}
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-seed S] [-only EXP-ID] [-jobs N]
-//	            [-json] [-attack-only a,b] [-leapfrog]
+//	            [-json] [-attack-only a,b] [-leapfrog] [-stream]
 //	            [-cpuprofile F] [-memprofile F]
 //
 // -leapfrog runs the counter campaigns (EXP-F7 and everything derived
@@ -17,8 +17,17 @@
 // The adversarial campaign (EXP-MTX, also addressable as
 // `-only attack-matrix`) runs the attack catalog against a live
 // health-gated pool and prints the detection-coverage matrix; -json
-// emits the machine-readable result instead, and -attack-only
-// restricts the campaign to a comma-separated scenario subset.
+// emits the machine-readable result instead, -attack-only restricts
+// the campaign to a comma-separated scenario subset, and -stream arms
+// the sliding-window streaming tracker on the campaign pools (its
+// live watermark races the batch assessment; detections it wins carry
+// the "live-low-entropy" reason in the same sp90b layer).
+//
+// The streaming-latency comparison (EXP-STRLAT, also addressable as
+// `-only stream-latency`) reruns the matrix's slow-thermal-ramp
+// evasion case under deployment-cadence batch assessment, tight batch
+// assessment, and the sliding-window streaming tracker, and prints the
+// detection-latency comparison (-json for the machine-readable form).
 package main
 
 import (
@@ -38,10 +47,11 @@ func main() {
 	var (
 		scaleFlag = flag.String("scale", "quick", "effort: quick or full")
 		seed      = flag.Uint64("seed", 1, "campaign seed")
-		only      = flag.String("only", "", "run a single experiment (EXP-F7, EXP-RN, EXP-TH, EXP-EQ11, EXP-IND, EXP-ENT, EXP-PSD, EXP-TIA, EXP-ATT, EXP-AIS, EXP-90B, EXP-MTX/attack-matrix)")
+		only      = flag.String("only", "", "run a single experiment (EXP-F7, EXP-RN, EXP-TH, EXP-EQ11, EXP-IND, EXP-ENT, EXP-PSD, EXP-TIA, EXP-ATT, EXP-AIS, EXP-90B, EXP-MTX/attack-matrix, EXP-STRLAT/stream-latency)")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of a table (EXP-MTX only)")
 		attacks   = flag.String("attack-only", "", "comma-separated scenario subset for EXP-MTX (default: the full catalog)")
 		jobs      = flag.Int("jobs", 0, "campaign worker-pool width (0 = NumCPU, 1 = sequential; tables are identical for every value)")
+		streamOn  = flag.Bool("stream", false, "arm the sliding-window streaming tracker on EXP-MTX campaign pools (live watermark alongside batch assessment)")
 		leapfrog  = flag.Bool("leapfrog", false, "run counter campaigns on the O(1)-per-window fast path (statistically equivalent; default is the edge-level reference)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -63,7 +73,7 @@ func main() {
 	// os.Exit skips defers, so the fatal paths below flush the
 	// profiles explicitly before exiting.
 	defer stopProf()
-	opt := experiments.Options{Jobs: *jobs, Leapfrog: *leapfrog}
+	opt := experiments.Options{Jobs: *jobs, Leapfrog: *leapfrog, Stream: *streamOn}
 
 	// EXP-F7, EXP-RN, EXP-TH and EXP-TIA all derive from the same
 	// (scale, seed) counter campaign; run it once and share it.
@@ -156,12 +166,24 @@ func main() {
 			}
 			return r.Table(), nil
 		}},
+		{"EXP-STRLAT", func() (string, error) {
+			r, err := experiments.StreamLatencyOpts(scale, *seed, opt)
+			if err != nil {
+				return "", err
+			}
+			if *jsonOut {
+				b, err := json.MarshalIndent(r, "", "  ")
+				return string(b), err
+			}
+			return r.Table(), nil
+		}},
 	}
 
 	ran := 0
 	for _, r := range runners {
 		if *only != "" && !strings.EqualFold(*only, r.id) &&
-			!(r.id == "EXP-MTX" && strings.EqualFold(*only, "attack-matrix")) {
+			!(r.id == "EXP-MTX" && strings.EqualFold(*only, "attack-matrix")) &&
+			!(r.id == "EXP-STRLAT" && strings.EqualFold(*only, "stream-latency")) {
 			continue
 		}
 		out, err := r.run()

@@ -23,7 +23,9 @@
 //	GET /assess           JSON per-shard SP 800-90B assessment reports: the
 //	                      latest black-box min-entropy estimator table of each
 //	                      shard's raw bits (?shard=I for one shard; 404 until
-//	                      a shard's first assessment completes).
+//	                      a shard's first assessment completes). ?live=1
+//	                      serves the live sliding-window report from the
+//	                      streaming tracker instead of the latest batch run.
 //	GET /metrics          Prometheus-style text metrics.
 //	GET /events           JSON event journal (the flight recorder): the
 //	                      most recent -events typed events — shard
@@ -110,6 +112,22 @@
 // estimator's designed conservatism is the floor) and far above a
 // degraded source.
 //
+// # Streaming surveillance
+//
+// On top of the periodic batch runs, every shard feeds its raw bits
+// inline into a sliding-window streaming tracker
+// (internal/sp90b/stream): incremental MCV, Markov and all four
+// predictor estimators over the last -stream-window bits, re-scored
+// continuously instead of once per -assess-every cadence. The live
+// suite minimum is exported per estimator as
+// trngd_shard_live_min_entropy{shard,estimator} (estimator="suite" is
+// the per-shard minimum), served on /assess?live=1, and gated: a live
+// minimum below -stream-min quarantines the shard mid-window — long
+// before the next batch sample would even start collecting. The
+// tracker is passive (output bit-identical on or off) and its per-bit
+// cost is measured into trngd_shard_stream_cost_seconds{shard}.
+// -stream-window 0 switches the tracker off.
+//
 // # Operating point
 //
 // The default profile serves the paper's CALIBRATED model (-amp 1) at
@@ -147,6 +165,7 @@
 //	      [-drbg ctr|hmac] [-cond hmac|cbcmac] [-reseed-interval N]
 //	      [-drbg-block B] [-seed-wait D] [-seedtap B]
 //	      [-assess] [-assess-bits N] [-assess-every N] [-assess-min H]
+//	      [-stream-window W] [-stream-panes P] [-stream-min H]
 //	      [-admin] [-events N] [-log-level L] [-pprof]
 //	      [-cpuprofile F] [-memprofile F]
 package main
@@ -532,12 +551,20 @@ type assessResponse struct {
 	Shards []*entropyd.Assessment `json:"shards"`
 }
 
-// handleAssess is GET /assess[?shard=I]: the latest per-shard
-// SP 800-90B assessment reports.
+// handleAssess is GET /assess[?shard=I][&live=1]: the latest per-shard
+// SP 800-90B assessment reports — the periodic batch run by default,
+// or the live sliding-window streaming report with ?live=1.
 func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
+	}
+	live := r.URL.Query().Get("live") == "1"
+	report := func(i int) *entropyd.Assessment {
+		if live {
+			return s.pool.Shard(i).LiveAssessment()
+		}
+		return s.pool.Shard(i).LastAssessment()
 	}
 	if q := r.URL.Query().Get("shard"); q != "" {
 		i, err := strconv.Atoi(q)
@@ -545,9 +572,13 @@ func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "shard out of range", http.StatusBadRequest)
 			return
 		}
-		a := s.pool.Shard(i).LastAssessment()
+		a := report(i)
 		if a == nil {
-			http.Error(w, "no assessment completed yet", http.StatusNotFound)
+			if live {
+				http.Error(w, "no live report yet (tracker off or window not full)", http.StatusNotFound)
+			} else {
+				http.Error(w, "no assessment completed yet", http.StatusNotFound)
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -556,7 +587,7 @@ func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := assessResponse{Shards: make([]*entropyd.Assessment, s.pool.NumShards())}
 	for i := range resp.Shards {
-		resp.Shards[i] = s.pool.Shard(i).LastAssessment()
+		resp.Shards[i] = report(i)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
@@ -574,15 +605,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
 		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
 	}
-	// hist renders a loadstat snapshot as one labeled series of a
-	// Prometheus histogram family. labels is the rendered label list
-	// without braces ("" for none); le is appended.
-	hist := func(name, labels string, snap *loadstat.Snapshot) {
+	// histB renders a loadstat snapshot as one labeled series of a
+	// Prometheus histogram family over the given bucket ladder. labels
+	// is the rendered label list without braces ("" for none); le is
+	// appended. hist is the request-latency-scale shorthand.
+	histB := func(name, labels string, snap *loadstat.Snapshot, bounds []promBound) {
 		sep := ""
 		if labels != "" {
 			sep = ","
 		}
-		for _, b := range latencyBounds {
+		for _, b := range bounds {
 			fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, b.label, snap.CountBelow(b.d))
 		}
 		fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, snap.Count())
@@ -593,6 +625,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "%s_sum %g\n", name, snap.Sum().Seconds())
 			fmt.Fprintf(w, "%s_count %d\n", name, snap.Count())
 		}
+	}
+	hist := func(name, labels string, snap *loadstat.Snapshot) {
+		histB(name, labels, snap, latencyBounds)
 	}
 	family("trngd_build_info", "gauge", "Build identity (constant 1; the facts are in the labels).")
 	fmt.Fprintf(w, "trngd_build_info{go_version=%q,revision=%q} 1\n", s.goVersion, s.revision)
@@ -701,10 +736,40 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "trngd_shard_assess_min_entropy{shard=\"%d\"} %g\n", sh.Index, sh.AssessMinEntropy)
 		}
 	}
-	family("trngd_shard_assess_age_seconds", "gauge", "Wall-clock age of the latest assessment.")
+	// The age gauge only makes sense for a serving shard: a quarantined
+	// shard is not collecting toward its next assessment, so its "age"
+	// would grow without bound and trip staleness alerts on a shard that
+	// is already benched. The sample is dropped until the shard heals.
+	family("trngd_shard_assess_age_seconds", "gauge", "Wall-clock age of the latest assessment (healthy shards only; dropped while quarantined).")
 	for _, sh := range st.Shards {
-		if sh.AssessRuns > 0 {
+		if sh.AssessRuns > 0 && sh.State == "healthy" {
 			fmt.Fprintf(w, "trngd_shard_assess_age_seconds{shard=\"%d\"} %g\n", sh.Index, sh.AssessAgeSeconds)
+		}
+	}
+	// Streaming surveillance: live sliding-window estimates, watermark
+	// quarantines, and the measured per-raw-bit tracker cost.
+	emit("trngd_shard_live_alarms_total", "Mid-window watermark quarantines raised by streaming surveillance.", func(sh entropyd.ShardStatus) uint64 { return sh.LiveAlarms })
+	family("trngd_shard_live_min_entropy", "gauge", "Live sliding-window min-entropy (bits per raw bit) per estimator; estimator=\"suite\" is the per-shard minimum.")
+	for _, sh := range st.Shards {
+		a := s.pool.Shard(sh.Index).LiveAssessment()
+		if a == nil {
+			continue
+		}
+		for _, e := range a.Report.Estimates {
+			fmt.Fprintf(w, "trngd_shard_live_min_entropy{shard=\"%d\",estimator=%q} %g\n", sh.Index, e.Name, e.MinEntropy)
+		}
+		fmt.Fprintf(w, "trngd_shard_live_min_entropy{shard=\"%d\",estimator=\"suite\"} %g\n", sh.Index, a.Report.MinEntropy)
+	}
+	family("trngd_shard_live_age_seconds", "gauge", "Wall-clock age of the live streaming report (healthy shards with a full window only).")
+	for _, sh := range st.Shards {
+		if sh.LiveAgeSeconds >= 0 && sh.State == "healthy" {
+			fmt.Fprintf(w, "trngd_shard_live_age_seconds{shard=\"%d\"} %g\n", sh.Index, sh.LiveAgeSeconds)
+		}
+	}
+	family("trngd_shard_stream_cost_seconds", "histogram", "Streaming surveillance cost per raw bit (one sample per gated chunk).")
+	for _, sh := range st.Shards {
+		if snap := s.pool.Shard(sh.Index).StreamCost(); snap != nil && snap.Count() > 0 {
+			histB("trngd_shard_stream_cost_seconds", fmt.Sprintf("shard=\"%d\"", sh.Index), snap, streamCostBounds)
 		}
 	}
 	if s.drbg == nil {
@@ -729,13 +794,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// latencyBounds are the Prometheus le-bucket upper bounds for the
-// request-duration histogram: a log-spaced ladder from fast in-memory
-// serves to the -wait deadline region.
-var latencyBounds = []struct {
+// promBound is one le-bucket upper bound: the rendered label and the
+// duration it translates to against loadstat.Snapshot.CountBelow.
+type promBound struct {
 	label string
 	d     time.Duration
-}{
+}
+
+// latencyBounds are the Prometheus le-bucket upper bounds for the
+// request-duration histograms: a log-spaced ladder from fast in-memory
+// serves to the -wait deadline region.
+var latencyBounds = []promBound{
 	{"0.0001", 100 * time.Microsecond},
 	{"0.0005", 500 * time.Microsecond},
 	{"0.001", time.Millisecond},
@@ -747,6 +816,23 @@ var latencyBounds = []struct {
 	{"1", time.Second},
 	{"5", 5 * time.Second},
 	{"10", 10 * time.Second},
+}
+
+// streamCostBounds are the le-bucket bounds for the per-raw-bit
+// streaming surveillance cost: a nanosecond-scale ladder (the tracker
+// costs single-digit microseconds per bit), three decades below the
+// request-latency ladder's first bucket.
+var streamCostBounds = []promBound{
+	{"1e-07", 100 * time.Nanosecond},
+	{"2.5e-07", 250 * time.Nanosecond},
+	{"5e-07", 500 * time.Nanosecond},
+	{"1e-06", time.Microsecond},
+	{"2.5e-06", 2500 * time.Nanosecond},
+	{"5e-06", 5 * time.Microsecond},
+	{"1e-05", 10 * time.Microsecond},
+	{"2.5e-05", 25 * time.Microsecond},
+	{"5e-05", 50 * time.Microsecond},
+	{"0.0001", 100 * time.Microsecond},
 }
 
 // eventsResponse is the GET /events payload. LastSeq is the reader's
@@ -889,6 +975,9 @@ func main() {
 		assessBits  = flag.Int("assess-bits", 1<<16, "raw bits per assessment sample")
 		assessEvery = flag.Int("assess-every", 1<<20, "raw-bit cadence between assessments")
 		assessMin   = flag.Float64("assess-min", 0.3, "quarantine below this assessed min-entropy (0 = monitor only)")
+		streamWin   = flag.Int("stream-window", 16384, "streaming surveillance sliding-window bits (0 disables; min 10000)")
+		streamPanes = flag.Int("stream-panes", 4, "staggered predictor panes per streaming tracker (must divide -stream-window)")
+		streamMin   = flag.Float64("stream-min", 0.3, "quarantine below this live streaming min-entropy mid-window (0 = monitor only)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	)
@@ -963,6 +1052,9 @@ func main() {
 			AssessBits:       *assessBits,
 			AssessEveryBits:  *assessEvery,
 			AssessMinEntropy: *assessMin,
+			StreamWindow:     *streamWin,
+			StreamPanes:      *streamPanes,
+			StreamMinEntropy: *streamMin,
 		},
 		BufBytes: *buf,
 		Sink:     sink,

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/sp90b"
 )
 
 // BenchmarkPoolThroughput measures the pool's batch hot path in
@@ -36,6 +38,31 @@ func BenchmarkPoolThroughput(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkLiveAssessmentPool is BenchmarkPoolThroughput with the
+// streaming surveillance tracker inline on every shard: the fleet-wide
+// serving cost of continuous live assessment, to be read against the
+// plain-battery baseline (the delta is StreamNsPerBit × 8 raw bits per
+// output byte).
+func BenchmarkLiveAssessmentPool(b *testing.B) {
+	p, err := New(Config{
+		Shards: 4,
+		Seed:   1,
+		Source: SourceConfig{Kind: SourceERO, Model: testModel(), Divider: 16},
+		Health: HealthConfig{MonitorWindow: 16, StreamWindow: sp90b.MinBits},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 1<<15)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n, err := p.Fill(buf); err != nil || n != len(buf) {
+			b.Fatalf("Fill = (%d, %v)", n, err)
+		}
 	}
 }
 

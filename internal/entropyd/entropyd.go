@@ -25,7 +25,15 @@
 //     copies an AssessBits sample aside and runs the black-box
 //     estimator suite on it. The latest per-shard Report is published
 //     (LastAssessment, cmd/trngd /assess) and a suite minimum below
-//     AssessMinEntropy quarantines the shard like any other alarm.
+//     AssessMinEntropy quarantines the shard like any other alarm;
+//   - optionally (HealthConfig.StreamWindow > 0), CONTINUOUS streaming
+//     surveillance (internal/sp90b/stream): the cheap half of the
+//     estimator suite runs as sliding-window scoreboards over the raw
+//     bits, publishing a live min-entropy bound every chunk
+//     (Shard.LiveAssessment) and quarantining MID-window when it
+//     crosses StreamMinEntropy (ReasonLiveEntropy) — the batch
+//     assessment stays on as the periodic deep pass (suffix-array
+//     estimators the streaming tracker does not run).
 //
 // # Health state machine
 //
@@ -160,6 +168,28 @@ type HealthConfig struct {
 	// to 0.3 — far below any healthy assessment, far above a degraded
 	// source.
 	AssessMinEntropy float64
+	// StreamWindow, when > 0, turns on continuous streaming
+	// surveillance (sp90b/stream): every raw chunk is additionally fed
+	// into a sliding-window tracker running the cheap half of the
+	// estimator suite (MCV, Markov and the four predictors) at O(1)
+	// amortized cost per bit over the last StreamWindow raw bits. The
+	// tracker is passive like the batch collector — the output stream
+	// is bit-identical with streaming on or off — but it publishes a
+	// LIVE min-entropy bound (Shard.LiveAssessment) that moves every
+	// chunk instead of every AssessEveryBits. Minimum sp90b.MinBits;
+	// 0 (the default) disables streaming (it costs CPU per raw bit, so
+	// the library leaves it to the deployment — cmd/trngd enables it
+	// by default).
+	StreamWindow int
+	// StreamPanes is the number of staggered predictor panes (default
+	// 4 when streaming is on). It must divide StreamWindow; predictor
+	// estimates refresh every StreamWindow/StreamPanes bits.
+	StreamPanes int
+	// StreamMinEntropy is the live low-watermark: a live suite minimum
+	// below it quarantines the shard MID-window (ReasonLiveEntropy),
+	// without waiting for the next batch sample boundary. 0 monitors
+	// only, like AssessMinEntropy.
+	StreamMinEntropy float64
 }
 
 // withDefaults fills zero fields.
@@ -187,6 +217,9 @@ func (h HealthConfig) withDefaults() HealthConfig {
 	}
 	if h.AssessEveryBits == 0 {
 		h.AssessEveryBits = 1 << 20
+	}
+	if h.StreamWindow > 0 && h.StreamPanes == 0 {
+		h.StreamPanes = 4
 	}
 	return h
 }
@@ -317,6 +350,19 @@ func New(cfg Config) (*Pool, error) {
 		}
 		if cfg.Health.AssessMinEntropy < 0 || cfg.Health.AssessMinEntropy >= 1 {
 			return nil, fmt.Errorf("entropyd: assessment threshold %g out of [0, 1)", cfg.Health.AssessMinEntropy)
+		}
+	}
+	if cfg.Health.StreamWindow > 0 {
+		if cfg.Health.StreamWindow < sp90b.MinBits {
+			return nil, fmt.Errorf("entropyd: streaming window %d below sp90b.MinBits (%d)",
+				cfg.Health.StreamWindow, sp90b.MinBits)
+		}
+		if cfg.Health.StreamPanes < 1 || cfg.Health.StreamWindow%cfg.Health.StreamPanes != 0 {
+			return nil, fmt.Errorf("entropyd: streaming panes %d must be >= 1 and divide the window (%d)",
+				cfg.Health.StreamPanes, cfg.Health.StreamWindow)
+		}
+		if cfg.Health.StreamMinEntropy < 0 || cfg.Health.StreamMinEntropy >= 1 {
+			return nil, fmt.Errorf("entropyd: streaming threshold %g out of [0, 1)", cfg.Health.StreamMinEntropy)
 		}
 	}
 	for _, st := range cfg.Post {
@@ -677,6 +723,18 @@ type ShardStatus struct {
 	AssessMinEntropy float64 `json:"assess_min_entropy"`
 	AssessAgeSeconds float64 `json:"assess_age_seconds"`
 	AssessEpoch      int64   `json:"assess_epoch"`
+	// Streaming-surveillance snapshot (HealthConfig.StreamWindow > 0):
+	// LiveMinEntropy is the latest live suite minimum over the sliding
+	// window (meaningful only when LiveAgeSeconds >= 0; -1 age means no
+	// live report yet, e.g. streaming off or window not yet full),
+	// LiveEpoch the calibration epoch it describes, LiveAlarms the
+	// mid-window watermark quarantines, and StreamNsPerBit the mean
+	// per-raw-bit surveillance cost.
+	LiveAlarms     uint64  `json:"live_alarms"`
+	LiveMinEntropy float64 `json:"live_min_entropy"`
+	LiveAgeSeconds float64 `json:"live_age_seconds"`
+	LiveEpoch      int64   `json:"live_epoch"`
+	StreamNsPerBit float64 `json:"stream_ns_per_bit"`
 	// Seed-tap bookkeeping (zero when the tap is disabled): raw bytes
 	// mirrored into the tap, dropped on a full tap, and consumed by
 	// seed draws.
@@ -721,6 +779,8 @@ func (p *Pool) Stats() Stats {
 			AssessRuns:       s.assessRuns.Load(),
 			AssessAlarms:     s.assessAlarms.Load(),
 			AssessAgeSeconds: -1,
+			LiveAlarms:       s.liveAlarms.Load(),
+			LiveAgeSeconds:   -1,
 			TapBytes:         s.tapBytes.Load(),
 			TapDropped:       s.tapDropped.Load(),
 			SeedBytesUsed:    s.seedBytes.Load(),
@@ -729,6 +789,14 @@ func (p *Pool) Stats() Stats {
 			st.Shards[i].AssessMinEntropy = a.Report.MinEntropy
 			st.Shards[i].AssessAgeSeconds = time.Since(a.At).Seconds()
 			st.Shards[i].AssessEpoch = a.Epoch
+		}
+		if a := s.LiveAssessment(); a != nil {
+			st.Shards[i].LiveMinEntropy = a.Report.MinEntropy
+			st.Shards[i].LiveAgeSeconds = time.Since(a.At).Seconds()
+			st.Shards[i].LiveEpoch = a.Epoch
+		}
+		if h := s.streamCost; h != nil && h.Count() > 0 {
+			st.Shards[i].StreamNsPerBit = float64(h.Sum().Nanoseconds()) / float64(h.Count())
 		}
 	}
 	return st

@@ -8,12 +8,14 @@ import (
 
 	"repro/internal/ais31"
 	"repro/internal/engine"
+	"repro/internal/loadstat"
 	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/onlinetest"
 	"repro/internal/osc"
 	"repro/internal/postproc"
 	"repro/internal/sp90b"
+	"repro/internal/sp90b/stream"
 )
 
 // State is a shard's position in the health state machine (see the
@@ -72,6 +74,11 @@ const (
 	// ReasonLowEntropy: the periodic SP 800-90B assessment's suite
 	// min-entropy fell below HealthConfig.AssessMinEntropy.
 	ReasonLowEntropy
+	// ReasonLiveEntropy: the streaming surveillance tracker's live
+	// suite min-entropy fell below HealthConfig.StreamMinEntropy — the
+	// mid-window low-watermark, fired without waiting for a batch
+	// sample boundary.
+	ReasonLiveEntropy
 )
 
 // String names the reason.
@@ -91,6 +98,8 @@ func (r Reason) String() string {
 		return "injected"
 	case ReasonLowEntropy:
 		return "low-entropy"
+	case ReasonLiveEntropy:
+		return "live-low-entropy"
 	default:
 		return fmt.Sprintf("Reason(%d)", int32(r))
 	}
@@ -142,6 +151,11 @@ type Shard struct {
 	assessBuf  []byte
 	assessWait int // raw bits left before the next collection starts
 
+	// Streaming surveillance tracker (owner goroutine; nil when
+	// HealthConfig.StreamWindow == 0). Like the batch collector it is
+	// passive: it reads raw chunks the shard generates anyway.
+	tracker *stream.Tracker
+
 	// alarmStat is the statistic that triggered the pending alarm
 	// (owner goroutine; set at the test site that raised the reason,
 	// consumed by the quarantine event): the tot run length, the
@@ -177,6 +191,9 @@ type Shard struct {
 	assessRuns   atomic.Uint64
 	assessAlarms atomic.Uint64
 	lastAssess   atomic.Pointer[Assessment]
+	liveAlarms   atomic.Uint64
+	liveAssess   atomic.Pointer[Assessment]
+	streamCost   *loadstat.Histogram // per-raw-bit surveillance cost; nil when streaming is off
 	tapBytes     atomic.Uint64
 	tapDropped   atomic.Uint64
 	seedBytes    atomic.Uint64
@@ -204,6 +221,24 @@ type Assessment struct {
 // recalibration (the epoch tag tells readers which calibration they
 // describe).
 func (s *Shard) LastAssessment() *Assessment { return s.lastAssess.Load() }
+
+// LiveAssessment returns the most recent streaming-surveillance report
+// — the six cheap estimators over the sliding StreamWindow, refreshed
+// every raw chunk — or nil when streaming is off or the window has not
+// filled yet this epoch. Safe from any goroutine. Unlike the batch
+// LastAssessment it does NOT survive recalibration: a new epoch is a
+// different source build, so its window starts empty.
+func (s *Shard) LiveAssessment() *Assessment { return s.liveAssess.Load() }
+
+// StreamCost snapshots the per-raw-bit streaming surveillance cost
+// histogram (each sample is one chunk's elapsed time divided by the
+// chunk's bits), nil when streaming is off. Safe from any goroutine.
+func (s *Shard) StreamCost() *loadstat.Snapshot {
+	if s.streamCost == nil {
+		return nil
+	}
+	return s.streamCost.Snapshot()
+}
 
 // Index returns the shard's position in the pool.
 func (s *Shard) Index() int { return s.index }
@@ -249,6 +284,22 @@ func (s *Shard) calibrate() error {
 	}
 	epoch := uint64(s.epoch.Load())
 	h := &s.pool.cfg.Health
+
+	if h.StreamWindow > 0 {
+		if s.tracker == nil {
+			tr, err := stream.New(stream.Config{Window: h.StreamWindow, Panes: h.StreamPanes})
+			if err != nil {
+				return err // unreachable: validated at construction
+			}
+			s.tracker = tr
+			s.streamCost = loadstat.New()
+		} else {
+			// New epoch, new source build: the live window must not mix
+			// bits across the rebuild.
+			s.tracker.Reset()
+		}
+		s.liveAssess.Store(nil)
+	}
 
 	src, err := s.pool.newSource(s.index, int(epoch), engine.DeriveSeed(s.seed, 2*epoch))
 	if err != nil {
@@ -391,9 +442,11 @@ func (s *Shard) quarantine(r Reason) {
 		s.monHigh.Add(1)
 	case ReasonLowEntropy:
 		s.assessAlarms.Add(1)
+	case ReasonLiveEntropy:
+		s.liveAlarms.Add(1)
 	}
 	switch r {
-	case ReasonTot, ReasonThermalLow, ReasonThermalHigh, ReasonLowEntropy:
+	case ReasonTot, ReasonThermalLow, ReasonThermalHigh, ReasonLowEntropy, ReasonLiveEntropy:
 		// Embedded-test alarms get their own event carrying the
 		// triggering statistic, ahead of the quarantine they cause.
 		s.pool.emit(obs.Event{Type: obs.TypeAlarm, Shard: s.index, Lane: obs.Any,
@@ -447,6 +500,11 @@ func (s *Shard) gateChunk() ([]byte, Reason) {
 		}
 	}
 	s.rawBits.Add(rawChunk)
+	if s.tracker != nil {
+		if r := s.collectStream(raw); r != ReasonNone {
+			return nil, r
+		}
+	}
 	if !h.DisableAssess {
 		if r := s.collectAssessment(raw); r != ReasonNone {
 			return nil, r
@@ -516,6 +574,40 @@ func (s *Shard) collectAssessment(raw []byte) Reason {
 	if t := h.AssessMinEntropy; t > 0 && rep.MinEntropy < t {
 		s.alarmStat = rep.MinEntropy
 		return ReasonLowEntropy
+	}
+	return ReasonNone
+}
+
+// collectStream feeds one raw chunk that already cleared the tot and
+// thermal tests into the streaming surveillance tracker. Like the
+// batch collector it is passive — it reads bits the shard generates
+// anyway, so enabling or disabling streaming never changes the output
+// stream. Once the sliding window is full the live report is published
+// every chunk, and a live suite minimum below StreamMinEntropy raises
+// the mid-window watermark alarm: the event carries the crossing
+// itself, the quarantine that follows carries the drain.
+func (s *Shard) collectStream(raw []byte) Reason {
+	h := &s.pool.cfg.Health
+	start := time.Now()
+	s.tracker.PushBits(raw)
+	rep, ok := s.tracker.Report()
+	s.streamCost.Record(time.Since(start) / time.Duration(len(raw)))
+	if !ok {
+		return ReasonNone
+	}
+	s.liveAssess.Store(&Assessment{
+		Shard:   s.index,
+		Epoch:   s.epoch.Load(),
+		RawBits: s.rawBits.Load(),
+		At:      time.Now(),
+		Report:  rep,
+	})
+	if t := h.StreamMinEntropy; t > 0 && rep.MinEntropy < t {
+		s.alarmStat = rep.MinEntropy
+		s.pool.emit(obs.Event{Type: obs.TypeLiveWatermark, Shard: s.index, Lane: obs.Any,
+			Epoch: s.epoch.Load(), Reason: ReasonLiveEntropy.String(), Value: rep.MinEntropy,
+			Detail: fmt.Sprintf("window=%d", h.StreamWindow)})
+		return ReasonLiveEntropy
 	}
 	return ReasonNone
 }

@@ -70,6 +70,15 @@ const (
 	amMinEntropy  = 0.40
 	amSeedTap     = 4096
 
+	// amStreamMinEntropy is the live watermark for the streaming
+	// tracker (Options.Stream and EXP-STRLAT). The streaming suite is
+	// the six incremental estimators only — no collision/compression
+	// conservatism — so its scale sits higher than the batch suite's:
+	// at this operating point a healthy shard's live minimum stays
+	// ≥ 0.86 while the slow ramp's floor reads ≈ 0.55 (the batch suite
+	// says ≥ 0.52 and ≤ 0.33 for the same bits). 0.70 splits the gap.
+	amStreamMinEntropy = 0.70
+
 	// amOnsetBits places every attack onset after the 20480-bit epoch-0
 	// startup collection, with a healthy pre-onset window for the DRBG
 	// liveness check.
@@ -319,7 +328,7 @@ func AttackMatrixOpts(scale Scale, seed uint64, opt Options, only ...string) (At
 		sc := specs[i]
 		rs := make([]amRep, reps)
 		for r := range rs {
-			rep, err := sc.run(engine.DeriveSeed(seed, uint64(catalog[i]*16+r)))
+			rep, err := sc.run(engine.DeriveSeed(seed, uint64(catalog[i]*16+r)), opt.Stream)
 			if err != nil {
 				return AttackRow{}, fmt.Errorf("%s rep %d: %w", sc.name, r, err)
 			}
@@ -342,8 +351,9 @@ func AttackMatrixOpts(scale Scale, seed uint64, opt Options, only ...string) (At
 // run executes one repetition: build the pool with the scenario armed
 // through the source and monitor hooks, drive it through onset to
 // detection (or budget), then probe the calibration gate and the DRBG
-// fail-closed path.
-func (sc amSpec) run(seed uint64) (amRep, error) {
+// fail-closed path. streamOn additionally arms the sliding-window
+// streaming tracker at the matrix operating point (Options.Stream).
+func (sc amSpec) run(seed uint64, streamOn bool) (amRep, error) {
 	var rep amRep
 	m := core.PaperModel().ScaleJitter(100).Phase
 	f0 := m.F0
@@ -368,21 +378,27 @@ func (sc amSpec) run(seed uint64) (amRep, error) {
 	monScale := float64(amMonitorN) / float64(amMonitorEv*amDivider)
 
 	j := obs.NewJournal(obs.DefaultCapacity)
+	health := entropyd.HealthConfig{
+		TotWindow:        amTotWindow,
+		MonitorN:         amMonitorN,
+		MonitorWindow:    amMonitorWin,
+		MonitorEveryBits: amMonitorEv,
+		MonitorSubdivide: amMonitorSub,
+		AssessBits:       amAssessBits,
+		AssessEveryBits:  amAssessEvery,
+		AssessMinEntropy: amMinEntropy,
+	}
+	if streamOn {
+		health.StreamWindow = amAssessBits
+		health.StreamPanes = 4
+		health.StreamMinEntropy = amStreamMinEntropy
+	}
 	cfg := entropyd.Config{
-		Shards: shards,
-		Seed:   seed,
-		Jobs:   1,
-		Source: entropyd.SourceConfig{Kind: entropyd.SourceERO, Model: m, Divider: amDivider},
-		Health: entropyd.HealthConfig{
-			TotWindow:        amTotWindow,
-			MonitorN:         amMonitorN,
-			MonitorWindow:    amMonitorWin,
-			MonitorEveryBits: amMonitorEv,
-			MonitorSubdivide: amMonitorSub,
-			AssessBits:       amAssessBits,
-			AssessEveryBits:  amAssessEvery,
-			AssessMinEntropy: amMinEntropy,
-		},
+		Shards:       shards,
+		Seed:         seed,
+		Jobs:         1,
+		Source:       entropyd.SourceConfig{Kind: entropyd.SourceERO, Model: m, Divider: amDivider},
+		Health:       health,
 		SeedTapBytes: amSeedTap,
 		Sink:         j,
 		NewSource: func(shard, epoch int, s uint64) (entropyd.RawSource, error) {
@@ -569,7 +585,7 @@ func amReasonLayer(reason string) string {
 		return amLayerTot
 	case "thermal-low", "thermal-high":
 		return amLayerMonitor
-	case "low-entropy":
+	case "low-entropy", "live-low-entropy":
 		return amLayerSP90B
 	case "startup":
 		return amLayerStartup

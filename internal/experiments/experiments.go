@@ -41,6 +41,13 @@ type Options struct {
 	// bit-identical to it: the fast path draws a different — equally
 	// valid — realization of the same jitter process.
 	Leapfrog bool
+	// Stream arms the streaming surveillance tracker
+	// (internal/sp90b/stream) on every pool the attack campaign
+	// builds, at the matrix operating point's sample size and
+	// threshold: sliding-window live estimates gate mid-window instead
+	// of once per batch cadence, so sp90b-class detections fire with
+	// the "live-low-entropy" reason and shorter raw-bit latencies.
+	Stream bool
 }
 
 // Paper-reported constants (§III-E, §IV-B).

@@ -16,8 +16,9 @@
 //   - shard lifecycle: startup-pass, startup-fail, alarm (with the
 //     triggering statistic in Value: the tot run length, the thermal
 //     monitor's windowed variance, or the assessed min-entropy),
-//     quarantine (with the reason and drained byte count), recalibrate,
-//     heal;
+//     live-watermark (the streaming surveillance bound crossed its low
+//     watermark mid-window; Value = the live suite minimum), quarantine
+//     (with the reason and drained byte count), recalibrate, heal;
 //   - DRBG lanes: drbg-instantiate, drbg-reseed, drbg-reseed-fail,
 //     drbg-fail-closed, drbg-drain (Value = blocks discarded unserved);
 //   - seed source: seed-draw (Value = vetted output-entropy credit in
@@ -115,6 +116,12 @@ const (
 	// (operator /quarantine endpoint, attack experiments). Paired with
 	// the shard's next quarantine event for detection latency.
 	TypeInjectionMarker Type = "injection-marker"
+	// TypeLiveWatermark: a shard's streaming-surveillance live
+	// min-entropy crossed its low watermark MID-window (Value = the
+	// live suite minimum, Detail = the sliding window size). Emitted at
+	// the crossing site, immediately ahead of the live-low-entropy
+	// alarm and quarantine it raises.
+	TypeLiveWatermark Type = "live-watermark"
 )
 
 // Event is one journal entry. Seq and At are assigned by the journal

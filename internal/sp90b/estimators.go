@@ -20,13 +20,22 @@ func mostCommonValue(s []byte) Estimate {
 			mode = c
 		}
 	}
-	pHat := float64(mode) / float64(len(s))
-	pu := upperBound(pHat, len(s))
+	return MCVEstimate(mode, len(s))
+}
+
+// MCVEstimate is the count-level §6.3.1 kernel: the estimate for a
+// sequence of n samples whose most common value occurred mode times.
+// It is the arithmetic shared by the batch estimator and the streaming
+// scoreboard (sp90b/stream), which is what makes their window-boundary
+// equivalence exact rather than approximate.
+func MCVEstimate(mode, n int) Estimate {
+	pHat := float64(mode) / float64(n)
+	pu := upperBound(pHat, n)
 	return Estimate{
 		Name:       NameMCV,
 		MinEntropy: entropyFromP(pu),
 		P:          pu,
-		Detail:     fmt.Sprintf("mode %d/%d, p_u=%.4f", mode, len(s), pu),
+		Detail:     fmt.Sprintf("mode %d/%d, p_u=%.4f", mode, n, pu),
 	}
 }
 
@@ -109,17 +118,27 @@ const markovHorizon = 128
 // runs, alternations, and one-transition sequences).
 func markov(s []byte) Estimate {
 	n := len(s)
-	ones := 0
+	var ones int64
 	for _, v := range s {
-		ones += int(v)
+		ones += int64(v)
 	}
-	p1 := float64(ones) / float64(n)
-	p0 := 1 - p1
 	// Transition counts: cnt[a][b] = #(a followed by b).
-	var cnt [2][2]float64
+	var cnt [2][2]int64
 	for i := 1; i < n; i++ {
 		cnt[s[i-1]][s[i]]++
 	}
+	return MarkovEstimate(n, ones, &cnt)
+}
+
+// MarkovEstimate is the count-level §6.3.3 kernel: the estimate for a
+// sequence of n bits containing ones one-bits and the transition
+// counts cnt[a][b] = #(a followed by b). Integer counts convert to
+// float64 exactly (every count is far below 2^53), so the batch
+// estimator and the streaming scoreboard's evict/add counters produce
+// bit-identical estimates from equal counts.
+func MarkovEstimate(n int, ones int64, cnt *[2][2]int64) Estimate {
+	p1 := float64(ones) / float64(n)
+	p0 := 1 - p1
 	// Conditional probabilities; a context that never occurs carries
 	// probability 0 forward (log −inf), which correctly removes the
 	// candidate sequences that would have to pass through it.
@@ -128,7 +147,7 @@ func markov(s []byte) Estimate {
 		if tot == 0 {
 			return 0
 		}
-		return cnt[a][b] / tot
+		return float64(cnt[a][b]) / float64(tot)
 	}
 	p00, p01 := cond(0, 0), cond(0, 1)
 	p10, p11 := cond(1, 0), cond(1, 1)

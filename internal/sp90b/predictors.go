@@ -5,47 +5,53 @@ import (
 	"math"
 )
 
-// predTally accumulates a predictor's performance: prediction count,
-// correct count, and the longest run of correct predictions.
-type predTally struct {
-	n, correct, run, maxRun int
+// Tally accumulates a predictor's performance: prediction count,
+// correct count, and the longest run of correct predictions. It is
+// exported for sp90b/stream, whose pane replicas of the four
+// predictors score their predictions with the identical bookkeeping.
+type Tally struct {
+	N, Correct, Run, MaxRun int
 }
 
-// record scores one prediction.
-func (t *predTally) record(ok bool) {
-	t.n++
+// Record scores one prediction.
+func (t *Tally) Record(ok bool) {
+	t.N++
 	if ok {
-		t.correct++
-		t.run++
-		if t.run > t.maxRun {
-			t.maxRun = t.run
+		t.Correct++
+		t.Run++
+		if t.Run > t.MaxRun {
+			t.MaxRun = t.Run
 		}
 	} else {
-		t.run = 0
+		t.Run = 0
 	}
 }
 
-// predictorEstimate turns a tally into the §6.3.7–6.3.10 entropy
-// bound: the max of the 99% upper bound on the global hit rate and the
-// local bound derived from the longest run of correct predictions.
-func predictorEstimate(name string, t predTally) Estimate {
-	if t.n < 2 {
+// PredictorEstimate is the count-level §6.3.7–6.3.10 kernel: it turns
+// a predictor tally into the entropy bound — the max of the 99% upper
+// bound on the global hit rate and the local bound derived from the
+// longest run of correct predictions. name must be one of the
+// predictor Name* constants. Shared by the batch predictors and the
+// streaming pane scoreboards (sp90b/stream), so equal tallies yield
+// bit-identical estimates.
+func PredictorEstimate(name string, t Tally) Estimate {
+	if t.N < 2 {
 		return Estimate{Name: name, MinEntropy: 1, P: 0.5, Detail: "input too short to predict"}
 	}
 	var pGlobal float64
-	if t.correct == 0 {
-		pGlobal = 1 - math.Pow(0.01, 1/float64(t.n))
+	if t.Correct == 0 {
+		pGlobal = 1 - math.Pow(0.01, 1/float64(t.N))
 	} else {
-		pGlobal = upperBound(float64(t.correct)/float64(t.n), t.n)
+		pGlobal = upperBound(float64(t.Correct)/float64(t.N), t.N)
 	}
-	pLocal := localBound(t.maxRun+1, t.n)
+	pLocal := localBound(t.MaxRun+1, t.N)
 	p := clampP(math.Max(pGlobal, pLocal))
 	return Estimate{
 		Name:       name,
 		MinEntropy: entropyFromP(p),
 		P:          p,
 		Detail: fmt.Sprintf("C=%d/%d, maxrun=%d, p_g=%.4f, p_l=%.4f",
-			t.correct, t.n, t.maxRun, pGlobal, pLocal),
+			t.Correct, t.N, t.MaxRun, pGlobal, pLocal),
 	}
 }
 
@@ -119,7 +125,7 @@ func multiMCW(s []byte) Estimate {
 		}
 	}
 	winner := 0
-	var tally predTally
+	var tally Tally
 	for i := first; i < n; i++ {
 		var pred [4]int8
 		for j, w := range mcwWindows {
@@ -137,7 +143,7 @@ func multiMCW(s []byte) Estimate {
 				pred[j] = int8(s[i-1])
 			}
 		}
-		tally.record(pred[winner] == int8(s[i]))
+		tally.Record(pred[winner] == int8(s[i]))
 		for j := range mcwWindows {
 			if pred[j] == int8(s[i]) {
 				score[j]++
@@ -153,7 +159,7 @@ func multiMCW(s []byte) Estimate {
 			ones[j] += int(s[i])
 		}
 	}
-	return predictorEstimate(NameMultiMCW, tally)
+	return PredictorEstimate(NameMultiMCW, tally)
 }
 
 // lagDepth is the §6.3.8 number of lag subpredictors.
@@ -165,12 +171,12 @@ func lagPredictor(s []byte) Estimate {
 	n := len(s)
 	var score [lagDepth]int
 	winner := 0 // lag winner+1
-	var tally predTally
+	var tally Tally
 	for i := 1; i < n; i++ {
 		if i > winner {
-			tally.record(s[i-winner-1] == s[i])
+			tally.Record(s[i-winner-1] == s[i])
 		} else {
-			tally.record(false)
+			tally.Record(false)
 		}
 		dMax := lagDepth
 		if i < dMax {
@@ -185,7 +191,7 @@ func lagPredictor(s []byte) Estimate {
 			}
 		}
 	}
-	return predictorEstimate(NameLag, tally)
+	return PredictorEstimate(NameLag, tally)
 }
 
 // mmcDepth is the §6.3.9 maximum Markov-chain order.
@@ -223,7 +229,7 @@ func multiMMC(s []byte) Estimate {
 	counts := newBinCounts(mmcDepth)
 	var score [mmcDepth]int
 	winner := 0 // depth winner+1
-	var tally predTally
+	var tally Tally
 	var win uint32 // last mmcDepth bits, most recent least significant
 	predict := func(d, i int) int8 {
 		if i < d {
@@ -241,7 +247,7 @@ func multiMMC(s []byte) Estimate {
 	for i := 1; i < n; i++ {
 		win = win<<1 | uint32(s[i-1]) // contexts at step i end at s[i-1]
 		if i >= 2 {
-			tally.record(predict(winner+1, i) == int8(s[i]))
+			tally.Record(predict(winner+1, i) == int8(s[i]))
 			for d := 1; d <= mmcDepth && d <= i; d++ {
 				if predict(d, i) == int8(s[i]) {
 					score[d-1]++
@@ -255,7 +261,7 @@ func multiMMC(s []byte) Estimate {
 			counts.at(d, win&(1<<uint(d)-1))[s[i]]++
 		}
 	}
-	return predictorEstimate(NameMultiMMC, tally)
+	return PredictorEstimate(NameMultiMMC, tally)
 }
 
 // LZ78Y parameters (§6.3.10).
@@ -275,7 +281,7 @@ func lz78y(s []byte) Estimate {
 	}
 	dict := newBinCounts(lzDepth)
 	entries := 0
-	var tally predTally
+	var tally Tally
 	var win uint32 // last lzDepth+1 bits ending at s[i-1], most recent least significant
 	for i := 1; i < lzDepth+1; i++ {
 		win = win<<1 | uint32(s[i-1])
@@ -310,7 +316,7 @@ func lz78y(s []byte) Estimate {
 				pred = y
 			}
 		}
-		tally.record(pred == int8(s[i]))
+		tally.Record(pred == int8(s[i]))
 	}
-	return predictorEstimate(NameLZ78Y, tally)
+	return PredictorEstimate(NameLZ78Y, tally)
 }

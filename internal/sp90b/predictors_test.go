@@ -15,7 +15,7 @@ func bruteMCW(s []byte) Estimate {
 	windows := []int{63, 255, 1023, 4095}
 	score := make([]int, len(windows))
 	winner := 0
-	var tally predTally
+	var tally Tally
 	for i := windows[0]; i < len(s); i++ {
 		preds := make([]int8, len(windows))
 		for j, w := range windows {
@@ -40,7 +40,7 @@ func bruteMCW(s []byte) Estimate {
 				preds[j] = int8(s[i-1])
 			}
 		}
-		tally.record(preds[winner] == int8(s[i]))
+		tally.Record(preds[winner] == int8(s[i]))
 		for j := range windows {
 			if preds[j] == int8(s[i]) {
 				score[j]++
@@ -50,13 +50,13 @@ func bruteMCW(s []byte) Estimate {
 			}
 		}
 	}
-	return predictorEstimate(NameMultiMCW, tally)
+	return PredictorEstimate(NameMultiMCW, tally)
 }
 
 func bruteLag(s []byte) Estimate {
 	score := make([]int, lagDepth)
 	winner := 0
-	var tally predTally
+	var tally Tally
 	for i := 1; i < len(s); i++ {
 		preds := make([]int8, lagDepth)
 		for d := 1; d <= lagDepth; d++ {
@@ -66,7 +66,7 @@ func bruteLag(s []byte) Estimate {
 				preds[d-1] = -1
 			}
 		}
-		tally.record(preds[winner] == int8(s[i]))
+		tally.Record(preds[winner] == int8(s[i]))
 		for d := 1; d <= lagDepth && d <= i; d++ {
 			if s[i-d] == s[i] {
 				score[d-1]++
@@ -76,7 +76,7 @@ func bruteLag(s []byte) Estimate {
 			}
 		}
 	}
-	return predictorEstimate(NameLag, tally)
+	return PredictorEstimate(NameLag, tally)
 }
 
 func bruteMMC(s []byte) Estimate {
@@ -86,7 +86,7 @@ func bruteMMC(s []byte) Estimate {
 	}
 	score := make([]int, mmcDepth)
 	winner := 0
-	var tally predTally
+	var tally Tally
 	predict := func(d, i int) int8 {
 		if i < d {
 			return -1
@@ -102,7 +102,7 @@ func bruteMMC(s []byte) Estimate {
 	}
 	for i := 1; i < len(s); i++ {
 		if i >= 2 {
-			tally.record(predict(winner+1, i) == int8(s[i]))
+			tally.Record(predict(winner+1, i) == int8(s[i]))
 			for d := 1; d <= mmcDepth && d <= i; d++ {
 				if predict(d, i) == int8(s[i]) {
 					score[d-1]++
@@ -122,13 +122,13 @@ func bruteMMC(s []byte) Estimate {
 			c[s[i]]++
 		}
 	}
-	return predictorEstimate(NameMultiMMC, tally)
+	return PredictorEstimate(NameMultiMMC, tally)
 }
 
 func bruteLZ78Y(s []byte) Estimate {
 	dict := map[string]*[2]int{}
 	entries := 0
-	var tally predTally
+	var tally Tally
 	for i := lzDepth + 1; i < len(s); i++ {
 		// Update with the transition into s[i-1].
 		for j := lzDepth; j >= 1; j-- {
@@ -158,9 +158,9 @@ func bruteLZ78Y(s []byte) Estimate {
 				pred = y
 			}
 		}
-		tally.record(pred == int8(s[i]))
+		tally.Record(pred == int8(s[i]))
 	}
-	return predictorEstimate(NameLZ78Y, tally)
+	return PredictorEstimate(NameLZ78Y, tally)
 }
 
 // TestPredictorsAgainstBrute runs all four optimized predictors against
@@ -215,7 +215,7 @@ func TestLZ78YDictionaryCap(t *testing.T) {
 // TestPredictorEstimateZeroCorrect pins the C = 0 branch:
 // P'_global = 1 − 0.01^{1/N}.
 func TestPredictorEstimateZeroCorrect(t *testing.T) {
-	e := predictorEstimate("x", predTally{n: 1000})
+	e := PredictorEstimate("x", Tally{N: 1000})
 	want := fmt.Sprintf("p_g=%.4f", 0.0046)
 	if e.MinEntropy != 1 {
 		t.Fatalf("zero-correct predictor must clamp to 1 bit, got %.4f (%s)", e.MinEntropy, e.Detail)

@@ -1,0 +1,59 @@
+// Package stream runs the cheap half of the SP 800-90B non-IID
+// estimator suite as CONTINUOUS sliding-window scoreboards over a raw
+// bit stream: the most-common-value estimate (§6.3.1), the Markov
+// estimate (§6.3.3) and all four predictors — MultiMCW (§6.3.7), Lag
+// (§6.3.8), MultiMMC (§6.3.9), LZ78Y (§6.3.10) — each maintained
+// incrementally at O(1) amortized cost per bit, exposing a live
+// min-entropy lower bound over the most recent Window bits at every
+// position of the stream.
+//
+// The batch suite (sp90b.Assess) is a periodic verdict: a shard copies
+// a sample aside, runs the ten estimators, and publishes one report —
+// detection latency for an entropy-class degradation is a whole sample
+// plus the collection cadence. The streaming tracker turns the same
+// estimators into a time series: the bound moves with every pushed
+// bit, so a low-watermark trigger fires MID-window, the moment the
+// trailing bits first assess below threshold, instead of at the next
+// sample boundary. The suffix-array estimators the suite also contains
+// (collision, compression, t-tuple, LRS) have no cheap incremental
+// form and remain the batch "deep pass"; on the degraded,
+// autocorrelated streams the repository's attack catalog produces they
+// are not the binding bound — the Markov and predictor estimates are
+// (see the sp90b package comment) — so the streaming minimum tracks
+// the batch suite minimum exactly where it matters.
+//
+// # Mechanics
+//
+// The tracker keeps a ring of the last Window bits.
+//
+//   - MCV and Markov are TRUE sliding windows, exact at every
+//     position: the one-bit count and the 2×2 transition-count matrix
+//     are updated by evicting the bit (and the transition) that leaves
+//     the window and adding the one that enters. The estimates are
+//     computed from the counts through the exported count-level
+//     kernels (sp90b.MCVEstimate, sp90b.MarkovEstimate).
+//   - The four predictors are inherently sequential (scoreboards carry
+//     prediction history), so they cannot slide by eviction. Instead
+//     the tracker runs Panes staggered replicas of each predictor,
+//     pane k starting at bit k·(Window/Panes); every pane replays the
+//     batch loop bit-for-bit over its Window bits and, at completion,
+//     its window IS the trailing Window bits of the stream — the four
+//     tallies are converted through sp90b.PredictorEstimate, cached as
+//     the live predictor estimates, and the pane restarts at the
+//     current position. Predictor estimates therefore refresh every
+//     Window/Panes bits and are at most that many bits stale.
+//
+// # Equivalence contract
+//
+// The streaming scoreboards are not approximations: on a freshly
+// filled window they reproduce the batch suite EXACTLY, per estimator.
+// Concretely, whenever Total() == Window + m·(Window/Panes) for any
+// m ≥ 0, the six estimates returned by Report() are bit-identical —
+// MinEntropy, P and Detail — to the corresponding entries of
+// sp90b.Assess over the most recent Window bits of the pushed stream
+// (for MCV and Markov this holds at EVERY position once the window is
+// full, not just at pane boundaries). The contract is pinned per
+// estimator by TestWindowBoundaryEquivalence, and it is what makes the
+// live bound trustworthy: a watermark crossing is the batch suite's
+// own verdict, delivered mid-window.
+package stream

@@ -1,0 +1,232 @@
+package stream
+
+import "repro/internal/sp90b"
+
+// Predictor parameters, mirrored from the batch suite (§6.3.7–6.3.10;
+// see internal/sp90b/predictors.go). The window-boundary equivalence
+// tests pin the mirror: a pane with these constants reproduces the
+// batch predictors' tallies bit-for-bit.
+const (
+	mcwFirst  = 63 // smallest MultiMCW window: the warm-up prefix
+	lagDepth  = 128
+	mmcDepth  = 16
+	lzDepth   = 16
+	lzMaxDict = 65536
+)
+
+// mcwWindows are the §6.3.7 MultiMCW window sizes.
+var mcwWindows = [4]int{63, 255, 1023, 4095}
+
+// binCounts is the flat transition-count store of the batch
+// predictors (binary contexts of depths 1..maxDepth, two successor
+// counters each); ~1 MiB at depth 16.
+type binCounts struct {
+	lvl [][]int32
+}
+
+func newBinCounts(maxDepth int) *binCounts {
+	b := &binCounts{lvl: make([][]int32, maxDepth+1)}
+	for d := 1; d <= maxDepth; d++ {
+		b.lvl[d] = make([]int32, 1<<uint(d+1))
+	}
+	return b
+}
+
+// at returns the two successor counters of a depth-d context.
+func (b *binCounts) at(d int, ctx uint32) []int32 {
+	return b.lvl[d][2*ctx : 2*ctx+2]
+}
+
+// clearCounts zeroes every level (compiles to memclr per level).
+func (b *binCounts) clearCounts() {
+	for d := 1; d < len(b.lvl); d++ {
+		clear(b.lvl[d])
+	}
+}
+
+// pane is one staggered replica of the four batch predictors: it
+// replays their loops bit-for-bit over a window of w bits starting at
+// global stream position start. Local index i corresponds to global
+// position start+i, so lookbacks s[i-d] are tracker ring reads at
+// pos-d (d ≤ 4095 < w, always inside the ring).
+type pane struct {
+	start uint64 // global position of local index 0
+	i     int    // bits processed so far
+	last  byte   // s[i-1] (valid once i > 0)
+
+	// MultiMCW (§6.3.7): four sliding-window mode subpredictors.
+	mcwOnes   [4]int
+	mcwScore  [4]int
+	mcwWinner int
+	mcwTally  sp90b.Tally
+
+	// Lag (§6.3.8): subpredictor d repeats the sample d steps back.
+	lagScore  [lagDepth]int
+	lagWinner int // lag winner+1
+	lagTally  sp90b.Tally
+
+	// MultiMMC (§6.3.9): Markov chains of order 1..16.
+	mmc       *binCounts
+	mmcScore  [mmcDepth]int
+	mmcWinner int // depth winner+1
+	mmcWin    uint32
+	mmcTally  sp90b.Tally
+
+	// LZ78Y (§6.3.10): bounded context dictionary to depth 16.
+	lz        *binCounts
+	lzEntries int
+	lzWin     uint32
+	lzTally   sp90b.Tally
+}
+
+func newPane(start uint64) *pane {
+	return &pane{start: start, mmc: newBinCounts(mmcDepth), lz: newBinCounts(lzDepth)}
+}
+
+// reset rewinds the pane to an empty window starting at the given
+// global position, reusing (and zeroing) the count tables.
+func (p *pane) reset(start uint64) {
+	mmc, lz := p.mmc, p.lz
+	*p = pane{start: start, mmc: mmc, lz: lz}
+	mmc.clearCounts()
+	lz.clearCounts()
+}
+
+// mmcPredict is the batch multiMMC per-depth prediction at local
+// index i (contexts end at s[i-1], already folded into mmcWin).
+func (p *pane) mmcPredict(d, i int) int8 {
+	if i < d {
+		return -1
+	}
+	c := p.mmc.at(d, p.mmcWin&(1<<uint(d)-1))
+	if c[0] == 0 && c[1] == 0 {
+		return -1
+	}
+	if c[1] > c[0] {
+		return 1
+	}
+	return 0
+}
+
+// push advances every subpredictor by one bit: b is the pane's local
+// sample s[i], pos its global stream position (pos = start+i).
+func (p *pane) push(t *Tracker, b byte, pos uint64) {
+	i := p.i
+	p.i = i + 1
+
+	// MultiMCW: warm-up prefix feeds all four window counters; from
+	// i = 63 on, predict, score, then slide the windows.
+	if i < mcwFirst {
+		for j := range mcwWindows {
+			p.mcwOnes[j] += int(b)
+		}
+	} else {
+		var pred [4]int8
+		for j, w := range mcwWindows {
+			if i < w {
+				pred[j] = -1
+				continue
+			}
+			c1 := p.mcwOnes[j]
+			switch c0 := w - c1; {
+			case c1 > c0:
+				pred[j] = 1
+			case c0 > c1:
+				pred[j] = 0
+			default:
+				pred[j] = int8(p.last)
+			}
+		}
+		p.mcwTally.Record(pred[p.mcwWinner] == int8(b))
+		for j := range mcwWindows {
+			if pred[j] == int8(b) {
+				p.mcwScore[j]++
+				if p.mcwScore[j] > p.mcwScore[p.mcwWinner] {
+					p.mcwWinner = j
+				}
+			}
+		}
+		for j, w := range mcwWindows {
+			if i >= w {
+				p.mcwOnes[j] -= int(t.at(pos - uint64(w)))
+			}
+			p.mcwOnes[j] += int(b)
+		}
+	}
+
+	if i >= 1 {
+		// Lag.
+		if i > p.lagWinner {
+			p.lagTally.Record(t.at(pos-uint64(p.lagWinner)-1) == b)
+		} else {
+			p.lagTally.Record(false)
+		}
+		dMax := lagDepth
+		if i < dMax {
+			dMax = i
+		}
+		for d := 1; d <= dMax; d++ {
+			if t.at(pos-uint64(d)) == b {
+				p.lagScore[d-1]++
+				if p.lagScore[d-1] > p.lagScore[p.lagWinner] {
+					p.lagWinner = d - 1
+				}
+			}
+		}
+
+		// MultiMMC: contexts at step i end at s[i-1].
+		p.mmcWin = p.mmcWin<<1 | uint32(p.last)
+		if i >= 2 {
+			p.mmcTally.Record(p.mmcPredict(p.mmcWinner+1, i) == int8(b))
+			for d := 1; d <= mmcDepth && d <= i; d++ {
+				if p.mmcPredict(d, i) == int8(b) {
+					p.mmcScore[d-1]++
+					if p.mmcScore[d-1] > p.mmcScore[p.mmcWinner] {
+						p.mmcWinner = d - 1
+					}
+				}
+			}
+		}
+		for d := 1; d <= mmcDepth && d <= i; d++ {
+			p.mmc.at(d, p.mmcWin&(1<<uint(d)-1))[b]++
+		}
+
+		// LZ78Y: win carries the lzDepth+1 bits ending at s[i-1];
+		// prediction begins once the first full context has been seen.
+		p.lzWin = p.lzWin<<1 | uint32(p.last)
+		if i >= lzDepth+1 {
+			// Update: contexts ending at s[i-2] observe s[i-1].
+			prev := p.lzWin >> 1
+			for j := lzDepth; j >= 1; j-- {
+				c := p.lz.at(j, prev&(1<<uint(j)-1))
+				if c[0] != 0 || c[1] != 0 {
+					c[p.last]++
+				} else if p.lzEntries < lzMaxDict {
+					c[p.last] = 1
+					p.lzEntries++
+				}
+			}
+			// Predict s[i] from contexts ending at s[i-1], longest
+			// context winning ties.
+			pred := int8(-1)
+			var maxCount int32
+			for j := lzDepth; j >= 1; j-- {
+				c := p.lz.at(j, p.lzWin&(1<<uint(j)-1))
+				if c[0] == 0 && c[1] == 0 {
+					continue
+				}
+				y, cy := int8(0), c[0]
+				if c[1] > c[0] {
+					y, cy = 1, c[1]
+				}
+				if cy > maxCount {
+					maxCount = cy
+					pred = y
+				}
+			}
+			p.lzTally.Record(pred == int8(b))
+		}
+	}
+
+	p.last = b
+}

@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/sp90b"
+)
+
+// Config parameterizes a Tracker.
+type Config struct {
+	// Window is the sliding-window size W in bits (minimum
+	// sp90b.MinBits, so every windowed estimate is as well-posed as a
+	// batch assessment of the same size).
+	Window int
+	// Panes is the number of staggered predictor panes (default 4).
+	// It must divide Window; predictor estimates refresh every
+	// Window/Panes bits, at the memory cost of one predictor state set
+	// (~2 MiB, dominated by the MultiMMC and LZ78Y count tables) per
+	// pane.
+	Panes int
+}
+
+// Tracker is the streaming surveillance state over one raw bit
+// stream. It is single-writer: Push/PushBits/Report/Reset must be
+// called from one goroutine at a time (in entropyd that is the
+// shard's owner goroutine, exactly like the batch collector).
+type Tracker struct {
+	w      int
+	panes  int
+	stride int
+
+	ring  []byte // last bits, capacity a power of two > w
+	mask  uint64
+	total uint64 // bits pushed since construction/Reset
+
+	// Sliding MCV/Markov counts over the trailing w bits.
+	ones int64
+	cnt  [2][2]int64
+	prev byte // bit at total-1 (valid once total > 0)
+
+	pane []*pane
+
+	// Cached predictor estimates from the most recently completed
+	// pane, in suite order (multimcw, lag, multimmc, lz78y), and the
+	// Total() at which that pane completed.
+	pred   [4]sp90b.Estimate
+	predAt uint64
+}
+
+// New builds a tracker. The zero Panes defaults to 4.
+func New(cfg Config) (*Tracker, error) {
+	if cfg.Window < sp90b.MinBits {
+		return nil, fmt.Errorf("stream: window %d below sp90b.MinBits (%d)", cfg.Window, sp90b.MinBits)
+	}
+	if cfg.Panes == 0 {
+		cfg.Panes = 4
+	}
+	if cfg.Panes < 1 || cfg.Window%cfg.Panes != 0 {
+		return nil, fmt.Errorf("stream: panes %d must be >= 1 and divide the window (%d)", cfg.Panes, cfg.Window)
+	}
+	t := &Tracker{w: cfg.Window, panes: cfg.Panes, stride: cfg.Window / cfg.Panes}
+	// Power-of-two ring strictly larger than the window: eviction
+	// reads position total-w while the panes look back at most 4095
+	// bits, so capacity w+1 suffices and the round-up buys mask
+	// indexing on the hot path.
+	n := 1
+	for n <= t.w {
+		n <<= 1
+	}
+	t.ring = make([]byte, n)
+	t.mask = uint64(n - 1)
+	t.pane = make([]*pane, cfg.Panes)
+	for k := range t.pane {
+		t.pane[k] = newPane(uint64(k) * uint64(t.stride))
+	}
+	return t, nil
+}
+
+// at reads the pushed bit at global stream position pos. Valid for
+// the most recent ring-capacity positions (callers stay within the
+// last w).
+func (t *Tracker) at(pos uint64) byte { return t.ring[pos&t.mask] }
+
+// Window returns the configured window size W.
+func (t *Tracker) Window() int { return t.w }
+
+// Stride returns the pane stagger W/Panes: the refresh cadence of the
+// predictor estimates.
+func (t *Tracker) Stride() int { return t.stride }
+
+// Total returns the bits pushed since construction or Reset.
+func (t *Tracker) Total() uint64 { return t.total }
+
+// Ready reports whether a full window has been observed: the first
+// pane completes exactly when Total() == Window, which is also when
+// the sliding MCV/Markov counts first cover a whole window.
+func (t *Tracker) Ready() bool { return t.total >= uint64(t.w) }
+
+// PredictorBits returns the Total() at which the predictor estimates
+// were last refreshed (their window is the w bits ending there); 0
+// before the first pane completion.
+func (t *Tracker) PredictorBits() uint64 { return t.predAt }
+
+// Push advances the tracker by one raw bit (only the LSB is read,
+// like sp90b.Assess).
+func (t *Tracker) Push(bit byte) {
+	b := bit & 1
+	pos := t.total
+	w := uint64(t.w)
+	if pos >= w {
+		// Evict the bit leaving the window and the transition
+		// (s[pos-w], s[pos-w+1]); together with the additions below
+		// this keeps ones/cnt equal to a batch count over the
+		// trailing w bits at every position.
+		old := t.at(pos - w)
+		t.ones -= int64(old)
+		t.cnt[old][t.at(pos-w+1)]--
+	}
+	for _, p := range t.pane {
+		if pos >= p.start {
+			p.push(t, b, pos)
+		}
+	}
+	t.ring[pos&t.mask] = b
+	t.ones += int64(b)
+	if pos >= 1 {
+		t.cnt[t.prev][b]++
+	}
+	t.prev = b
+	t.total = pos + 1
+	for _, p := range t.pane {
+		if p.i == t.w {
+			// Pane completion: its w bits are exactly the trailing w
+			// bits of the stream, so its tallies are the batch
+			// predictors' tallies over the current window.
+			t.pred[0] = sp90b.PredictorEstimate(sp90b.NameMultiMCW, p.mcwTally)
+			t.pred[1] = sp90b.PredictorEstimate(sp90b.NameLag, p.lagTally)
+			t.pred[2] = sp90b.PredictorEstimate(sp90b.NameMultiMMC, p.mmcTally)
+			t.pred[3] = sp90b.PredictorEstimate(sp90b.NameLZ78Y, p.lzTally)
+			t.predAt = t.total
+			p.reset(t.total)
+		}
+	}
+}
+
+// PushBits pushes a chunk of bits (one bit per byte, LSB read).
+func (t *Tracker) PushBits(bits []byte) {
+	for _, b := range bits {
+		t.Push(b)
+	}
+}
+
+// Report assembles the live six-estimator report over the trailing
+// window: MCV and Markov from the sliding counts (current to the last
+// pushed bit), the four predictors from the last completed pane (at
+// most Stride() bits stale), in suite order, with MinEntropy the
+// minimum over the six. It returns ok == false until Ready().
+func (t *Tracker) Report() (sp90b.Report, bool) {
+	if !t.Ready() {
+		return sp90b.Report{}, false
+	}
+	n := t.w
+	mode := int(t.ones)
+	if n-mode > mode {
+		mode = n - mode
+	}
+	r := sp90b.Report{Bits: n, Estimates: make([]sp90b.Estimate, 0, 6)}
+	r.Estimates = append(r.Estimates, sp90b.MCVEstimate(mode, n), sp90b.MarkovEstimate(n, t.ones, &t.cnt))
+	r.Estimates = append(r.Estimates, t.pred[:]...)
+	r.MinEntropy = 1
+	for _, e := range r.Estimates {
+		if e.MinEntropy < r.MinEntropy {
+			r.MinEntropy = e.MinEntropy
+		}
+	}
+	return r, true
+}
+
+// MinEntropy returns the live suite minimum (ok == false before
+// Ready()).
+func (t *Tracker) MinEntropy() (float64, bool) {
+	r, ok := t.Report()
+	return r.MinEntropy, ok
+}
+
+// Reset discards all window state (entropyd calls it on
+// recalibration: a new epoch is a different source build, so its
+// window must not mix with the old one). Ring contents need no
+// clearing — every read is guarded to positions already pushed since
+// the reset.
+func (t *Tracker) Reset() {
+	t.total, t.ones, t.prev = 0, 0, 0
+	t.cnt = [2][2]int64{}
+	t.pred = [4]sp90b.Estimate{}
+	t.predAt = 0
+	for k, p := range t.pane {
+		p.reset(uint64(k) * uint64(t.stride))
+	}
+}

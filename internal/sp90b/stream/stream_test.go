@@ -1,0 +1,265 @@
+package stream_test
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sp90b"
+	"repro/internal/sp90b/stream"
+)
+
+// uniformBits returns n deterministic unbiased PRNG bits.
+func uniformBits(seed uint64, n int) []byte {
+	src := rng.New(seed)
+	bits := make([]byte, n)
+	var w uint64
+	for i := range bits {
+		if i%64 == 0 {
+			w = src.Uint64()
+		}
+		bits[i] = byte(w & 1)
+		w >>= 1
+	}
+	return bits
+}
+
+// biasedBits returns bits with P(1) = p, independent.
+func biasedBits(seed uint64, n int, p float64) []byte {
+	src := rng.New(seed)
+	bits := make([]byte, n)
+	for i := range bits {
+		if src.Float64() < p {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+// markovBits returns a lag-1 correlated stream: each bit repeats the
+// previous one with probability stay.
+func markovBits(seed uint64, n int, stay float64) []byte {
+	src := rng.New(seed)
+	bits := make([]byte, n)
+	bits[0] = byte(src.Uint64() & 1)
+	for i := 1; i < n; i++ {
+		if src.Float64() < stay {
+			bits[i] = bits[i-1]
+		} else {
+			bits[i] = 1 - bits[i-1]
+		}
+	}
+	return bits
+}
+
+// batchByName returns the named estimate from a batch Assess report.
+func batchByName(t *testing.T, r sp90b.Report, name string) sp90b.Estimate {
+	t.Helper()
+	for _, e := range r.Estimates {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("batch report has no %q estimate", name)
+	return sp90b.Estimate{}
+}
+
+// requireEqual pins a streaming estimate bit-identical to its batch
+// counterpart: same MinEntropy, P, and Detail, not approximately equal.
+func requireEqual(t *testing.T, where string, got, want sp90b.Estimate) {
+	t.Helper()
+	if got.Name != want.Name || got.MinEntropy != want.MinEntropy ||
+		got.P != want.P || got.Detail != want.Detail {
+		t.Errorf("%s: %s diverges from batch:\n  stream: h=%v p=%v %q\n  batch:  h=%v p=%v %q",
+			where, want.Name, got.MinEntropy, got.P, got.Detail,
+			want.MinEntropy, want.P, want.Detail)
+	}
+}
+
+// streamNames are the six estimators the tracker runs, in Report order.
+var streamNames = []string{
+	sp90b.NameMCV, sp90b.NameMarkov,
+	sp90b.NameMultiMCW, sp90b.NameLag, sp90b.NameMultiMMC, sp90b.NameLZ78Y,
+}
+
+// TestWindowBoundaryEquivalence is the package's core contract (see
+// doc.go): at Total() == Window + m·Stride() the six streaming
+// estimates are bit-identical, per estimator, to sp90b.Assess over the
+// trailing Window bits — and the sliding MCV/Markov estimates are
+// bit-identical at EVERY position once the window is full.
+func TestWindowBoundaryEquivalence(t *testing.T) {
+	const w = sp90b.MinBits // 10000
+	cases := []struct {
+		name string
+		bits []byte
+	}{
+		{"uniform", uniformBits(1, w+3*w/4)},
+		{"biased-0.70", biasedBits(2, w+3*w/4, 0.70)},
+		{"markov-stay-0.75", markovBits(3, w+3*w/4, 0.75)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := stream.New(stream.Config{Window: w, Panes: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Stride() != w/4 {
+				t.Fatalf("stride = %d, want %d", tr.Stride(), w/4)
+			}
+			if _, ok := tr.Report(); ok {
+				t.Fatal("Report ok before any bits")
+			}
+
+			// Fill the first window minus one bit: still not ready.
+			tr.PushBits(tc.bits[:w-1])
+			if tr.Ready() {
+				t.Fatal("Ready before a full window")
+			}
+			tr.Push(tc.bits[w-1])
+			if !tr.Ready() {
+				t.Fatal("not Ready at Total == Window")
+			}
+
+			// Boundary m=0: a freshly filled window must reproduce
+			// Assess on the same bits exactly, per estimator.
+			checkBoundary := func(total int) {
+				t.Helper()
+				live, ok := tr.Report()
+				if !ok {
+					t.Fatalf("Report not ok at total %d", total)
+				}
+				batch, err := sp90b.Assess(tc.bits[total-w : total])
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, name := range streamNames {
+					requireEqual(t, tc.name, live.Estimates[i], batchByName(t, batch, name))
+				}
+				if tr.PredictorBits() != uint64(total) {
+					t.Errorf("PredictorBits = %d at boundary %d", tr.PredictorBits(), total)
+				}
+			}
+			checkBoundary(w)
+
+			// Off-boundary positions: MCV and Markov stay exact at
+			// every position; the predictors are the cached
+			// last-boundary values.
+			stride := tr.Stride()
+			pushed := w
+			checkSliding := func() {
+				t.Helper()
+				live, _ := tr.Report()
+				batch, err := sp90b.Assess(tc.bits[pushed-w : pushed])
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireEqual(t, tc.name, live.Estimates[0], batchByName(t, batch, sp90b.NameMCV))
+				requireEqual(t, tc.name, live.Estimates[1], batchByName(t, batch, sp90b.NameMarkov))
+			}
+			for pushed < w+3*stride {
+				tr.Push(tc.bits[pushed])
+				pushed++
+				if pushed%stride == 0 {
+					checkBoundary(pushed)
+				} else if pushed%137 == 0 {
+					checkSliding()
+				}
+			}
+		})
+	}
+}
+
+// TestReset pins that a reset tracker replays exactly like a fresh one.
+func TestReset(t *testing.T) {
+	const w = sp90b.MinBits
+	bits := markovBits(7, w, 0.6)
+	tr, err := stream.New(stream.Config{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.PushBits(uniformBits(8, w/2+17)) // partial window of unrelated bits
+	tr.Reset()
+	if tr.Total() != 0 || tr.Ready() {
+		t.Fatal("Reset did not rewind the tracker")
+	}
+	tr.PushBits(bits)
+	fresh, err := stream.New(stream.Config{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.PushBits(bits)
+	a, okA := tr.Report()
+	b, okB := fresh.Report()
+	if !okA || !okB {
+		t.Fatal("reports not ready after a full window")
+	}
+	for i := range a.Estimates {
+		requireEqual(t, "reset-vs-fresh", a.Estimates[i], b.Estimates[i])
+	}
+	if a.MinEntropy != b.MinEntropy {
+		t.Fatalf("suite minimum diverges: %v vs %v", a.MinEntropy, b.MinEntropy)
+	}
+}
+
+// TestMinEntropyIsSuiteMinimum checks the suite minimum plumbing and
+// that the live bound reacts to a degraded stream.
+func TestMinEntropyIsSuiteMinimum(t *testing.T) {
+	const w = sp90b.MinBits
+	tr, err := stream.New(stream.Config{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.PushBits(markovBits(11, w, 0.9))
+	r, ok := tr.Report()
+	if !ok {
+		t.Fatal("not ready")
+	}
+	min, _ := tr.MinEntropy()
+	if min != r.MinEntropy {
+		t.Fatalf("MinEntropy %v != report minimum %v", min, r.MinEntropy)
+	}
+	for _, e := range r.Estimates {
+		if e.MinEntropy < r.MinEntropy {
+			t.Fatalf("estimate %s (%v) below the reported minimum %v", e.Name, e.MinEntropy, r.MinEntropy)
+		}
+	}
+	if r.MinEntropy > 0.6 {
+		t.Fatalf("stay-0.9 stream assessed at %v; the live bound is not reacting", r.MinEntropy)
+	}
+}
+
+// TestNewValidation pins the config error paths.
+func TestNewValidation(t *testing.T) {
+	if _, err := stream.New(stream.Config{Window: sp90b.MinBits - 1}); err == nil {
+		t.Error("window below MinBits accepted")
+	}
+	if _, err := stream.New(stream.Config{Window: sp90b.MinBits, Panes: 3}); err == nil {
+		t.Error("panes not dividing window accepted")
+	}
+	if _, err := stream.New(stream.Config{Window: sp90b.MinBits, Panes: -1}); err == nil {
+		t.Error("negative panes accepted")
+	}
+	tr, err := stream.New(stream.Config{Window: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Window() != 16384 || tr.Stride() != 4096 {
+		t.Errorf("window/stride = %d/%d, want 16384/4096", tr.Window(), tr.Stride())
+	}
+}
+
+// BenchmarkStreamPerBit measures the amortized per-bit surveillance
+// cost with the default 4 panes (ns/op IS ns/bit).
+func BenchmarkStreamPerBit(b *testing.B) {
+	const w = sp90b.MinBits
+	tr, err := stream.New(stream.Config{Window: w})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bits := uniformBits(42, 1<<16)
+	tr.PushBits(bits[:w]) // warm: all panes active, window full
+	b.SetBytes(1)
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		tr.Push(bits[i&(1<<16-1)])
+	}
+}

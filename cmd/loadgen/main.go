@@ -48,8 +48,13 @@
 // and pages the journal afterwards, reporting how many request-shed
 // and starvation-abort events the server logged during the run next
 // to the client-observed 503 counts. The two views should agree; a
-// large gap means the journal overwrote events mid-run (raise the
-// daemon's -events capacity) or another client shared the window.
+// non-zero dropped tally means the journal overwrote events mid-run
+// (raise the daemon's -events capacity) and a remaining gap means
+// another client shared the window. When the target also runs the
+// incident correlation engine, the report gains an incidents block:
+// how many incidents opened during the run, by class (single-shard vs
+// correlated), and how many are still open — a load run that trips
+// correlated quarantines is a finding worth surfacing.
 //
 // Usage:
 //
@@ -293,32 +298,58 @@ func findKnee(results []Result) *Saturation {
 
 // Doc is the -json document.
 type Doc struct {
-	Target     string       `json:"target"`
-	Model      string       `json:"model"`
-	GoVersion  string       `json:"go_version"`
-	Results    []Result     `json:"results"`
-	Saturation *Saturation  `json:"saturation,omitempty"`
-	Events     *EventReport `json:"events,omitempty"`
+	Target     string          `json:"target"`
+	Model      string          `json:"model"`
+	GoVersion  string          `json:"go_version"`
+	Results    []Result        `json:"results"`
+	Saturation *Saturation     `json:"saturation,omitempty"`
+	Events     *EventReport    `json:"events,omitempty"`
+	Incidents  *IncidentReport `json:"incidents,omitempty"`
 }
 
 // EventReport is the server-side view of the run from the target's
-// /events journal (-events): the cursor window and the daemon events
-// counted inside it.
+// /events journal (-events): the cursor window, the daemon events
+// counted inside it, and how much journal history the ring overwrote
+// before loadgen's pages caught up.
 type EventReport struct {
 	SinceSeq         uint64 `json:"since_seq"`
 	LastSeq          uint64 `json:"last_seq"`
 	Shed             uint64 `json:"shed"`
 	StarvationAborts uint64 `json:"starvation_aborts"`
+	Dropped          uint64 `json:"dropped"`
+}
+
+// IncidentReport tallies the incidents the target's correlation
+// engine opened during the run (-events, when the target serves
+// /incidents): the cursor window, the count by class, and how many
+// were still open when the run ended.
+type IncidentReport struct {
+	SinceID uint64            `json:"since_id"`
+	LastID  uint64            `json:"last_id"`
+	Total   int               `json:"total"`
+	ByClass map[string]uint64 `json:"by_class"`
+	Open    int               `json:"open"`
 }
 
 // eventsPage mirrors trngd's GET /events response shape; only the
 // fields loadgen consumes are decoded.
 type eventsPage struct {
 	LastSeq uint64 `json:"last_seq"`
+	Dropped uint64 `json:"dropped"`
 	Events  []struct {
 		Seq  uint64 `json:"seq"`
 		Type string `json:"type"`
 	} `json:"events"`
+}
+
+// incidentsPage mirrors trngd's GET /incidents response shape.
+type incidentsPage struct {
+	LastID    uint64 `json:"last_id"`
+	Incidents []struct {
+		ID       uint64 `json:"id"`
+		Class    string `json:"class"`
+		Resolved bool   `json:"resolved"`
+	} `json:"incidents"`
 }
 
 // eventsCursor snapshots the target journal's current last_seq.
@@ -361,6 +392,7 @@ func countEvents(client *http.Client, base string, since uint64) (*EventReport, 
 			return nil, err
 		}
 		rep.LastSeq = page.LastSeq
+		rep.Dropped += page.Dropped
 		for _, e := range page.Events {
 			switch e.Type {
 			case "request-shed":
@@ -376,6 +408,59 @@ func countEvents(client *http.Client, base string, since uint64) (*EventReport, 
 			return rep, nil
 		}
 	}
+}
+
+// incidentsCursor snapshots the target's /incidents cursor. ok=false
+// (without error) means the target's incident engine is off.
+func incidentsCursor(client *http.Client, base string) (uint64, bool, error) {
+	resp, err := client.Get(base + "/incidents")
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return 0, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, fmt.Errorf("/incidents: status %d", resp.StatusCode)
+	}
+	var page incidentsPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return 0, false, err
+	}
+	return page.LastID, true, nil
+}
+
+// countIncidents reads the incidents the engine opened after since and
+// tallies them by class. Open incidents are always present in the
+// page whatever the cursor, so pre-run open incidents are filtered by
+// ID.
+func countIncidents(client *http.Client, base string, since uint64) (*IncidentReport, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/incidents?since=%d", base, since))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/incidents: status %d", resp.StatusCode)
+	}
+	var page incidentsPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, err
+	}
+	rep := &IncidentReport{SinceID: since, LastID: page.LastID, ByClass: map[string]uint64{}}
+	for _, in := range page.Incidents {
+		if in.ID <= since {
+			continue
+		}
+		rep.Total++
+		rep.ByClass[in.Class]++
+		if !in.Resolved {
+			rep.Open++
+		}
+	}
+	return rep, nil
 }
 
 // parseInts parses a comma-separated integer list ("1,2,4").
@@ -528,8 +613,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var cursor uint64
-	journaled := false
+	var cursor, incCursor uint64
+	journaled, incidents := false, false
 	if *events {
 		var err error
 		if cursor, journaled, err = eventsCursor(client, *target); err != nil {
@@ -537,6 +622,9 @@ func main() {
 		}
 		if !journaled {
 			log.Print("-events: target serves no /events journal; skipping event report")
+		}
+		if incCursor, incidents, err = incidentsCursor(client, *target); err != nil {
+			log.Fatalf("-events: %v", err)
 		}
 	}
 
@@ -568,8 +656,17 @@ func main() {
 		if evReport, err = countEvents(client, *target, cursor); err != nil {
 			log.Fatalf("-events: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "server events: %d shed, %d starvation aborts (journal seq %d → %d)\n",
-			evReport.Shed, evReport.StarvationAborts, evReport.SinceSeq, evReport.LastSeq)
+		fmt.Fprintf(os.Stderr, "server events: %d shed, %d starvation aborts, %d dropped (journal seq %d → %d)\n",
+			evReport.Shed, evReport.StarvationAborts, evReport.Dropped, evReport.SinceSeq, evReport.LastSeq)
+	}
+	var incReport *IncidentReport
+	if incidents {
+		var err error
+		if incReport, err = countIncidents(client, *target, incCursor); err != nil {
+			log.Fatalf("-events: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "server incidents: %d during run (%d single-shard, %d correlated), %d still open\n",
+			incReport.Total, incReport.ByClass["single-shard"], incReport.ByClass["correlated"], incReport.Open)
 	}
 	sat := findKnee(results)
 	if sat != nil {
@@ -589,6 +686,7 @@ func main() {
 			Results:    results,
 			Saturation: sat,
 			Events:     evReport,
+			Incidents:  incReport,
 		}
 		enc, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

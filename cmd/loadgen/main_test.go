@@ -184,6 +184,55 @@ func TestRandomURL(t *testing.T) {
 	}
 }
 
+// TestIncidentReport: the incidents cursor snapshots before a run and
+// the post-run tally counts only incidents opened inside the window,
+// by class, 404 meaning the engine is off.
+func TestIncidentReport(t *testing.T) {
+	t.Parallel()
+	// Phase 0: one pre-existing resolved incident. Phase 1: two more —
+	// one correlated (open) and one single-shard (resolved).
+	var phase atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/incidents" {
+			http.NotFound(w, r)
+			return
+		}
+		if phase.Load() == 0 {
+			fmt.Fprint(w, `{"last_id":1,"incidents":[{"id":1,"class":"single-shard","resolved":true}]}`)
+			return
+		}
+		fmt.Fprint(w, `{"last_id":3,"incidents":[`+
+			`{"id":1,"class":"single-shard","resolved":true},`+
+			`{"id":2,"class":"correlated","resolved":false},`+
+			`{"id":3,"class":"single-shard","resolved":true}]}`)
+	}))
+	defer ts.Close()
+	client := newClient(1, time.Second)
+
+	since, ok, err := incidentsCursor(client, ts.URL)
+	if err != nil || !ok || since != 1 {
+		t.Fatalf("cursor: since=%d ok=%v err=%v", since, ok, err)
+	}
+	phase.Store(1)
+	rep, err := countIncidents(client, ts.URL, since)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 2 || rep.Open != 1 || rep.LastID != 3 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.ByClass["correlated"] != 1 || rep.ByClass["single-shard"] != 1 {
+		t.Fatalf("by_class: %+v", rep.ByClass)
+	}
+
+	// A target without the engine reports ok=false, not an error.
+	off := httptest.NewServer(http.HandlerFunc(http.NotFound))
+	defer off.Close()
+	if _, ok, err := incidentsCursor(client, off.URL); err != nil || ok {
+		t.Fatalf("disabled target: ok=%v err=%v", ok, err)
+	}
+}
+
 // TestWaitReady: readiness polls through 503s until the target serves.
 func TestWaitReady(t *testing.T) {
 	t.Parallel()

@@ -34,6 +34,14 @@
 //	                      draws, request sheds. ?since=SEQ pages forward
 //	                      (cursor contract below); ?shard=I, ?lane=I and
 //	                      ?type=T filter; ?limit=N caps the page.
+//	GET /incidents        JSON fleet incidents from the correlation engine
+//	                      (internal/obs/incident): journal alarms folded
+//	                      into incident objects with classification
+//	                      (single-shard vs correlated), blast radius,
+//	                      per-shard timelines and MTTD/MTTR. ?since=ID
+//	                      pages the resolved history; open incidents are
+//	                      always returned. 404 with -incident-window 0 or
+//	                      -events 0.
 //	POST /quarantine?shard=I   (with -admin) force-quarantine a shard — an
 //	                      operator drill for the self-healing path. The
 //	                      injected marker event pairs with the resulting
@@ -53,9 +61,22 @@
 // Start with ?since=0 (or GET once and remember last_seq), then poll
 // ?since=<last_seq> — each page returns only events with seq > since,
 // oldest first, and a new last_seq even when no event matched. The
-// journal keeps the most recent -events entries: a gap between your
-// cursor and the first returned seq means the ring overwrote that many
-// events before you polled (scrape faster or raise -events).
+// journal keeps the most recent -events entries: each page reports the
+// cursor gap — the events the ring overwrote before you polled — as an
+// explicit "dropped" count, accumulated into
+// trngd_journal_dropped_total (scrape faster or raise -events when it
+// moves).
+//
+// Incident correlation: the same emission stream feeds a streaming
+// correlation engine (internal/obs/incident) that folds alarms across
+// shards into fleet-level incidents — alarms on distinct shards within
+// -incident-window of each other are ONE correlated incident with a
+// blast radius, per-shard timelines and derived MTTD/MTTR. /incidents
+// serves the open and recent incidents (?since=ID cursor), /healthz
+// carries an open-incident summary, and /metrics exports
+// trngd_incidents_total{class}, trngd_incidents_open,
+// trngd_incident_blast_radius and
+// trngd_incident_mtt{d,r}_seconds{class}.
 //
 // Detection latency — ROADMAP item 2's headline metric — is derived in
 // the journal: an injection-marker event (the /quarantine drill, or
@@ -198,19 +219,21 @@ import (
 	"repro/internal/entropyd"
 	"repro/internal/loadstat"
 	"repro/internal/obs"
+	"repro/internal/obs/incident"
 	"repro/internal/profiling"
 )
 
 // serverConfig carries the HTTP-layer knobs into newServer. The zero
 // value of the optional fields (journal, sink, pprof) disables them.
 type serverConfig struct {
-	queue    int
-	maxBytes int
-	wait     time.Duration
-	admin    bool
-	pprof    bool         // mount /debug/pprof on the serving mux
-	journal  *obs.Journal // /events + detection-latency source; nil disables
-	sink     obs.Sink     // daemon-event emission (shed, starvation abort)
+	queue     int
+	maxBytes  int
+	wait      time.Duration
+	admin     bool
+	pprof     bool             // mount /debug/pprof on the serving mux
+	journal   *obs.Journal     // /events + detection-latency source; nil disables
+	sink      obs.Sink         // daemon-event emission (shed, starvation abort)
+	incidents *incident.Engine // /incidents correlation engine; nil disables
 }
 
 // server wraps the pool with HTTP concerns: the bounded in-flight
@@ -238,6 +261,7 @@ type server struct {
 	rejected atomic.Uint64 // queue-full rejections
 	starved  atomic.Uint64 // deadline starvations
 	served   atomic.Uint64 // bytes delivered
+	dropped  atomic.Uint64 // journal events lost to overwrite, as observed by /events readers
 }
 
 // newServer assembles the handler set (split out for httptest); dp is
@@ -359,6 +383,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/assess", s.handleAssess)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/incidents", s.handleIncidents)
 	if s.cfg.admin {
 		mux.HandleFunc("/quarantine", s.handleQuarantine)
 	}
@@ -515,11 +540,21 @@ func (s *server) handleRandom(w http.ResponseWriter, r *http.Request) {
 // the inputs that gate DRBG reseeds — next to its health state; DRBG
 // is present in DRBG mode with the expansion-layer lane states.
 type healthzResponse struct {
-	Status  string                 `json:"status"`
-	Mode    string                 `json:"mode"`
-	Healthy int                    `json:"healthy"`
-	Shards  []entropyd.ShardStatus `json:"shards"`
-	DRBG    *entropyd.DRBGStats    `json:"drbg,omitempty"`
+	Status    string                 `json:"status"`
+	Mode      string                 `json:"mode"`
+	Healthy   int                    `json:"healthy"`
+	Shards    []entropyd.ShardStatus `json:"shards"`
+	DRBG      *entropyd.DRBGStats    `json:"drbg,omitempty"`
+	Incidents *incidentSummary       `json:"incidents,omitempty"`
+}
+
+// incidentSummary is the /healthz open-incident summary line: how many
+// incidents are open right now, how many of those are correlated
+// (fleet-level), and how many incidents the engine has seen in total.
+type incidentSummary struct {
+	Open       int    `json:"open"`
+	Correlated int    `json:"correlated"`
+	Total      uint64 `json:"total"`
 }
 
 // handleHealthz is GET /healthz.
@@ -529,6 +564,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.drbg != nil {
 		d := s.drbg.Stats()
 		resp.DRBG = &d
+	}
+	if eng := s.cfg.incidents; eng != nil {
+		ist := eng.Stats()
+		resp.Incidents = &incidentSummary{
+			Open:       ist.Open,
+			Correlated: ist.OpenByClass[incident.ClassCorrelated],
+			Total:      ist.Totals[incident.ClassSingleShard] + ist.Totals[incident.ClassCorrelated],
+		}
 	}
 	code := http.StatusOK
 	switch {
@@ -688,6 +731,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "trngd_journal_events_total %d\n", j.LastSeq())
 		family("trngd_journal_capacity_events", "gauge", "Journal ring capacity (older events are overwritten).")
 		fmt.Fprintf(w, "trngd_journal_capacity_events %d\n", j.Capacity())
+		family("trngd_journal_dropped_total", "counter", "Journal events lost to ring overwrite before an /events reader saw them (sums the dropped counts of every page served).")
+		fmt.Fprintf(w, "trngd_journal_dropped_total %d\n", s.dropped.Load())
 		if lats := j.DetectionLatencies(); len(lats) > 0 {
 			classes := make([]string, 0, len(lats))
 			for c := range lats {
@@ -700,6 +745,41 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				hist("trngd_shard_detection_latency_seconds", fmt.Sprintf("class=%q", c), lats[c])
 			}
 		}
+	}
+	// Fleet incident correlation: incidents opened by class, the open
+	// set, resolved blast radii, and MTTD/MTTR. Class series render
+	// even at zero so dashboards and CI can assert their presence; a
+	// single-shard→correlated upgrade moves one count between the class
+	// labels (the sum stays monotonic).
+	if eng := s.cfg.incidents; eng != nil {
+		ist := eng.Stats()
+		family("trngd_incidents_total", "counter", "Incidents opened by the correlation engine, labeled by current class.")
+		for _, c := range incident.Classes {
+			fmt.Fprintf(w, "trngd_incidents_total{class=%q} %d\n", c, ist.Totals[c])
+		}
+		family("trngd_incidents_open", "gauge", "Currently open (unresolved) incidents.")
+		fmt.Fprintf(w, "trngd_incidents_open %d\n", ist.Open)
+		family("trngd_incident_blast_radius", "histogram", "Distinct shards per resolved incident.")
+		cum := uint64(0)
+		for i, b := range incident.BlastBounds {
+			cum += ist.BlastBuckets[i]
+			fmt.Fprintf(w, "trngd_incident_blast_radius_bucket{le=\"%d\"} %d\n", b, cum)
+		}
+		fmt.Fprintf(w, "trngd_incident_blast_radius_bucket{le=\"+Inf\"} %d\n", ist.BlastCount)
+		fmt.Fprintf(w, "trngd_incident_blast_radius_sum %g\n", ist.BlastSum)
+		fmt.Fprintf(w, "trngd_incident_blast_radius_count %d\n", ist.BlastCount)
+		mtt := func(name, help string, byClass map[string]*loadstat.Snapshot) {
+			family(name, "histogram", help)
+			for _, c := range incident.Classes {
+				snap := byClass[c]
+				if snap == nil {
+					snap = loadstat.New().Snapshot() // render the ladder at zero
+				}
+				histB(name, fmt.Sprintf("class=%q", c), snap, incidentBounds)
+			}
+		}
+		mtt("trngd_incident_mttd_seconds", "Incident detection time: injection marker to first alarm, per class.", ist.MTTD)
+		mtt("trngd_incident_mttr_seconds", "Incident recovery time: opened to all member shards healed, per class.", ist.MTTR)
 	}
 	family("trngd_shards_healthy", "gauge", "Healthy shard count.")
 	fmt.Fprintf(w, "trngd_shards_healthy %d\n", st.Healthy)
@@ -818,6 +898,21 @@ var latencyBounds = []promBound{
 	{"10", 10 * time.Second},
 }
 
+// incidentBounds are the le-bucket bounds for incident MTTD/MTTR:
+// sub-second detections through multi-minute recoveries (recalibration
+// takes startup-test time, so recovery lives in the tens of seconds).
+var incidentBounds = []promBound{
+	{"0.1", 100 * time.Millisecond},
+	{"0.5", 500 * time.Millisecond},
+	{"1", time.Second},
+	{"5", 5 * time.Second},
+	{"15", 15 * time.Second},
+	{"30", 30 * time.Second},
+	{"60", time.Minute},
+	{"300", 5 * time.Minute},
+	{"900", 15 * time.Minute},
+}
+
 // streamCostBounds are the le-bucket bounds for the per-raw-bit
 // streaming surveillance cost: a nanosecond-scale ladder (the tracker
 // costs single-digit microseconds per bit), three decades below the
@@ -837,9 +932,12 @@ var streamCostBounds = []promBound{
 
 // eventsResponse is the GET /events payload. LastSeq is the reader's
 // next ?since= cursor — returned even when no event matched, so an
-// idle poller still advances past the events it has seen.
+// idle poller still advances past the events it has seen. Dropped is
+// the cursor gap: events the ring overwrote between the reader's
+// ?since= and the oldest retained entry — history this reader lost.
 type eventsResponse struct {
 	LastSeq uint64      `json:"last_seq"`
+	Dropped uint64      `json:"dropped"`
 	Events  []obs.Event `json:"events"`
 }
 
@@ -892,12 +990,67 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		q.Max = n
 	}
-	evs, last := s.cfg.journal.Events(q)
-	if evs == nil {
-		evs = []obs.Event{} // an empty page is "events": [], not null
+	page := s.cfg.journal.Read(q)
+	if page.Dropped > 0 {
+		s.dropped.Add(page.Dropped)
+	}
+	if page.Events == nil {
+		page.Events = []obs.Event{} // an empty page is "events": [], not null
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(eventsResponse{LastSeq: last, Events: evs})
+	json.NewEncoder(w).Encode(eventsResponse{LastSeq: page.LastSeq, Dropped: page.Dropped, Events: page.Events})
+}
+
+// incidentsResponse is the GET /incidents payload. LastID is the
+// reader's next ?since= cursor; Open counts the unresolved incidents
+// in the page (open incidents are returned whatever the cursor).
+type incidentsResponse struct {
+	LastID    uint64              `json:"last_id"`
+	WindowSec float64             `json:"window_seconds"`
+	Open      int                 `json:"open"`
+	Incidents []incident.Incident `json:"incidents"`
+}
+
+// handleIncidents is GET /incidents[?since=ID]: the fleet incident
+// view from the correlation engine — every open incident plus the
+// retained resolved incidents with ID > since, oldest first. 404 when
+// the engine is disabled (-incident-window 0 or -events 0).
+func (s *server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	eng := s.cfg.incidents
+	if eng == nil {
+		http.Error(w, "incident engine disabled (-incident-window 0 or -events 0)", http.StatusNotFound)
+		return
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "since must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	incs, last := eng.Incidents(since)
+	if incs == nil {
+		incs = []incident.Incident{}
+	}
+	open := 0
+	for i := range incs {
+		if !incs[i].Resolved {
+			open++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(incidentsResponse{
+		LastID:    last,
+		WindowSec: eng.Window().Seconds(),
+		Open:      open,
+		Incidents: incs,
+	})
 }
 
 // handleQuarantine is POST /quarantine?shard=I (admin only).
@@ -969,6 +1122,7 @@ func main() {
 		seedTap     = flag.Int("seedtap", 1<<13, "per-shard raw seed tap bytes (drbg mode)")
 		admin       = flag.Bool("admin", false, "enable POST /quarantine (operator drills)")
 		events      = flag.Int("events", obs.DefaultCapacity, "event journal capacity (0 disables the journal and /events)")
+		incidentWin = flag.Duration("incident-window", incident.DefaultWindow, "cross-shard alarm correlation window for the incident engine (0 disables it and /incidents; requires -events > 0)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof on the serving mux")
 		assess      = flag.Bool("assess", true, "periodic SP 800-90B raw-bit assessment per shard")
@@ -1035,10 +1189,18 @@ func main() {
 	// same event vocabulary. Emission is passive — the pool's output is
 	// bit-identical with or without it.
 	var journal *obs.Journal
+	var engine *incident.Engine
 	sinks := []obs.Sink{obs.NewLogSink(logger)}
 	if *events > 0 {
 		journal = obs.NewJournal(*events)
 		sinks = append(sinks, journal)
+		// The incident engine rides the same fan-out: it correlates the
+		// journal's alarm vocabulary across shards, so it only makes
+		// sense with the journal on.
+		if *incidentWin > 0 {
+			engine = incident.New(*incidentWin)
+			sinks = append(sinks, engine)
+		}
 	}
 	sink := obs.Multi(sinks...)
 
@@ -1129,13 +1291,14 @@ func main() {
 	defer pool.Stop()
 
 	sc := serverConfig{
-		queue:    *queue,
-		maxBytes: *maxBytes,
-		wait:     *wait,
-		admin:    *admin,
-		pprof:    *pprofOn,
-		journal:  journal,
-		sink:     sink,
+		queue:     *queue,
+		maxBytes:  *maxBytes,
+		wait:      *wait,
+		admin:     *admin,
+		pprof:     *pprofOn,
+		journal:   journal,
+		sink:      sink,
+		incidents: engine,
 	}
 	app := newServer(pool, dp, sc)
 	srv := &http.Server{
@@ -1155,8 +1318,9 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("serving", "addr", *addr,
-		"endpoints", "/random /healthz /assess /metrics /events",
-		"admin", *admin, "pprof", *pprofOn, "journal_capacity", *events)
+		"endpoints", "/random /healthz /assess /metrics /events /incidents",
+		"admin", *admin, "pprof", *pprofOn, "journal_capacity", *events,
+		"incident_window", incidentWin.String())
 
 	// Graceful shutdown: on SIGTERM/SIGINT stop accepting, drain every
 	// in-flight request within the -drain budget (nothing mid-stream is

@@ -12,23 +12,28 @@ import (
 
 	"repro/internal/entropyd"
 	"repro/internal/obs"
+	"repro/internal/obs/incident"
 )
 
-// startObserved builds a serving pool wired to a journal, plus a
-// handler with the journal, admin drills and (optionally) pprof
-// enabled — the full observability surface under test.
+// startObserved builds a serving pool wired to a journal and the
+// incident correlation engine, plus a handler with the journal, admin
+// drills and (optionally) pprof enabled — the full observability
+// surface under test.
 func startObserved(t *testing.T, cfg entropyd.Config, pprofOn bool) (*entropyd.Pool, *obs.Journal, http.Handler) {
 	t.Helper()
 	j := obs.NewJournal(1 << 12)
-	cfg.Sink = j
+	eng := incident.New(30 * time.Second)
+	sink := obs.Multi(j, eng)
+	cfg.Sink = sink
 	pool, h := startServedWith(t, cfg, serverConfig{
-		queue:    16,
-		maxBytes: 1 << 16,
-		wait:     10 * time.Second,
-		admin:    true,
-		pprof:    pprofOn,
-		journal:  j,
-		sink:     j,
+		queue:     16,
+		maxBytes:  1 << 16,
+		wait:      10 * time.Second,
+		admin:     true,
+		pprof:     pprofOn,
+		journal:   j,
+		sink:      sink,
+		incidents: eng,
 	})
 	return pool, j, h
 }

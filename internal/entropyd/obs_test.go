@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/obs"
+	"repro/internal/obs/incident"
 	"repro/internal/rng"
 )
 
@@ -73,6 +74,65 @@ func TestJournalBitIdentity(t *testing.T) {
 
 // NewTestJournal builds a journal sized for a test run.
 func NewTestJournal() *obs.Journal { return obs.NewJournal(1 << 12) }
+
+// TestIncidentEngineBitIdentity extends the passivity pin to the
+// incident correlation engine: fanning the event stream out to the
+// engine alongside the journal must leave the pool's output
+// bit-identical with the engine absent, through the same
+// quarantine/heal episode — and the engine must actually have folded
+// that episode into an incident, so the pin proves the right thing.
+func TestIncidentEngineBitIdentity(t *testing.T) {
+	t.Parallel()
+	mk := func(sink obs.Sink) *Pool {
+		cfg := Config{
+			Shards: 2,
+			Seed:   7,
+			Health: HealthConfig{DisableMonitor: true, TotWindow: 64},
+			Sink:   sink,
+			NewSource: func(shard, epoch int, seed uint64) (RawSource, error) {
+				fail := uint64(math.MaxUint64)
+				if shard == 0 && epoch == 0 {
+					fail = startupBits + 3000 // dies mid-service
+				}
+				return &scriptSource{r: rng.New(seed), failAfter: fail}, nil
+			},
+		}
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	eng := incident.New(incident.DefaultWindow)
+	pOn, pOff := mk(obs.Multi(NewTestJournal(), eng)), mk(NewTestJournal())
+
+	a := make([]byte, 8192)
+	b := make([]byte, 8192)
+	if _, err := pOn.Fill(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pOff.Fill(b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("output diverged with the incident engine attached")
+	}
+	pOn.Recalibrate(context.Background())
+	pOff.Recalibrate(context.Background())
+	if _, err := pOn.Fill(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pOff.Fill(b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("post-heal output diverged with the incident engine attached")
+	}
+	incs, last := eng.Incidents(0)
+	if last != 1 || len(incs) != 1 || !incs[0].Resolved || incs[0].Class != incident.ClassSingleShard {
+		t.Fatalf("engine did not fold the episode into one resolved single-shard incident: %+v", incs)
+	}
+}
 
 // TestShardLifecycleEventSequence walks the tot health cycle and
 // checks the journal tells the full story in order: startup passes at

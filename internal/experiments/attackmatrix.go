@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/entropyd"
 	"repro/internal/obs"
+	"repro/internal/obs/incident"
 	"repro/internal/osc"
 	"repro/internal/sp90b"
 	"repro/internal/trng"
@@ -30,6 +31,13 @@ import (
 // the evidence behind the threat-catalog claims: calibrated monitors
 // catch what tot and startup miss, the slow thermal ramp is caught
 // only by the assessment, and no scenario goes fully undetected.
+//
+// Each repetition additionally runs the incident correlation engine
+// (internal/obs/incident) as a passive second sink on the rep's
+// journal: the supply-ripple row — the only multi-shard attack — must
+// fold into exactly ONE correlated incident whose blast radius spans
+// every coupled shard, every single-shard scenario must stay
+// single-shard, and the control must produce no incident at all.
 
 // Defense layers of the coverage matrix.
 const (
@@ -86,6 +94,15 @@ const (
 	// amRampBits is the slow ramp duration: long enough that no
 	// per-window χ² excursion leaves the monitor's tolerance band.
 	amRampBits = 102400
+
+	// amIncidentWindow is the correlation window for the per-rep
+	// incident engine. Rep wall time is seconds; a generous window
+	// guarantees that the coupled supply-ripple quarantines — detected
+	// at different raw-bit latencies but within the same serving loop —
+	// land inside one incident, while isolation (a single-shard attack
+	// never classifying correlated) is enforced by the unattacked
+	// shards staying silent, not by window luck.
+	amIncidentWindow = 5 * time.Minute
 )
 
 // Detection horizons: how many raw bits of observation opportunity a
@@ -231,6 +248,13 @@ type amRep struct {
 	drbgClosed bool
 	drbgServes bool
 	falseAlarm bool
+	// Incident-engine outcome: total incidents, how many classified
+	// correlated, the widest blast radius, and the (single) incident's
+	// class when incCount == 1.
+	incCount      int
+	incCorrelated int
+	incBlast      int
+	incClass      string
 }
 
 // AttackCell is one (scenario, layer) cell aggregated over reps.
@@ -270,8 +294,14 @@ type AttackRow struct {
 	DRBGFailClosed int `json:"drbg_fail_closed"`
 	// LatencySpreadBits is the supply row's max detection-latency gap
 	// between the coupled shards (correlated degradation evidence).
-	LatencySpreadBits int64    `json:"latency_spread_bits,omitempty"`
-	Violations        []string `json:"violations,omitempty"`
+	LatencySpreadBits int64 `json:"latency_spread_bits,omitempty"`
+	// The incident column: what the correlation engine reconstructed
+	// from this scenario's journal (max over reps; the class is
+	// rep-invariant and asserted so).
+	Incidents           int      `json:"incidents"`
+	IncidentClass       string   `json:"incident_class,omitempty"`
+	IncidentBlastRadius int      `json:"incident_blast_radius,omitempty"`
+	Violations          []string `json:"violations,omitempty"`
 }
 
 // AttackMatrixResult is the EXP-MTX outcome.
@@ -378,6 +408,8 @@ func (sc amSpec) run(seed uint64, streamOn bool) (amRep, error) {
 	monScale := float64(amMonitorN) / float64(amMonitorEv*amDivider)
 
 	j := obs.NewJournal(obs.DefaultCapacity)
+	eng := incident.New(amIncidentWindow)
+	sink := obs.Multi(j, eng)
 	health := entropyd.HealthConfig{
 		TotWindow:        amTotWindow,
 		MonitorN:         amMonitorN,
@@ -400,7 +432,7 @@ func (sc amSpec) run(seed uint64, streamOn bool) (amRep, error) {
 		Source:       entropyd.SourceConfig{Kind: entropyd.SourceERO, Model: m, Divider: amDivider},
 		Health:       health,
 		SeedTapBytes: amSeedTap,
-		Sink:         j,
+		Sink:         sink,
 		NewSource: func(shard, epoch int, s uint64) (entropyd.RawSource, error) {
 			g, err := trng.New(trng.Config{Model: m, Divider: amDivider, Seed: s})
 			if err != nil {
@@ -492,7 +524,7 @@ func (sc amSpec) run(seed uint64, streamOn bool) (amRep, error) {
 			_, gerr := dp.Generate(gbuf, true, 2*time.Second)
 			rep.drbgPre = gerr == nil
 			for _, a := range attacked {
-				attack.Mark(j, a, marker)
+				attack.Mark(sink, a, marker)
 			}
 			preDone = true
 		}
@@ -574,6 +606,20 @@ func (sc amSpec) run(seed uint64, streamOn bool) (amRep, error) {
 		healthy := pool.Shard(primary).State() == entropyd.StateHealthy
 		rep.gateBlock = !healthy
 		rep.healed = healthy
+	}
+
+	// The incident column: what the passive correlation engine folded
+	// the rep's alarm stream into.
+	incs, _ := eng.Incidents(0)
+	rep.incCount = len(incs)
+	for _, in := range incs {
+		rep.incClass = in.Class
+		if in.Class == incident.ClassCorrelated {
+			rep.incCorrelated++
+		}
+		if in.BlastRadius > rep.incBlast {
+			rep.incBlast = in.BlastRadius
+		}
 	}
 	return rep, nil
 }
@@ -693,6 +739,37 @@ func (sc amSpec) aggregate(rs []amRep) AttackRow {
 		if r.falseAlarm {
 			violate("an unattacked shard was quarantined (false alarm)")
 		}
+		// The incident column. Correlation is an attack property, not a
+		// window artifact: only the multi-shard supply row may (and
+		// must) correlate, and its blast radius must span exactly the
+		// coupled shards.
+		if r.incCount > row.Incidents {
+			row.Incidents = r.incCount
+		}
+		if r.incBlast > row.IncidentBlastRadius {
+			row.IncidentBlastRadius = r.incBlast
+		}
+		if r.incClass != "" {
+			row.IncidentClass = r.incClass
+		}
+		switch {
+		case sc.class == "":
+			if r.incCount != 0 {
+				violate("incident engine opened %d incident(s) on the control run", r.incCount)
+			}
+		case len(attacked) >= 2:
+			if r.incCount != 1 || r.incClass != incident.ClassCorrelated || r.incBlast != len(attacked) {
+				violate("coupled attack folded into %d incident(s), class %q, blast %d — want one correlated incident spanning all %d attacked shards",
+					r.incCount, r.incClass, r.incBlast, len(attacked))
+			}
+		default:
+			if r.incCorrelated != 0 {
+				violate("a single-shard attack produced a correlated incident")
+			}
+			if r.allCaught && r.incCount == 0 {
+				violate("shard quarantined but the incident engine recorded nothing")
+			}
+		}
 		if sc.class == "" {
 			if r.liveLayer != "" || r.falseAlarm {
 				violate("control run alarmed (%s)", r.liveReason)
@@ -793,6 +870,10 @@ func (r AttackMatrixResult) Table() string {
 		fmt.Fprintf(&b, " %s\n", lat)
 		if row.LatencySpreadBits > 0 {
 			fmt.Fprintf(&b, "%-22s correlated-shard detection spread: %d raw bits\n", "", row.LatencySpreadBits)
+		}
+		if row.Incidents > 0 {
+			fmt.Fprintf(&b, "%-22s incidents: %d %s (blast radius %d)\n", "",
+				row.Incidents, row.IncidentClass, row.IncidentBlastRadius)
 		}
 	}
 	if len(r.Violations) == 0 {

@@ -145,3 +145,43 @@ func TestAttackMatrixLayerSeparation(t *testing.T) {
 		}
 	}
 }
+
+// TestAttackMatrixIncidentColumn pins the incident-correlation claims:
+// the supply-ripple row — two shards degraded by the same supply rail —
+// folds into exactly ONE correlated incident whose blast radius is the
+// coupled-shard count, a single-shard attack stays single-shard, and
+// the control opens no incident at all.
+func TestAttackMatrixIncidentColumn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live-pool campaign")
+	}
+	t.Parallel()
+	r, err := AttackMatrixOpts(Quick, 1, Options{}, "clean", "noise-kill", "supply-ripple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("coverage violations: %v", r.Violations)
+	}
+
+	sr := amFindRow(t, r, "supply-ripple")
+	if sr.Incidents != 1 || sr.IncidentClass != "correlated" {
+		t.Errorf("supply-ripple: %d incident(s) class %q, want one correlated",
+			sr.Incidents, sr.IncidentClass)
+	}
+	if sr.IncidentBlastRadius != len(sr.Attacked) {
+		t.Errorf("supply-ripple blast radius %d, want the coupled-shard count %d",
+			sr.IncidentBlastRadius, len(sr.Attacked))
+	}
+
+	nk := amFindRow(t, r, "noise-kill")
+	if nk.Incidents != 1 || nk.IncidentClass != "single-shard" || nk.IncidentBlastRadius != 1 {
+		t.Errorf("noise-kill: %d incident(s) class %q blast %d, want one single-shard blast-1",
+			nk.Incidents, nk.IncidentClass, nk.IncidentBlastRadius)
+	}
+
+	clean := amFindRow(t, r, "clean")
+	if clean.Incidents != 0 || clean.IncidentClass != "" {
+		t.Errorf("control row opened incidents: %d %q", clean.Incidents, clean.IncidentClass)
+	}
+}

@@ -41,8 +41,9 @@
 // serving hot path never contend with each other or with readers
 // except on the same slot. The ring keeps the most recent Capacity
 // events: older events are overwritten, never blocked on. Readers page
-// forward with a cursor (Query.Since); a gap in the returned sequence
-// numbers tells a reader exactly how many events it lost to overwrite.
+// forward with a cursor (Query.Since); Read reports the cursor gap —
+// the events lost to overwrite before the reader got to them — as an
+// explicit Page.Dropped count.
 //
 // Emission is passive by construction: sinks observe state transitions
 // and never feed back into generation, so enabling or disabling a sink
@@ -301,17 +302,43 @@ type Query struct {
 // from the oldest retained event.
 func NewQuery() Query { return Query{Shard: Any, Lane: Any} }
 
-// Events returns matching events in ascending sequence order, plus the
-// journal's current last sequence number (the caller's next baseline
-// cursor even when no event matched). Events emitted concurrently with
-// the scan may be missing from this page; they are picked up by the
-// next one. A sequence gap relative to the cursor means the ring
-// overwrote events before the reader got to them.
+// Page is one cursor read of the journal: the matching events, the
+// caller's next cursor, and how many events the ring overwrote before
+// the reader got to them.
+type Page struct {
+	// Events holds the matching events in ascending sequence order.
+	Events []Event
+	// LastSeq is the journal's last assigned sequence number at scan
+	// time — the caller's next baseline cursor even when no event
+	// matched.
+	LastSeq uint64
+	// Dropped counts the events between the reader's cursor and the
+	// oldest sequence number still retained: history the flight
+	// recorder lost to overwrite before this read. A reader paging
+	// from cursor 0 on a wrapped journal sees the full backlog it
+	// never observed.
+	Dropped uint64
+}
+
+// Events returns matching events plus the journal's current last
+// sequence number. Events emitted concurrently with the scan may be
+// missing from this page; they are picked up by the next one. Use
+// Read to additionally learn how many events were lost to overwrite.
 func (j *Journal) Events(q Query) ([]Event, uint64) {
+	p := j.Read(q)
+	return p.Events, p.LastSeq
+}
+
+// Read returns one page of matching events along with the cursor gap:
+// the count of events overwritten between the reader's cursor and the
+// oldest retained sequence number.
+func (j *Journal) Read(q Query) Page {
 	hi := j.seq.Load()
 	capacity := uint64(len(j.slots))
 	lo := q.Since + 1
+	var dropped uint64
 	if hi >= capacity && lo < hi-capacity+1 {
+		dropped = hi - capacity + 1 - lo
 		lo = hi - capacity + 1
 	}
 	max := q.Max
@@ -338,7 +365,7 @@ func (j *Journal) Events(q Query) ([]Event, uint64) {
 		}
 		out = append(out, ev)
 	}
-	return out, hi
+	return Page{Events: out, LastSeq: hi, Dropped: dropped}
 }
 
 // DetectionLatencies snapshots the per-alarm-class detection-latency

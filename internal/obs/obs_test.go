@@ -112,6 +112,46 @@ func TestJournalWraparound(t *testing.T) {
 	}
 }
 
+// TestJournalDroppedCount: Read reports the cursor gap explicitly —
+// how many events the ring overwrote before the reader's cursor
+// caught up — and zero when the cursor is inside the retained window.
+func TestJournalDroppedCount(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 6; i++ {
+		j.Emit(Event{Type: TypeSeedDraw, Shard: 0, Lane: Any})
+	}
+	// No wrap yet: nothing dropped from any cursor.
+	if p := j.Read(NewQuery()); p.Dropped != 0 || len(p.Events) != 6 {
+		t.Fatalf("pre-wrap page: dropped=%d n=%d", p.Dropped, len(p.Events))
+	}
+	for i := 0; i < 14; i++ { // total 20 through a capacity-8 ring
+		j.Emit(Event{Type: TypeSeedDraw, Shard: 0, Lane: Any})
+	}
+	// A cursor at 6 lost events 7..12: the ring retains [13, 20].
+	q := NewQuery()
+	q.Since = 6
+	p := j.Read(q)
+	if p.LastSeq != 20 || p.Dropped != 6 {
+		t.Fatalf("stale cursor: last=%d dropped=%d, want 20/6", p.LastSeq, p.Dropped)
+	}
+	if len(p.Events) != 8 || p.Events[0].Seq != 13 {
+		t.Fatalf("stale cursor events: %+v", p.Events)
+	}
+	// A fresh reader (cursor 0) never saw the first 12 at all.
+	if p := j.Read(NewQuery()); p.Dropped != 12 {
+		t.Fatalf("fresh cursor dropped=%d, want 12", p.Dropped)
+	}
+	// A cursor inside the retained window drops nothing.
+	q.Since = 15
+	if p := j.Read(q); p.Dropped != 0 || len(p.Events) != 5 {
+		t.Fatalf("live cursor: dropped=%d n=%d", p.Dropped, len(p.Events))
+	}
+	// The filtered Events wrapper keeps its historical shape.
+	if evs, last := j.Events(q); last != 20 || len(evs) != 5 {
+		t.Fatalf("Events wrapper: last=%d n=%d", last, len(evs))
+	}
+}
+
 // TestJournalDetectionLatency: an injection marker pairs with the next
 // quarantine on the same shard, classed by quarantine reason; markers
 // on other shards stay pending.
